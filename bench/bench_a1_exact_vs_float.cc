@@ -1,0 +1,103 @@
+// A1 -- ablation: exact rational simplex vs double simplex.
+//
+// DESIGN.md commits to exact arithmetic for every bound LP because the
+// paper's exponents are rationals compared exactly. This bench quantifies
+// the cost: same LPs solved by both engines, reporting values (the float
+// engine returns 1.4999999... style approximations of 3/2) and timings.
+
+#include <cmath>
+
+#include "bench/bench_util.h"
+#include "cq/parser.h"
+#include "lp/float_simplex.h"
+#include "lp/simplex.h"
+
+namespace cqbounds {
+namespace {
+
+struct NamedLp {
+  std::string name;
+  LpProblem lp;
+};
+
+std::vector<NamedLp> BuildLps() {
+  std::vector<NamedLp> out;
+  const std::pair<const char*, const char*> queries[] = {
+      {"triangle", "S(X,Y,Z) :- R(X,Y), R(X,Z), R(Y,Z)."},
+      {"5-cycle", "Q(A,B,C,D,E) :- R(A,B), S(B,C), T(C,D), U(D,E), V(E,A)."},
+      {"7-cycle",
+       "Q(A,B,C,D,E,F,G) :- R(A,B), S(B,C), T(C,D), U(D,E), V(E,F), W(F,G), "
+       "X(G,A)."},
+  };
+  for (const auto& [name, text] : queries) {
+    auto q = ParseQuery(text);
+    NamedLp named{name, LpProblem(true)};
+    std::vector<int> vars;
+    for (int v = 0; v < q->num_variables(); ++v) {
+      vars.push_back(named.lp.AddVariable());
+    }
+    for (int v : q->HeadVarSet()) {
+      named.lp.SetObjectiveCoef(vars[v], Rational(1));
+    }
+    for (std::size_t i = 0; i < q->atoms().size(); ++i) {
+      std::vector<LpTerm> terms;
+      for (int v : q->AtomVarSet(static_cast<int>(i))) {
+        terms.push_back({vars[v], Rational(1)});
+      }
+      named.lp.AddConstraint(std::move(terms), ConstraintSense::kLessEq,
+                             Rational(1));
+    }
+    out.push_back(std::move(named));
+  }
+  return out;
+}
+
+void PrintTables() {
+  std::cout << "A1 (ablation): exact rational simplex vs double simplex\n\n";
+  bench::Table table({"LP", "exact value", "float value", "exact pivots",
+                      "float pivots", "exactly 3/2-style?"});
+  for (NamedLp& named : BuildLps()) {
+    auto exact = SolveLp(named.lp);
+    auto approx = SolveLpFloat(named.lp);
+    if (!exact.ok() || !approx.ok()) continue;
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.12f", approx->objective);
+    bool representable =
+        std::abs(approx->objective - exact->objective.ToDouble()) < 1e-9;
+    table.AddRow({named.name, exact->objective.ToString(), buffer,
+                  bench::Num(exact->pivots), bench::Num(approx->pivots),
+                  representable ? "equal-within-eps" : "DIVERGED"});
+  }
+  table.Print();
+  std::cout
+      << "\nReading: the float engine is faster per pivot but returns\n"
+         "binary approximations; the exact engine returns the rational the\n"
+         "paper's theorems are stated with (tests compare with ==). The\n"
+         "bound LPs are small, so exactness costs microseconds, not\n"
+         "asymptotics.\n\n";
+}
+
+void BM_ExactSimplex(benchmark::State& state) {
+  auto lps = BuildLps();
+  LpProblem& lp = lps[state.range(0)].lp;
+  for (auto _ : state) {
+    auto r = SolveLp(lp);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_ExactSimplex)->DenseRange(0, 2);
+
+void BM_FloatSimplex(benchmark::State& state) {
+  auto lps = BuildLps();
+  LpProblem& lp = lps[state.range(0)].lp;
+  for (auto _ : state) {
+    auto r = SolveLpFloat(lp);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_FloatSimplex)->DenseRange(0, 2);
+
+}  // namespace
+}  // namespace cqbounds
+
+CQB_BENCH_MAIN(cqbounds::PrintTables)

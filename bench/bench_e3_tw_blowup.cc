@@ -1,0 +1,68 @@
+// E3 -- Example 2.1: the self-join R(X,Y) x R(X,Z) on a star relation.
+//
+// n input tuples of treewidth 1 produce n^2 output tuples whose Gaifman
+// graph is a clique of treewidth n: the canonical size-and-treewidth
+// blowup that motivates the paper.
+
+#include "bench/bench_util.h"
+#include "cq/parser.h"
+#include "graph/gaifman.h"
+#include "graph/treewidth.h"
+#include "relation/evaluate.h"
+
+namespace cqbounds {
+namespace {
+
+Database StarDatabase(int n) {
+  Database db;
+  Relation* r = db.AddRelation("R", 2);
+  for (int i = 1; i <= n; ++i) r->Insert({0, i});
+  return db;
+}
+
+void PrintTables() {
+  std::cout << "E3: Example 2.1 blowup sweep\n\n";
+  bench::Table table(
+      {"n", "|R|", "|R'|", "tw(R)", "tw(R') lower", "tw(R') upper"});
+  auto q = ParseQuery("Rp(X,Y,Z) :- R(X,Y), R(X,Z).");
+  for (int n : {4, 6, 8, 12, 20, 40}) {
+    Database db = StarDatabase(n);
+    auto result = EvaluateQuery(*q, db, PlanKind::kNaive);
+    GaifmanGraph before = BuildGaifmanGraph(db);
+    GaifmanGraph after = BuildGaifmanGraph({&*result});
+    TreewidthEstimate tw_before = EstimateTreewidth(before.graph);
+    TreewidthEstimate tw_after = EstimateTreewidth(after.graph);
+    table.AddRow({bench::Num(n), bench::Num(db.RMax(*q)),
+                  bench::Num(result->size()), bench::Num(tw_before.upper),
+                  bench::Num(tw_after.lower), bench::Num(tw_after.upper)});
+  }
+  table.Print();
+  std::cout << "\nShape check: |R'| = n^2 and tw(R') = n (clique K_{n+1})\n"
+               "while tw(R) stays 1 -- unbounded treewidth blowup.\n\n";
+}
+
+void BM_SelfJoinEval(benchmark::State& state) {
+  auto q = ParseQuery("Rp(X,Y,Z) :- R(X,Y), R(X,Z).");
+  Database db = StarDatabase(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto result = EvaluateQuery(*q, db, PlanKind::kNaive);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_SelfJoinEval)->Arg(10)->Arg(40)->Arg(100);
+
+void BM_GaifmanOfOutput(benchmark::State& state) {
+  auto q = ParseQuery("Rp(X,Y,Z) :- R(X,Y), R(X,Z).");
+  Database db = StarDatabase(static_cast<int>(state.range(0)));
+  auto result = EvaluateQuery(*q, db, PlanKind::kNaive);
+  for (auto _ : state) {
+    GaifmanGraph g = BuildGaifmanGraph({&*result});
+    benchmark::DoNotOptimize(g);
+  }
+}
+BENCHMARK(BM_GaifmanOfOutput)->Arg(10)->Arg(40);
+
+}  // namespace
+}  // namespace cqbounds
+
+CQB_BENCH_MAIN(cqbounds::PrintTables)

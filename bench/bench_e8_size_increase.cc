@@ -1,0 +1,117 @@
+// E8 -- Theorem 7.2 / Theorem 6.1.
+//
+// Deciding "can |Q(D)| exceed rmax(D)?" via m dual-Horn SAT instances: the
+// polynomial decision agrees with the LP pipeline everywhere, and scales
+// linearly where the LP grows, on a random query population.
+
+#include <chrono>
+
+#include "bench/bench_util.h"
+#include "core/color_number.h"
+#include "core/size_increase.h"
+#include "cq/chase.h"
+#include "cq/query.h"
+#include "util/rng.h"
+
+namespace cqbounds {
+namespace {
+
+Query RandomQuery(int nvars, int natoms, bool with_keys, Rng* rng) {
+  Query q;
+  std::vector<int> vars;
+  for (int v = 0; v < nvars; ++v) {
+    vars.push_back(q.InternVariable("V" + std::to_string(v)));
+  }
+  std::set<int> used;
+  for (int a = 0; a < natoms; ++a) {
+    const int arity = 1 + static_cast<int>(rng->NextBelow(3));
+    std::vector<int> atom_vars;
+    for (int p = 0; p < arity; ++p) {
+      int v = vars[rng->NextBelow(nvars)];
+      atom_vars.push_back(v);
+      used.insert(v);
+    }
+    std::string rel = "R" + std::to_string(a);
+    q.AddAtom(rel, atom_vars);
+    if (with_keys && arity >= 2 && rng->NextBool(1, 2)) {
+      q.AddSimpleKey(rel, 0, arity);
+    }
+  }
+  q.SetHead("Q", std::vector<int>(used.begin(), used.end()));
+  return q;
+}
+
+void PrintTables() {
+  std::cout << "E8: size-increase decision (Thm 7.2) -- dual-Horn vs LP\n\n";
+  bench::Table table({"population", "queries", "agree", "increase=yes",
+                      "min C>1 seen", "m/(m-1) ok"});
+  Rng rng(4242);
+  for (bool with_keys : {false, true}) {
+    int total = 0, agree = 0, yes = 0, ratio_ok = 0, ratio_total = 0;
+    Rational min_c(1000);
+    for (int trial = 0; trial < 150; ++trial) {
+      Query q = RandomQuery(2 + static_cast<int>(rng.NextBelow(5)),
+                            1 + static_cast<int>(rng.NextBelow(4)),
+                            with_keys, &rng);
+      if (!q.Validate().ok()) continue;
+      auto horn = SizeIncreasePossible(q);
+      auto lp = ColorNumberOfChase(q);
+      if (!horn.ok() || !lp.ok()) continue;
+      ++total;
+      bool lp_yes = lp->value > Rational(1);
+      if (*horn == lp_yes) ++agree;
+      if (*horn) ++yes;
+      if (lp_yes) {
+        if (lp->value < min_c) min_c = lp->value;
+        // Theorem 6.1: C > 1 implies C >= m/(m-1).
+        Query chased = Chase(q);
+        auto m = static_cast<std::int64_t>(chased.atoms().size());
+        ++ratio_total;
+        if (lp->value >= Rational(m, m - 1)) ++ratio_ok;
+      }
+    }
+    table.AddRow({with_keys ? "with random keys" : "no keys",
+                  bench::Num(total), bench::Num(agree), bench::Num(yes),
+                  min_c.ToString(),
+                  bench::Num(ratio_ok) + "/" + bench::Num(ratio_total)});
+  }
+  table.Print();
+  std::cout << "\nShape check: full agreement between the SAT decision and\n"
+               "C(chase(Q)) > 1, and every increasing query satisfies the\n"
+               "Theorem 6.1 floor C >= m/(m-1).\n\n";
+}
+
+void BM_HornDecision(benchmark::State& state) {
+  Rng rng(7);
+  Query q = RandomQuery(static_cast<int>(state.range(0)),
+                        static_cast<int>(state.range(0)), false, &rng);
+  if (!q.Validate().ok()) {
+    state.SkipWithError("invalid random query");
+    return;
+  }
+  for (auto _ : state) {
+    auto r = SizeIncreasePossible(q);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_HornDecision)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_LpDecision(benchmark::State& state) {
+  Rng rng(7);
+  Query q = RandomQuery(static_cast<int>(state.range(0)),
+                        static_cast<int>(state.range(0)), false, &rng);
+  if (!q.Validate().ok()) {
+    state.SkipWithError("invalid random query");
+    return;
+  }
+  for (auto _ : state) {
+    auto r = ColorNumberOfChase(q);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_LpDecision)->Arg(4)->Arg(8)->Arg(16);
+
+}  // namespace
+}  // namespace cqbounds
+
+CQB_BENCH_MAIN(cqbounds::PrintTables)

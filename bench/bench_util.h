@@ -1,0 +1,68 @@
+#ifndef CQBOUNDS_BENCH_BENCH_UTIL_H_
+#define CQBOUNDS_BENCH_BENCH_UTIL_H_
+
+#include <benchmark/benchmark.h>
+
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace cqbounds::bench {
+
+/// Minimal aligned-table printer for the paper-shaped result tables each
+/// bench emits before running its google-benchmark timers.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  void Print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      widths[c] = headers_[c].size();
+    }
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+        widths[c] = std::max(widths[c], row[c].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& row) {
+      for (std::size_t c = 0; c < row.size(); ++c) {
+        os << std::left << std::setw(static_cast<int>(widths[c]) + 2)
+           << row[c];
+      }
+      os << "\n";
+    };
+    print_row(headers_);
+    std::size_t total = 0;
+    for (std::size_t w : widths) total += w + 2;
+    os << std::string(total, '-') << "\n";
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string Num(std::size_t v) { return std::to_string(v); }
+inline std::string Num(std::int64_t v) { return std::to_string(v); }
+inline std::string Num(int v) { return std::to_string(v); }
+
+/// Shared main: print the experiment table(s) via `print_tables`, then run
+/// the registered google-benchmark timers.
+#define CQB_BENCH_MAIN(print_tables)                      \
+  int main(int argc, char** argv) {                       \
+    print_tables();                                       \
+    ::benchmark::Initialize(&argc, argv);                 \
+    ::benchmark::RunSpecifiedBenchmarks();                \
+    ::benchmark::Shutdown();                              \
+    return 0;                                             \
+  }
+
+}  // namespace cqbounds::bench
+
+#endif  // CQBOUNDS_BENCH_BENCH_UTIL_H_

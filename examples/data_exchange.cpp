@@ -1,0 +1,95 @@
+// Data-exchange scenario from the paper's introduction: schema mappings are
+// conjunctive queries from a source database to a target, and the size
+// bound rmax^{C(chase(Q))} estimates how much data must be materialized at
+// the target before running the mapping.
+//
+// We model a small ETL pipeline: a source with Orders, Customers and
+// Shipments feeding three target views, and compare the *predicted*
+// materialization ceiling against the actual result sizes on a synthetic
+// source instance -- with and without the key constraints a DBA would
+// declare.
+
+#include <iomanip>
+#include <iostream>
+#include <vector>
+
+#include "core/size_bounds.h"
+#include "core/size_increase.h"
+#include "cq/chase.h"
+#include "cq/parser.h"
+#include "relation/evaluate.h"
+#include "relation/generator.h"
+
+namespace {
+
+struct Mapping {
+  const char* name;
+  const char* text;
+};
+
+}  // namespace
+
+int main() {
+  using namespace cqbounds;
+
+  // Source schema: Orders(order, cust), Customers(cust, region),
+  // Shipments(order, depot). "key Customers: 1" says cust is a key.
+  const std::vector<Mapping> mappings = {
+      {"order_region (keyed)",
+       "T(O,C,R) :- Orders(O,C), Customers(C,R). key Customers: 1."},
+      {"order_region (no key)",
+       "T(O,C,R) :- Orders(O,C), Customers(C,R)."},
+      {"order_pairs_by_cust",
+       "T(O1,O2,C) :- Orders(O1,C), Orders(O2,C)."},
+      {"full_fanout",
+       "T(O,C,R,D) :- Orders(O,C), Customers(C,R), Shipments(O,D)."},
+      {"region_only",
+       "T(R) :- Orders(O,C), Customers(C,R)."},
+  };
+
+  std::cout << "Data-exchange materialization estimates\n"
+            << "(source relations: 200 tuples each)\n\n";
+  std::cout << std::left << std::setw(26) << "mapping" << std::setw(10)
+            << "C(chase)" << std::setw(10) << "blowup?" << std::setw(12)
+            << "predicted" << std::setw(10) << "actual"
+            << "\n";
+  std::cout << std::string(68, '-') << "\n";
+
+  for (const Mapping& mapping : mappings) {
+    auto q = ParseQuery(mapping.text);
+    if (!q.ok()) {
+      std::cerr << mapping.name << ": " << q.status() << "\n";
+      return 1;
+    }
+    auto bound = ComputeSizeBound(*q);
+    auto increase = SizeIncreasePossible(*q);
+    if (!bound.ok() || !increase.ok()) {
+      std::cerr << mapping.name << ": " << bound.status() << "\n";
+      return 1;
+    }
+    RandomDatabaseOptions opts;
+    opts.seed = 2026;
+    opts.tuples_per_relation = 200;
+    opts.domain_size = 40;
+    Database db = RandomDatabase(*q, opts);
+    auto result = EvaluateQuery(*q, db, PlanKind::kJoinProject);
+    if (!result.ok()) {
+      std::cerr << mapping.name << ": " << result.status() << "\n";
+      return 1;
+    }
+    BigInt rmax(static_cast<std::int64_t>(db.RMax(*q)));
+    BigInt predicted = SizeBoundValue(rmax, bound->exponent);
+    std::cout << std::left << std::setw(26) << mapping.name << std::setw(10)
+              << bound->exponent.ToString() << std::setw(10)
+              << (*increase ? "yes" : "no") << std::setw(12)
+              << predicted.ToString() << std::setw(10) << result->size()
+              << "\n";
+  }
+
+  std::cout
+      << "\nReading: a key on Customers caps order_region at rmax^1 -- the\n"
+         "mapping can be materialized in linear space -- while the unkeyed\n"
+         "variant admits quadratic blowup, as does the self-join. The paper's\n"
+         "Theorem 4.4 guarantees every 'actual' stays at or below 'predicted'.\n";
+  return 0;
+}

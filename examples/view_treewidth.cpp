@@ -1,0 +1,81 @@
+// Treewidth-preservation analyzer (Section 5 of the paper): given view
+// definitions, decide whether each preserves bounded treewidth -- i.e.
+// whether Courcelle-style linear-time algorithms that work on the base
+// tables keep working on the view -- and demonstrate an actual blowup for a
+// non-preserving view.
+
+#include <iostream>
+#include <vector>
+
+#include "core/coloring.h"
+#include "core/size_bounds.h"
+#include "core/treewidth_bounds.h"
+#include "cq/chase.h"
+#include "cq/parser.h"
+#include "graph/gaifman.h"
+#include "graph/treewidth.h"
+#include "relation/evaluate.h"
+
+int main() {
+  using namespace cqbounds;
+
+  const std::vector<std::pair<const char*, const char*>> views = {
+      {"edge_view", "V(X,Y) :- E(X,Y)."},
+      {"wedge_view", "V(X,Y,Z) :- E(X,Y), E(X,Z)."},
+      {"wedge_view_keyed", "V(X,Y,Z) :- E(X,Y), E(X,Z). key E: 1."},
+      {"triangle_view", "V(X,Y,Z) :- E(X,Y), E(X,Z), E(Y,Z)."},
+      {"endpoint_view", "V(X,Z) :- E(X,Y), F(Y,Z)."},
+      {"keyed_path_view", "V(X,Y,Z) :- E(X,Y), F(Y,Z). key F: 1."},
+  };
+
+  std::cout << "Treewidth preservation (Prop 5.9 / Thm 5.10):\n\n";
+  for (const auto& [name, text] : views) {
+    auto q = ParseQuery(text);
+    if (!q.ok()) {
+      std::cerr << name << ": " << q.status() << "\n";
+      return 1;
+    }
+    bool preserved;
+    if (q->fds().empty()) {
+      preserved = TreewidthPreservedNoFds(*q);
+    } else {
+      auto r = TreewidthPreservedSimpleFds(*q);
+      if (!r.ok()) {
+        std::cerr << name << ": " << r.status() << "\n";
+        return 1;
+      }
+      preserved = *r;
+    }
+    std::cout << "  " << name << ": "
+              << (preserved ? "preserves treewidth (tw(V(D)) <= f(tw(D)))"
+                            : "treewidth can blow up UNBOUNDEDLY")
+              << "\n";
+  }
+
+  // Demonstrate the blowup for wedge_view, following Prop 5.9's proof: a
+  // 2-coloring with color number 2 turns into a product database whose
+  // inputs are trees but whose view is (nearly) a clique.
+  std::cout << "\nBlowup demo for wedge_view (Example 2.1):\n";
+  auto q = ParseQuery("V(X,Y,Z) :- E(X,Y), E(X,Z).");
+  Coloring coloring;
+  coloring.labels.assign(3, {});
+  coloring.labels[q->FindVariable("Y")] = {0};
+  coloring.labels[q->FindVariable("Z")] = {1};
+  for (std::int64_t m : {3, 5, 8}) {
+    auto db = BuildWorstCaseDatabase(*q, coloring, m);
+    if (!db.ok()) return 1;
+    auto view = EvaluateQuery(*q, *db, PlanKind::kNaive);
+    if (!view.ok()) return 1;
+    GaifmanGraph before = BuildGaifmanGraph(*db);
+    GaifmanGraph after = BuildGaifmanGraph({&*view});
+    TreewidthEstimate tw_before = EstimateTreewidth(before.graph);
+    TreewidthEstimate tw_after = EstimateTreewidth(after.graph, 16);
+    std::cout << "  M = " << m << ": tw(inputs) = " << tw_before.upper
+              << ", tw(view) in [" << tw_after.lower << ", "
+              << tw_after.upper << "], |view| = " << view->size() << "\n";
+  }
+  std::cout << "\nThe input treewidth stays 1 while the view's grows with M\n"
+               "-- exactly the unbounded blowup Prop 5.9 predicts for views\n"
+               "admitting a 2-coloring with color number 2.\n";
+  return 0;
+}

@@ -1,0 +1,74 @@
+#include "core/analyze.h"
+
+#include <sstream>
+
+#include "core/coloring.h"
+#include "core/entropy_bound.h"
+#include "core/size_increase.h"
+#include "core/treewidth_bounds.h"
+#include "cq/chase.h"
+
+namespace cqbounds {
+
+Result<QueryAnalysis> AnalyzeQuery(const Query& query, int search_limit) {
+  CQB_RETURN_NOT_OK(query.Validate());
+  QueryAnalysis out;
+  Query chased = Chase(query);
+  out.chased = chased.ToString();
+
+  CQB_ASSIGN_OR_RETURN(out.size_bound, ComputeSizeBound(query));
+
+  auto entropy = EntropySizeBound(chased);
+  if (entropy.ok()) out.entropy_bound = entropy->value;
+
+  bool increase = false;
+  CQB_ASSIGN_OR_RETURN(increase, SizeIncreasePossible(query));
+  out.size_increase_possible = increase;
+
+  if (query.fds().empty()) {
+    out.treewidth_preserved = TreewidthPreservedNoFds(query);
+  } else {
+    auto simple = TreewidthPreservedSimpleFds(query);
+    if (simple.ok()) {
+      out.treewidth_preserved = *simple;
+    } else if (static_cast<int>(chased.BodyVarSet().size()) <= search_limit) {
+      out.treewidth_preserved = !ExistsTwoColoringNumberTwo(chased);
+    }
+  }
+
+  CQB_ASSIGN_OR_RETURN(out.plan, BuildJoinProjectPlan(query));
+  return out;
+}
+
+std::string RenderAnalysis(const Query& query,
+                           const QueryAnalysis& analysis) {
+  std::ostringstream os;
+  os << "query:       " << query.ToString() << "\n";
+  os << "chase(Q):    " << analysis.chased << "\n";
+  os << "C(chase(Q)): " << analysis.size_bound.exponent.ToString()
+     << (analysis.size_bound.is_upper_bound
+             ? "  [|Q(D)| <= rmax^C, tight]"
+             : "  [lower bound; compound FDs]")
+     << "\n";
+  if (analysis.entropy_bound.has_value()) {
+    os << "s(chase(Q)): " << analysis.entropy_bound->ToString()
+       << "  [Shannon upper bound]\n";
+  }
+  os << "blowup:      "
+     << (analysis.size_increase_possible ? "|Q(D)| can exceed rmax(D)"
+                                         : "|Q(D)| <= rmax(D) always")
+     << "\n";
+  if (analysis.treewidth_preserved.has_value()) {
+    os << "treewidth:   "
+       << (*analysis.treewidth_preserved ? "preserved"
+                                         : "can blow up unboundedly")
+       << "\n";
+  } else {
+    os << "treewidth:   undecided (compound FDs, query too large for the "
+          "exhaustive search)\n";
+  }
+  os << analysis.plan.ToString(query);
+  return os.str();
+}
+
+}  // namespace cqbounds

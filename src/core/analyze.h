@@ -1,0 +1,44 @@
+#ifndef CQBOUNDS_CORE_ANALYZE_H_
+#define CQBOUNDS_CORE_ANALYZE_H_
+
+#include <optional>
+#include <string>
+
+#include "core/join_plan.h"
+#include "core/size_bounds.h"
+#include "cq/query.h"
+#include "util/rational.h"
+#include "util/status.h"
+
+namespace cqbounds {
+
+/// One-stop analysis of a conjunctive query: everything the paper lets us
+/// say about it, computed by the cheapest applicable method.
+struct QueryAnalysis {
+  /// chase(Q), rendered in parser syntax.
+  std::string chased;
+  /// C(chase(Q)) and whether it is a guaranteed worst-case exponent.
+  SizeBound size_bound;
+  /// s(chase(Q)) from the Proposition 6.9 entropy LP, when |var| <= 8.
+  std::optional<Rational> entropy_bound;
+  /// Theorem 7.2: can |Q(D)| exceed rmax(D)?
+  bool size_increase_possible = false;
+  /// Treewidth preservation verdict. Unset when only the NP-hard search
+  /// would decide (compound FDs) and the query is too large for it.
+  std::optional<bool> treewidth_preserved;
+  /// The Corollary 4.8 join-project plan.
+  JoinPlan plan;
+};
+
+/// Runs the full analysis pipeline on `query`. Fails only on invalid
+/// queries; expensive sub-analyses that do not apply are left unset.
+/// For compound-FD queries the treewidth verdict uses the exhaustive
+/// 2-coloring search when |var(chase(Q))| <= `search_limit`.
+Result<QueryAnalysis> AnalyzeQuery(const Query& query, int search_limit = 18);
+
+/// Human-readable multi-line report of an analysis.
+std::string RenderAnalysis(const Query& query, const QueryAnalysis& analysis);
+
+}  // namespace cqbounds
+
+#endif  // CQBOUNDS_CORE_ANALYZE_H_

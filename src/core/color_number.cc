@@ -1,0 +1,252 @@
+#include "core/color_number.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "cq/chase.h"
+#include "lp/simplex.h"
+#include "util/subset.h"
+
+namespace cqbounds {
+
+namespace {
+
+/// Least common multiple of the denominators of `values`.
+BigInt CommonDenominator(const std::vector<Rational>& values) {
+  BigInt lcm(1);
+  for (const Rational& v : values) {
+    BigInt d = v.denominator();
+    BigInt g = BigInt::Gcd(lcm, d);
+    lcm = lcm / g * d;
+  }
+  return lcm;
+}
+
+}  // namespace
+
+Result<ColorNumberResult> ColorNumberNoFds(const Query& query) {
+  CQB_RETURN_NOT_OK(query.Validate());
+  const int n = query.num_variables();
+  LpProblem lp(/*maximize=*/true);
+  std::vector<int> lp_var(n);
+  for (int v = 0; v < n; ++v) {
+    lp_var[v] = lp.AddVariable(query.variable_name(v));
+  }
+  for (int v : query.HeadVarSet()) {
+    lp.SetObjectiveCoef(lp_var[v], Rational(1));
+  }
+  for (std::size_t i = 0; i < query.atoms().size(); ++i) {
+    std::vector<LpTerm> terms;
+    for (int v : query.AtomVarSet(static_cast<int>(i))) {
+      terms.push_back(LpTerm{lp_var[v], Rational(1)});
+    }
+    lp.AddConstraint(std::move(terms), ConstraintSense::kLessEq, Rational(1));
+  }
+  LpSolution solution;
+  CQB_ASSIGN_OR_RETURN(solution, SolveLp(lp));
+
+  ColorNumberResult out;
+  out.value = solution.objective;
+  out.lp_pivots = solution.pivots;
+  // Scale the rational solution into an integer coloring: variable v gets
+  // numerator(x_v * q) fresh colors, q the common denominator. The coloring
+  // then has q * C(Q) head colors and at most q colors per atom.
+  BigInt q = CommonDenominator(solution.values);
+  out.witness.labels.assign(n, {});
+  int next_color = 0;
+  for (int v = 0; v < n; ++v) {
+    Rational scaled = solution.values[v] * Rational(q);
+    CQB_CHECK(scaled.IsInteger());
+    std::int64_t count = scaled.numerator().ToInt64();
+    for (std::int64_t c = 0; c < count; ++c) {
+      out.witness.labels[v].insert(next_color++);
+    }
+  }
+  return out;
+}
+
+Result<Rational> FractionalEdgeCoverNumber(const Query& query) {
+  CQB_RETURN_NOT_OK(query.Validate());
+  LpProblem lp(/*maximize=*/false);
+  std::vector<int> y;
+  y.reserve(query.atoms().size());
+  for (std::size_t j = 0; j < query.atoms().size(); ++j) {
+    int var = lp.AddVariable("y" + std::to_string(j));
+    lp.SetObjectiveCoef(var, Rational(1));
+    y.push_back(var);
+  }
+  for (int v : query.HeadVarSet()) {
+    std::vector<LpTerm> terms;
+    for (std::size_t j = 0; j < query.atoms().size(); ++j) {
+      if (query.AtomVarSet(static_cast<int>(j)).count(v)) {
+        terms.push_back(LpTerm{y[j], Rational(1)});
+      }
+    }
+    lp.AddConstraint(std::move(terms), ConstraintSense::kGreaterEq,
+                     Rational(1));
+  }
+  LpSolution solution;
+  CQB_ASSIGN_OR_RETURN(solution, SolveLp(lp));
+  return solution.objective;
+}
+
+Result<Query> EliminateSimpleFds(const Query& query) {
+  CQB_RETURN_NOT_OK(query.Validate());
+  const int n = query.num_variables();
+  // Variable-level FD set (x -> y), x != y.
+  std::set<std::pair<int, int>> fds;
+  for (const VariableFd& vfd : query.DeriveVariableFds()) {
+    if (vfd.lhs.size() != 1) {
+      return Status::FailedPrecondition(
+          "EliminateSimpleFds requires simple variable FDs; found a compound "
+          "dependency into '" + query.variable_name(vfd.rhs) + "'");
+    }
+    if (vfd.lhs[0] != vfd.rhs) fds.emplace(vfd.lhs[0], vfd.rhs);
+  }
+  // Atom variable lists as ordered vectors; index 0 is the head.
+  std::vector<std::vector<int>> atom_vars;
+  atom_vars.push_back(query.head_vars());
+  for (const Atom& atom : query.atoms()) atom_vars.push_back(atom.vars);
+
+  auto contains = [](const std::vector<int>& vars, int v) {
+    return std::find(vars.begin(), vars.end(), v) != vars.end();
+  };
+
+  // Round i removes every FD with X_i on the left (Theorem 4.4 proof); the
+  // FDs it adds have left side > i, so one pass per variable suffices.
+  for (int i = 0; i < n; ++i) {
+    std::vector<int> targets;
+    for (const auto& [x, y] : fds) {
+      if (x == i) targets.push_back(y);
+    }
+    for (int j : targets) {
+      for (std::vector<int>& vars : atom_vars) {
+        if (contains(vars, i) && !contains(vars, j)) vars.push_back(j);
+      }
+      std::vector<int> incoming;
+      for (const auto& [x, y] : fds) {
+        if (y == i) incoming.push_back(x);
+      }
+      for (int k : incoming) {
+        if (k != j) fds.emplace(k, j);
+      }
+      fds.erase({i, j});
+    }
+  }
+
+  // Rebuild: unique relation names per atom, no FDs.
+  Query out;
+  auto remap = [&](int v) { return out.InternVariable(query.variable_name(v)); };
+  std::vector<int> head;
+  for (int v : atom_vars[0]) head.push_back(remap(v));
+  out.SetHead(query.head_relation(), std::move(head));
+  for (std::size_t a = 1; a < atom_vars.size(); ++a) {
+    std::vector<int> vars;
+    for (int v : atom_vars[a]) vars.push_back(remap(v));
+    out.AddAtom("E" + std::to_string(a) + "_" +
+                    query.atoms()[a - 1].relation,
+                std::move(vars));
+  }
+  return out;
+}
+
+Result<ColorNumberResult> ColorNumberSimpleFds(const Query& query) {
+  Query chased = Chase(query);
+  Query eliminated;
+  CQB_ASSIGN_OR_RETURN(eliminated, EliminateSimpleFds(chased));
+  return ColorNumberNoFds(eliminated);
+}
+
+Result<ColorNumberResult> ColorNumberDiagramLp(const Query& query) {
+  CQB_RETURN_NOT_OK(query.Validate());
+  // Dense-index the variables actually used by the query body.
+  std::set<int> used = query.BodyVarSet();
+  const int n = static_cast<int>(used.size());
+  if (n > 16) {
+    return Status::InvalidArgument(
+        "diagram LP limited to 16 variables (2^n subsets); got " +
+        std::to_string(n));
+  }
+  std::map<int, int> dense;
+  for (int v : used) {
+    int id = static_cast<int>(dense.size());
+    dense.emplace(v, id);
+  }
+  auto mask_of_vars = [&](const std::set<int>& vars) {
+    SubsetMask m = 0;
+    for (int v : vars) m |= Singleton(dense.at(v));
+    return m;
+  };
+  const SubsetMask full = FullSet(n);
+
+  // FDs zero out the atoms I(S | rest) with rhs in S and S disjoint from
+  // the lhs (h(rhs | lhs) = 0 and w >= 0 force each summand to zero).
+  std::vector<char> forced_zero(static_cast<std::size_t>(full) + 1, 0);
+  for (const VariableFd& vfd : query.DeriveVariableFds()) {
+    SubsetMask lhs = 0;
+    for (int v : vfd.lhs) lhs |= Singleton(dense.at(v));
+    SubsetMask rhs = Singleton(dense.at(vfd.rhs));
+    if ((lhs & rhs) != 0) continue;  // trivial dependency
+    for (SubsetMask s = 1; s <= full; ++s) {
+      if ((s & rhs) != 0 && (s & lhs) == 0) forced_zero[s] = 1;
+    }
+  }
+
+  LpProblem lp(/*maximize=*/true);
+  std::map<SubsetMask, int> w_var;
+  SubsetMask head = mask_of_vars(query.HeadVarSet());
+  for (SubsetMask s = 1; s <= full; ++s) {
+    if (forced_zero[s]) continue;
+    int var = lp.AddVariable("w" + std::to_string(s));
+    w_var.emplace(s, var);
+    if ((s & head) != 0) lp.SetObjectiveCoef(var, Rational(1));
+  }
+  for (std::size_t i = 0; i < query.atoms().size(); ++i) {
+    SubsetMask atom = mask_of_vars(query.AtomVarSet(static_cast<int>(i)));
+    std::vector<LpTerm> terms;
+    for (const auto& [s, var] : w_var) {
+      if ((s & atom) != 0) terms.push_back(LpTerm{var, Rational(1)});
+    }
+    lp.AddConstraint(std::move(terms), ConstraintSense::kLessEq, Rational(1));
+  }
+  LpSolution solution;
+  CQB_ASSIGN_OR_RETURN(solution, SolveLp(lp));
+
+  ColorNumberResult out;
+  out.value = solution.objective;
+  out.lp_pivots = solution.pivots;
+  // Witness: q * w_S fresh colors shared by exactly the variables in S
+  // (the Proposition 6.10 construction).
+  BigInt q = CommonDenominator(solution.values);
+  out.witness.labels.assign(query.num_variables(), {});
+  int next_color = 0;
+  for (const auto& [s, var] : w_var) {
+    Rational scaled = solution.values[var] * Rational(q);
+    CQB_CHECK(scaled.IsInteger());
+    std::int64_t count = scaled.numerator().ToInt64();
+    for (std::int64_t c = 0; c < count; ++c) {
+      int color = next_color++;
+      for (const auto& [orig, idx] : dense) {
+        if (Contains(s, idx)) out.witness.labels[orig].insert(color);
+      }
+    }
+  }
+  return out;
+}
+
+Result<ColorNumberResult> ColorNumberOfChase(const Query& query) {
+  Query chased = Chase(query);
+  bool all_simple = true;
+  for (const VariableFd& vfd : chased.DeriveVariableFds()) {
+    all_simple = all_simple && vfd.lhs.size() == 1;
+  }
+  if (all_simple) {
+    Query eliminated;
+    CQB_ASSIGN_OR_RETURN(eliminated, EliminateSimpleFds(chased));
+    return ColorNumberNoFds(eliminated);
+  }
+  return ColorNumberDiagramLp(chased);
+}
+
+}  // namespace cqbounds

@@ -1,0 +1,70 @@
+#ifndef CQBOUNDS_CORE_COLOR_NUMBER_H_
+#define CQBOUNDS_CORE_COLOR_NUMBER_H_
+
+#include "core/coloring.h"
+#include "cq/query.h"
+#include "util/rational.h"
+#include "util/status.h"
+
+namespace cqbounds {
+
+/// Result of a color number computation.
+struct ColorNumberResult {
+  /// C(Q), an exact rational.
+  Rational value;
+  /// An optimal integer coloring witnessing `value` (Proposition 3.6: any
+  /// rational LP solution p/q scales to a coloring with p colors and
+  /// denominator q). Empty labels when value == 0.
+  Coloring witness;
+  /// Simplex pivots spent (for the exactness-cost ablation).
+  int lp_pivots = 0;
+};
+
+/// C(Q) for a query *without* functional dependencies, via the Proposition
+/// 3.6 linear program
+///
+///   maximize sum_{X in u0} x_X   s.t.  sum_{X in uj} x_X <= 1 (each atom),
+///   x >= 0.
+///
+/// Any FDs attached to `query` are ignored (callers should have eliminated
+/// them; see EliminateSimpleFds). The witness coloring assigns q*x_X
+/// distinct colors to each head variable, where q is the common denominator.
+Result<ColorNumberResult> ColorNumberNoFds(const Query& query);
+
+/// The fractional edge cover number rho*(Q') of Definition 3.5, where Q' is
+/// `query` restricted to head variables (Section 3.1): minimize sum y_j
+/// subject to covering every head variable. By LP duality this equals
+/// ColorNumberNoFds(query).value -- tests assert it.
+Result<Rational> FractionalEdgeCoverNumber(const Query& query);
+
+/// The Theorem 4.4 elimination procedure: rewrites chase(Q) with simple FDs
+/// into an FD-free query Q' with C(Q') == C(chase(Q)), by processing the
+/// variable-level FDs in |var(Q)| rounds; removing X -> Y appends Y to every
+/// atom (and the head) containing X, and rewrites Z -> X into Z -> Y
+/// (Example 4.6). Fails with kFailedPrecondition if any derived variable FD
+/// is compound.
+///
+/// The returned query has its FD declarations stripped.
+Result<Query> EliminateSimpleFds(const Query& query);
+
+/// C(chase(Q)) for a query with simple FDs/keys: chase (Definition 2.3),
+/// eliminate FDs (Theorem 4.4), then the Proposition 3.6 LP -- the
+/// polynomial-time pipeline of Proposition 7.1. The witness coloring is for
+/// the *eliminated* query Q' (same color number).
+Result<ColorNumberResult> ColorNumberSimpleFds(const Query& query);
+
+/// C(Q) for a query with *arbitrary* FDs via the Proposition 6.10 linear
+/// program over I-measure atoms: one variable w_S = I(S | rest) >= 0 per
+/// non-empty subset S of var(Q); an FD X1..Xk -> Y zeroes every w_S with
+/// Y in S and S disjoint from {X1..Xk}; each body atom's total color mass
+/// is at most 1; the head mass is maximized. Exponential in |var(Q)|
+/// (guarded: |var(Q)| <= 16). Callers should pass chase(Q).
+Result<ColorNumberResult> ColorNumberDiagramLp(const Query& query);
+
+/// Convenience: C(chase(Q)) by the cheapest applicable method (simple-FD
+/// pipeline when all derived FDs are simple, otherwise the diagram LP).
+Result<ColorNumberResult> ColorNumberOfChase(const Query& query);
+
+}  // namespace cqbounds
+
+#endif  // CQBOUNDS_CORE_COLOR_NUMBER_H_

@@ -1,0 +1,49 @@
+#ifndef CQBOUNDS_CORE_ELIMINATION_TRANSFORM_H_
+#define CQBOUNDS_CORE_ELIMINATION_TRANSFORM_H_
+
+#include "cq/query.h"
+#include "relation/database.h"
+#include "util/status.h"
+
+namespace cqbounds {
+
+/// The query/database pair produced by EliminateSimpleFdsWithDatabase.
+struct EliminationTransformResult {
+  /// The FD-free query Q' of the Theorem 4.4 procedure, with one fresh
+  /// relation per body atom and variables appended per removed dependency.
+  Query query;
+  /// The companion database D': each atom's relation carries the original
+  /// tuples extended by the functionally determined columns, so that
+  /// |Q(D)| == |Q'(D')| and per-relation tuple counts are preserved.
+  Database db;
+};
+
+/// Executes the database side of the Theorem 4.4 proof: alongside the
+/// FD-elimination rounds on chase(Q), transforms a compatible database D by
+/// appending, for each removed dependency X -> Y, the determined Y-value to
+/// every tuple of every relation whose atom contains X but not Y.
+///
+/// Value maps x -> y(x) are harvested from the relations that realize each
+/// positional FD and composed when the rounds derive new dependencies
+/// (Z -> Y from Z -> X and X -> Y). A value of X occurring in some relation
+/// but absent from every defining relation has no determined partner; it
+/// receives a fresh value unique to (Y, x) -- such tuples can never join
+/// into an output tuple through the FD-bearing atom, so the result count is
+/// unaffected.
+///
+/// Preconditions (checked): `query` must be chased, with simple variable
+/// FDs only, and `db` must satisfy the declared FDs.
+///
+/// Guarantees (verified by tests):
+///   - result.query equals EliminateSimpleFds(query) up to relation naming,
+///     in particular C is unchanged;
+///   - every relation of result.db has exactly as many tuples as the
+///     original relation of its atom;
+///   - EvaluateQuery(query, db) and EvaluateQuery(result.query, result.db)
+///     have the same number of tuples (the proof's |Q1(D1)| = |Q2(D2)|).
+Result<EliminationTransformResult> EliminateSimpleFdsWithDatabase(
+    const Query& query, const Database& db);
+
+}  // namespace cqbounds
+
+#endif  // CQBOUNDS_CORE_ELIMINATION_TRANSFORM_H_

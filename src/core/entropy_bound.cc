@@ -1,0 +1,84 @@
+#include "core/entropy_bound.h"
+
+#include <map>
+#include <set>
+
+#include "entropy/entropy_vector.h"
+#include "lp/simplex.h"
+#include "util/subset.h"
+
+namespace cqbounds {
+
+Result<EntropyBoundResult> EntropySizeBound(const Query& query) {
+  CQB_RETURN_NOT_OK(query.Validate());
+  std::set<int> used = query.BodyVarSet();
+  const int n = static_cast<int>(used.size());
+  if (n > 8) {
+    return Status::InvalidArgument(
+        "entropy LP limited to 8 variables (elemental basis is exponential); "
+        "got " + std::to_string(n));
+  }
+  std::map<int, int> dense;
+  for (int v : used) {
+    int id = static_cast<int>(dense.size());
+    dense.emplace(v, id);
+  }
+  const SubsetMask full = FullSet(n);
+
+  LpProblem lp(/*maximize=*/true);
+  // h-variable per non-empty subset; h(empty) is identically 0 and omitted.
+  std::vector<int> h_var(static_cast<std::size_t>(full) + 1, -1);
+  for (SubsetMask s = 1; s <= full; ++s) {
+    h_var[s] = lp.AddVariable("h" + std::to_string(s));
+  }
+  auto mask_of_vars = [&](const std::set<int>& vars) {
+    SubsetMask m = 0;
+    for (int v : vars) m |= Singleton(dense.at(v));
+    return m;
+  };
+
+  // Objective: maximize h(u0).
+  SubsetMask head = mask_of_vars(query.HeadVarSet());
+  if (head != 0) lp.SetObjectiveCoef(h_var[head], Rational(1));
+
+  // Atom capacity: h(uj) <= 1.
+  for (std::size_t i = 0; i < query.atoms().size(); ++i) {
+    SubsetMask atom = mask_of_vars(query.AtomVarSet(static_cast<int>(i)));
+    if (atom == 0) continue;
+    lp.AddConstraint({LpTerm{h_var[atom], Rational(1)}},
+                     ConstraintSense::kLessEq, Rational(1));
+  }
+
+  // FDs: h(lhs u rhs) - h(lhs) = 0.
+  for (const VariableFd& vfd : query.DeriveVariableFds()) {
+    SubsetMask lhs = 0;
+    for (int v : vfd.lhs) lhs |= Singleton(dense.at(v));
+    SubsetMask both = lhs | Singleton(dense.at(vfd.rhs));
+    if (both == lhs) continue;  // trivial
+    std::vector<LpTerm> terms = {LpTerm{h_var[both], Rational(1)}};
+    if (lhs != 0) terms.push_back(LpTerm{h_var[lhs], Rational(-1)});
+    lp.AddConstraint(std::move(terms), ConstraintSense::kEqual, Rational(0));
+  }
+
+  // Elemental Shannon inequalities.
+  for (const ElementalInequality& ineq : ElementalShannonInequalities(n)) {
+    std::vector<LpTerm> terms;
+    for (SubsetMask s : ineq.plus) terms.push_back(LpTerm{h_var[s], Rational(1)});
+    for (SubsetMask s : ineq.minus) {
+      terms.push_back(LpTerm{h_var[s], Rational(-1)});
+    }
+    lp.AddConstraint(std::move(terms), ConstraintSense::kGreaterEq,
+                     Rational(0));
+  }
+
+  EntropyBoundResult out;
+  out.num_lp_variables = lp.num_variables();
+  out.num_lp_constraints = lp.num_constraints();
+  LpSolution solution;
+  CQB_ASSIGN_OR_RETURN(solution, SolveLp(lp));
+  out.value = solution.objective;
+  out.lp_pivots = solution.pivots;
+  return out;
+}
+
+}  // namespace cqbounds

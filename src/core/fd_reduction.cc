@@ -1,0 +1,76 @@
+#include "core/fd_reduction.h"
+
+#include <deque>
+#include <string>
+#include <vector>
+
+namespace cqbounds {
+
+Query ReduceFdArity(const Query& query) {
+  // Rebuild the query keeping the original atoms. All positional FD
+  // declarations are replaced: the variable-level dependencies they induce
+  // are re-expressed on fresh helper atoms, splitting any left side wider
+  // than two via the Fact 6.12 Pair/Rest gadget. Helper atoms only mention
+  // variables of the inducing atom (plus fresh pair variables whose labels
+  // are unions of existing labels), so the color number is unchanged.
+  Query out;
+  auto remap = [&](int v) {
+    return out.InternVariable(query.variable_name(v));
+  };
+  std::vector<int> head;
+  for (int v : query.head_vars()) head.push_back(remap(v));
+  out.SetHead(query.head_relation(), std::move(head));
+  for (const Atom& atom : query.atoms()) {
+    std::vector<int> vars;
+    for (int v : atom.vars) vars.push_back(remap(v));
+    out.AddAtom(atom.relation, std::move(vars));
+  }
+
+  // Queue of variable-level dependencies (over `out` ids) to realize.
+  std::deque<VariableFd> pending;
+  for (const VariableFd& vfd : query.DeriveVariableFds()) {
+    VariableFd mapped;
+    for (int v : vfd.lhs) mapped.lhs.push_back(remap(v));
+    mapped.rhs = remap(vfd.rhs);
+    pending.push_back(std::move(mapped));
+  }
+
+  int fresh = 0;
+  while (!pending.empty()) {
+    VariableFd vfd = pending.front();
+    pending.pop_front();
+    const std::string tag = std::to_string(fresh++);
+    if (vfd.lhs.size() <= 2) {
+      // Narrow enough: realize directly on a helper atom.
+      std::vector<int> vars = vfd.lhs;
+      vars.push_back(vfd.rhs);
+      const std::string rel = "_Dep" + tag;
+      std::vector<int> lhs_positions;
+      for (std::size_t p = 0; p + 1 < vars.size(); ++p) {
+        lhs_positions.push_back(static_cast<int>(p));
+      }
+      const int rhs_position = static_cast<int>(vars.size()) - 1;
+      out.AddAtom(rel, std::move(vars));
+      out.AddFd(FunctionalDependency{rel, lhs_positions, rhs_position});
+      continue;
+    }
+    // Pair_t(X1, X2, Z): X1 X2 -> Z, Z -> X1, Z -> X2.
+    int z = out.InternVariable("_Z" + tag);
+    const std::string pair_rel = "_Pair" + tag;
+    out.AddAtom(pair_rel, {vfd.lhs[0], vfd.lhs[1], z});
+    out.AddFd(FunctionalDependency{pair_rel, {0, 1}, 2});
+    out.AddFd(FunctionalDependency{pair_rel, {2}, 0});
+    out.AddFd(FunctionalDependency{pair_rel, {2}, 1});
+    // Queue Z X3 ... Xk -> Y (one variable narrower).
+    VariableFd rest;
+    rest.lhs = {z};
+    for (std::size_t i = 2; i < vfd.lhs.size(); ++i) {
+      rest.lhs.push_back(vfd.lhs[i]);
+    }
+    rest.rhs = vfd.rhs;
+    pending.push_back(std::move(rest));
+  }
+  return out;
+}
+
+}  // namespace cqbounds

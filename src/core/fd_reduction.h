@@ -1,0 +1,30 @@
+#ifndef CQBOUNDS_CORE_FD_REDUCTION_H_
+#define CQBOUNDS_CORE_FD_REDUCTION_H_
+
+#include "cq/query.h"
+
+namespace cqbounds {
+
+/// The Fact 6.12 transformation: rewrites a query with arbitrary FDs into
+/// one whose positional FDs all have at most two left-hand-side positions,
+/// preserving the color number and the worst-case size increase.
+///
+/// Each positional FD R[p1..pk] -> R[r] with k >= 3 is replaced (working at
+/// the level of the variable dependencies it induces, per the paper's
+/// convention) by fresh body atoms
+///
+///   Pair_t(X1, X2, Z)        with FDs {1,2} -> 3, 3 -> 1, 3 -> 2,
+///   Rest_t(Z, X3, ..., Xk, Y) with FD  {1, ..., k-1} -> k,
+///
+/// where Z is a fresh variable encoding the pair (X1, X2). The procedure
+/// iterates until every FD has lhs size <= 2. The original query's atoms
+/// are kept; the offending FD declarations are dropped (their semantic
+/// content is carried by the new atoms' FDs).
+///
+/// Tests verify C(Q) == C(ReduceFdArity(Q)) via the diagram LP on small
+/// instances.
+Query ReduceFdArity(const Query& query);
+
+}  // namespace cqbounds
+
+#endif  // CQBOUNDS_CORE_FD_REDUCTION_H_

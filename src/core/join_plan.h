@@ -1,0 +1,59 @@
+#ifndef CQBOUNDS_CORE_JOIN_PLAN_H_
+#define CQBOUNDS_CORE_JOIN_PLAN_H_
+
+#include <string>
+#include <vector>
+
+#include "cq/query.h"
+#include "relation/database.h"
+#include "relation/evaluate.h"
+#include "util/rational.h"
+#include "util/status.h"
+
+namespace cqbounds {
+
+/// One step of a join-project plan: join the given body atom into the
+/// current bindings, then project the bindings onto `keep_vars`.
+struct JoinPlanStep {
+  int atom_index = 0;
+  /// Variable ids kept after the join (sorted).
+  std::vector<int> keep_vars;
+};
+
+/// An explicit join-project plan in the sense of Corollary 4.8 / Atserias
+/// et al. Theorem 15: an atom order plus per-step projections.
+struct JoinPlan {
+  std::vector<JoinPlanStep> steps;
+  /// The Corollary 4.8 time-budget exponent: intermediates stay within
+  /// rmax^{C(chase(Q))} and the work within rmax^{C+1} when the guarantee
+  /// applies.
+  Rational cost_exponent;
+  /// True when the paper's guarantee applies: simple FDs only and every
+  /// variable occurs in the head (Cor 4.8's precondition). The plan is
+  /// still correct otherwise; only the complexity envelope is unproven --
+  /// indeed evaluating projection queries with C == 1 can already be
+  /// NP-hard (remark after Cor 4.8).
+  bool guaranteed = false;
+
+  std::string ToString(const Query& query) const;
+};
+
+/// Builds the join-project plan for `query`:
+///  - atoms are ordered greedily for connectivity (each next atom shares a
+///    maximal number of variables with the already-joined prefix, breaking
+///    ties toward smaller new-variable count -- a standard heuristic that
+///    avoids accidental cartesian products);
+///  - after each step, bindings are projected onto head variables plus the
+///    variables of not-yet-joined atoms;
+///  - the cost exponent is C(chase(Q)) + 1 from the simple-FD pipeline.
+Result<JoinPlan> BuildJoinProjectPlan(const Query& query);
+
+/// Executes `plan` over `db`, producing Q(D). Equivalent to
+/// EvaluateQuery(query, db, PlanKind::kJoinProject) up to join order;
+/// tests assert result equality. `stats` may be null.
+Result<Relation> ExecuteJoinPlan(const Query& query, const JoinPlan& plan,
+                                 const Database& db, EvalStats* stats);
+
+}  // namespace cqbounds
+
+#endif  // CQBOUNDS_CORE_JOIN_PLAN_H_

@@ -1,0 +1,66 @@
+#ifndef CQBOUNDS_CORE_SIZE_BOUNDS_H_
+#define CQBOUNDS_CORE_SIZE_BOUNDS_H_
+
+#include "core/coloring.h"
+#include "core/color_number.h"
+#include "cq/query.h"
+#include "relation/database.h"
+#include "util/bigint.h"
+#include "util/rational.h"
+#include "util/status.h"
+
+namespace cqbounds {
+
+/// A size bound |Q(D)| <= rmax(D)^exponent for a query.
+struct SizeBound {
+  /// The exponent C(chase(Q)) (exact rational).
+  Rational exponent;
+  /// True when the exponent is a guaranteed worst-case upper bound (no FDs,
+  /// or simple FDs only -- Proposition 4.1 / Theorem 4.4). With compound
+  /// FDs the color number is only a *lower* bound on the worst case
+  /// (Proposition 6.11 shows a super-constant gap), so this is false.
+  bool is_upper_bound = false;
+  /// The optimal coloring behind the exponent; feeds the tightness
+  /// construction (Proposition 4.5).
+  Coloring witness;
+};
+
+/// Computes the size bound of `query`: chases, picks the applicable color
+/// number method, and reports whether the exponent is a guaranteed upper
+/// bound (see SizeBound::is_upper_bound).
+Result<SizeBound> ComputeSizeBound(const Query& query);
+
+/// Exact check of `actual <= rmax^exponent` for a rational exponent p/q:
+/// equivalent to actual^q <= rmax^p (both sides exact BigInt powers).
+bool SatisfiesSizeBound(const BigInt& actual, const BigInt& rmax,
+                        const Rational& exponent);
+
+/// rmax^exponent rounded down to an integer (the largest output size the
+/// bound permits), via exact q-th root search on rmax^p.
+BigInt SizeBoundValue(const BigInt& rmax, const Rational& exponent);
+
+/// The Proposition 4.5 tightness construction: given chase(Q) (or any query
+/// whose variable FDs the coloring respects) and a valid coloring L, builds
+/// a database D with
+///
+///   |Q(D)| = M^{|union of head labels|}   and, per atom R(u),
+///   |R(D)| <= rep(Q) * M^{|union of u's labels|},
+///
+/// by deriving tuples from the M^d product table over the d colors: the
+/// value of variable X in a tuple encodes the restriction of the product
+/// tuple to the colors L(X) (variables with empty labels read a shared null
+/// value). Relations occurring several times receive the union of their
+/// atoms' tuple sets.
+///
+/// Returns kInvalidArgument if the coloring is invalid for `query`.
+Result<Database> BuildWorstCaseDatabase(const Query& query,
+                                        const Coloring& coloring,
+                                        std::int64_t m);
+
+/// |union of head labels| -- the exponent d with |Q(D)| = M^d for the
+/// database built by BuildWorstCaseDatabase.
+int HeadColorCount(const Query& query, const Coloring& coloring);
+
+}  // namespace cqbounds
+
+#endif  // CQBOUNDS_CORE_SIZE_BOUNDS_H_

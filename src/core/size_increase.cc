@@ -1,0 +1,46 @@
+#include "core/size_increase.h"
+
+#include "cq/chase.h"
+
+namespace cqbounds {
+
+Cnf BuildSizeIncreaseSat(const Query& query, int atom_index) {
+  Cnf cnf;
+  for (int v = 0; v < query.num_variables(); ++v) {
+    cnf.AddVariable(query.variable_name(v));
+  }
+  // No variable of atom i may be colored.
+  for (int v : query.AtomVarSet(atom_index)) {
+    cnf.AddClause({Literal{v, false}});
+  }
+  // Some head variable must be colored.
+  Clause head;
+  for (int v : query.HeadVarSet()) head.literals.push_back(Literal{v, true});
+  cnf.AddClause(std::move(head));
+  // FD clauses: lhs1 \/ ... \/ lhsk \/ !rhs.
+  for (const VariableFd& vfd : query.DeriveVariableFds()) {
+    Clause clause;
+    bool trivial = false;
+    for (int l : vfd.lhs) {
+      trivial = trivial || l == vfd.rhs;
+      clause.literals.push_back(Literal{l, true});
+    }
+    if (trivial) continue;
+    clause.literals.push_back(Literal{vfd.rhs, false});
+    cnf.AddClause(std::move(clause));
+  }
+  return cnf;
+}
+
+Result<bool> SizeIncreasePossible(const Query& query) {
+  CQB_RETURN_NOT_OK(query.Validate());
+  Query chased = Chase(query);
+  for (std::size_t i = 0; i < chased.atoms().size(); ++i) {
+    Cnf sat_i = BuildSizeIncreaseSat(chased, static_cast<int>(i));
+    CQB_CHECK(sat_i.IsDualHorn());
+    if (!DualHornSatisfiable(sat_i, nullptr)) return false;
+  }
+  return true;
+}
+
+}  // namespace cqbounds

@@ -1,0 +1,32 @@
+#ifndef CQBOUNDS_CORE_SIZE_INCREASE_H_
+#define CQBOUNDS_CORE_SIZE_INCREASE_H_
+
+#include "cq/query.h"
+#include "sat/cnf.h"
+#include "util/status.h"
+
+namespace cqbounds {
+
+/// Builds the dual-Horn encoding SAT_i of Theorem 7.2 for body atom `i` of
+/// `query` (pass chase(Q)): over one propositional variable per query
+/// variable,
+///
+///   SAT_i =  /\_{X in u_i} !x   /\  (\/_{X in u_0} x)
+///            /\_{FD X1..Xk -> Y} (x1 \/ ... \/ xk \/ !y).
+///
+/// A model is a single-color valid coloring that colors some head variable
+/// but nothing in atom i. (The paper first reduces FD left sides to <= 2
+/// variables via Fact 6.12; dual-Horn propagation handles any width
+/// directly, so no reduction is needed here.)
+Cnf BuildSizeIncreaseSat(const Query& query, int atom_index);
+
+/// Theorem 7.2 / Theorem 6.1: decides in polynomial time whether
+/// C(chase(Q)) > 1, i.e. whether some database (satisfying the FDs) makes
+/// |Q(D)| > rmax(D). True iff SAT_i is satisfiable for every body atom i of
+/// chase(Q) -- the per-atom colorings then combine into a coloring with m
+/// colors and color number >= m/(m-1) > 1.
+Result<bool> SizeIncreasePossible(const Query& query);
+
+}  // namespace cqbounds
+
+#endif  // CQBOUNDS_CORE_SIZE_INCREASE_H_

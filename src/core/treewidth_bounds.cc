@@ -1,0 +1,100 @@
+#include "core/treewidth_bounds.h"
+
+#include <cmath>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/color_number.h"
+#include "cq/chase.h"
+
+namespace cqbounds {
+
+namespace {
+
+/// True iff every pair of distinct head variables occurs together in some
+/// body atom (the Proposition 5.9 criterion).
+bool AllHeadPairsCovered(const Query& query) {
+  std::set<int> head = query.HeadVarSet();
+  std::vector<int> head_list(head.begin(), head.end());
+  std::vector<std::set<int>> atom_sets;
+  for (std::size_t i = 0; i < query.atoms().size(); ++i) {
+    atom_sets.push_back(query.AtomVarSet(static_cast<int>(i)));
+  }
+  for (std::size_t a = 0; a < head_list.size(); ++a) {
+    for (std::size_t b = a + 1; b < head_list.size(); ++b) {
+      bool covered = false;
+      for (const std::set<int>& atom : atom_sets) {
+        if (atom.count(head_list[a]) && atom.count(head_list[b])) {
+          covered = true;
+          break;
+        }
+      }
+      if (!covered) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool TreewidthPreservedNoFds(const Query& query) {
+  return AllHeadPairsCovered(query);
+}
+
+Result<bool> TreewidthPreservedSimpleFds(const Query& query) {
+  Query chased = Chase(query);
+  Query eliminated;
+  CQB_ASSIGN_OR_RETURN(eliminated, EliminateSimpleFds(chased));
+  return AllHeadPairsCovered(eliminated);
+}
+
+double Theorem510Bound(const Query& query, int input_treewidth) {
+  double m = static_cast<double>(query.atoms().size());
+  double vars = static_cast<double>(query.BodyVarSet().size());
+  double factor = std::pow(2.0, m * vars * vars);
+  return factor * (1.0 + std::max(input_treewidth, 2)) - 1.0;
+}
+
+double KeyedJoinSequenceBound(int max_arity, int num_relations,
+                              int input_treewidth) {
+  double factor = std::pow(static_cast<double>(max_arity),
+                           static_cast<double>(num_relations - 1));
+  return factor * (1.0 + std::max(input_treewidth, 2)) - 1.0;
+}
+
+Query BuildHardnessReduction(const ThreeSatInstance& instance) {
+  Query q;
+  int a = q.InternVariable("A");
+  int b = q.InternVariable("B");
+  q.SetHead("Q", {a, b});
+  std::vector<int> x(instance.num_variables), xbar(instance.num_variables);
+  std::vector<int> y(instance.num_variables), ybar(instance.num_variables);
+  for (int i = 0; i < instance.num_variables; ++i) {
+    const std::string suffix = std::to_string(i);
+    x[i] = q.InternVariable("X" + suffix);
+    xbar[i] = q.InternVariable("Xb" + suffix);
+    y[i] = q.InternVariable("Y" + suffix);
+    ybar[i] = q.InternVariable("Yb" + suffix);
+    q.AddAtom("R" + suffix + "_1", {x[i], xbar[i], a});
+    q.AddAtom("R" + suffix + "_2", {y[i], ybar[i], b});
+    q.AddAtom("R" + suffix + "_3", {x[i], y[i]});
+    q.AddAtom("R" + suffix + "_4", {xbar[i], ybar[i]});
+    q.AddFd(FunctionalDependency{"R" + suffix + "_1", {0, 1}, 2});
+    q.AddFd(FunctionalDependency{"R" + suffix + "_2", {0, 1}, 2});
+  }
+  for (std::size_t c = 0; c < instance.clauses.size(); ++c) {
+    const auto& clause = instance.clauses[c];
+    std::vector<int> vars;
+    for (const Literal& lit : clause) {
+      vars.push_back(lit.positive ? x[lit.var] : xbar[lit.var]);
+    }
+    vars.push_back(a);
+    const std::string name = "S" + std::to_string(c);
+    q.AddAtom(name, std::move(vars));
+    q.AddFd(FunctionalDependency{name, {0, 1, 2}, 3});
+  }
+  return q;
+}
+
+}  // namespace cqbounds

@@ -1,0 +1,44 @@
+#ifndef CQBOUNDS_CORE_TREEWIDTH_BOUNDS_H_
+#define CQBOUNDS_CORE_TREEWIDTH_BOUNDS_H_
+
+#include "cq/query.h"
+#include "sat/threesat.h"
+#include "util/status.h"
+
+namespace cqbounds {
+
+/// Proposition 5.9 (no FDs): tw(Q(D)) is bounded (in fact tw(Q(D)) <=
+/// tw(D)) iff there is NO valid 2-coloring with color number 2, iff every
+/// pair of head variables co-occurs in some body atom. This checks the
+/// co-occurrence condition directly (polynomial).
+bool TreewidthPreservedNoFds(const Query& query);
+
+/// Theorem 5.10 (simple FDs): treewidth is preserved (up to the explicit
+/// 2^{m |var|^2} factor) iff chase(Q) has no 2-coloring with color number 2,
+/// decided by reducing through EliminateSimpleFds and applying the no-FD
+/// co-occurrence test on Q' (Lemma 4.7 transfers such colorings both ways).
+/// Fails with kFailedPrecondition if the query has compound FDs (the
+/// decision is then NP-complete, Prop 7.3; use ExistsTwoColoringNumberTwo).
+Result<bool> TreewidthPreservedSimpleFds(const Query& query);
+
+/// The explicit treewidth bound of Theorem 5.10 for preserved queries:
+///   tw(Q(D)) <= 2^{m |var(Q)|^2} (1 + max(tw(D), 2)) - 1.
+/// Returned as a double since the factor overflows quickly; callers use it
+/// only to report the bound's shape.
+double Theorem510Bound(const Query& query, int input_treewidth);
+
+/// Proposition 5.7: treewidth bound after a sequence of n keyed joins with
+/// max arity l: tw <= l^{n-1} (1 + max(tw, 2)) - 1.
+double KeyedJoinSequenceBound(int max_arity, int num_relations,
+                              int input_treewidth);
+
+/// The Proposition 7.3 reduction: maps a 3-SAT instance E to a conjunctive
+/// query Q_E with compound FDs such that E is satisfiable iff Q_E has a
+/// valid 2-coloring with color number 2 (iff the treewidth of Q_E's output
+/// can blow up unboundedly). Used to exhibit NP-hardness and to
+/// cross-validate ExistsTwoColoringNumberTwo against a SAT solver.
+Query BuildHardnessReduction(const ThreeSatInstance& instance);
+
+}  // namespace cqbounds
+
+#endif  // CQBOUNDS_CORE_TREEWIDTH_BOUNDS_H_

@@ -1,0 +1,97 @@
+#include "cq/chase.h"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace cqbounds {
+
+namespace {
+
+/// Union-find with smallest-id representatives for deterministic chases.
+class UnionFind {
+ public:
+  explicit UnionFind(int n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  int Find(int x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Merges the classes of a and b; returns true if they were distinct.
+  bool Union(int a, int b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return false;
+    if (a > b) std::swap(a, b);
+    parent_[b] = a;  // smaller id wins
+    return true;
+  }
+
+ private:
+  std::vector<int> parent_;
+};
+
+}  // namespace
+
+Query Chase(const Query& query) {
+  const int n = query.num_variables();
+  UnionFind uf(n);
+  const std::vector<Atom>& atoms = query.atoms();
+
+  // Fixpoint: apply every (atom pair, FD) replacement until nothing merges.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const FunctionalDependency& fd : query.fds()) {
+      for (std::size_t j = 0; j < atoms.size(); ++j) {
+        if (atoms[j].relation != fd.relation) continue;
+        for (std::size_t k = j + 1; k < atoms.size(); ++k) {
+          if (atoms[k].relation != fd.relation) continue;
+          bool lhs_equal = true;
+          for (int pos : fd.lhs) {
+            if (uf.Find(atoms[j].vars[pos]) != uf.Find(atoms[k].vars[pos])) {
+              lhs_equal = false;
+              break;
+            }
+          }
+          if (!lhs_equal) continue;
+          if (uf.Union(atoms[j].vars[fd.rhs], atoms[k].vars[fd.rhs])) {
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+
+  // Rebuild the query over representative variables, deduplicating atoms.
+  Query out;
+  auto remap = [&](int v) {
+    return out.InternVariable(query.variable_name(uf.Find(v)));
+  };
+  std::vector<int> head;
+  head.reserve(query.head_vars().size());
+  for (int v : query.head_vars()) head.push_back(remap(v));
+  out.SetHead(query.head_relation(), std::move(head));
+
+  std::set<Atom> seen;
+  for (const Atom& atom : atoms) {
+    Atom rewritten;
+    rewritten.relation = atom.relation;
+    rewritten.vars.reserve(atom.vars.size());
+    for (int v : atom.vars) rewritten.vars.push_back(remap(v));
+    if (seen.insert(rewritten).second) {
+      out.AddAtom(rewritten.relation, rewritten.vars);
+    }
+  }
+  for (const FunctionalDependency& fd : query.fds()) out.AddFd(fd);
+  return out;
+}
+
+}  // namespace cqbounds

@@ -1,0 +1,28 @@
+#ifndef CQBOUNDS_CQ_PARSER_H_
+#define CQBOUNDS_CQ_PARSER_H_
+
+#include <string>
+
+#include "cq/query.h"
+#include "util/status.h"
+
+namespace cqbounds {
+
+/// Parses a conjunctive query with optional functional dependency / key
+/// declarations from a compact textual syntax:
+///
+///   Q(X,Y,Z) :- R(X,Y), R(X,Z), R(Y,Z).
+///   fd R: 1 -> 2.          # positional FD, 1-based positions
+///   fd S: 1,2 -> 3.        # compound FD
+///   key R: 1.              # position 1 is a (simple) key of R
+///   key S: 1,2.            # compound key
+///
+/// Whitespace and '#'-to-end-of-line comments are ignored. Relation and
+/// variable names are identifiers `[A-Za-z_][A-Za-z0-9_']*`. The rule must
+/// come before the FD/key declarations. The parsed query is validated
+/// (Query::Validate) before being returned.
+Result<Query> ParseQuery(const std::string& text);
+
+}  // namespace cqbounds
+
+#endif  // CQBOUNDS_CQ_PARSER_H_

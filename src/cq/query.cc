@@ -1,0 +1,167 @@
+#include "cq/query.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+namespace cqbounds {
+
+int Query::InternVariable(const std::string& name) {
+  auto it = name_to_id_.find(name);
+  if (it != name_to_id_.end()) return it->second;
+  int id = static_cast<int>(names_.size());
+  names_.push_back(name);
+  name_to_id_.emplace(name, id);
+  return id;
+}
+
+int Query::FindVariable(const std::string& name) const {
+  auto it = name_to_id_.find(name);
+  return it == name_to_id_.end() ? -1 : it->second;
+}
+
+void Query::SetHead(std::string relation, std::vector<int> vars) {
+  head_relation_ = std::move(relation);
+  head_vars_ = std::move(vars);
+}
+
+void Query::AddAtom(std::string relation, std::vector<int> vars) {
+  atoms_.push_back(Atom{std::move(relation), std::move(vars)});
+}
+
+void Query::AddFd(FunctionalDependency fd) {
+  std::sort(fd.lhs.begin(), fd.lhs.end());
+  fd.lhs.erase(std::unique(fd.lhs.begin(), fd.lhs.end()), fd.lhs.end());
+  if (std::find(fds_.begin(), fds_.end(), fd) == fds_.end()) {
+    fds_.push_back(std::move(fd));
+  }
+}
+
+void Query::AddSimpleKey(const std::string& relation, int pos, int arity) {
+  for (int r = 0; r < arity; ++r) {
+    if (r == pos) continue;
+    AddFd(FunctionalDependency{relation, {pos}, r});
+  }
+}
+
+std::set<int> Query::HeadVarSet() const {
+  return std::set<int>(head_vars_.begin(), head_vars_.end());
+}
+
+std::set<int> Query::AtomVarSet(int i) const {
+  const Atom& a = atoms_[i];
+  return std::set<int>(a.vars.begin(), a.vars.end());
+}
+
+std::set<int> Query::BodyVarSet() const {
+  std::set<int> out;
+  for (const Atom& a : atoms_) out.insert(a.vars.begin(), a.vars.end());
+  return out;
+}
+
+int Query::Rep() const {
+  std::map<std::string, int> counts;
+  int rep = 0;
+  for (const Atom& a : atoms_) {
+    rep = std::max(rep, ++counts[a.relation]);
+  }
+  return rep;
+}
+
+int Query::RelationArity(const std::string& relation) const {
+  for (const Atom& a : atoms_) {
+    if (a.relation == relation) return static_cast<int>(a.vars.size());
+  }
+  return -1;
+}
+
+bool Query::AllFdsSimple() const {
+  return std::all_of(fds_.begin(), fds_.end(),
+                     [](const FunctionalDependency& fd) {
+                       return fd.IsSimple();
+                     });
+}
+
+std::vector<VariableFd> Query::DeriveVariableFds() const {
+  std::set<VariableFd> out;
+  for (const FunctionalDependency& fd : fds_) {
+    for (const Atom& atom : atoms_) {
+      if (atom.relation != fd.relation) continue;
+      VariableFd vfd;
+      vfd.lhs.reserve(fd.lhs.size());
+      for (int pos : fd.lhs) vfd.lhs.push_back(atom.vars[pos]);
+      std::sort(vfd.lhs.begin(), vfd.lhs.end());
+      vfd.lhs.erase(std::unique(vfd.lhs.begin(), vfd.lhs.end()),
+                    vfd.lhs.end());
+      vfd.rhs = atom.vars[fd.rhs];
+      out.insert(std::move(vfd));
+    }
+  }
+  return std::vector<VariableFd>(out.begin(), out.end());
+}
+
+Status Query::Validate() const {
+  std::set<int> body_vars = BodyVarSet();
+  for (int v : head_vars_) {
+    if (!body_vars.count(v)) {
+      return Status::InvalidArgument("head variable '" + names_[v] +
+                                     "' does not occur in the body");
+    }
+  }
+  std::map<std::string, int> arities;
+  for (const Atom& a : atoms_) {
+    auto [it, inserted] = arities.emplace(a.relation, a.vars.size());
+    if (!inserted && it->second != static_cast<int>(a.vars.size())) {
+      return Status::InvalidArgument("relation '" + a.relation +
+                                     "' used with inconsistent arities");
+    }
+  }
+  for (const FunctionalDependency& fd : fds_) {
+    auto it = arities.find(fd.relation);
+    if (it == arities.end()) {
+      return Status::InvalidArgument("FD on relation '" + fd.relation +
+                                     "' that does not occur in the body");
+    }
+    for (int pos : fd.lhs) {
+      if (pos < 0 || pos >= it->second) {
+        return Status::InvalidArgument("FD lhs position out of range for '" +
+                                       fd.relation + "'");
+      }
+    }
+    if (fd.rhs < 0 || fd.rhs >= it->second) {
+      return Status::InvalidArgument("FD rhs position out of range for '" +
+                                     fd.relation + "'");
+    }
+  }
+  return Status::OK();
+}
+
+std::string Query::ToString() const {
+  std::ostringstream os;
+  auto render_atom = [&](const std::string& rel, const std::vector<int>& vs) {
+    os << rel << "(";
+    for (std::size_t i = 0; i < vs.size(); ++i) {
+      if (i) os << ",";
+      os << names_[vs[i]];
+    }
+    os << ")";
+  };
+  render_atom(head_relation_, head_vars_);
+  os << " :- ";
+  for (std::size_t i = 0; i < atoms_.size(); ++i) {
+    if (i) os << ", ";
+    render_atom(atoms_[i].relation, atoms_[i].vars);
+  }
+  os << ".";
+  for (const FunctionalDependency& fd : fds_) {
+    os << " fd " << fd.relation << ": ";
+    for (std::size_t i = 0; i < fd.lhs.size(); ++i) {
+      if (i) os << ",";
+      os << fd.lhs[i] + 1;  // parser syntax is 1-based
+    }
+    os << " -> " << fd.rhs + 1 << ".";
+  }
+  return os.str();
+}
+
+}  // namespace cqbounds

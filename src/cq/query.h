@@ -1,0 +1,142 @@
+#ifndef CQBOUNDS_CQ_QUERY_H_
+#define CQBOUNDS_CQ_QUERY_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace cqbounds {
+
+/// A positional functional dependency on a relation schema:
+/// `relation[lhs...] -> relation[rhs]` (positions are 0-based).
+///
+/// A *simple* FD has a single left-hand-side position (Section 2 of the
+/// paper); a key `K -> attr(R)` is represented as one FD per right-hand-side
+/// position.
+struct FunctionalDependency {
+  std::string relation;
+  std::vector<int> lhs;
+  int rhs = 0;
+
+  bool IsSimple() const { return lhs.size() == 1; }
+  bool operator==(const FunctionalDependency& o) const {
+    return relation == o.relation && lhs == o.lhs && rhs == o.rhs;
+  }
+  bool operator<(const FunctionalDependency& o) const {
+    if (relation != o.relation) return relation < o.relation;
+    if (lhs != o.lhs) return lhs < o.lhs;
+    return rhs < o.rhs;
+  }
+};
+
+/// A body atom `relation(vars...)`; vars are variable ids into
+/// `Query::variable_names()` and may repeat.
+struct Atom {
+  std::string relation;
+  std::vector<int> vars;
+
+  bool operator==(const Atom& o) const {
+    return relation == o.relation && vars == o.vars;
+  }
+  bool operator<(const Atom& o) const {
+    if (relation != o.relation) return relation < o.relation;
+    return vars < o.vars;
+  }
+};
+
+/// A functional dependency between *query variables* (lhs set -> rhs var),
+/// derived from positional FDs and the atoms they match (see the discussion
+/// after Definition 2.3: "we may refer to the functional dependency as
+/// X -> Y"). These drive coloring validity (Definition 3.1).
+struct VariableFd {
+  std::vector<int> lhs;  // sorted, deduplicated variable ids
+  int rhs = 0;
+
+  bool operator==(const VariableFd& o) const {
+    return lhs == o.lhs && rhs == o.rhs;
+  }
+  bool operator<(const VariableFd& o) const {
+    if (lhs != o.lhs) return lhs < o.lhs;
+    return rhs < o.rhs;
+  }
+};
+
+/// A conjunctive query in datalog-rule form (Section 1 of the paper):
+///
+///   R0(u0) <- R_i1(u1) /\ ... /\ R_im(um)
+///
+/// together with a set of positional functional dependencies on the body
+/// relations. A relation may appear several times in the body; head
+/// variables must occur in the body.
+class Query {
+ public:
+  Query() = default;
+
+  /// Interns a variable name, returning its id (stable across calls).
+  int InternVariable(const std::string& name);
+  /// Returns the id of `name`, or -1 if unknown.
+  int FindVariable(const std::string& name) const;
+
+  void SetHead(std::string relation, std::vector<int> vars);
+  void AddAtom(std::string relation, std::vector<int> vars);
+  void AddFd(FunctionalDependency fd);
+  /// Declares position `pos` (0-based) a key of `relation` with arity
+  /// `arity`: adds the simple FDs pos -> r for every other position r.
+  void AddSimpleKey(const std::string& relation, int pos, int arity);
+
+  const std::string& head_relation() const { return head_relation_; }
+  const std::vector<int>& head_vars() const { return head_vars_; }
+  const std::vector<Atom>& atoms() const { return atoms_; }
+  const std::vector<FunctionalDependency>& fds() const { return fds_; }
+  int num_variables() const { return static_cast<int>(names_.size()); }
+  const std::string& variable_name(int var) const { return names_[var]; }
+  const std::vector<std::string>& variable_names() const { return names_; }
+
+  /// Set of distinct variable ids appearing in the head.
+  std::set<int> HeadVarSet() const;
+  /// Set of distinct variable ids of body atom `i`.
+  std::set<int> AtomVarSet(int i) const;
+  /// All variable ids appearing anywhere in the body (== var(Q), since head
+  /// variables must appear in the body of a well-formed query).
+  std::set<int> BodyVarSet() const;
+
+  /// rep(Q): the maximum number of occurrences of any single relation in the
+  /// body (Proposition 4.1).
+  int Rep() const;
+
+  /// Declared arity of `relation` (taken from its first body occurrence), or
+  /// -1 if the relation does not occur.
+  int RelationArity(const std::string& relation) const;
+
+  /// True iff every positional FD has a single-position left side.
+  bool AllFdsSimple() const;
+
+  /// The variable-level FDs induced by the positional FDs on the body atoms.
+  /// Deduplicated and sorted. Trivial dependencies (rhs in lhs) are kept --
+  /// they are vacuously satisfied by any coloring.
+  std::vector<VariableFd> DeriveVariableFds() const;
+
+  /// Validates structural well-formedness: head variables occur in the body,
+  /// all occurrences of a relation have equal arity, FD positions are within
+  /// the relation arity, and the relation of each FD occurs in the body.
+  Status Validate() const;
+
+  /// Renders the query in parser syntax, e.g.
+  /// "Q(X,Y) :- R(X,Z), S(Z,Y). fd R: 1 -> 2."
+  std::string ToString() const;
+
+ private:
+  std::string head_relation_ = "Q";
+  std::vector<int> head_vars_;
+  std::vector<Atom> atoms_;
+  std::vector<FunctionalDependency> fds_;
+  std::vector<std::string> names_;
+  std::map<std::string, int> name_to_id_;
+};
+
+}  // namespace cqbounds
+
+#endif  // CQBOUNDS_CQ_QUERY_H_

@@ -1,0 +1,56 @@
+#include "cq/random_query.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace cqbounds {
+
+Query RandomQuery(const RandomQueryOptions& options, Rng* rng) {
+  CQB_CHECK(options.num_variables >= 1);
+  CQB_CHECK(options.num_atoms >= 1);
+  CQB_CHECK(options.min_arity >= 1 &&
+            options.min_arity <= options.max_arity);
+  Query q;
+  std::vector<int> vars;
+  vars.reserve(options.num_variables);
+  for (int v = 0; v < options.num_variables; ++v) {
+    vars.push_back(q.InternVariable("V" + std::to_string(v)));
+  }
+  std::set<int> used;
+  for (int a = 0; a < options.num_atoms; ++a) {
+    const int arity =
+        options.min_arity +
+        static_cast<int>(rng->NextBelow(
+            static_cast<std::uint64_t>(options.max_arity -
+                                       options.min_arity + 1)));
+    std::vector<int> atom_vars;
+    for (int p = 0; p < arity; ++p) {
+      int v = vars[rng->NextBelow(
+          static_cast<std::uint64_t>(options.num_variables))];
+      atom_vars.push_back(v);
+      used.insert(v);
+    }
+    const std::string rel = "R" + std::to_string(a);
+    q.AddAtom(rel, atom_vars);
+    if (arity >= 2 && rng->NextBool(options.key_percent, 100)) {
+      q.AddSimpleKey(rel, 0, arity);
+    }
+    if (arity >= 3 && rng->NextBool(options.compound_fd_percent, 100)) {
+      q.AddFd(FunctionalDependency{rel, {0, 1}, 2});
+    }
+  }
+  std::vector<int> head(used.begin(), used.end());
+  if (options.random_projection && head.size() > 1) {
+    std::vector<int> projected;
+    for (int v : head) {
+      if (rng->NextBool(1, 2)) projected.push_back(v);
+    }
+    if (!projected.empty()) head = std::move(projected);
+  }
+  q.SetHead("Q", head);
+  CQB_CHECK(q.Validate().ok());
+  return q;
+}
+
+}  // namespace cqbounds

@@ -1,0 +1,34 @@
+#ifndef CQBOUNDS_CQ_RANDOM_QUERY_H_
+#define CQBOUNDS_CQ_RANDOM_QUERY_H_
+
+#include "cq/query.h"
+#include "util/rng.h"
+
+namespace cqbounds {
+
+/// Knobs for the random conjunctive-query generator used by property tests
+/// and the E8/E9 benchmark populations.
+struct RandomQueryOptions {
+  int num_variables = 4;
+  int num_atoms = 3;
+  int min_arity = 1;
+  int max_arity = 3;
+  /// Probability (numerator over 100) that a relation of arity >= 2 gets a
+  /// simple key on its first position.
+  int key_percent = 0;
+  /// Probability (numerator over 100) that a relation of arity >= 3 gets a
+  /// compound FD {1,2} -> 3.
+  int compound_fd_percent = 0;
+  /// If true, the head projects onto a random non-empty subset of the used
+  /// variables; otherwise all used variables appear in the head.
+  bool random_projection = false;
+};
+
+/// Generates a structurally valid random query (head variables occur in the
+/// body; per-relation arities consistent; relations named R0..R{m-1}).
+/// Deterministic given (*rng) state.
+Query RandomQuery(const RandomQueryOptions& options, Rng* rng);
+
+}  // namespace cqbounds
+
+#endif  // CQBOUNDS_CQ_RANDOM_QUERY_H_

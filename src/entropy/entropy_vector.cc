@@ -1,0 +1,105 @@
+#include "entropy/entropy_vector.h"
+
+#include <cmath>
+#include <map>
+
+#include "util/status.h"
+
+namespace cqbounds {
+
+EntropyVector::EntropyVector(int n) : n_(n) {
+  CQB_CHECK(n >= 0 && n <= 20);
+  h_.assign(1ull << n, 0.0);
+}
+
+double EntropyVector::Conditional(SubsetMask s, SubsetMask t) const {
+  return h_[s | t] - h_[t];
+}
+
+double EntropyVector::MutualInformation(SubsetMask s, SubsetMask t) const {
+  double total = 0.0;
+  ForEachSubset(s, [&](SubsetMask u) {
+    double sign = (PopCount(u) % 2 == 0) ? -1.0 : 1.0;
+    total += sign * h_[u | t];
+  });
+  return total;
+}
+
+double EntropyVector::MaxShannonViolation() const {
+  double worst = 0.0;
+  const SubsetMask full = Full();
+  for (int i = 0; i < n_; ++i) {
+    double value = Conditional(Singleton(i), full & ~Singleton(i));
+    worst = std::max(worst, -value);
+  }
+  for (int i = 0; i < n_; ++i) {
+    for (int j = i + 1; j < n_; ++j) {
+      SubsetMask rest = full & ~Singleton(i) & ~Singleton(j);
+      ForEachSubset(rest, [&](SubsetMask k) {
+        double value = MutualInformation(Singleton(i) | Singleton(j), k);
+        worst = std::max(worst, -value);
+      });
+    }
+  }
+  return worst;
+}
+
+double MarginalEntropyBits(const Relation& rel,
+                           const std::vector<int>& positions) {
+  if (rel.size() == 0) return 0.0;
+  std::map<Tuple, std::size_t> counts;
+  Tuple key(positions.size());
+  for (const Tuple& t : rel.tuples()) {
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+      key[i] = t[positions[i]];
+    }
+    ++counts[key];
+  }
+  const double total = static_cast<double>(rel.size());
+  double h = 0.0;
+  for (const auto& [k, c] : counts) {
+    double p = static_cast<double>(c) / total;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+EntropyVector EntropyVector::FromRelation(const Relation& rel) {
+  EntropyVector ev(rel.arity());
+  const SubsetMask full = ev.Full();
+  for (SubsetMask s = 1; s <= full && full != 0; ++s) {
+    ev[s] = MarginalEntropyBits(rel, Elements(s));
+  }
+  return ev;
+}
+
+std::vector<ElementalInequality> ElementalShannonInequalities(int n) {
+  std::vector<ElementalInequality> out;
+  const SubsetMask full = FullSet(n);
+  // Monotonicity: H(Xi | rest) = h(full) - h(full - i) >= 0.
+  for (int i = 0; i < n; ++i) {
+    ElementalInequality ineq;
+    ineq.plus.push_back(full);
+    if ((full & ~Singleton(i)) != 0) {
+      ineq.minus.push_back(full & ~Singleton(i));
+    }
+    out.push_back(std::move(ineq));
+  }
+  // Submodularity: I(Xi;Xj | K) = h(iK) + h(jK) - h(K) - h(ijK) >= 0.
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      SubsetMask rest = full & ~Singleton(i) & ~Singleton(j);
+      ForEachSubset(rest, [&](SubsetMask k) {
+        ElementalInequality ineq;
+        ineq.plus.push_back(k | Singleton(i));
+        ineq.plus.push_back(k | Singleton(j));
+        if (k != 0) ineq.minus.push_back(k);
+        ineq.minus.push_back(k | Singleton(i) | Singleton(j));
+        out.push_back(std::move(ineq));
+      });
+    }
+  }
+  return out;
+}
+
+}  // namespace cqbounds

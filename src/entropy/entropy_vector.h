@@ -1,0 +1,82 @@
+#ifndef CQBOUNDS_ENTROPY_ENTROPY_VECTOR_H_
+#define CQBOUNDS_ENTROPY_ENTROPY_VECTOR_H_
+
+#include <vector>
+
+#include "relation/relation.h"
+#include "util/subset.h"
+
+namespace cqbounds {
+
+/// The entropy vector of n jointly distributed discrete variables: one value
+/// h(S) per subset S of {0..n-1}, with h(empty) = 0.
+///
+/// This realizes the Section 6 machinery of the paper: conditional
+/// entropies, multi-way mutual informations (the I-measure of the
+/// information diagrams in Figures 2 and 3), and the elemental Shannon
+/// inequalities. Values are doubles (bits); the LP-side manipulations in
+/// src/core use exact rationals and only share the *index calculus* defined
+/// here.
+class EntropyVector {
+ public:
+  /// Zero vector over n variables. Requires 0 <= n <= 20.
+  explicit EntropyVector(int n);
+
+  int num_variables() const { return n_; }
+
+  double& operator[](SubsetMask s) { return h_[s]; }
+  double operator[](SubsetMask s) const { return h_[s]; }
+
+  /// H(S | T) = h(S u T) - h(T).
+  double Conditional(SubsetMask s, SubsetMask t) const;
+
+  /// Multi-way conditional mutual information I(X_{i1};...;X_{ij} | X_T)
+  /// for S = {i1..ij}, via inclusion-exclusion over subsets of S:
+  ///   I(S | T) = - sum_{U subseteq S} (-1)^{|U|} h(U u T).
+  /// For |S| = 1 this is the conditional entropy H(Xi | T); for |S| >= 3 it
+  /// may be negative (Figure 3 of the paper shows I = -2).
+  double MutualInformation(SubsetMask s, SubsetMask t) const;
+
+  /// The I-measure atom of the information diagram: mu(S) = I(S | [n]-S).
+  /// Fact 6.7: h(K | K') = sum of atoms mu(S) over S meeting K and avoiding
+  /// K'.
+  double Atom(SubsetMask s) const { return MutualInformation(s, Full() & ~s); }
+
+  /// Largest violation of the elemental Shannon inequalities
+  /// (H(Xi | rest) >= 0 and I(Xi; Xj | K) >= 0); <= eps means the vector is
+  /// consistent with a real distribution as far as Shannon can tell.
+  double MaxShannonViolation() const;
+
+  /// Empirical entropy vector of `rel` under the uniform distribution over
+  /// its tuples: variable i is column i.
+  static EntropyVector FromRelation(const Relation& rel);
+
+  SubsetMask Full() const { return FullSet(n_); }
+
+ private:
+  int n_;
+  std::vector<double> h_;
+};
+
+/// H (in bits) of the uniform distribution over `rel`'s tuples projected to
+/// `positions` (i.e. the entropy of that marginal).
+double MarginalEntropyBits(const Relation& rel,
+                           const std::vector<int>& positions);
+
+/// One elemental Shannon inequality as a linear form over subset entropies:
+/// sum of +h(S) for S in `plus` and -h(S) for S in `minus` is >= 0.
+/// Terms with S == 0 (empty set) are omitted.
+struct ElementalInequality {
+  std::vector<SubsetMask> plus;
+  std::vector<SubsetMask> minus;
+};
+
+/// Enumerates the complete elemental basis for n variables
+/// (Definition 6.8): n monotonicity forms H(Xi | rest) >= 0 and
+/// n(n-1)/2 * 2^(n-2) submodularity forms I(Xi;Xj | K) >= 0. Every Shannon
+/// inequality is a non-negative combination of these.
+std::vector<ElementalInequality> ElementalShannonInequalities(int n);
+
+}  // namespace cqbounds
+
+#endif  // CQBOUNDS_ENTROPY_ENTROPY_VECTOR_H_

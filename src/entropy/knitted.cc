@@ -1,0 +1,31 @@
+#include "entropy/knitted.h"
+
+#include <cmath>
+#include <limits>
+
+namespace cqbounds {
+
+KnittedComplexity ComputeKnittedComplexity(const EntropyVector& ev) {
+  KnittedComplexity out;
+  const SubsetMask full = ev.Full();
+  for (SubsetMask s = 1; s <= full && full != 0; ++s) {
+    double atom = ev.Atom(s);
+    out.absolute_mass += std::abs(atom);
+    out.signed_mass += atom;
+    out.most_negative_atom = std::min(out.most_negative_atom, atom);
+  }
+  if (out.absolute_mass == 0.0) {
+    out.ratio = 1.0;
+  } else if (out.signed_mass <= 0.0) {
+    out.ratio = std::numeric_limits<double>::infinity();
+  } else {
+    out.ratio = out.absolute_mass / out.signed_mass;
+  }
+  return out;
+}
+
+KnittedComplexity ComputeKnittedComplexity(const Relation& rel) {
+  return ComputeKnittedComplexity(EntropyVector::FromRelation(rel));
+}
+
+}  // namespace cqbounds

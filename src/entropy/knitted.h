@@ -1,0 +1,40 @@
+#ifndef CQBOUNDS_ENTROPY_KNITTED_H_
+#define CQBOUNDS_ENTROPY_KNITTED_H_
+
+#include "entropy/entropy_vector.h"
+#include "relation/relation.h"
+
+namespace cqbounds {
+
+/// The paper's proposed measure of database/query entropy structure
+/// (Definition 8.1, Section 8 "Future Directions"):
+///
+///   knitted complexity = sum_S |I(S | rest)|  /  sum_S I(S | rest)
+///
+/// over all non-empty subsets S of the query variables -- the ratio of the
+/// total absolute I-measure mass to the signed mass. It is 1 exactly when
+/// every information-diagram atom is non-negative (the regime where the
+/// color number captures the entropy structure, Prop 6.10), and grows as
+/// negative higher-order interactions appear (the regime of the Prop 6.11
+/// gap; a Shamir group has large negative 4-way information, Figure 3).
+struct KnittedComplexity {
+  double absolute_mass = 0.0;
+  double signed_mass = 0.0;
+  /// absolute/signed; +infinity when the signed mass is zero but the
+  /// absolute is not; 1.0 for empty/deterministic structures (0/0).
+  double ratio = 1.0;
+  /// The most negative diagram atom encountered (0 if none negative).
+  double most_negative_atom = 0.0;
+};
+
+/// Knitted complexity of an entropy vector (variables = the vector's
+/// ground set).
+KnittedComplexity ComputeKnittedComplexity(const EntropyVector& ev);
+
+/// Convenience: knitted complexity of the uniform distribution over the
+/// tuples of `rel` (variables = columns).
+KnittedComplexity ComputeKnittedComplexity(const Relation& rel);
+
+}  // namespace cqbounds
+
+#endif  // CQBOUNDS_ENTROPY_KNITTED_H_

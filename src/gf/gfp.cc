@@ -1,0 +1,88 @@
+#include "gf/gfp.h"
+
+namespace cqbounds {
+
+PrimeField::PrimeField(std::int64_t p) : p_(p) {
+  CQB_CHECK(IsPrime(p));
+}
+
+bool PrimeField::IsPrime(std::int64_t p) {
+  if (p < 2) return false;
+  for (std::int64_t d = 2; d * d <= p; ++d) {
+    if (p % d == 0) return false;
+  }
+  return true;
+}
+
+std::int64_t PrimeField::NextPrime(std::int64_t n) {
+  std::int64_t candidate = n + 1;
+  while (!IsPrime(candidate)) ++candidate;
+  return candidate;
+}
+
+std::int64_t PrimeField::Pow(std::int64_t base, std::int64_t exp) const {
+  std::int64_t result = 1;
+  base %= p_;
+  while (exp > 0) {
+    if (exp & 1) result = Mul(result, base);
+    base = Mul(base, base);
+    exp >>= 1;
+  }
+  return result;
+}
+
+std::int64_t PrimeField::Inv(std::int64_t a) const {
+  a %= p_;
+  CQB_CHECK(a != 0);
+  return Pow(a, p_ - 2);
+}
+
+std::int64_t GfPolynomial::Evaluate(std::int64_t x) const {
+  std::int64_t acc = 0;
+  for (std::size_t i = coefficients_.size(); i-- > 0;) {
+    acc = field_->Add(field_->Mul(acc, x), coefficients_[i]);
+  }
+  return acc;
+}
+
+GfPolynomial GfPolynomial::Interpolate(
+    const PrimeField* field,
+    const std::vector<std::pair<std::int64_t, std::int64_t>>& points) {
+  const int t = static_cast<int>(points.size());
+  std::vector<std::int64_t> result(t, 0);
+  for (int i = 0; i < t; ++i) {
+    // Lagrange basis polynomial L_i, scaled by y_i, accumulated into result.
+    std::vector<std::int64_t> basis = {1};  // polynomial "1"
+    std::int64_t denom = 1;
+    for (int j = 0; j < t; ++j) {
+      if (j == i) continue;
+      // basis *= (x - x_j)
+      std::vector<std::int64_t> next(basis.size() + 1, 0);
+      for (std::size_t d = 0; d < basis.size(); ++d) {
+        next[d + 1] = field->Add(next[d + 1], basis[d]);
+        next[d] = field->Sub(next[d], field->Mul(basis[d], points[j].first));
+      }
+      basis = std::move(next);
+      denom = field->Mul(denom,
+                         field->Sub(points[i].first, points[j].first));
+    }
+    std::int64_t scale = field->Mul(points[i].second, field->Inv(denom));
+    for (std::size_t d = 0; d < basis.size(); ++d) {
+      result[d] = field->Add(result[d], field->Mul(basis[d], scale));
+    }
+  }
+  return GfPolynomial(field, std::move(result));
+}
+
+GfPolynomial PolynomialByIndex(const PrimeField* field, int t,
+                               std::int64_t index) {
+  std::vector<std::int64_t> coefficients(t);
+  for (int i = 0; i < t; ++i) {
+    coefficients[i] = index % field->p();
+    index /= field->p();
+  }
+  CQB_CHECK(index == 0);  // index < p^t
+  return GfPolynomial(field, std::move(coefficients));
+}
+
+}  // namespace cqbounds

@@ -1,0 +1,79 @@
+#ifndef CQBOUNDS_GF_GFP_H_
+#define CQBOUNDS_GF_GFP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace cqbounds {
+
+/// The prime field GF(p) with arithmetic on canonical representatives
+/// [0, p). Underlies the Shamir secret-share tables of the Proposition 6.11
+/// gap construction (Figure 3 of the paper).
+class PrimeField {
+ public:
+  /// Aborts if `p` is not prime (checked by trial division; fields used in
+  /// the constructions are tiny).
+  explicit PrimeField(std::int64_t p);
+
+  std::int64_t p() const { return p_; }
+
+  std::int64_t Add(std::int64_t a, std::int64_t b) const {
+    return (a + b) % p_;
+  }
+  std::int64_t Sub(std::int64_t a, std::int64_t b) const {
+    return ((a - b) % p_ + p_) % p_;
+  }
+  std::int64_t Mul(std::int64_t a, std::int64_t b) const {
+    return (a * b) % p_;
+  }
+  /// Multiplicative inverse via Fermat; aborts on a == 0.
+  std::int64_t Inv(std::int64_t a) const;
+  std::int64_t Pow(std::int64_t base, std::int64_t exp) const;
+
+  static bool IsPrime(std::int64_t p);
+  /// Smallest prime strictly greater than `n`.
+  static std::int64_t NextPrime(std::int64_t n);
+
+ private:
+  std::int64_t p_;
+};
+
+/// A polynomial over GF(p), coefficients[i] the coefficient of x^i.
+class GfPolynomial {
+ public:
+  GfPolynomial(const PrimeField* field, std::vector<std::int64_t> coefficients)
+      : field_(field), coefficients_(std::move(coefficients)) {}
+
+  /// Horner evaluation at x.
+  std::int64_t Evaluate(std::int64_t x) const;
+
+  int degree_bound() const {
+    return static_cast<int>(coefficients_.size()) - 1;
+  }
+  const std::vector<std::int64_t>& coefficients() const {
+    return coefficients_;
+  }
+
+  /// Lagrange interpolation: the unique polynomial of degree < points.size()
+  /// through the (x, y) pairs (distinct x). Used by tests to verify the
+  /// (k/2, k) reconstruction property of the Shamir tables.
+  static GfPolynomial Interpolate(
+      const PrimeField* field,
+      const std::vector<std::pair<std::int64_t, std::int64_t>>& points);
+
+ private:
+  const PrimeField* field_;
+  std::vector<std::int64_t> coefficients_;
+};
+
+/// Enumerates all p^t polynomials of degree < t over GF(p) in a fixed
+/// lexicographic coefficient order (the "set of all N^{k/2} polynomials of
+/// degree at most k/2 - 1" of Prop 6.11). `index` selects one.
+GfPolynomial PolynomialByIndex(const PrimeField* field, int t,
+                               std::int64_t index);
+
+}  // namespace cqbounds
+
+#endif  // CQBOUNDS_GF_GFP_H_

@@ -1,0 +1,126 @@
+#include "gf/shamir_construction.h"
+
+#include <string>
+#include <vector>
+
+#include "gf/gfp.h"
+
+namespace cqbounds {
+
+namespace {
+
+/// Enumerates all size-`size` position subsets of {0..k-1} into `out`.
+void EnumerateSubsets(int k, int size, std::vector<std::vector<int>>* out) {
+  std::vector<int> current;
+  // Iterative combination enumeration.
+  std::vector<int> idx(size);
+  for (int i = 0; i < size; ++i) idx[i] = i;
+  while (true) {
+    out->push_back(idx);
+    int i = size - 1;
+    while (i >= 0 && idx[i] == k - size + i) --i;
+    if (i < 0) break;
+    ++idx[i];
+    for (int j = i + 1; j < size; ++j) idx[j] = idx[j - 1] + 1;
+  }
+}
+
+}  // namespace
+
+Result<ShamirGapConstruction> BuildShamirGapConstruction(int k,
+                                                         std::int64_t n) {
+  if (k < 2 || k % 2 != 0) {
+    return Status::InvalidArgument("k must be even and >= 2");
+  }
+  if (!PrimeField::IsPrime(n) || n <= k) {
+    return Status::InvalidArgument("N must be a prime greater than k");
+  }
+  ShamirGapConstruction out;
+  out.k = k;
+  out.n = n;
+  const int half = k / 2;
+  PrimeField field(n);
+
+  // ---- Query ----
+  Query& q = out.query;
+  std::vector<std::vector<int>> var(k + 1, std::vector<int>(half + 1, -1));
+  std::vector<int> head;
+  for (int i = 1; i <= k; ++i) {
+    for (int j = 1; j <= half; ++j) {
+      var[i][j] = q.InternVariable("X" + std::to_string(i) + "_" +
+                                   std::to_string(j));
+      head.push_back(var[i][j]);
+    }
+  }
+  q.SetHead("R", head);
+  for (int j = 1; j <= half; ++j) {
+    std::vector<int> vars;
+    for (int i = 1; i <= k; ++i) vars.push_back(var[i][j]);
+    q.AddAtom("R" + std::to_string(j), std::move(vars));
+  }
+  for (int i = 1; i <= k; ++i) {
+    std::vector<int> vars;
+    for (int j = 1; j <= half; ++j) vars.push_back(var[i][j]);
+    q.AddAtom("T" + std::to_string(i), std::move(vars));
+  }
+  // Compound FDs: every position subset of size k/2 of R_j determines every
+  // position. (Subsets of size > k/2 are implied.)
+  std::vector<std::vector<int>> lhs_sets;
+  EnumerateSubsets(k, half, &lhs_sets);
+  for (int j = 1; j <= half; ++j) {
+    const std::string rel = "R" + std::to_string(j);
+    for (const std::vector<int>& lhs : lhs_sets) {
+      for (int r = 0; r < k; ++r) {
+        bool in_lhs = false;
+        for (int l : lhs) in_lhs = in_lhs || l == r;
+        if (!in_lhs) q.AddFd(FunctionalDependency{rel, lhs, r});
+      }
+    }
+  }
+  CQB_RETURN_NOT_OK(q.Validate());
+
+  // ---- Database ----
+  ValuePool* pool = out.db.value_pool();
+  auto tagged = [&](int group, std::int64_t value) {
+    return pool->Intern(std::to_string(value) + "g" + std::to_string(group));
+  };
+  std::int64_t num_polys = 1;
+  for (int i = 0; i < half; ++i) num_polys *= n;
+  for (int j = 1; j <= half; ++j) {
+    Relation* rel = out.db.AddRelation("R" + std::to_string(j), k);
+    for (std::int64_t m = 0; m < num_polys; ++m) {
+      GfPolynomial poly = PolynomialByIndex(&field, half, m);
+      Tuple t;
+      t.reserve(k);
+      for (int i = 1; i <= k; ++i) t.push_back(tagged(j, poly.Evaluate(i - 1)));
+      rel->Insert(t);
+    }
+  }
+  // T_i = all combinations of one value per group (the projection of the
+  // cross product of the R_j onto row i; each column of R_j covers all of
+  // GF(N) because for every y some degree<k/2 polynomial passes through
+  // (i-1, y)).
+  for (int i = 1; i <= k; ++i) {
+    Relation* rel = out.db.AddRelation("T" + std::to_string(i), half);
+    std::vector<std::int64_t> digits(half, 0);
+    while (true) {
+      Tuple t;
+      t.reserve(half);
+      for (int j = 1; j <= half; ++j) t.push_back(tagged(j, digits[j - 1]));
+      rel->Insert(t);
+      int pos = 0;
+      while (pos < half && ++digits[pos] == n) {
+        digits[pos] = 0;
+        ++pos;
+      }
+      if (pos == half) break;
+    }
+  }
+
+  out.expected_rmax = BigInt::Pow(BigInt(n), half);
+  out.expected_output = BigInt::Pow(BigInt(n), static_cast<std::int64_t>(k) *
+                                                   k / 4);
+  return out;
+}
+
+}  // namespace cqbounds

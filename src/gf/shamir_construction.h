@@ -1,0 +1,58 @@
+#ifndef CQBOUNDS_GF_SHAMIR_CONSTRUCTION_H_
+#define CQBOUNDS_GF_SHAMIR_CONSTRUCTION_H_
+
+#include "cq/query.h"
+#include "relation/database.h"
+#include "util/bigint.h"
+#include "util/status.h"
+
+namespace cqbounds {
+
+/// The Proposition 6.11 construction (suggested by Daniel Marx; Figure 3):
+/// a query family whose true worst-case size increase exceeds
+/// rmax^{C(chase(Q))} by a super-constant factor in the exponent.
+///
+/// For even k and prime N > k, the query has k^2/2 variables X_{i,j}
+/// (i in [k], j in [k/2]):
+///
+///   Q = R(all X_{i,j}) <-  /\_{j} R_j(X_{1,j},...,X_{k,j})
+///                          /\_{i} T_i(X_{i,1},...,X_{i,k/2})
+///
+/// with, for every j and every position subset S of size k/2 in group j, the
+/// compound FDs S -> X_{i,j} (any k/2 of a group's variables determine the
+/// rest -- realized by Shamir (k/2, k) secret shares over GF(N)).
+///
+/// The database fills each R_j with the N^{k/2} share vectors
+/// (p(0), ..., p(k-1)) for all polynomials p of degree < k/2 over GF(N),
+/// tagged per group so groups use disjoint values, and each T_i with the
+/// projection of the cross product onto row i (= all N^{k/2} combinations).
+///
+/// Guarantees (verified by tests):
+///   rmax(D)     = N^{k/2},
+///   |Q(D)|      = N^{k^2/4},
+///   C(chase(Q)) <= 2 (the paper's bound; the exact value found by the
+///                     Proposition 6.10 LP is 2k/(k+2) -- e.g. 4/3 at k=4.
+///                     The paper's counting argument drops a "+1": each
+///                     color must cover >= 1 + k/2 variables of its group,
+///                     not k/2. The smaller C only widens the gap.),
+/// so the measured exponent log |Q(D)| / log rmax = k/2, versus a color
+/// bound exponent of at most 2: the gap grows with k.
+struct ShamirGapConstruction {
+  Query query;
+  Database db;
+  int k = 0;
+  std::int64_t n = 0;
+  /// N^{k/2}: size of each input relation.
+  BigInt expected_rmax;
+  /// N^{k^2/4}: size of the query output.
+  BigInt expected_output;
+};
+
+/// Requires: k even, k >= 2, N prime and N > k. The database has
+/// (k/2 + k) relations of N^{k/2} tuples each; keep N^{k/2} modest.
+Result<ShamirGapConstruction> BuildShamirGapConstruction(int k,
+                                                         std::int64_t n);
+
+}  // namespace cqbounds
+
+#endif  // CQBOUNDS_GF_SHAMIR_CONSTRUCTION_H_

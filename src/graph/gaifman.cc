@@ -1,0 +1,43 @@
+#include "graph/gaifman.h"
+
+namespace cqbounds {
+
+namespace {
+
+void AddRelation(const Relation& rel, GaifmanGraph* out) {
+  auto vertex_of = [out](Value v) {
+    auto it = out->value_to_vertex.find(v);
+    if (it != out->value_to_vertex.end()) return it->second;
+    int id = static_cast<int>(out->vertex_values.size());
+    out->vertex_values.push_back(v);
+    out->value_to_vertex.emplace(v, id);
+    out->graph.EnsureVertices(id + 1);
+    return id;
+  };
+  for (const Tuple& t : rel.tuples()) {
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      int u = vertex_of(t[i]);
+      for (std::size_t j = i + 1; j < t.size(); ++j) {
+        int v = vertex_of(t[j]);
+        if (u != v) out->graph.AddEdge(u, v);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+GaifmanGraph BuildGaifmanGraph(const Database& db) {
+  GaifmanGraph out;
+  for (const auto& [name, rel] : db.relations()) AddRelation(rel, &out);
+  return out;
+}
+
+GaifmanGraph BuildGaifmanGraph(
+    const std::vector<const Relation*>& relations) {
+  GaifmanGraph out;
+  for (const Relation* rel : relations) AddRelation(*rel, &out);
+  return out;
+}
+
+}  // namespace cqbounds

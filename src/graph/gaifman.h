@@ -1,0 +1,33 @@
+#ifndef CQBOUNDS_GRAPH_GAIFMAN_H_
+#define CQBOUNDS_GRAPH_GAIFMAN_H_
+
+#include <map>
+#include <vector>
+
+#include "graph/graph.h"
+#include "relation/database.h"
+#include "relation/relation.h"
+
+namespace cqbounds {
+
+/// The Gaifman graph G(D) of a database (Section 2 of the paper): vertices
+/// are the values of the active domain, with an edge between two distinct
+/// values that occur together in some tuple. `vertex_values[i]` maps the
+/// graph vertex i back to the domain value.
+struct GaifmanGraph {
+  Graph graph;
+  std::vector<Value> vertex_values;
+  std::map<Value, int> value_to_vertex;
+};
+
+/// Gaifman graph of all relations in `db`.
+GaifmanGraph BuildGaifmanGraph(const Database& db);
+
+/// Gaifman graph of an explicit list of relation instances (the paper often
+/// speaks of tw(<R(D), S(D)>), the treewidth of the structure holding just
+/// those relations).
+GaifmanGraph BuildGaifmanGraph(const std::vector<const Relation*>& relations);
+
+}  // namespace cqbounds
+
+#endif  // CQBOUNDS_GRAPH_GAIFMAN_H_

@@ -1,0 +1,85 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <map>
+
+namespace cqbounds {
+
+std::size_t Graph::num_edges() const {
+  std::size_t total = 0;
+  for (const auto& nbrs : adjacency_) total += nbrs.size();
+  return total / 2;
+}
+
+void Graph::EnsureVertices(int n) {
+  if (n > num_vertices()) adjacency_.resize(n);
+}
+
+bool Graph::AddEdge(int u, int v) {
+  CQB_CHECK(u >= 0 && v >= 0);
+  if (u == v) return false;
+  EnsureVertices(std::max(u, v) + 1);
+  bool added = adjacency_[u].insert(v).second;
+  adjacency_[v].insert(u);
+  return added;
+}
+
+bool Graph::HasEdge(int u, int v) const {
+  if (u < 0 || u >= num_vertices() || v < 0 || v >= num_vertices()) {
+    return false;
+  }
+  return adjacency_[u].count(v) > 0;
+}
+
+std::vector<std::pair<int, int>> Graph::Edges() const {
+  std::vector<std::pair<int, int>> edges;
+  for (int u = 0; u < num_vertices(); ++u) {
+    for (int v : adjacency_[u]) {
+      if (u < v) edges.emplace_back(u, v);
+    }
+  }
+  return edges;
+}
+
+Graph Graph::InducedSubgraph(const std::vector<int>& vertices) const {
+  std::map<int, int> relabel;
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    relabel[vertices[i]] = static_cast<int>(i);
+  }
+  Graph out(static_cast<int>(vertices.size()));
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    for (int nbr : adjacency_[vertices[i]]) {
+      auto it = relabel.find(nbr);
+      if (it != relabel.end()) out.AddEdge(static_cast<int>(i), it->second);
+    }
+  }
+  return out;
+}
+
+Graph Graph::Grid(int n, int m) {
+  Graph g(n * m);
+  auto id = [m](int i, int j) { return i * m + j; };
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < m; ++j) {
+      if (i + 1 < n) g.AddEdge(id(i, j), id(i + 1, j));
+      if (j + 1 < m) g.AddEdge(id(i, j), id(i, j + 1));
+    }
+  }
+  return g;
+}
+
+Graph Graph::Complete(int n) {
+  Graph g(n);
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) g.AddEdge(u, v);
+  }
+  return g;
+}
+
+Graph Graph::Cycle(int n) {
+  Graph g(n);
+  for (int u = 0; u < n; ++u) g.AddEdge(u, (u + 1) % n);
+  return g;
+}
+
+}  // namespace cqbounds

@@ -1,0 +1,58 @@
+#ifndef CQBOUNDS_GRAPH_GRAPH_H_
+#define CQBOUNDS_GRAPH_GRAPH_H_
+
+#include <set>
+#include <vector>
+
+#include "util/status.h"
+
+namespace cqbounds {
+
+/// A simple undirected graph on vertices {0, ..., n-1} with adjacency sets.
+///
+/// Used for Gaifman graphs of databases (Section 2) and for all treewidth
+/// computations (Section 5). Self-loops are ignored on insertion; parallel
+/// edges are collapsed.
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(int num_vertices) : adjacency_(num_vertices) {}
+
+  int num_vertices() const { return static_cast<int>(adjacency_.size()); }
+  /// Number of undirected edges.
+  std::size_t num_edges() const;
+
+  /// Grows the vertex set to at least `n` vertices.
+  void EnsureVertices(int n);
+
+  /// Adds edge {u, v}; ignores u == v. Returns true if newly added.
+  bool AddEdge(int u, int v);
+  bool HasEdge(int u, int v) const;
+
+  const std::set<int>& Neighbors(int v) const { return adjacency_[v]; }
+  int Degree(int v) const { return static_cast<int>(adjacency_[v].size()); }
+
+  /// All edges as (u, v) with u < v, sorted.
+  std::vector<std::pair<int, int>> Edges() const;
+
+  /// The subgraph induced by `vertices` (relabeled 0..k-1 in the order
+  /// given).
+  Graph InducedSubgraph(const std::vector<int>& vertices) const;
+
+  /// An n-by-m rectangular grid (vertex (i,j) -> index i*m + j). Treewidth
+  /// is min(n, m) for n+m >= 3 (Fact 5.1 of the paper).
+  static Graph Grid(int n, int m);
+
+  /// The complete graph K_n (treewidth n-1).
+  static Graph Complete(int n);
+
+  /// A simple cycle C_n (treewidth 2 for n >= 3).
+  static Graph Cycle(int n);
+
+ private:
+  std::vector<std::set<int>> adjacency_;
+};
+
+}  // namespace cqbounds
+
+#endif  // CQBOUNDS_GRAPH_GRAPH_H_

@@ -1,0 +1,71 @@
+#include "graph/grid_construction.h"
+
+#include <functional>
+#include <string>
+
+namespace cqbounds {
+
+Value GridConstruction::LatticeValue(int i, int k) const {
+  // Lattice values are laid out after the n alpha values.
+  CQB_CHECK(i >= 1 && i <= n * m && k >= 1 && k <= n * m + 1);
+  return n + (i - 1) * (n * m + 1) + (k - 1);
+}
+
+Value GridConstruction::AlphaValue(int j) const {
+  CQB_CHECK(j >= 1 && j <= n);
+  return j - 1;
+}
+
+GridConstruction BuildGridConstruction(int n, int m) {
+  CQB_CHECK(m >= 1 && m <= n - 2);
+  GridConstruction out;
+  out.n = n;
+  out.m = m;
+  Relation* rel = out.db.AddRelation("R", m + 2);
+  // S_{1,j} = (alpha_j, v_{1,m(j-1)+1}, ..., v_{1,mj+1})
+  // S_{i,j} = (v_{i-1,m(j-1)+1}, v_{i,m(j-1)+1}, ..., v_{i,m(j-1)+m+1}), i>=2
+  for (int i = 1; i <= n * m; ++i) {
+    for (int j = 1; j <= n; ++j) {
+      Tuple t;
+      t.reserve(m + 2);
+      if (i == 1) {
+        t.push_back(out.AlphaValue(j));
+        for (int d = 0; d <= m; ++d) {
+          t.push_back(out.LatticeValue(1, m * (j - 1) + 1 + d));
+        }
+      } else {
+        t.push_back(out.LatticeValue(i - 1, m * (j - 1) + 1));
+        for (int d = 0; d <= m; ++d) {
+          t.push_back(out.LatticeValue(i, m * (j - 1) + 1 + d));
+        }
+      }
+      rel->Insert(t);
+    }
+  }
+  return out;
+}
+
+bool ContainsGridSubgraph(const GaifmanGraph& gaifman, int rows, int cols,
+                          const std::function<Value(int, int)>& value_at) {
+  auto vertex = [&](int r, int c) -> int {
+    auto it = gaifman.value_to_vertex.find(value_at(r, c));
+    return it == gaifman.value_to_vertex.end() ? -1 : it->second;
+  };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      int v = vertex(r, c);
+      if (v < 0) return false;
+      if (r + 1 < rows) {
+        int u = vertex(r + 1, c);
+        if (u < 0 || !gaifman.graph.HasEdge(v, u)) return false;
+      }
+      if (c + 1 < cols) {
+        int u = vertex(r, c + 1);
+        if (u < 0 || !gaifman.graph.HasEdge(v, u)) return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace cqbounds

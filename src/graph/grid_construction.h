@@ -1,0 +1,41 @@
+#ifndef CQBOUNDS_GRAPH_GRID_CONSTRUCTION_H_
+#define CQBOUNDS_GRAPH_GRID_CONSTRUCTION_H_
+
+#include <functional>
+
+#include "graph/gaifman.h"
+#include "relation/database.h"
+
+namespace cqbounds {
+
+/// The Proposition 5.2 / Figure 1 construction: a relation R of arity m+2
+/// over an (nm+1) x nm lattice plus n extra vertices {alpha_1..alpha_n},
+/// partitioned into ordered cliques S_{i,j}; its Gaifman graph has treewidth
+/// exactly n (Lemma 5.3), while the keyed self-join R join_{A1=A2} R has
+/// treewidth at least nm (Lemma 5.4).
+struct GridConstruction {
+  /// Database with a single relation "R" of arity m+2 and n^2 m tuples.
+  Database db;
+  int n = 0;
+  int m = 0;
+
+  /// Value id of lattice vertex v_{i,k}, 1 <= i <= n*m, 1 <= k <= n*m+1.
+  Value LatticeValue(int i, int k) const;
+  /// Value id of alpha_j, 1 <= j <= n.
+  Value AlphaValue(int j) const;
+};
+
+/// Builds the construction. Requires 1 <= m <= n - 2 (as in Prop 5.2).
+GridConstruction BuildGridConstruction(int n, int m);
+
+/// Checks that `gaifman` contains every edge of a `rows` x `cols` grid under
+/// the vertex map (r, c) -> value_at(r, c). Used to certify the "contains
+/// the nm x nm grid as a subgraph, hence tw >= nm" step of Lemma 5.4 without
+/// running an (intractable) exact solver: Fact 5.1 gives tw(grid) =
+/// min(rows, cols).
+bool ContainsGridSubgraph(const GaifmanGraph& gaifman, int rows, int cols,
+                          const std::function<Value(int, int)>& value_at);
+
+}  // namespace cqbounds
+
+#endif  // CQBOUNDS_GRAPH_GRID_CONSTRUCTION_H_

@@ -1,0 +1,92 @@
+#include "graph/keyed_join.h"
+
+#include <algorithm>
+#include <set>
+
+namespace cqbounds {
+
+Result<TreeDecomposition> KeyedJoinDecomposition(
+    const Relation& r, int a, const Relation& s, int b,
+    const GaifmanGraph& gaifman, const TreeDecomposition& input) {
+  if (a < 0 || a >= r.arity() || b < 0 || b >= s.arity()) {
+    return Status::InvalidArgument("join position out of range");
+  }
+  // Check that b is a key of S.
+  {
+    std::set<Value> seen;
+    for (const Tuple& u : s.tuples()) {
+      if (!seen.insert(u[b]).second) {
+        return Status::FailedPrecondition(
+            "join attribute is not a key of the right relation");
+      }
+    }
+  }
+  CQB_RETURN_NOT_OK(input.Validate(gaifman.graph));
+
+  TreeDecomposition td = input;
+
+  auto vertices_of_tuple = [&gaifman](const Tuple& t) {
+    std::vector<int> vs;
+    vs.reserve(t.size());
+    for (Value v : t) {
+      auto it = gaifman.value_to_vertex.find(v);
+      CQB_CHECK(it != gaifman.value_to_vertex.end());
+      vs.push_back(it->second);
+    }
+    std::sort(vs.begin(), vs.end());
+    vs.erase(std::unique(vs.begin(), vs.end()), vs.end());
+    return vs;
+  };
+
+  // Key index over S.
+  std::map<Value, const Tuple*> s_by_key;
+  for (const Tuple& u : s.tuples()) s_by_key.emplace(u[b], &u);
+
+  for (const Tuple& t : r.tuples()) {
+    auto it = s_by_key.find(t[a]);
+    if (it == s_by_key.end()) continue;
+    const Tuple& u = *it->second;
+    // Find bags holding all values of t and of u. They exist because each
+    // tuple's values form a clique in the Gaifman graph and `input` is a
+    // valid decomposition of it.
+    std::vector<int> t_vertices = vertices_of_tuple(t);
+    std::vector<int> u_vertices = vertices_of_tuple(u);
+    int bag_t = td.FindBagContaining(t_vertices);
+    int bag_u = td.FindBagContaining(u_vertices);
+    CQB_CHECK(bag_t >= 0 && bag_u >= 0);
+    // W: values of u other than the join value u[b].
+    std::vector<int> w;
+    for (std::size_t pos = 0; pos < u.size(); ++pos) {
+      if (static_cast<int>(pos) == b) continue;
+      if (u[pos] == u[b]) continue;
+      auto vit = gaifman.value_to_vertex.find(u[pos]);
+      CQB_CHECK(vit != gaifman.value_to_vertex.end());
+      w.push_back(vit->second);
+    }
+    for (int bag : td.TreePath(bag_t, bag_u)) {
+      for (int v : w) td.AddToBag(bag, v);
+    }
+  }
+  return td;
+}
+
+Graph AugmentedJoinGraph(const Relation& r, int a, const Relation& s, int b,
+                         const GaifmanGraph& gaifman) {
+  Graph g = gaifman.graph;
+  std::map<Value, const Tuple*> s_by_key;
+  for (const Tuple& u : s.tuples()) s_by_key.emplace(u[b], &u);
+  for (const Tuple& t : r.tuples()) {
+    auto it = s_by_key.find(t[a]);
+    if (it == s_by_key.end()) continue;
+    std::set<int> combined;
+    for (Value v : t) combined.insert(gaifman.value_to_vertex.at(v));
+    for (Value v : *it->second) combined.insert(gaifman.value_to_vertex.at(v));
+    for (auto i = combined.begin(); i != combined.end(); ++i) {
+      auto j = i;
+      for (++j; j != combined.end(); ++j) g.AddEdge(*i, *j);
+    }
+  }
+  return g;
+}
+
+}  // namespace cqbounds

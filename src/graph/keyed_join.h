@@ -1,0 +1,50 @@
+#ifndef CQBOUNDS_GRAPH_KEYED_JOIN_H_
+#define CQBOUNDS_GRAPH_KEYED_JOIN_H_
+
+#include "graph/gaifman.h"
+#include "graph/tree_decomposition.h"
+#include "relation/relation.h"
+#include "util/status.h"
+
+namespace cqbounds {
+
+/// The Theorem 5.5 bound on the treewidth of a keyed join: for relations
+/// R, S with tw(<R,S>) = omega, arity(S) = j, and the join attribute a key
+/// of S,
+///
+///   tw(R join_{A=B} S) <= j * (omega + 1) - 1.
+inline int KeyedJoinTreewidthBound(int arity_s, int omega) {
+  return arity_s * (omega + 1) - 1;
+}
+
+/// Constructively realizes the proof of Theorem 5.5: given a (validated)
+/// tree decomposition `input` of the Gaifman graph of <R, S>, produces a
+/// tree decomposition of the Gaifman graph of R join_{A=B} S by, for each
+/// matched tuple pair (t in R, u in S with t[a] == u[b]), adding the values
+/// of u (minus the join value) to every bag on the tree path between a bag
+/// holding t's values and a bag holding u's values.
+///
+/// Preconditions checked: `b` is a key position of S (distinct values);
+/// `input` is valid for the joint Gaifman graph `gaifman` of {R, S}.
+/// The resulting decomposition has width <= j*(input.Width()+1) - 1 and is
+/// valid for BuildGaifmanGraph({EquiJoin(R,S,{{a,b}})}).
+///
+/// Vertex numbering: the returned decomposition is over `gaifman`'s vertex
+/// ids. The join result's Gaifman graph is a subgraph of the augmented
+/// graph on the same values (every value of R/S survives the join only if
+/// matched; unmatched values keep their singleton coverage from `input`).
+Result<TreeDecomposition> KeyedJoinDecomposition(
+    const Relation& r, int a, const Relation& s, int b,
+    const GaifmanGraph& gaifman, const TreeDecomposition& input);
+
+/// The Gaifman graph of <R, S> augmented with a clique over the combined
+/// values of every matched pair (t in R, u in S, t[a] == u[b]) -- i.e. the
+/// graph whose edges the joined relation's tuples induce, over `gaifman`'s
+/// vertex ids. The true Gaifman graph of R join S is an induced subgraph,
+/// so a decomposition valid for this graph bounds tw(R join S).
+Graph AugmentedJoinGraph(const Relation& r, int a, const Relation& s, int b,
+                         const GaifmanGraph& gaifman);
+
+}  // namespace cqbounds
+
+#endif  // CQBOUNDS_GRAPH_KEYED_JOIN_H_

@@ -1,0 +1,231 @@
+#include "graph/tree_decomposition.h"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+
+namespace cqbounds {
+
+int TreeDecomposition::Width() const {
+  int width = -1;
+  for (const auto& bag : bags) {
+    width = std::max(width, static_cast<int>(bag.size()) - 1);
+  }
+  return width;
+}
+
+void TreeDecomposition::AddToBag(int b, int v) {
+  auto& bag = bags[b];
+  auto it = std::lower_bound(bag.begin(), bag.end(), v);
+  if (it == bag.end() || *it != v) bag.insert(it, v);
+}
+
+bool TreeDecomposition::BagContainsAll(int b,
+                                       const std::vector<int>& vertices) const {
+  const auto& bag = bags[b];
+  for (int v : vertices) {
+    if (!std::binary_search(bag.begin(), bag.end(), v)) return false;
+  }
+  return true;
+}
+
+int TreeDecomposition::FindBagContaining(
+    const std::vector<int>& vertices) const {
+  for (std::size_t b = 0; b < bags.size(); ++b) {
+    if (BagContainsAll(static_cast<int>(b), vertices)) {
+      return static_cast<int>(b);
+    }
+  }
+  return -1;
+}
+
+std::vector<int> TreeDecomposition::TreePath(int from, int to) const {
+  std::vector<std::vector<int>> adj(bags.size());
+  for (const auto& [a, b] : tree_edges) {
+    adj[a].push_back(b);
+    adj[b].push_back(a);
+  }
+  std::vector<int> parent(bags.size(), -2);
+  std::queue<int> queue;
+  queue.push(from);
+  parent[from] = -1;
+  while (!queue.empty()) {
+    int cur = queue.front();
+    queue.pop();
+    if (cur == to) break;
+    for (int nxt : adj[cur]) {
+      if (parent[nxt] == -2) {
+        parent[nxt] = cur;
+        queue.push(nxt);
+      }
+    }
+  }
+  if (parent[to] == -2 && from != to) return {};
+  std::vector<int> path;
+  for (int cur = to; cur != -1; cur = parent[cur]) path.push_back(cur);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+Status TreeDecomposition::Validate(const Graph& g) const {
+  const int n = g.num_vertices();
+  if (bags.empty()) {
+    if (n == 0) return Status::OK();
+    return Status::FailedPrecondition("no bags for a non-empty graph");
+  }
+  // Tree shape: connected and |E| == |bags| - 1.
+  if (tree_edges.size() + 1 != bags.size()) {
+    return Status::FailedPrecondition(
+        "bag tree is not a tree: " + std::to_string(tree_edges.size()) +
+        " edges for " + std::to_string(bags.size()) + " bags");
+  }
+  std::vector<std::vector<int>> adj(bags.size());
+  for (const auto& [a, b] : tree_edges) {
+    if (a < 0 || b < 0 || a >= static_cast<int>(bags.size()) ||
+        b >= static_cast<int>(bags.size())) {
+      return Status::FailedPrecondition("tree edge out of range");
+    }
+    adj[a].push_back(b);
+    adj[b].push_back(a);
+  }
+  std::vector<char> seen(bags.size(), 0);
+  std::queue<int> queue;
+  queue.push(0);
+  seen[0] = 1;
+  std::size_t reached = 1;
+  while (!queue.empty()) {
+    int cur = queue.front();
+    queue.pop();
+    for (int nxt : adj[cur]) {
+      if (!seen[nxt]) {
+        seen[nxt] = 1;
+        ++reached;
+        queue.push(nxt);
+      }
+    }
+  }
+  if (reached != bags.size()) {
+    return Status::FailedPrecondition("bag tree is disconnected");
+  }
+  // (i) vertex coverage.
+  std::vector<char> covered(n, 0);
+  for (const auto& bag : bags) {
+    for (int v : bag) {
+      if (v < 0 || v >= n) {
+        return Status::FailedPrecondition("bag contains unknown vertex " +
+                                          std::to_string(v));
+      }
+      covered[v] = 1;
+    }
+  }
+  for (int v = 0; v < n; ++v) {
+    if (!covered[v]) {
+      return Status::FailedPrecondition("vertex " + std::to_string(v) +
+                                        " is in no bag");
+    }
+  }
+  // (ii) edge coverage.
+  for (const auto& [u, v] : g.Edges()) {
+    bool found = false;
+    for (std::size_t b = 0; b < bags.size() && !found; ++b) {
+      found = BagContainsAll(static_cast<int>(b), {u, v});
+    }
+    if (!found) {
+      return Status::FailedPrecondition(
+          "edge {" + std::to_string(u) + "," + std::to_string(v) +
+          "} is covered by no bag");
+    }
+  }
+  // (iii) connectedness of each vertex's bag set. Count, per vertex, the
+  // number of connected components among the bags containing it.
+  for (int v = 0; v < n; ++v) {
+    std::set<int> holding;
+    for (std::size_t b = 0; b < bags.size(); ++b) {
+      if (std::binary_search(bags[b].begin(), bags[b].end(), v)) {
+        holding.insert(static_cast<int>(b));
+      }
+    }
+    if (holding.empty()) continue;
+    std::queue<int> bfs;
+    std::set<int> visited;
+    bfs.push(*holding.begin());
+    visited.insert(*holding.begin());
+    while (!bfs.empty()) {
+      int cur = bfs.front();
+      bfs.pop();
+      for (int nxt : adj[cur]) {
+        if (holding.count(nxt) && !visited.count(nxt)) {
+          visited.insert(nxt);
+          bfs.push(nxt);
+        }
+      }
+    }
+    if (visited.size() != holding.size()) {
+      return Status::FailedPrecondition(
+          "bags containing vertex " + std::to_string(v) +
+          " do not induce a connected subtree");
+    }
+  }
+  return Status::OK();
+}
+
+TreeDecomposition DecompositionFromOrdering(const Graph& g,
+                                            const std::vector<int>& order) {
+  const int n = g.num_vertices();
+  CQB_CHECK(static_cast<int>(order.size()) == n);
+  TreeDecomposition td;
+  if (n == 0) return td;
+
+  // Fill-in simulation on adjacency sets.
+  std::vector<std::set<int>> adj(n);
+  for (int v = 0; v < n; ++v) adj[v] = g.Neighbors(v);
+  std::vector<int> position(n);
+  for (int i = 0; i < n; ++i) position[order[i]] = i;
+
+  td.bags.resize(n);
+  // bag_of_vertex[v] = index of the bag created when v was eliminated.
+  // Bags are created in elimination order, so bag index == order position.
+  std::vector<int> attach_to(n, -1);  // vertex whose bag we connect to
+  for (int i = 0; i < n; ++i) {
+    int v = order[i];
+    std::vector<int> bag;
+    bag.push_back(v);
+    int earliest_neighbor = -1;
+    for (int u : adj[v]) {
+      bag.push_back(u);
+      if (earliest_neighbor == -1 ||
+          position[u] < position[earliest_neighbor]) {
+        earliest_neighbor = u;
+      }
+    }
+    std::sort(bag.begin(), bag.end());
+    td.bags[i] = std::move(bag);
+    attach_to[i] = earliest_neighbor;
+    // Make the neighborhood a clique, then remove v.
+    std::vector<int> nbrs(adj[v].begin(), adj[v].end());
+    for (std::size_t a = 0; a < nbrs.size(); ++a) {
+      for (std::size_t b = a + 1; b < nbrs.size(); ++b) {
+        adj[nbrs[a]].insert(nbrs[b]);
+        adj[nbrs[b]].insert(nbrs[a]);
+      }
+    }
+    for (int u : nbrs) adj[u].erase(v);
+    adj[v].clear();
+  }
+  // Connect bag i to the bag of its earliest-eliminated remaining neighbor;
+  // roots (no remaining neighbors) are chained together afterwards.
+  std::vector<int> roots;
+  for (int i = 0; i < n; ++i) {
+    if (attach_to[i] >= 0) {
+      td.tree_edges.emplace_back(i, position[attach_to[i]]);
+    } else {
+      roots.push_back(i);
+    }
+  }
+  for (std::size_t r = 1; r < roots.size(); ++r) {
+    td.tree_edges.emplace_back(roots[r - 1], roots[r]);
+  }
+  return td;
+}
+
+}  // namespace cqbounds

@@ -1,0 +1,56 @@
+#ifndef CQBOUNDS_GRAPH_TREE_DECOMPOSITION_H_
+#define CQBOUNDS_GRAPH_TREE_DECOMPOSITION_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace cqbounds {
+
+/// A tree decomposition (T, lambda) of a graph (Robertson & Seymour; Section
+/// 2 of the paper): `bags[b]` is the sorted vertex set lambda(b), and
+/// `tree_edges` connects bag indices into a tree.
+struct TreeDecomposition {
+  std::vector<std::vector<int>> bags;
+  std::vector<std::pair<int, int>> tree_edges;
+
+  /// max |bag| - 1, or -1 for an empty decomposition.
+  int Width() const;
+
+  /// Verifies the three tree-decomposition conditions against `g`:
+  ///  (i) every vertex of g occurs in some bag,
+  ///  (ii) every edge of g is contained in some bag,
+  ///  (iii) the bags containing any fixed vertex induce a connected subtree;
+  /// and that (bags, tree_edges) forms a tree (connected, acyclic).
+  /// All width claims in tests/benches are backed by this checker.
+  Status Validate(const Graph& g) const;
+
+  /// Adds vertex `v` to bag `b` (keeping the bag sorted, ignoring
+  /// duplicates).
+  void AddToBag(int b, int v);
+
+  /// True if bag `b` contains all of `vertices`.
+  bool BagContainsAll(int b, const std::vector<int>& vertices) const;
+
+  /// Index of some bag containing all of `vertices`, or -1. (For a valid
+  /// decomposition, any clique of the graph is contained in some bag.)
+  int FindBagContaining(const std::vector<int>& vertices) const;
+
+  /// Bag indices along the unique tree path from `from` to `to` (inclusive).
+  /// Returns empty if disconnected (invalid tree).
+  std::vector<int> TreePath(int from, int to) const;
+};
+
+/// Builds the tree decomposition induced by an elimination ordering `order`
+/// (a permutation of the vertices of `g`): the bag of v is {v} plus v's
+/// neighbors at elimination time, and each bag is attached to the bag of the
+/// earliest-eliminated remaining neighbor. Equivalent to the elimination
+/// width definition in Section 2 of the paper. Disconnected components are
+/// chained at the roots so the result is a single tree.
+TreeDecomposition DecompositionFromOrdering(const Graph& g,
+                                            const std::vector<int>& order);
+
+}  // namespace cqbounds
+
+#endif  // CQBOUNDS_GRAPH_TREE_DECOMPOSITION_H_

@@ -1,0 +1,167 @@
+#include "graph/treewidth_bb.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "graph/tree_decomposition.h"
+#include "graph/treewidth.h"
+
+namespace cqbounds {
+
+namespace {
+
+class BranchAndBound {
+ public:
+  explicit BranchAndBound(const Graph& g) : n_(g.num_vertices()) {
+    adjacency_.resize(n_);
+    for (int v = 0; v < n_; ++v) adjacency_[v] = g.Neighbors(v);
+    alive_.assign(n_, true);
+    // Initial upper bound from the min-fill heuristic.
+    best_ = DecompositionFromOrdering(g, MinFillOrdering(g)).Width();
+  }
+
+  int Run() {
+    if (n_ == 0) return -1;
+    Search(n_, 0);
+    return best_;
+  }
+
+ private:
+  /// MMD lower bound of the remaining graph.
+  int RemainingLowerBound() {
+    // Work on a copy of degrees via repeated min-degree deletion.
+    std::vector<std::set<int>> adj;
+    std::vector<int> ids;
+    std::vector<int> position(n_, -1);
+    for (int v = 0; v < n_; ++v) {
+      if (alive_[v]) {
+        position[v] = static_cast<int>(ids.size());
+        ids.push_back(v);
+      }
+    }
+    adj.resize(ids.size());
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      for (int nbr : adjacency_[ids[i]]) {
+        if (position[nbr] >= 0) adj[i].insert(position[nbr]);
+      }
+    }
+    int bound = 0;
+    std::vector<bool> alive(ids.size(), true);
+    for (std::size_t step = 0; step < ids.size(); ++step) {
+      int best = -1;
+      for (std::size_t v = 0; v < ids.size(); ++v) {
+        if (alive[v] && (best < 0 || adj[v].size() < adj[best].size())) {
+          best = static_cast<int>(v);
+        }
+      }
+      bound = std::max(bound, static_cast<int>(adj[best].size()));
+      for (int u : adj[best]) adj[u].erase(best);
+      adj[best].clear();
+      alive[best] = false;
+    }
+    return bound;
+  }
+
+  /// Finds a simplicial alive vertex (neighborhood is a clique), or -1.
+  int FindSimplicial() {
+    for (int v = 0; v < n_; ++v) {
+      if (!alive_[v]) continue;
+      bool simplicial = true;
+      for (auto i = adjacency_[v].begin();
+           i != adjacency_[v].end() && simplicial; ++i) {
+        auto j = i;
+        for (++j; j != adjacency_[v].end(); ++j) {
+          if (!adjacency_[*i].count(*j)) {
+            simplicial = false;
+            break;
+          }
+        }
+      }
+      if (simplicial) return v;
+    }
+    return -1;
+  }
+
+  struct Undo {
+    int vertex;
+    std::set<int> neighbors;
+    std::vector<std::pair<int, int>> fill_edges;
+  };
+
+  Undo Eliminate(int v) {
+    Undo undo;
+    undo.vertex = v;
+    undo.neighbors = adjacency_[v];
+    std::vector<int> nbrs(adjacency_[v].begin(), adjacency_[v].end());
+    for (std::size_t a = 0; a < nbrs.size(); ++a) {
+      for (std::size_t b = a + 1; b < nbrs.size(); ++b) {
+        if (adjacency_[nbrs[a]].insert(nbrs[b]).second) {
+          adjacency_[nbrs[b]].insert(nbrs[a]);
+          undo.fill_edges.emplace_back(nbrs[a], nbrs[b]);
+        }
+      }
+    }
+    for (int u : nbrs) adjacency_[u].erase(v);
+    adjacency_[v].clear();
+    alive_[v] = false;
+    return undo;
+  }
+
+  void Restore(const Undo& undo) {
+    alive_[undo.vertex] = true;
+    adjacency_[undo.vertex] = undo.neighbors;
+    for (int u : undo.neighbors) adjacency_[u].insert(undo.vertex);
+    for (const auto& [a, b] : undo.fill_edges) {
+      adjacency_[a].erase(b);
+      adjacency_[b].erase(a);
+    }
+  }
+
+  void Search(int remaining, int width_so_far) {
+    if (width_so_far >= best_) return;  // cannot improve
+    if (remaining == 0) {
+      best_ = width_so_far;
+      return;
+    }
+    if (std::max(width_so_far, RemainingLowerBound()) >= best_) return;
+    // Simplicial rule: eliminating a simplicial vertex first is always
+    // optimal.
+    int simplicial = FindSimplicial();
+    if (simplicial >= 0) {
+      int degree = static_cast<int>(adjacency_[simplicial].size());
+      Undo undo = Eliminate(simplicial);
+      Search(remaining - 1, std::max(width_so_far, degree));
+      Restore(undo);
+      return;
+    }
+    // Branch on remaining vertices, lowest degree first.
+    std::vector<int> candidates;
+    for (int v = 0; v < n_; ++v) {
+      if (alive_[v]) candidates.push_back(v);
+    }
+    std::sort(candidates.begin(), candidates.end(), [this](int a, int b) {
+      return adjacency_[a].size() < adjacency_[b].size();
+    });
+    for (int v : candidates) {
+      int degree = static_cast<int>(adjacency_[v].size());
+      if (std::max(width_so_far, degree) >= best_) continue;
+      Undo undo = Eliminate(v);
+      Search(remaining - 1, std::max(width_so_far, degree));
+      Restore(undo);
+    }
+  }
+
+  int n_;
+  std::vector<std::set<int>> adjacency_;
+  std::vector<bool> alive_;
+  int best_;
+};
+
+}  // namespace
+
+int TreewidthBranchAndBound(const Graph& g) {
+  return BranchAndBound(g).Run();
+}
+
+}  // namespace cqbounds

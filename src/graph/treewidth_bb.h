@@ -1,0 +1,22 @@
+#ifndef CQBOUNDS_GRAPH_TREEWIDTH_BB_H_
+#define CQBOUNDS_GRAPH_TREEWIDTH_BB_H_
+
+#include "graph/graph.h"
+
+namespace cqbounds {
+
+/// Exact treewidth by branch-and-bound over elimination orderings
+/// (QuickBB-style, simplified): depth-first search over prefixes, pruned by
+///  - the best solution found so far (initialized from min-fill),
+///  - the MMD lower bound of the remaining graph,
+///  - the simplicial-vertex rule (a vertex whose neighborhood is a clique
+///    can always be eliminated first without loss).
+///
+/// Independent of the subset-DP in treewidth.h -- the two exact algorithms
+/// cross-validate each other in property tests. Practical to ~20 vertices.
+/// Returns -1 for the empty graph (consistent with TreewidthExact).
+int TreewidthBranchAndBound(const Graph& g);
+
+}  // namespace cqbounds
+
+#endif  // CQBOUNDS_GRAPH_TREEWIDTH_BB_H_

@@ -1,0 +1,74 @@
+#include "relation/database.h"
+
+namespace cqbounds {
+
+Value ValuePool::Intern(const std::string& spelling) {
+  auto it = ids_.find(spelling);
+  if (it != ids_.end()) return it->second;
+  Value id = static_cast<Value>(spellings_.size());
+  ids_.emplace(spelling, id);
+  spellings_.push_back(spelling);
+  return id;
+}
+
+std::string ValuePool::Spelling(Value id) const {
+  if (id < 0 || id >= static_cast<Value>(spellings_.size())) {
+    return "?" + std::to_string(id);
+  }
+  return spellings_[static_cast<std::size_t>(id)];
+}
+
+Relation* Database::AddRelation(const std::string& name, int arity) {
+  auto it = relations_.find(name);
+  if (it != relations_.end()) {
+    CQB_CHECK(it->second.arity() == arity);
+    return &it->second;
+  }
+  auto [inserted, ok] = relations_.emplace(name, Relation(name, arity));
+  (void)ok;
+  return &inserted->second;
+}
+
+const Relation* Database::Find(const std::string& name) const {
+  auto it = relations_.find(name);
+  return it == relations_.end() ? nullptr : &it->second;
+}
+
+Relation* Database::FindMutable(const std::string& name) {
+  auto it = relations_.find(name);
+  return it == relations_.end() ? nullptr : &it->second;
+}
+
+std::size_t Database::RMax(const Query& query) const {
+  std::size_t rmax = 0;
+  for (const Atom& atom : query.atoms()) {
+    const Relation* r = Find(atom.relation);
+    if (r != nullptr) rmax = std::max(rmax, r->size());
+  }
+  return rmax;
+}
+
+std::size_t Database::MaxRelationSize() const {
+  std::size_t rmax = 0;
+  for (const auto& [name, rel] : relations_) {
+    rmax = std::max(rmax, rel.size());
+  }
+  return rmax;
+}
+
+Status Database::CheckFds(const Query& query) const {
+  for (const FunctionalDependency& fd : query.fds()) {
+    const Relation* r = Find(fd.relation);
+    if (r == nullptr) continue;  // vacuously true
+    if (!r->SatisfiesFd(fd.lhs, fd.rhs)) {
+      std::string positions;
+      for (int p : fd.lhs) positions += std::to_string(p + 1) + " ";
+      return Status::FailedPrecondition(
+          "relation '" + fd.relation + "' violates FD " + positions + "-> " +
+          std::to_string(fd.rhs + 1));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace cqbounds

@@ -1,0 +1,69 @@
+#ifndef CQBOUNDS_RELATION_DATABASE_H_
+#define CQBOUNDS_RELATION_DATABASE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cq/query.h"
+#include "relation/relation.h"
+#include "util/status.h"
+
+namespace cqbounds {
+
+/// Interns arbitrary string spellings as Value ids. Used by generators whose
+/// natural value space is structured (e.g. the color-index vectors of the
+/// Proposition 4.5 product construction, or Shamir shares tagged by group).
+class ValuePool {
+ public:
+  /// Returns the id of `spelling`, interning it on first use.
+  Value Intern(const std::string& spelling);
+  /// Reverse lookup; returns "?<id>" if the id was never interned.
+  std::string Spelling(Value id) const;
+  std::size_t size() const { return spellings_.size(); }
+
+ private:
+  std::map<std::string, Value> ids_;
+  std::vector<std::string> spellings_;
+};
+
+/// A database instance D = (U_D, R_1, ..., R_n): named relations over a
+/// shared value space.
+class Database {
+ public:
+  /// Creates (empty) or fetches the relation `name` with the given arity.
+  /// Aborts if it already exists with a different arity.
+  Relation* AddRelation(const std::string& name, int arity);
+
+  /// Returns the relation or nullptr.
+  const Relation* Find(const std::string& name) const;
+  Relation* FindMutable(const std::string& name);
+
+  const std::map<std::string, Relation>& relations() const {
+    return relations_;
+  }
+
+  /// rmax(D) restricted to the relations occurring in the body of `query`
+  /// (the paper's rmax is over the relations R_{i1},...,R_{im} referenced by
+  /// the query). Returns 0 if no body relation is present.
+  std::size_t RMax(const Query& query) const;
+
+  /// Largest relation size over all relations in the database.
+  std::size_t MaxRelationSize() const;
+
+  /// Verifies that every positional FD declared on `query` holds in this
+  /// instance. Returns the first violated FD in the error message.
+  Status CheckFds(const Query& query) const;
+
+  /// The pool used to mint structured values (shared by generators).
+  ValuePool* value_pool() { return &pool_; }
+  const ValuePool& value_pool() const { return pool_; }
+
+ private:
+  std::map<std::string, Relation> relations_;
+  ValuePool pool_;
+};
+
+}  // namespace cqbounds
+
+#endif  // CQBOUNDS_RELATION_DATABASE_H_

@@ -1,0 +1,200 @@
+#include "relation/evaluate.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace cqbounds {
+
+namespace {
+
+/// Variables needed at or after body position `from`: head variables plus
+/// variables of atoms from..m-1.
+std::set<int> NeededVars(const Query& query, std::size_t from) {
+  std::set<int> needed(query.head_vars().begin(), query.head_vars().end());
+  for (std::size_t j = from; j < query.atoms().size(); ++j) {
+    const Atom& a = query.atoms()[j];
+    needed.insert(a.vars.begin(), a.vars.end());
+  }
+  return needed;
+}
+
+}  // namespace
+
+Result<Relation> EvaluateQuery(const Query& query, const Database& db,
+                               PlanKind kind, EvalStats* stats) {
+  EvalStats local;
+  // Bindings are tuples over `bound_vars` (parallel layout).
+  std::vector<int> bound_vars;
+  std::vector<Tuple> bindings = {Tuple{}};
+
+  for (std::size_t step = 0; step < query.atoms().size(); ++step) {
+    const Atom& atom = query.atoms()[step];
+    const Relation* rel = db.Find(atom.relation);
+    if (rel == nullptr) {
+      return Status::NotFound("relation '" + atom.relation +
+                              "' missing from database");
+    }
+    if (rel->arity() != static_cast<int>(atom.vars.size())) {
+      return Status::InvalidArgument(
+          "atom " + atom.relation + " has arity " +
+          std::to_string(atom.vars.size()) + " but relation has arity " +
+          std::to_string(rel->arity()));
+    }
+
+    // Split the atom's positions into join positions (variable already
+    // bound) and new positions (first occurrence of a new variable).
+    std::vector<std::pair<int, int>> join_pos;  // (atom position, binding idx)
+    std::vector<std::pair<int, int>> new_pos;   // (atom position, new var)
+    std::vector<int> first_seen(query.num_variables(), -1);
+    for (std::size_t p = 0; p < atom.vars.size(); ++p) {
+      int var = atom.vars[p];
+      auto it = std::find(bound_vars.begin(), bound_vars.end(), var);
+      if (it != bound_vars.end()) {
+        join_pos.emplace_back(static_cast<int>(p),
+                              static_cast<int>(it - bound_vars.begin()));
+      } else if (first_seen[var] >= 0) {
+        // Repeated new variable inside the atom: equality filter against its
+        // first occurrence, handled below during indexing.
+        join_pos.emplace_back(static_cast<int>(p), -1 - first_seen[var]);
+      } else {
+        first_seen[var] = static_cast<int>(p);
+        new_pos.emplace_back(static_cast<int>(p), var);
+      }
+    }
+
+    // Index the relation on the join-key values. Tuples violating intra-atom
+    // repeated-variable equality are skipped.
+    std::unordered_map<Tuple, std::vector<const Tuple*>, TupleHash> index;
+    for (const Tuple& t : rel->tuples()) {
+      bool self_consistent = true;
+      Tuple key;
+      for (const auto& [pos, ref] : join_pos) {
+        if (ref < 0) {
+          int first_pos = -1 - ref;
+          if (t[pos] != t[first_pos]) {
+            self_consistent = false;
+            break;
+          }
+        } else {
+          key.push_back(t[pos]);
+        }
+      }
+      if (self_consistent) index[key].push_back(&t);
+    }
+
+    // Probe.
+    std::vector<int> next_vars = bound_vars;
+    for (const auto& [pos, var] : new_pos) {
+      (void)pos;
+      next_vars.push_back(var);
+    }
+    std::vector<Tuple> next;
+    for (const Tuple& binding : bindings) {
+      Tuple key;
+      for (const auto& [pos, ref] : join_pos) {
+        (void)pos;
+        if (ref >= 0) key.push_back(binding[ref]);
+      }
+      auto it = index.find(key);
+      if (it == index.end()) continue;
+      for (const Tuple* match : it->second) {
+        Tuple extended = binding;
+        for (const auto& [pos, var] : new_pos) {
+          (void)var;
+          extended.push_back((*match)[pos]);
+        }
+        next.push_back(std::move(extended));
+      }
+    }
+    bound_vars = std::move(next_vars);
+    bindings = std::move(next);
+
+    if (kind == PlanKind::kJoinProject) {
+      // Keep only the variables needed by the head or by future atoms.
+      std::set<int> needed = NeededVars(query, step + 1);
+      std::vector<int> kept_positions;
+      std::vector<int> kept_vars;
+      for (std::size_t i = 0; i < bound_vars.size(); ++i) {
+        if (needed.count(bound_vars[i])) {
+          kept_positions.push_back(static_cast<int>(i));
+          kept_vars.push_back(bound_vars[i]);
+        }
+      }
+      if (kept_vars.size() != bound_vars.size()) {
+        std::unordered_set<Tuple, TupleHash> dedup;
+        std::vector<Tuple> projected;
+        for (const Tuple& binding : bindings) {
+          Tuple p;
+          p.reserve(kept_positions.size());
+          for (int pos : kept_positions) p.push_back(binding[pos]);
+          if (dedup.insert(p).second) projected.push_back(std::move(p));
+        }
+        bound_vars = std::move(kept_vars);
+        bindings = std::move(projected);
+      }
+    }
+
+    local.max_intermediate = std::max(local.max_intermediate, bindings.size());
+    local.total_intermediate += bindings.size();
+  }
+
+  // Project onto the head variable list (which may repeat variables).
+  Relation output(query.head_relation(),
+                  static_cast<int>(query.head_vars().size()));
+  std::vector<int> head_positions;
+  head_positions.reserve(query.head_vars().size());
+  for (int var : query.head_vars()) {
+    auto it = std::find(bound_vars.begin(), bound_vars.end(), var);
+    CQB_CHECK(it != bound_vars.end());  // Validate() guarantees this
+    head_positions.push_back(static_cast<int>(it - bound_vars.begin()));
+  }
+  Tuple head_tuple(head_positions.size());
+  for (const Tuple& binding : bindings) {
+    for (std::size_t i = 0; i < head_positions.size(); ++i) {
+      head_tuple[i] = binding[head_positions[i]];
+    }
+    output.Insert(head_tuple);
+  }
+  local.output_size = output.size();
+  if (stats != nullptr) *stats = local;
+  return output;
+}
+
+Relation EquiJoin(const Relation& left, const Relation& right,
+                  const std::vector<std::pair<int, int>>& pairs,
+                  const std::string& result_name) {
+  Relation out(result_name, left.arity() + right.arity());
+  // Index the right side on its join key.
+  std::unordered_map<Tuple, std::vector<const Tuple*>, TupleHash> index;
+  for (const Tuple& t : right.tuples()) {
+    Tuple key;
+    key.reserve(pairs.size());
+    for (const auto& [lp, rp] : pairs) {
+      (void)lp;
+      CQB_CHECK(rp >= 0 && rp < right.arity());
+      key.push_back(t[rp]);
+    }
+    index[key].push_back(&t);
+  }
+  for (const Tuple& t : left.tuples()) {
+    Tuple key;
+    key.reserve(pairs.size());
+    for (const auto& [lp, rp] : pairs) {
+      (void)rp;
+      CQB_CHECK(lp >= 0 && lp < left.arity());
+      key.push_back(t[lp]);
+    }
+    auto it = index.find(key);
+    if (it == index.end()) continue;
+    for (const Tuple* match : it->second) {
+      Tuple joined = t;
+      joined.insert(joined.end(), match->begin(), match->end());
+      out.Insert(joined);
+    }
+  }
+  return out;
+}
+
+}  // namespace cqbounds

@@ -1,0 +1,53 @@
+#ifndef CQBOUNDS_RELATION_EVALUATE_H_
+#define CQBOUNDS_RELATION_EVALUATE_H_
+
+#include "cq/query.h"
+#include "relation/database.h"
+#include "util/status.h"
+
+namespace cqbounds {
+
+/// How intermediate results are managed during conjunctive query evaluation.
+enum class PlanKind {
+  /// Left-deep hash joins keeping every bound variable until the end: the
+  /// textbook baseline, whose intermediates can exceed the final output.
+  kNaive,
+  /// The join-project plan of Corollary 4.8 / Atserias et al. Theorem 15:
+  /// after each join, intermediates are projected onto the variables still
+  /// needed (head variables plus variables of unprocessed atoms), keeping
+  /// intermediate sizes within the rmax^C envelope.
+  kJoinProject,
+};
+
+/// Counters reported by EvaluateQuery, used by the E10 benchmark to contrast
+/// the two plans.
+struct EvalStats {
+  /// Largest intermediate binding set encountered.
+  std::size_t max_intermediate = 0;
+  /// Sum of intermediate sizes after each join step.
+  std::size_t total_intermediate = 0;
+  /// Number of tuples in the output relation.
+  std::size_t output_size = 0;
+};
+
+/// Evaluates `query` over `db`, producing the head relation Q(D) with set
+/// semantics: all tuples theta(u0) for substitutions theta satisfying every
+/// body atom (Section 2 of the paper).
+///
+/// Errors: kNotFound if a body relation is missing from `db`;
+/// kInvalidArgument if an atom's arity disagrees with the stored relation.
+/// `stats` may be null.
+Result<Relation> EvaluateQuery(const Query& query, const Database& db,
+                               PlanKind kind, EvalStats* stats = nullptr);
+
+/// Equi-join R x S keeping all columns of both inputs (the treewidth
+/// sections of the paper treat the result of R join_{A=B} S as a relation of
+/// arity arity(R)+arity(S) whose Gaifman graph merges each matched pair of
+/// tuples). `pairs` lists (position in R, position in S) equality conditions.
+Relation EquiJoin(const Relation& left, const Relation& right,
+                  const std::vector<std::pair<int, int>>& pairs,
+                  const std::string& result_name = "join");
+
+}  // namespace cqbounds
+
+#endif  // CQBOUNDS_RELATION_EVALUATE_H_

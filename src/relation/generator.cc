@@ -1,0 +1,67 @@
+#include "relation/generator.h"
+
+#include <map>
+#include <set>
+
+namespace cqbounds {
+
+void FillRandomRelation(Database* db, const std::string& name, int arity,
+                        std::size_t count, std::int64_t domain_size,
+                        Rng* rng) {
+  Relation* rel = db->AddRelation(name, arity);
+  Tuple t(arity);
+  for (std::size_t i = 0; i < count; ++i) {
+    for (int j = 0; j < arity; ++j) {
+      t[j] = static_cast<Value>(
+          rng->NextBelow(static_cast<std::uint64_t>(domain_size)));
+    }
+    rel->Insert(t);
+  }
+}
+
+Database RandomDatabase(const Query& query,
+                        const RandomDatabaseOptions& opts) {
+  Database db;
+  Rng rng(opts.seed);
+  std::set<std::string> done;
+  for (const Atom& atom : query.atoms()) {
+    if (!done.insert(atom.relation).second) continue;
+    FillRandomRelation(&db, atom.relation,
+                       static_cast<int>(atom.vars.size()),
+                       opts.tuples_per_relation, opts.domain_size, &rng);
+  }
+  // FD repair to a fixpoint: rewrite rhs values to the first-seen value for
+  // each lhs key. A single pass can break a previously-enforced FD on the
+  // same relation, so iterate until stable.
+  bool changed = true;
+  int guard = 0;
+  while (changed && guard++ < 1000) {
+    changed = false;
+    for (const FunctionalDependency& fd : query.fds()) {
+      Relation* rel = db.FindMutable(fd.relation);
+      if (rel == nullptr) continue;
+      std::map<Tuple, Value> canonical;
+      Relation repaired(rel->name(), rel->arity());
+      bool rewrote = false;
+      for (const Tuple& t : rel->tuples()) {
+        Tuple key;
+        key.reserve(fd.lhs.size());
+        for (int pos : fd.lhs) key.push_back(t[pos]);
+        auto [it, inserted] = canonical.emplace(std::move(key), t[fd.rhs]);
+        Tuple fixed = t;
+        if (!inserted && fixed[fd.rhs] != it->second) {
+          fixed[fd.rhs] = it->second;
+          rewrote = true;
+        }
+        repaired.Insert(fixed);
+      }
+      if (rewrote) {
+        *rel = std::move(repaired);
+        changed = true;
+      }
+    }
+  }
+  return db;
+}
+
+}  // namespace cqbounds

@@ -1,0 +1,58 @@
+#include "relation/relation.h"
+
+#include <map>
+#include <set>
+
+namespace cqbounds {
+
+bool Relation::Insert(const Tuple& t) {
+  CQB_CHECK(static_cast<int>(t.size()) == arity_);
+  if (!index_.insert(t).second) return false;
+  tuples_.push_back(t);
+  return true;
+}
+
+Relation Relation::Project(const std::vector<int>& positions,
+                           const std::string& result_name) const {
+  Relation out(result_name, static_cast<int>(positions.size()));
+  Tuple projected(positions.size());
+  for (const Tuple& t : tuples_) {
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+      CQB_CHECK(positions[i] >= 0 && positions[i] < arity_);
+      projected[i] = t[positions[i]];
+    }
+    out.Insert(projected);
+  }
+  return out;
+}
+
+std::vector<Value> Relation::ColumnValues(int pos) const {
+  CQB_CHECK(pos >= 0 && pos < arity_);
+  std::set<Value> values;
+  for (const Tuple& t : tuples_) values.insert(t[pos]);
+  return std::vector<Value>(values.begin(), values.end());
+}
+
+std::vector<Value> Relation::ActiveDomain() const {
+  std::set<Value> values;
+  for (const Tuple& t : tuples_) values.insert(t.begin(), t.end());
+  return std::vector<Value>(values.begin(), values.end());
+}
+
+bool Relation::SatisfiesFd(const std::vector<int>& lhs, int rhs) const {
+  std::map<Tuple, Value> seen;
+  for (const Tuple& t : tuples_) {
+    Tuple key;
+    key.reserve(lhs.size());
+    for (int pos : lhs) {
+      CQB_CHECK(pos >= 0 && pos < arity_);
+      key.push_back(t[pos]);
+    }
+    CQB_CHECK(rhs >= 0 && rhs < arity_);
+    auto [it, inserted] = seen.emplace(std::move(key), t[rhs]);
+    if (!inserted && it->second != t[rhs]) return false;
+  }
+  return true;
+}
+
+}  // namespace cqbounds

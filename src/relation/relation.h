@@ -1,0 +1,59 @@
+#ifndef CQBOUNDS_RELATION_RELATION_H_
+#define CQBOUNDS_RELATION_RELATION_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "relation/tuple.h"
+#include "util/status.h"
+
+namespace cqbounds {
+
+/// A named, set-semantics relation instance: a deduplicated bag of tuples of
+/// fixed arity. Insertion order of first occurrences is preserved so that
+/// iteration (and thus every algorithm built on it) is deterministic.
+class Relation {
+ public:
+  Relation() : name_("R"), arity_(0) {}
+  Relation(std::string name, int arity)
+      : name_(std::move(name)), arity_(arity) {
+    CQB_CHECK(arity >= 0);
+  }
+
+  const std::string& name() const { return name_; }
+  int arity() const { return arity_; }
+  std::size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+
+  /// Inserts `t` if not present; returns true if inserted. Aborts if the
+  /// arity does not match (a programming error, not a data error).
+  bool Insert(const Tuple& t);
+
+  bool Contains(const Tuple& t) const { return index_.count(t) > 0; }
+
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+
+  /// Projection onto `positions` (0-based, may repeat), with set semantics.
+  Relation Project(const std::vector<int>& positions,
+                   const std::string& result_name = "pi") const;
+
+  /// The set of distinct values appearing in column `pos`.
+  std::vector<Value> ColumnValues(int pos) const;
+
+  /// All distinct values appearing anywhere in the relation.
+  std::vector<Value> ActiveDomain() const;
+
+  /// Checks a positional functional dependency lhs -> rhs on this instance.
+  bool SatisfiesFd(const std::vector<int>& lhs, int rhs) const;
+
+ private:
+  std::string name_;
+  int arity_;
+  std::vector<Tuple> tuples_;
+  std::unordered_set<Tuple, TupleHash> index_;
+};
+
+}  // namespace cqbounds
+
+#endif  // CQBOUNDS_RELATION_RELATION_H_

@@ -1,0 +1,78 @@
+#include "relation/text_io.h"
+
+#include <sstream>
+#include <vector>
+
+namespace cqbounds {
+
+Status ReadDatabaseText(std::istream& in, Database* db) {
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    std::istringstream tokens(line);
+    std::string first;
+    if (!(tokens >> first)) continue;  // blank line
+    if (first == "relation") {
+      std::string name;
+      int arity = -1;
+      if (!(tokens >> name >> arity) || arity < 0) {
+        return Status::ParseError("line " + std::to_string(line_number) +
+                                  ": expected 'relation NAME ARITY'");
+      }
+      const Relation* existing = db->Find(name);
+      if (existing != nullptr && existing->arity() != arity) {
+        return Status::ParseError("line " + std::to_string(line_number) +
+                                  ": relation '" + name +
+                                  "' re-declared with different arity");
+      }
+      db->AddRelation(name, arity);
+      continue;
+    }
+    Relation* rel = db->FindMutable(first);
+    if (rel == nullptr) {
+      return Status::ParseError("line " + std::to_string(line_number) +
+                                ": tuple for undeclared relation '" + first +
+                                "'");
+    }
+    Tuple t;
+    std::string token;
+    while (tokens >> token) {
+      t.push_back(db->value_pool()->Intern(token));
+    }
+    if (static_cast<int>(t.size()) != rel->arity()) {
+      return Status::ParseError(
+          "line " + std::to_string(line_number) + ": tuple of arity " +
+          std::to_string(t.size()) + " for relation '" + first +
+          "' of arity " + std::to_string(rel->arity()));
+    }
+    rel->Insert(t);
+  }
+  return Status::OK();
+}
+
+Status ReadDatabaseTextFromString(const std::string& text, Database* db) {
+  std::istringstream in(text);
+  return ReadDatabaseText(in, db);
+}
+
+void WriteDatabaseText(const Database& db, std::ostream& out) {
+  for (const auto& [name, rel] : db.relations()) {
+    out << "relation " << name << " " << rel.arity() << "\n";
+    for (const Tuple& t : rel.tuples()) {
+      out << name;
+      for (Value v : t) out << " " << db.value_pool().Spelling(v);
+      out << "\n";
+    }
+  }
+}
+
+std::string WriteDatabaseTextToString(const Database& db) {
+  std::ostringstream out;
+  WriteDatabaseText(db, out);
+  return out.str();
+}
+
+}  // namespace cqbounds

@@ -1,0 +1,35 @@
+#ifndef CQBOUNDS_RELATION_TEXT_IO_H_
+#define CQBOUNDS_RELATION_TEXT_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "relation/database.h"
+#include "util/status.h"
+
+namespace cqbounds {
+
+/// Plain-text database format, for shipping example instances and for the
+/// worst_case_db CLI's output to be re-loadable:
+///
+///   # comment
+///   relation R 3         # declares R with arity 3
+///   R a b c              # one tuple (values are whitespace-separated
+///   R a b d              #  tokens, interned via the database's pool)
+///   relation S 1
+///   S x
+///
+/// Values that parse as plain integers are interned as their spelling, so
+/// round-trips preserve identity (equality of tokens == equality of
+/// values).
+Status ReadDatabaseText(std::istream& in, Database* db);
+Status ReadDatabaseTextFromString(const std::string& text, Database* db);
+
+/// Writes `db` in the same format (relations sorted by name, tuples in
+/// insertion order, values spelled via the pool).
+void WriteDatabaseText(const Database& db, std::ostream& out);
+std::string WriteDatabaseTextToString(const Database& db);
+
+}  // namespace cqbounds
+
+#endif  // CQBOUNDS_RELATION_TEXT_IO_H_

@@ -1,0 +1,31 @@
+#ifndef CQBOUNDS_RELATION_TUPLE_H_
+#define CQBOUNDS_RELATION_TUPLE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace cqbounds {
+
+/// Domain values are interned 64-bit ids. The universe U_D of a database is
+/// whatever ids its tuples mention; a `ValuePool` (database.h) optionally
+/// maps ids back to human-readable spellings.
+using Value = std::int64_t;
+
+/// A database tuple: a fixed-arity list of values.
+using Tuple = std::vector<Value>;
+
+/// FNV-1a style hash for tuples, usable with unordered containers.
+struct TupleHash {
+  std::size_t operator()(const Tuple& t) const {
+    std::uint64_t h = 1469598103934665603ull;
+    for (Value v : t) {
+      h ^= static_cast<std::uint64_t>(v);
+      h *= 1099511628211ull;
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+}  // namespace cqbounds
+
+#endif  // CQBOUNDS_RELATION_TUPLE_H_

@@ -1,0 +1,113 @@
+#include "sat/cnf.h"
+
+#include <queue>
+
+#include "util/status.h"
+
+namespace cqbounds {
+
+int Cnf::AddVariable(std::string name) {
+  int id = static_cast<int>(names_.size());
+  if (name.empty()) name = "v" + std::to_string(id);
+  names_.push_back(std::move(name));
+  return id;
+}
+
+bool Cnf::IsDualHorn() const {
+  for (const Clause& c : clauses_) {
+    int negatives = 0;
+    for (const Literal& l : c.literals) {
+      if (!l.positive) ++negatives;
+    }
+    if (negatives > 1) return false;
+  }
+  return true;
+}
+
+bool Cnf::Evaluate(const std::vector<bool>& assignment) const {
+  for (const Clause& c : clauses_) {
+    bool satisfied = false;
+    for (const Literal& l : c.literals) {
+      if (assignment[l.var] == l.positive) {
+        satisfied = true;
+        break;
+      }
+    }
+    if (!satisfied) return false;
+  }
+  return true;
+}
+
+bool DualHornSatisfiable(const Cnf& cnf, std::vector<bool>* assignment) {
+  CQB_CHECK(cnf.IsDualHorn());
+  const int n = cnf.num_variables();
+  // Start from the maximal-true assignment and propagate forced FALSEs:
+  // a clause whose positive literals are all false forces its (unique)
+  // negated variable false; a clause with no negative literal and all
+  // positives false is a conflict.
+  std::vector<bool> is_false(n, false);
+  // watch[v]: clauses in which v occurs positively.
+  std::vector<std::vector<int>> watch(n);
+  std::vector<int> open_positives(cnf.clauses().size(), 0);
+  std::vector<int> negated_var(cnf.clauses().size(), -1);
+  std::queue<int> falsify;
+
+  const auto& clauses = cnf.clauses();
+  for (std::size_t ci = 0; ci < clauses.size(); ++ci) {
+    for (const Literal& l : clauses[ci].literals) {
+      if (l.positive) {
+        ++open_positives[ci];
+        watch[l.var].push_back(static_cast<int>(ci));
+      } else {
+        negated_var[ci] = l.var;
+      }
+    }
+    if (open_positives[ci] == 0) {
+      if (negated_var[ci] < 0) return false;  // empty clause
+      if (!is_false[negated_var[ci]]) {
+        is_false[negated_var[ci]] = true;
+        falsify.push(negated_var[ci]);
+      }
+    }
+  }
+  while (!falsify.empty()) {
+    int v = falsify.front();
+    falsify.pop();
+    for (int ci : watch[v]) {
+      if (--open_positives[ci] == 0) {
+        // Count only first transition to zero; duplicates of v in a clause
+        // could over-decrement, so clamp.
+        if (open_positives[ci] < 0) continue;
+        int neg = negated_var[ci];
+        if (neg < 0) return false;  // all-positive clause died
+        if (!is_false[neg]) {
+          is_false[neg] = true;
+          falsify.push(neg);
+        }
+      }
+    }
+  }
+  // Duplicated positive occurrences of one variable in one clause would
+  // decrement twice; re-verify the final assignment for robustness.
+  std::vector<bool> model(n);
+  for (int v = 0; v < n; ++v) model[v] = !is_false[v];
+  if (!cnf.Evaluate(model)) return false;
+  if (assignment != nullptr) *assignment = std::move(model);
+  return true;
+}
+
+bool BruteForceSatisfiable(const Cnf& cnf, std::vector<bool>* assignment) {
+  const int n = cnf.num_variables();
+  CQB_CHECK(n <= 25);
+  std::vector<bool> model(n);
+  for (std::uint64_t mask = 0; mask < (1ull << n); ++mask) {
+    for (int v = 0; v < n; ++v) model[v] = (mask >> v) & 1;
+    if (cnf.Evaluate(model)) {
+      if (assignment != nullptr) *assignment = model;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace cqbounds

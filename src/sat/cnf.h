@@ -1,0 +1,58 @@
+#ifndef CQBOUNDS_SAT_CNF_H_
+#define CQBOUNDS_SAT_CNF_H_
+
+#include <string>
+#include <vector>
+
+namespace cqbounds {
+
+/// A propositional literal: variable id, possibly negated.
+struct Literal {
+  int var = 0;
+  bool positive = true;
+};
+
+/// A disjunction of literals.
+struct Clause {
+  std::vector<Literal> literals;
+};
+
+/// A CNF formula. Variables are dense ids 0..n-1.
+class Cnf {
+ public:
+  int AddVariable(std::string name = "");
+  void AddClause(Clause clause) { clauses_.push_back(std::move(clause)); }
+  void AddClause(std::initializer_list<Literal> literals) {
+    clauses_.push_back(Clause{std::vector<Literal>(literals)});
+  }
+
+  int num_variables() const { return static_cast<int>(names_.size()); }
+  const std::vector<Clause>& clauses() const { return clauses_; }
+  const std::string& variable_name(int var) const { return names_[var]; }
+
+  /// True iff every clause has at most one negative literal (a *dual-Horn*
+  /// formula; Theorem 7.2's SAT_i encodings have this shape).
+  bool IsDualHorn() const;
+
+  /// Evaluates the formula under `assignment` (assignment[v] = truth value).
+  bool Evaluate(const std::vector<bool>& assignment) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<Clause> clauses_;
+};
+
+/// Decides satisfiability of a dual-Horn formula in time linear in the
+/// formula size (Dowling & Gallier, dualized): computes the unique minimal
+/// set of variables forced FALSE by unit propagation, then checks every
+/// clause. If satisfiable and `assignment` is non-null, stores the
+/// maximal-true model. Aborts if `cnf` is not dual-Horn.
+bool DualHornSatisfiable(const Cnf& cnf, std::vector<bool>* assignment);
+
+/// Exhaustive satisfiability check for cross-validation (requires
+/// num_variables <= 25). Returns true and a model if satisfiable.
+bool BruteForceSatisfiable(const Cnf& cnf, std::vector<bool>* assignment);
+
+}  // namespace cqbounds
+
+#endif  // CQBOUNDS_SAT_CNF_H_

@@ -1,0 +1,47 @@
+#include "sat/threesat.h"
+
+#include <set>
+
+namespace cqbounds {
+
+Cnf ThreeSatInstance::ToCnf() const {
+  Cnf cnf;
+  for (int v = 0; v < num_variables; ++v) {
+    cnf.AddVariable("x" + std::to_string(v));
+  }
+  for (const auto& clause : clauses) {
+    cnf.AddClause(Clause{{clause[0], clause[1], clause[2]}});
+  }
+  return cnf;
+}
+
+ThreeSatInstance RandomThreeSat(int num_variables, int num_clauses,
+                                std::uint64_t seed) {
+  ThreeSatInstance inst;
+  inst.num_variables = num_variables;
+  Rng rng(seed);
+  for (int c = 0; c < num_clauses; ++c) {
+    // Three distinct variables when the pool allows it; with replacement
+    // otherwise (a clause may then repeat a variable).
+    std::vector<int> vars;
+    if (num_variables >= 3) {
+      std::set<int> distinct;
+      while (static_cast<int>(distinct.size()) < 3) {
+        distinct.insert(static_cast<int>(rng.NextBelow(num_variables)));
+      }
+      vars.assign(distinct.begin(), distinct.end());
+    } else {
+      for (int i = 0; i < 3; ++i) {
+        vars.push_back(static_cast<int>(rng.NextBelow(num_variables)));
+      }
+    }
+    std::array<Literal, 3> clause;
+    for (int i = 0; i < 3; ++i) {
+      clause[i] = Literal{vars[i], rng.NextBool(1, 2)};
+    }
+    inst.clauses.push_back(clause);
+  }
+  return inst;
+}
+
+}  // namespace cqbounds

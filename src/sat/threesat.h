@@ -1,0 +1,31 @@
+#ifndef CQBOUNDS_SAT_THREESAT_H_
+#define CQBOUNDS_SAT_THREESAT_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "sat/cnf.h"
+#include "util/rng.h"
+
+namespace cqbounds {
+
+/// A 3-SAT instance: clauses of exactly three literals over n variables.
+/// Input side of the Proposition 7.3 NP-hardness reduction.
+struct ThreeSatInstance {
+  int num_variables = 0;
+  /// Each clause is three literals.
+  std::vector<std::array<Literal, 3>> clauses;
+
+  /// Converts to a generic CNF (for the solvers in cnf.h).
+  Cnf ToCnf() const;
+};
+
+/// Generates a random 3-SAT instance with `num_clauses` clauses over
+/// `num_variables` variables (distinct variables within a clause).
+ThreeSatInstance RandomThreeSat(int num_variables, int num_clauses,
+                                std::uint64_t seed);
+
+}  // namespace cqbounds
+
+#endif  // CQBOUNDS_SAT_THREESAT_H_

@@ -1,0 +1,402 @@
+#include "util/bigint.h"
+
+#include <cstdlib>
+#include <iostream>
+
+#include "util/status.h"
+
+namespace cqbounds {
+
+namespace {
+constexpr std::uint64_t kBase = 1ull << 32;
+}  // namespace
+
+BigInt::BigInt(std::int64_t value) {
+  if (value == 0) return;
+  negative_ = value < 0;
+  // Careful with INT64_MIN: negate in unsigned domain.
+  std::uint64_t mag =
+      negative_ ? ~static_cast<std::uint64_t>(value) + 1
+                : static_cast<std::uint64_t>(value);
+  limbs_.push_back(static_cast<std::uint32_t>(mag & 0xffffffffu));
+  if (mag >> 32) limbs_.push_back(static_cast<std::uint32_t>(mag >> 32));
+}
+
+void BigInt::Trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+  if (limbs_.empty()) negative_ = false;
+}
+
+bool BigInt::Parse(const std::string& text, BigInt* out) {
+  if (text.empty()) return false;
+  std::size_t i = 0;
+  bool neg = false;
+  if (text[0] == '-' || text[0] == '+') {
+    neg = text[0] == '-';
+    i = 1;
+  }
+  if (i >= text.size()) return false;
+  BigInt value;
+  const BigInt ten(10);
+  for (; i < text.size(); ++i) {
+    if (text[i] < '0' || text[i] > '9') return false;
+    value = value * ten + BigInt(text[i] - '0');
+  }
+  if (neg && !value.IsZero()) value.negative_ = true;
+  *out = std::move(value);
+  return true;
+}
+
+bool BigInt::FitsInt64(std::int64_t* out) const {
+  if (limbs_.size() > 2) return false;
+  std::uint64_t mag = 0;
+  if (!limbs_.empty()) mag = limbs_[0];
+  if (limbs_.size() == 2) mag |= static_cast<std::uint64_t>(limbs_[1]) << 32;
+  if (negative_) {
+    if (mag > static_cast<std::uint64_t>(1) << 63) return false;
+    *out = static_cast<std::int64_t>(~mag + 1);
+  } else {
+    if (mag > static_cast<std::uint64_t>(INT64_MAX)) return false;
+    *out = static_cast<std::int64_t>(mag);
+  }
+  return true;
+}
+
+std::int64_t BigInt::ToInt64() const {
+  std::int64_t v = 0;
+  if (!FitsInt64(&v)) {
+    std::cerr << "BigInt::ToInt64 overflow: " << ToString() << "\n";
+    std::abort();
+  }
+  return v;
+}
+
+double BigInt::ToDouble() const {
+  double result = 0.0;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    result = result * static_cast<double>(kBase) + limbs_[i];
+  }
+  return negative_ ? -result : result;
+}
+
+std::string BigInt::ToString() const {
+  if (IsZero()) return "0";
+  // Repeatedly divide the magnitude by 10^9 to extract decimal chunks.
+  std::vector<std::uint32_t> mag = limbs_;
+  std::string digits;
+  constexpr std::uint32_t kChunk = 1000000000u;
+  while (!mag.empty()) {
+    std::uint64_t rem = 0;
+    for (std::size_t i = mag.size(); i-- > 0;) {
+      std::uint64_t cur = (rem << 32) | mag[i];
+      mag[i] = static_cast<std::uint32_t>(cur / kChunk);
+      rem = cur % kChunk;
+    }
+    while (!mag.empty() && mag.back() == 0) mag.pop_back();
+    for (int d = 0; d < 9; ++d) {
+      digits.push_back(static_cast<char>('0' + rem % 10));
+      rem /= 10;
+    }
+  }
+  while (digits.size() > 1 && digits.back() == '0') digits.pop_back();
+  if (negative_) digits.push_back('-');
+  return std::string(digits.rbegin(), digits.rend());
+}
+
+BigInt BigInt::operator-() const {
+  BigInt result = *this;
+  if (!result.IsZero()) result.negative_ = !result.negative_;
+  return result;
+}
+
+BigInt BigInt::Abs() const {
+  BigInt result = *this;
+  result.negative_ = false;
+  return result;
+}
+
+int BigInt::CompareMagnitude(const std::vector<std::uint32_t>& a,
+                             const std::vector<std::uint32_t>& b) {
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  for (std::size_t i = a.size(); i-- > 0;) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+std::vector<std::uint32_t> BigInt::AddMagnitude(
+    const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b) {
+  const std::vector<std::uint32_t>& longer = a.size() >= b.size() ? a : b;
+  const std::vector<std::uint32_t>& shorter = a.size() >= b.size() ? b : a;
+  std::vector<std::uint32_t> out;
+  out.reserve(longer.size() + 1);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < longer.size(); ++i) {
+    std::uint64_t sum = carry + longer[i];
+    if (i < shorter.size()) sum += shorter[i];
+    out.push_back(static_cast<std::uint32_t>(sum & 0xffffffffu));
+    carry = sum >> 32;
+  }
+  if (carry) out.push_back(static_cast<std::uint32_t>(carry));
+  return out;
+}
+
+std::vector<std::uint32_t> BigInt::SubMagnitude(
+    const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b) {
+  std::vector<std::uint32_t> out;
+  out.reserve(a.size());
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::int64_t diff = static_cast<std::int64_t>(a[i]) - borrow -
+                        (i < b.size() ? static_cast<std::int64_t>(b[i]) : 0);
+    if (diff < 0) {
+      diff += static_cast<std::int64_t>(kBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out.push_back(static_cast<std::uint32_t>(diff));
+  }
+  while (!out.empty() && out.back() == 0) out.pop_back();
+  return out;
+}
+
+std::vector<std::uint32_t> BigInt::MulMagnitude(
+    const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b) {
+  if (a.empty() || b.empty()) return {};
+  std::vector<std::uint32_t> out(a.size() + b.size(), 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      std::uint64_t cur = static_cast<std::uint64_t>(a[i]) * b[j] +
+                          out[i + j] + carry;
+      out[i + j] = static_cast<std::uint32_t>(cur & 0xffffffffu);
+      carry = cur >> 32;
+    }
+    std::size_t k = i + b.size();
+    while (carry) {
+      std::uint64_t cur = out[k] + carry;
+      out[k] = static_cast<std::uint32_t>(cur & 0xffffffffu);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  while (!out.empty() && out.back() == 0) out.pop_back();
+  return out;
+}
+
+void BigInt::DivModMagnitude(const std::vector<std::uint32_t>& a,
+                             const std::vector<std::uint32_t>& b,
+                             std::vector<std::uint32_t>* quotient,
+                             std::vector<std::uint32_t>* remainder) {
+  CQB_CHECK(!b.empty());
+  quotient->clear();
+  remainder->clear();
+  if (CompareMagnitude(a, b) < 0) {
+    *remainder = a;
+    return;
+  }
+  if (b.size() == 1) {
+    // Short division by a single limb.
+    quotient->assign(a.size(), 0);
+    std::uint64_t rem = 0;
+    for (std::size_t i = a.size(); i-- > 0;) {
+      std::uint64_t cur = (rem << 32) | a[i];
+      (*quotient)[i] = static_cast<std::uint32_t>(cur / b[0]);
+      rem = cur % b[0];
+    }
+    while (!quotient->empty() && quotient->back() == 0) quotient->pop_back();
+    if (rem) remainder->push_back(static_cast<std::uint32_t>(rem));
+    return;
+  }
+  // Knuth algorithm D. Normalize so the top limb of the divisor has its high
+  // bit set.
+  int shift = 0;
+  std::uint32_t top = b.back();
+  while (!(top & 0x80000000u)) {
+    top <<= 1;
+    ++shift;
+  }
+  auto shl = [shift](const std::vector<std::uint32_t>& v) {
+    if (shift == 0) return v;
+    std::vector<std::uint32_t> out(v.size() + 1, 0);
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      out[i] |= v[i] << shift;
+      out[i + 1] |= static_cast<std::uint32_t>(
+          static_cast<std::uint64_t>(v[i]) >> (32 - shift));
+    }
+    while (!out.empty() && out.back() == 0) out.pop_back();
+    return out;
+  };
+  std::vector<std::uint32_t> u = shl(a);
+  std::vector<std::uint32_t> v = shl(b);
+  const std::size_t n = v.size();
+  const std::size_t m = u.size() - n;
+  u.push_back(0);  // u has m + n + 1 limbs
+  quotient->assign(m + 1, 0);
+  const std::uint64_t vtop = v[n - 1];
+  const std::uint64_t vsecond = v[n - 2];
+  for (std::size_t j = m + 1; j-- > 0;) {
+    // Estimate q_hat from the top two limbs of the current window.
+    std::uint64_t numerator =
+        (static_cast<std::uint64_t>(u[j + n]) << 32) | u[j + n - 1];
+    std::uint64_t q_hat = numerator / vtop;
+    std::uint64_t r_hat = numerator % vtop;
+    while (q_hat >= kBase ||
+           q_hat * vsecond > ((r_hat << 32) | u[j + n - 2])) {
+      --q_hat;
+      r_hat += vtop;
+      if (r_hat >= kBase) break;
+    }
+    // Multiply-subtract q_hat * v from u[j .. j+n].
+    std::int64_t borrow = 0;
+    std::uint64_t carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::uint64_t product = q_hat * v[i] + carry;
+      carry = product >> 32;
+      std::int64_t diff = static_cast<std::int64_t>(u[i + j]) - borrow -
+                          static_cast<std::int64_t>(product & 0xffffffffu);
+      if (diff < 0) {
+        diff += static_cast<std::int64_t>(kBase);
+        borrow = 1;
+      } else {
+        borrow = 0;
+      }
+      u[i + j] = static_cast<std::uint32_t>(diff);
+    }
+    std::int64_t diff = static_cast<std::int64_t>(u[j + n]) - borrow -
+                        static_cast<std::int64_t>(carry);
+    bool went_negative = diff < 0;
+    if (went_negative) diff += static_cast<std::int64_t>(kBase);
+    u[j + n] = static_cast<std::uint32_t>(diff);
+    if (went_negative) {
+      // q_hat was one too large: add v back once.
+      --q_hat;
+      std::uint64_t add_carry = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        std::uint64_t sum = static_cast<std::uint64_t>(u[i + j]) + v[i] +
+                            add_carry;
+        u[i + j] = static_cast<std::uint32_t>(sum & 0xffffffffu);
+        add_carry = sum >> 32;
+      }
+      u[j + n] = static_cast<std::uint32_t>(u[j + n] + add_carry);
+    }
+    (*quotient)[j] = static_cast<std::uint32_t>(q_hat);
+  }
+  while (!quotient->empty() && quotient->back() == 0) quotient->pop_back();
+  // Denormalize the remainder.
+  u.resize(n);
+  if (shift != 0) {
+    for (std::size_t i = 0; i < n; ++i) {
+      u[i] >>= shift;
+      if (i + 1 < n) {
+        u[i] |= static_cast<std::uint32_t>(
+            static_cast<std::uint64_t>(u[i + 1]) << (32 - shift));
+      }
+    }
+  }
+  while (!u.empty() && u.back() == 0) u.pop_back();
+  *remainder = std::move(u);
+}
+
+BigInt BigInt::operator+(const BigInt& rhs) const {
+  BigInt result;
+  if (negative_ == rhs.negative_) {
+    result.limbs_ = AddMagnitude(limbs_, rhs.limbs_);
+    result.negative_ = negative_;
+  } else {
+    int cmp = CompareMagnitude(limbs_, rhs.limbs_);
+    if (cmp == 0) return BigInt();
+    if (cmp > 0) {
+      result.limbs_ = SubMagnitude(limbs_, rhs.limbs_);
+      result.negative_ = negative_;
+    } else {
+      result.limbs_ = SubMagnitude(rhs.limbs_, limbs_);
+      result.negative_ = rhs.negative_;
+    }
+  }
+  result.Trim();
+  return result;
+}
+
+BigInt BigInt::operator-(const BigInt& rhs) const { return *this + (-rhs); }
+
+BigInt BigInt::operator*(const BigInt& rhs) const {
+  BigInt result;
+  result.limbs_ = MulMagnitude(limbs_, rhs.limbs_);
+  result.negative_ = !result.limbs_.empty() && negative_ != rhs.negative_;
+  return result;
+}
+
+void BigInt::DivMod(const BigInt& a, const BigInt& b, BigInt* quotient,
+                    BigInt* remainder) {
+  CQB_CHECK(!b.IsZero());
+  BigInt q, r;
+  DivModMagnitude(a.limbs_, b.limbs_, &q.limbs_, &r.limbs_);
+  q.negative_ = !q.limbs_.empty() && a.negative_ != b.negative_;
+  r.negative_ = !r.limbs_.empty() && a.negative_;
+  if (quotient) *quotient = std::move(q);
+  if (remainder) *remainder = std::move(r);
+}
+
+BigInt BigInt::operator/(const BigInt& rhs) const {
+  BigInt q;
+  DivMod(*this, rhs, &q, nullptr);
+  return q;
+}
+
+BigInt BigInt::operator%(const BigInt& rhs) const {
+  BigInt r;
+  DivMod(*this, rhs, nullptr, &r);
+  return r;
+}
+
+bool BigInt::operator==(const BigInt& rhs) const {
+  return negative_ == rhs.negative_ && limbs_ == rhs.limbs_;
+}
+
+bool BigInt::operator<(const BigInt& rhs) const {
+  if (negative_ != rhs.negative_) return negative_;
+  int cmp = CompareMagnitude(limbs_, rhs.limbs_);
+  return negative_ ? cmp > 0 : cmp < 0;
+}
+
+BigInt BigInt::Gcd(BigInt a, BigInt b) {
+  a.negative_ = false;
+  b.negative_ = false;
+  while (!b.IsZero()) {
+    BigInt r = a % b;
+    a = std::move(b);
+    b = std::move(r);
+  }
+  return a;
+}
+
+BigInt BigInt::Pow(const BigInt& base, std::int64_t exp) {
+  CQB_CHECK(exp >= 0);
+  BigInt result(1);
+  BigInt acc = base;
+  while (exp > 0) {
+    if (exp & 1) result *= acc;
+    exp >>= 1;
+    if (exp > 0) acc *= acc;
+  }
+  return result;
+}
+
+int BigInt::BitLength() const {
+  if (limbs_.empty()) return 0;
+  int bits = static_cast<int>(limbs_.size() - 1) * 32;
+  std::uint32_t top = limbs_.back();
+  while (top) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+std::ostream& operator<<(std::ostream& os, const BigInt& v) {
+  return os << v.ToString();
+}
+
+}  // namespace cqbounds

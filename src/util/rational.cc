@@ -1,0 +1,100 @@
+#include "util/rational.h"
+
+#include <ostream>
+#include <utility>
+
+#include "util/status.h"
+
+namespace cqbounds {
+
+Rational::Rational(BigInt num, BigInt den)
+    : num_(std::move(num)), den_(std::move(den)) {
+  CQB_CHECK(!den_.IsZero());
+  Normalize();
+}
+
+void Rational::Normalize() {
+  if (den_.IsNegative()) {
+    num_ = -num_;
+    den_ = -den_;
+  }
+  if (num_.IsZero()) {
+    den_ = BigInt(1);
+    return;
+  }
+  BigInt g = BigInt::Gcd(num_, den_);
+  if (g != BigInt(1)) {
+    num_ /= g;
+    den_ /= g;
+  }
+}
+
+bool Rational::Parse(const std::string& text, Rational* out) {
+  std::size_t slash = text.find('/');
+  BigInt num, den(1);
+  if (slash == std::string::npos) {
+    if (!BigInt::Parse(text, &num)) return false;
+  } else {
+    if (!BigInt::Parse(text.substr(0, slash), &num)) return false;
+    if (!BigInt::Parse(text.substr(slash + 1), &den)) return false;
+    if (den.IsZero()) return false;
+  }
+  *out = Rational(std::move(num), std::move(den));
+  return true;
+}
+
+double Rational::ToDouble() const {
+  return num_.ToDouble() / den_.ToDouble();
+}
+
+std::string Rational::ToString() const {
+  if (IsInteger()) return num_.ToString();
+  return num_.ToString() + "/" + den_.ToString();
+}
+
+Rational Rational::operator-() const {
+  Rational r = *this;
+  r.num_ = -r.num_;
+  return r;
+}
+
+Rational Rational::operator+(const Rational& rhs) const {
+  return Rational(num_ * rhs.den_ + rhs.num_ * den_, den_ * rhs.den_);
+}
+
+Rational Rational::operator-(const Rational& rhs) const {
+  return Rational(num_ * rhs.den_ - rhs.num_ * den_, den_ * rhs.den_);
+}
+
+Rational Rational::operator*(const Rational& rhs) const {
+  return Rational(num_ * rhs.num_, den_ * rhs.den_);
+}
+
+Rational Rational::operator/(const Rational& rhs) const {
+  CQB_CHECK(!rhs.IsZero());
+  return Rational(num_ * rhs.den_, den_ * rhs.num_);
+}
+
+bool Rational::operator<(const Rational& rhs) const {
+  return num_ * rhs.den_ < rhs.num_ * den_;
+}
+
+BigInt Rational::Floor() const {
+  BigInt q, r;
+  BigInt::DivMod(num_, den_, &q, &r);
+  if (r.IsNegative()) q -= BigInt(1);
+  return q;
+}
+
+BigInt Rational::Ceil() const {
+  BigInt q, r;
+  BigInt::DivMod(num_, den_, &q, &r);
+  if (r.Sign() > 0) q += BigInt(1);
+  return q;
+}
+
+std::ostream& operator<<(std::ostream& os, const Rational& v) {
+  return os << v.ToString();
+}
+
+}  // namespace cqbounds

@@ -1,0 +1,83 @@
+#ifndef CQBOUNDS_UTIL_RATIONAL_H_
+#define CQBOUNDS_UTIL_RATIONAL_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "util/bigint.h"
+
+namespace cqbounds {
+
+/// Exact rational number (BigInt numerator / positive BigInt denominator,
+/// always kept in lowest terms).
+///
+/// The paper's bounds are rational-valued: color numbers (Def 3.2),
+/// fractional edge cover numbers (Def 3.5), and the entropy LP value s(Q)
+/// (Prop 6.9) are all solutions of rational linear programs. Carrying them
+/// exactly lets tests assert e.g. `C(triangle) == 3/2` rather than
+/// `|c - 1.5| < eps`.
+class Rational {
+ public:
+  /// Constructs zero.
+  Rational() : num_(0), den_(1) {}
+  /// Constructs an integer value.
+  Rational(std::int64_t value) : num_(value), den_(1) {}  // NOLINT
+  Rational(BigInt value) : num_(std::move(value)), den_(1) {}  // NOLINT
+  /// Constructs num/den, normalizing sign and reducing. Aborts if den == 0.
+  Rational(BigInt num, BigInt den);
+  Rational(std::int64_t num, std::int64_t den)
+      : Rational(BigInt(num), BigInt(den)) {}
+
+  /// Parses "a/b" or "a" in base 10. Returns false on malformed input.
+  static bool Parse(const std::string& text, Rational* out);
+
+  const BigInt& numerator() const { return num_; }
+  const BigInt& denominator() const { return den_; }
+
+  bool IsZero() const { return num_.IsZero(); }
+  bool IsInteger() const { return den_ == BigInt(1); }
+  int Sign() const { return num_.Sign(); }
+
+  double ToDouble() const;
+  /// "a/b", or just "a" when the denominator is 1.
+  std::string ToString() const;
+
+  Rational operator-() const;
+  Rational operator+(const Rational& rhs) const;
+  Rational operator-(const Rational& rhs) const;
+  Rational operator*(const Rational& rhs) const;
+  /// Aborts on division by zero.
+  Rational operator/(const Rational& rhs) const;
+
+  Rational& operator+=(const Rational& rhs) { return *this = *this + rhs; }
+  Rational& operator-=(const Rational& rhs) { return *this = *this - rhs; }
+  Rational& operator*=(const Rational& rhs) { return *this = *this * rhs; }
+  Rational& operator/=(const Rational& rhs) { return *this = *this / rhs; }
+
+  bool operator==(const Rational& rhs) const {
+    return num_ == rhs.num_ && den_ == rhs.den_;
+  }
+  bool operator!=(const Rational& rhs) const { return !(*this == rhs); }
+  bool operator<(const Rational& rhs) const;
+  bool operator>(const Rational& rhs) const { return rhs < *this; }
+  bool operator<=(const Rational& rhs) const { return !(rhs < *this); }
+  bool operator>=(const Rational& rhs) const { return !(*this < rhs); }
+
+  /// Largest integer <= value.
+  BigInt Floor() const;
+  /// Smallest integer >= value.
+  BigInt Ceil() const;
+
+ private:
+  void Normalize();
+
+  BigInt num_;
+  BigInt den_;  // invariant: den_ > 0, gcd(|num_|, den_) == 1
+};
+
+std::ostream& operator<<(std::ostream& os, const Rational& v);
+
+}  // namespace cqbounds
+
+#endif  // CQBOUNDS_UTIL_RATIONAL_H_

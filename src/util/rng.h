@@ -1,0 +1,45 @@
+#ifndef CQBOUNDS_UTIL_RNG_H_
+#define CQBOUNDS_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace cqbounds {
+
+/// Deterministic SplitMix64 PRNG.
+///
+/// Benchmarks and property tests must be reproducible run-to-run, so the
+/// library carries its own tiny generator instead of depending on the
+/// platform's std::default_random_engine (whose algorithm is unspecified).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  std::uint64_t Next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). Requires bound > 0.
+  std::uint64_t NextBelow(std::uint64_t bound) { return Next() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t NextInRange(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    NextBelow(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Bernoulli draw with probability numer/denom.
+  bool NextBool(std::uint64_t numer, std::uint64_t denom) {
+    return NextBelow(denom) < numer;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace cqbounds
+
+#endif  // CQBOUNDS_UTIL_RNG_H_

@@ -1,0 +1,22 @@
+#include "util/subset.h"
+
+namespace cqbounds {
+
+std::vector<int> Elements(SubsetMask mask) {
+  std::vector<int> out;
+  out.reserve(PopCount(mask));
+  while (mask) {
+    int i = __builtin_ctzll(mask);
+    out.push_back(i);
+    mask &= mask - 1;
+  }
+  return out;
+}
+
+SubsetMask MaskOf(const std::vector<int>& elements) {
+  SubsetMask mask = 0;
+  for (int e : elements) mask |= Singleton(e);
+  return mask;
+}
+
+}  // namespace cqbounds

@@ -1,0 +1,58 @@
+#ifndef CQBOUNDS_UTIL_SUBSET_H_
+#define CQBOUNDS_UTIL_SUBSET_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace cqbounds {
+
+/// Helpers for subsets of a ground set {0, ..., n-1} encoded as 64-bit masks.
+///
+/// The entropy machinery (Section 6 of the paper) indexes entropy vectors by
+/// variable subsets, and the exact treewidth DP iterates over vertex subsets;
+/// both use these utilities. Ground sets are limited to 64 elements, far
+/// beyond what the 2^n algorithms can process anyway.
+using SubsetMask = std::uint64_t;
+
+/// Number of elements in the subset.
+inline int PopCount(SubsetMask mask) { return __builtin_popcountll(mask); }
+
+/// True if `sub` is a subset of `super`.
+inline bool IsSubsetOf(SubsetMask sub, SubsetMask super) {
+  return (sub & ~super) == 0;
+}
+
+/// True if element `i` is in the subset.
+inline bool Contains(SubsetMask mask, int i) {
+  return (mask >> i) & 1ull;
+}
+
+/// Mask with the single element `i`.
+inline SubsetMask Singleton(int i) { return 1ull << i; }
+
+/// The full set {0, ..., n-1}. Requires 0 <= n <= 64.
+inline SubsetMask FullSet(int n) {
+  return n >= 64 ? ~0ull : (1ull << n) - 1;
+}
+
+/// The elements of `mask` in increasing order.
+std::vector<int> Elements(SubsetMask mask);
+
+/// Builds a mask from a list of elements.
+SubsetMask MaskOf(const std::vector<int>& elements);
+
+/// Enumerates all subsets of `mask` (including empty and `mask` itself) by
+/// invoking `fn(sub)` on each. The standard sub = (sub - 1) & mask walk.
+template <typename Fn>
+void ForEachSubset(SubsetMask mask, Fn&& fn) {
+  SubsetMask sub = mask;
+  while (true) {
+    fn(sub);
+    if (sub == 0) break;
+    sub = (sub - 1) & mask;
+  }
+}
+
+}  // namespace cqbounds
+
+#endif  // CQBOUNDS_UTIL_SUBSET_H_

@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "core/analyze.h"
+#include "cq/parser.h"
+
+namespace cqbounds {
+namespace {
+
+TEST(AnalyzeTest, TriangleFullReport) {
+  auto q = ParseQuery("S(X,Y,Z) :- R(X,Y), R(X,Z), R(Y,Z).");
+  ASSERT_TRUE(q.ok());
+  auto analysis = AnalyzeQuery(*q);
+  ASSERT_TRUE(analysis.ok()) << analysis.status();
+  EXPECT_EQ(analysis->size_bound.exponent, Rational(3, 2));
+  EXPECT_TRUE(analysis->size_bound.is_upper_bound);
+  ASSERT_TRUE(analysis->entropy_bound.has_value());
+  EXPECT_EQ(*analysis->entropy_bound, Rational(3, 2));
+  EXPECT_TRUE(analysis->size_increase_possible);
+  ASSERT_TRUE(analysis->treewidth_preserved.has_value());
+  EXPECT_TRUE(*analysis->treewidth_preserved);
+  EXPECT_EQ(analysis->plan.steps.size(), 3u);
+  std::string report = RenderAnalysis(*q, *analysis);
+  EXPECT_NE(report.find("3/2"), std::string::npos);
+  EXPECT_NE(report.find("can exceed"), std::string::npos);
+}
+
+TEST(AnalyzeTest, KeyedJoinReport) {
+  auto q = ParseQuery("Q(X,Y,Z) :- R(X,Y), S(Y,Z). key S: 1.");
+  ASSERT_TRUE(q.ok());
+  auto analysis = AnalyzeQuery(*q);
+  ASSERT_TRUE(analysis.ok());
+  EXPECT_EQ(analysis->size_bound.exponent, Rational(1));
+  EXPECT_FALSE(analysis->size_increase_possible);
+  ASSERT_TRUE(analysis->treewidth_preserved.has_value());
+  EXPECT_TRUE(*analysis->treewidth_preserved);
+}
+
+TEST(AnalyzeTest, CompoundFdsUseSearchWithinLimit) {
+  auto q = ParseQuery(
+      "Q(A,B,C,D) :- R(A,B,C), S(C,D). fd R: 1,2 -> 3.");
+  ASSERT_TRUE(q.ok());
+  auto analysis = AnalyzeQuery(*q);
+  ASSERT_TRUE(analysis.ok());
+  EXPECT_FALSE(analysis->size_bound.is_upper_bound);
+  ASSERT_TRUE(analysis->treewidth_preserved.has_value());
+  // (A, D) never co-occur and no FD forces their colors together: blowup.
+  EXPECT_FALSE(*analysis->treewidth_preserved);
+}
+
+TEST(AnalyzeTest, SearchLimitLeavesVerdictUnset) {
+  auto q = ParseQuery(
+      "Q(A,B,C,D) :- R(A,B,C), S(C,D). fd R: 1,2 -> 3.");
+  ASSERT_TRUE(q.ok());
+  auto analysis = AnalyzeQuery(*q, /*search_limit=*/1);
+  ASSERT_TRUE(analysis.ok());
+  EXPECT_FALSE(analysis->treewidth_preserved.has_value());
+  std::string report = RenderAnalysis(*q, *analysis);
+  EXPECT_NE(report.find("undecided"), std::string::npos);
+}
+
+TEST(AnalyzeTest, LargeQuerySkipsEntropyBound) {
+  auto q = ParseQuery(
+      "Q(A,B,C,D,E,F,G,H,I) :- R(A,B,C), S(D,E,F), T(G,H,I).");
+  ASSERT_TRUE(q.ok());
+  auto analysis = AnalyzeQuery(*q);
+  ASSERT_TRUE(analysis.ok());
+  EXPECT_FALSE(analysis->entropy_bound.has_value());  // 9 vars > 8
+  EXPECT_EQ(analysis->size_bound.exponent, Rational(3));
+}
+
+}  // namespace
+}  // namespace cqbounds

@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "core/color_number.h"
+#include "core/entropy_bound.h"
+#include "core/size_increase.h"
+#include "cq/chase.h"
+#include "cq/random_query.h"
+#include "util/rng.h"
+
+namespace cqbounds {
+namespace {
+
+// The Section 6 sandwich on random populations:
+//   C(chase(Q)) <= true worst-case exponent <= s(chase(Q)),
+// and the consistency web between all deciders.
+class BoundSandwichTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BoundSandwichTest, EntropyBoundDominatesColorNumber) {
+  Rng rng(GetParam() * 7919 + 23);
+  int checked = 0;
+  for (int trial = 0; trial < 25 && checked < 12; ++trial) {
+    RandomQueryOptions options;
+    options.num_variables = 2 + static_cast<int>(rng.NextBelow(4));
+    options.num_atoms = 1 + static_cast<int>(rng.NextBelow(3));
+    options.key_percent = 30;
+    options.compound_fd_percent = 40;
+    options.random_projection = true;
+    Query q = RandomQuery(options, &rng);
+    Query chased = Chase(q);
+    if (chased.BodyVarSet().size() > 5) continue;  // keep the LP small
+    auto c = ColorNumberOfChase(q);
+    auto s = EntropySizeBound(chased);
+    ASSERT_TRUE(c.ok()) << q.ToString();
+    ASSERT_TRUE(s.ok()) << s.status() << " " << q.ToString();
+    EXPECT_LE(c->value, s->value) << q.ToString();
+    EXPECT_GE(c->value, Rational(0));
+    // C >= 1 whenever the query has at least one atom and a non-empty head
+    // -- coloring all variables with one shared color is always valid.
+    EXPECT_GE(c->value, Rational(1)) << q.ToString();
+    // Consistency with the Horn decision.
+    auto inc = SizeIncreasePossible(q);
+    ASSERT_TRUE(inc.ok());
+    EXPECT_EQ(*inc, c->value > Rational(1)) << q.ToString();
+    ++checked;
+  }
+  EXPECT_GE(checked, 8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BoundSandwichTest, ::testing::Range(1, 12));
+
+// Witness colorings from the diagram LP remain valid on the chased query
+// for compound-FD populations.
+class DiagramWitnessTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DiagramWitnessTest, WitnessColoringsAreValidAndOptimal) {
+  Rng rng(GetParam() * 271 + 5);
+  for (int trial = 0; trial < 10; ++trial) {
+    RandomQueryOptions options;
+    options.num_variables = 2 + static_cast<int>(rng.NextBelow(4));
+    options.num_atoms = 1 + static_cast<int>(rng.NextBelow(3));
+    options.compound_fd_percent = 50;
+    Query q = RandomQuery(options, &rng);
+    Query chased = Chase(q);
+    auto c = ColorNumberDiagramLp(chased);
+    ASSERT_TRUE(c.ok()) << c.status();
+    if (c->value.IsZero()) continue;
+    ASSERT_TRUE(ValidateColoring(chased, c->witness).ok()) << q.ToString();
+    EXPECT_EQ(ColoringNumber(chased, c->witness), c->value) << q.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DiagramWitnessTest, ::testing::Range(1, 10));
+
+}  // namespace
+}  // namespace cqbounds

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "core/coloring.h"
+#include "cq/parser.h"
+
+namespace cqbounds {
+namespace {
+
+TEST(ColoringTest, Example33TriangleColoring) {
+  // Example 3.3: triangle query, one color per variable -> C = 3/2.
+  auto q = ParseQuery("S(X,Y,Z) :- R(X,Y), R(X,Z), R(Y,Z).");
+  ASSERT_TRUE(q.ok());
+  Coloring coloring;
+  coloring.labels = {{1}, {2}, {3}};
+  ASSERT_TRUE(ValidateColoring(*q, coloring).ok());
+  EXPECT_EQ(ColoringNumber(*q, coloring), Rational(3, 2));
+}
+
+TEST(ColoringTest, Example34KeyedColoring) {
+  // Example 3.4: L(W)={1}, L(X)=L(Y)={}, L(Z)={2} is valid with the key on
+  // R1 and has color number 2.
+  auto q = ParseQuery(
+      "R0(W,X,Y,Z) :- R1(W,X,Y), R1(W,W,W), R2(Y,Z).\n"
+      "key R1: 1.");
+  ASSERT_TRUE(q.ok());
+  Coloring coloring;
+  coloring.labels.assign(q->num_variables(), {});
+  coloring.labels[q->FindVariable("W")] = {1};
+  coloring.labels[q->FindVariable("Z")] = {2};
+  ASSERT_TRUE(ValidateColoring(*q, coloring).ok()) << q->ToString();
+  EXPECT_EQ(ColoringNumber(*q, coloring), Rational(2));
+}
+
+TEST(ColoringTest, FdViolationDetected) {
+  auto q = ParseQuery("Q(X,Y) :- R(X,Y). fd R: 1 -> 2.");
+  ASSERT_TRUE(q.ok());
+  Coloring bad;
+  bad.labels.assign(2, {});
+  bad.labels[q->FindVariable("Y")] = {1};  // Y colored, X not: violates X->Y
+  EXPECT_FALSE(ValidateColoring(*q, bad).ok());
+  Coloring good;
+  good.labels.assign(2, {});
+  good.labels[q->FindVariable("X")] = {1};
+  good.labels[q->FindVariable("Y")] = {1};
+  EXPECT_TRUE(ValidateColoring(*q, good).ok());
+}
+
+TEST(ColoringTest, EmptyColoringInvalid) {
+  auto q = ParseQuery("Q(X) :- R(X).");
+  ASSERT_TRUE(q.ok());
+  Coloring empty;
+  empty.labels.assign(1, {});
+  EXPECT_FALSE(ValidateColoring(*q, empty).ok());
+}
+
+TEST(ColoringTest, CompoundFdValidation) {
+  // {X,Y} -> Z: Z's colors must come from L(X) u L(Y).
+  auto q = ParseQuery("Q(X,Y,Z) :- R(X,Y,Z). fd R: 1,2 -> 3.");
+  ASSERT_TRUE(q.ok());
+  Coloring c;
+  c.labels.assign(3, {});
+  c.labels[q->FindVariable("X")] = {1};
+  c.labels[q->FindVariable("Z")] = {1};
+  EXPECT_TRUE(ValidateColoring(*q, c).ok());
+  c.labels[q->FindVariable("Z")] = {2};
+  EXPECT_FALSE(ValidateColoring(*q, c).ok());
+}
+
+TEST(ColoringTest, BruteForceFindsTriangleOptimum) {
+  auto q = ParseQuery("S(X,Y,Z) :- R(X,Y), R(X,Z), R(Y,Z).");
+  ASSERT_TRUE(q.ok());
+  Coloring best;
+  Rational value = BestColoringBruteForce(*q, 3, &best);
+  EXPECT_EQ(value, Rational(3, 2));
+  EXPECT_TRUE(ValidateColoring(*q, best).ok());
+  EXPECT_EQ(ColoringNumber(*q, best), Rational(3, 2));
+}
+
+TEST(ColoringTest, BruteForceRespectsKeys) {
+  // Example 2.2 / 3.4 after the chase: C(chase(Q)) = 1, and even on the
+  // original keyed query the 2-color optimum is 2.
+  auto q = ParseQuery(
+      "R0(W,X,Y,Z) :- R1(W,X,Y), R1(W,W,W), R2(Y,Z).\n"
+      "key R1: 1.");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(BestColoringBruteForce(*q, 2, nullptr), Rational(2));
+}
+
+TEST(TwoColoringTest, CartesianProductHasIt) {
+  // Q(X,Y) <- R(X), S(Y): L(X)={1}, L(Y)={2} gives color number 2.
+  auto q = ParseQuery("Q(X,Y) :- R(X), S(Y).");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(ExistsTwoColoringNumberTwo(*q));
+}
+
+TEST(TwoColoringTest, CoveredPairsBlockIt) {
+  // Every pair of head variables co-occurs: no 2-coloring with number 2
+  // (Proposition 5.9's equivalence).
+  auto q = ParseQuery("Q(X,Y) :- R(X,Y).");
+  ASSERT_TRUE(q.ok());
+  EXPECT_FALSE(ExistsTwoColoringNumberTwo(*q));
+  auto triangle = ParseQuery("S(X,Y,Z) :- R(X,Y), R(X,Z), R(Y,Z).");
+  ASSERT_TRUE(triangle.ok());
+  EXPECT_FALSE(ExistsTwoColoringNumberTwo(*triangle));
+}
+
+TEST(TwoColoringTest, FdCanBlockIt) {
+  // Q(X,Y) <- R(X), S(Y), T(X,Y') with FD X -> Y on T' style chains can
+  // force Y's color onto X's side. Direct case: S(Y) with fd forcing
+  // L(Y) subseteq L(X) makes head union a single color.
+  auto q = ParseQuery("Q(X,Y) :- R(X,Y). fd R: 1 -> 2.");
+  ASSERT_TRUE(q.ok());
+  EXPECT_FALSE(ExistsTwoColoringNumberTwo(*q));
+  // But with separate atoms and no FD it exists:
+  auto free_q = ParseQuery("Q(X,Y) :- R(X), S(Y), T(X), T(Y).");
+  ASSERT_TRUE(free_q.ok());
+  EXPECT_TRUE(ExistsTwoColoringNumberTwo(*free_q));
+}
+
+TEST(TwoColoringTest, Example21SelfJoin) {
+  // R'(X,Y,Z) <- R(X,Y), R(X,Z): Y and Z never co-occur -> blowup possible.
+  auto q = ParseQuery("Rp(X,Y,Z) :- R(X,Y), R(X,Z).");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(ExistsTwoColoringNumberTwo(*q));
+}
+
+}  // namespace
+}  // namespace cqbounds

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "core/color_number.h"
+#include "core/size_bounds.h"
+#include "core/size_increase.h"
+#include "cq/chase.h"
+#include "cq/parser.h"
+#include "cq/random_query.h"
+#include "relation/evaluate.h"
+#include "util/rng.h"
+
+namespace cqbounds {
+namespace {
+
+TEST(EdgeCaseTest, CyclicFdsEliminateCleanly) {
+  // X -> Y and Y -> X simultaneously: the elimination rounds must
+  // terminate and give C = 1 for a single-atom query.
+  auto q = ParseQuery("Q(A,B) :- R(A,B). fd R: 1 -> 2. fd R: 2 -> 1.");
+  ASSERT_TRUE(q.ok());
+  auto pipeline = ColorNumberSimpleFds(*q);
+  ASSERT_TRUE(pipeline.ok()) << pipeline.status();
+  EXPECT_EQ(pipeline->value, Rational(1));
+  auto diagram = ColorNumberDiagramLp(Chase(*q));
+  ASSERT_TRUE(diagram.ok());
+  EXPECT_EQ(diagram->value, pipeline->value);
+}
+
+TEST(EdgeCaseTest, CyclicFdsAcrossAtoms) {
+  // A and B mutually determined through T: all labels must coincide, so
+  // the product structure collapses to C = 1 despite separate unary atoms.
+  auto q = ParseQuery(
+      "Q(A,B) :- R(A), S(B), T(A,B). fd T: 1 -> 2. fd T: 2 -> 1.");
+  ASSERT_TRUE(q.ok());
+  auto pipeline = ColorNumberSimpleFds(*q);
+  auto diagram = ColorNumberDiagramLp(Chase(*q));
+  ASSERT_TRUE(pipeline.ok());
+  ASSERT_TRUE(diagram.ok());
+  EXPECT_EQ(pipeline->value, Rational(1));
+  EXPECT_EQ(diagram->value, Rational(1));
+  auto inc = SizeIncreasePossible(*q);
+  ASSERT_TRUE(inc.ok());
+  EXPECT_FALSE(*inc);
+}
+
+TEST(EdgeCaseTest, SelfFdIsTrivial) {
+  auto q = ParseQuery("Q(A,B) :- R(A,B). fd R: 1 -> 1.");
+  ASSERT_TRUE(q.ok());
+  auto c = ColorNumberSimpleFds(*q);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->value, Rational(1));
+}
+
+TEST(EdgeCaseTest, ConstantLikeAtom) {
+  // A variable occurring in every position of a unary atom repeated in
+  // the head -- degenerate but legal.
+  auto q = ParseQuery("Q(X,X,X) :- R(X,X).");
+  ASSERT_TRUE(q.ok());
+  auto c = ColorNumberNoFds(*q);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->value, Rational(1));
+  Database db;
+  Relation* r = db.AddRelation("R", 2);
+  r->Insert({1, 1});
+  r->Insert({2, 3});  // filtered by the repeated variable
+  auto result = EvaluateQuery(*q, db, PlanKind::kNaive);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 1u);
+  EXPECT_TRUE(result->Contains({1, 1, 1}));
+}
+
+TEST(EdgeCaseTest, ChaseWithSelfReferentialAtomPair) {
+  // R(X,Y) and R(Y,X) under key R[1]: chasing must terminate (X keys Y and
+  // Y keys X -> X == Y after the fixpoint? No: the lhs variables differ
+  // (X vs Y), so no merge fires unless X == Y already).
+  auto q = ParseQuery("Q(X,Y) :- R(X,Y), R(Y,X). key R: 1.");
+  ASSERT_TRUE(q.ok());
+  Query chased = Chase(*q);
+  EXPECT_EQ(chased.atoms().size(), 2u);
+  EXPECT_EQ(chased.BodyVarSet().size(), 2u);
+}
+
+TEST(EdgeCaseTest, ParserFuzzDoesNotCrash) {
+  // Random garbage must yield ParseError (or succeed), never crash.
+  Rng rng(2718);
+  const char alphabet[] = "QRSXYZ(),.:-> 123abkeyfd\n#";
+  int parsed_ok = 0;
+  for (int trial = 0; trial < 3000; ++trial) {
+    std::string text;
+    const int len = 1 + static_cast<int>(rng.NextBelow(60));
+    for (int i = 0; i < len; ++i) {
+      text += alphabet[rng.NextBelow(sizeof(alphabet) - 1)];
+    }
+    auto result = ParseQuery(text);
+    if (result.ok()) ++parsed_ok;
+  }
+  // Overwhelmingly rejected; the point is that none crashed.
+  EXPECT_LT(parsed_ok, 100);
+}
+
+TEST(EdgeCaseTest, RoundTripRandomQueries) {
+  // ToString -> ParseQuery -> ToString is a fixpoint for generated queries.
+  Rng rng(99);
+  for (int trial = 0; trial < 60; ++trial) {
+    RandomQueryOptions options;
+    options.num_variables = 1 + static_cast<int>(rng.NextBelow(5));
+    options.num_atoms = 1 + static_cast<int>(rng.NextBelow(4));
+    options.key_percent = 30;
+    options.compound_fd_percent = 30;
+    Query q = RandomQuery(options, &rng);
+    auto reparsed = ParseQuery(q.ToString());
+    ASSERT_TRUE(reparsed.ok()) << q.ToString();
+    EXPECT_EQ(reparsed->ToString(), q.ToString());
+  }
+}
+
+TEST(EdgeCaseTest, EmptyDatabaseBoundsHoldTrivially) {
+  auto q = ParseQuery("S(X,Y,Z) :- R(X,Y), R(X,Z), R(Y,Z).");
+  ASSERT_TRUE(q.ok());
+  Database db;
+  db.AddRelation("R", 2);
+  auto result = EvaluateQuery(*q, db, PlanKind::kJoinProject);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 0u);
+  EXPECT_EQ(db.RMax(*q), 0u);
+}
+
+TEST(EdgeCaseTest, WorstCaseDatabaseWithMOne) {
+  auto q = ParseQuery("Q(X,Y) :- R(X), S(Y).");
+  ASSERT_TRUE(q.ok());
+  auto bound = ComputeSizeBound(*q);
+  ASSERT_TRUE(bound.ok());
+  auto db = BuildWorstCaseDatabase(*q, bound->witness, 1);
+  ASSERT_TRUE(db.ok());
+  auto result = EvaluateQuery(*q, *db, PlanKind::kNaive);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 1u);  // M^2 with M = 1
+}
+
+TEST(EdgeCaseTest, HeadRepeatsVariableInBound) {
+  // Repeated head variables do not double-count colors (set semantics on
+  // the head label union).
+  auto q = ParseQuery("Q(X,X,Y) :- R(X), S(Y).");
+  ASSERT_TRUE(q.ok());
+  auto c = ColorNumberNoFds(*q);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->value, Rational(2));
+}
+
+}  // namespace
+}  // namespace cqbounds

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "core/color_number.h"
+#include "core/elimination_transform.h"
+#include "cq/chase.h"
+#include "cq/parser.h"
+#include "cq/random_query.h"
+#include "relation/evaluate.h"
+#include "relation/generator.h"
+
+namespace cqbounds {
+namespace {
+
+TEST(EliminationTransformTest, KeyedJoinPreservesResultSize) {
+  // Q(X,Y,Z) <- R(X,Y), S(Y,Z) with key S[1]: the transform appends Z to R
+  // using S's value map, after which Q' is FD-free with the same output.
+  auto q = ParseQuery("Q(X,Y,Z) :- R(X,Y), S(Y,Z). key S: 1.");
+  ASSERT_TRUE(q.ok());
+  Query chased = Chase(*q);
+  Database db;
+  Relation* r = db.AddRelation("R", 2);
+  Relation* s = db.AddRelation("S", 2);
+  for (int i = 0; i < 8; ++i) {
+    r->Insert({i % 3, i});
+    s->Insert({i, 100 + i});
+  }
+  auto transformed = EliminateSimpleFdsWithDatabase(chased, db);
+  ASSERT_TRUE(transformed.ok()) << transformed.status();
+  // Tuple counts preserved per relation.
+  for (const auto& [name, rel] : transformed->db.relations()) {
+    EXPECT_EQ(rel.size(), 8u) << name;
+  }
+  auto before = EvaluateQuery(chased, db, PlanKind::kNaive);
+  auto after = EvaluateQuery(transformed->query, transformed->db,
+                             PlanKind::kNaive);
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(after.ok()) << after.status();
+  EXPECT_EQ(before->size(), after->size());
+  // And the transformed query is FD-free with the same color number.
+  EXPECT_TRUE(transformed->query.fds().empty());
+  auto c_before = ColorNumberSimpleFds(*q);
+  auto c_after = ColorNumberNoFds(transformed->query);
+  ASSERT_TRUE(c_before.ok());
+  ASSERT_TRUE(c_after.ok());
+  EXPECT_EQ(c_before->value, c_after->value);
+}
+
+TEST(EliminationTransformTest, MissingMapValuesGetFreshPartners) {
+  // R contains a Y-value that S (the FD definer) has never seen: its
+  // appended partner must be fresh, and the join must still agree with the
+  // original query (those R-tuples produce no output either way).
+  auto q = ParseQuery("Q(X,Y,Z) :- R(X,Y), S(Y,Z). key S: 1.");
+  ASSERT_TRUE(q.ok());
+  Query chased = Chase(*q);
+  Database db;
+  Relation* r = db.AddRelation("R", 2);
+  Relation* s = db.AddRelation("S", 2);
+  r->Insert({1, 10});
+  r->Insert({2, 99});  // 99 not a key of S
+  s->Insert({10, 7});
+  auto transformed = EliminateSimpleFdsWithDatabase(chased, db);
+  ASSERT_TRUE(transformed.ok()) << transformed.status();
+  auto before = EvaluateQuery(chased, db, PlanKind::kNaive);
+  auto after = EvaluateQuery(transformed->query, transformed->db,
+                             PlanKind::kNaive);
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(before->size(), 1u);
+  EXPECT_EQ(after->size(), 1u);
+}
+
+TEST(EliminationTransformTest, RejectsCompoundFds) {
+  auto q = ParseQuery("Q(X,Y,Z) :- R(X,Y,Z). fd R: 1,2 -> 3.");
+  ASSERT_TRUE(q.ok());
+  Database db;
+  db.AddRelation("R", 3)->Insert({1, 2, 3});
+  auto transformed = EliminateSimpleFdsWithDatabase(*q, db);
+  EXPECT_FALSE(transformed.ok());
+  EXPECT_EQ(transformed.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(EliminationTransformTest, RejectsFdViolatingDatabase) {
+  auto q = ParseQuery("Q(X,Y) :- R(X,Y). fd R: 1 -> 2.");
+  ASSERT_TRUE(q.ok());
+  Database db;
+  Relation* r = db.AddRelation("R", 2);
+  r->Insert({1, 1});
+  r->Insert({1, 2});
+  auto transformed = EliminateSimpleFdsWithDatabase(*q, db);
+  EXPECT_FALSE(transformed.ok());
+}
+
+class EliminationTransformRandomTest : public ::testing::TestWithParam<int> {
+};
+
+TEST_P(EliminationTransformRandomTest, PreservesOutputOnRandomInstances) {
+  Rng rng(GetParam() * 131 + 7);
+  int checked = 0;
+  for (int trial = 0; trial < 15; ++trial) {
+    RandomQueryOptions options;
+    options.num_variables = 2 + static_cast<int>(rng.NextBelow(4));
+    options.num_atoms = 1 + static_cast<int>(rng.NextBelow(3));
+    options.key_percent = 60;
+    Query q = RandomQuery(options, &rng);
+    Query chased = Chase(q);
+    RandomDatabaseOptions db_opts;
+    db_opts.seed = rng.Next();
+    db_opts.tuples_per_relation = 20;
+    db_opts.domain_size = 4;
+    Database db = RandomDatabase(chased, db_opts);
+    if (!db.CheckFds(chased).ok()) continue;
+    auto transformed = EliminateSimpleFdsWithDatabase(chased, db);
+    ASSERT_TRUE(transformed.ok()) << transformed.status() << " "
+                                  << chased.ToString();
+    auto before = EvaluateQuery(chased, db, PlanKind::kJoinProject);
+    auto after = EvaluateQuery(transformed->query, transformed->db,
+                               PlanKind::kJoinProject);
+    ASSERT_TRUE(before.ok());
+    ASSERT_TRUE(after.ok());
+    EXPECT_EQ(before->size(), after->size()) << chased.ToString();
+    ++checked;
+  }
+  EXPECT_GT(checked, 5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EliminationTransformRandomTest,
+                         ::testing::Range(1, 12));
+
+}  // namespace
+}  // namespace cqbounds

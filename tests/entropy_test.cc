@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "entropy/entropy_vector.h"
+#include "gf/shamir_construction.h"
+#include "relation/relation.h"
+#include "util/rng.h"
+
+namespace cqbounds {
+namespace {
+
+constexpr double kEps = 1e-9;
+
+Relation ProductTable(int arity, int m) {
+  // Full product over `arity` columns of m values each: every marginal on
+  // k columns has entropy k * log2(m).
+  Relation r("T", arity);
+  std::vector<Value> digits(arity, 0);
+  while (true) {
+    r.Insert(Tuple(digits.begin(), digits.end()));
+    int pos = 0;
+    while (pos < arity && ++digits[pos] == m) {
+      digits[pos] = 0;
+      ++pos;
+    }
+    if (pos == arity) break;
+  }
+  return r;
+}
+
+TEST(EntropyVectorTest, ProductTableEntropies) {
+  Relation r = ProductTable(3, 4);
+  EntropyVector ev = EntropyVector::FromRelation(r);
+  const double log2m = 2.0;  // log2(4)
+  for (SubsetMask s = 1; s <= ev.Full(); ++s) {
+    EXPECT_NEAR(ev[s], PopCount(s) * log2m, kEps);
+  }
+  EXPECT_NEAR(ev.MaxShannonViolation(), 0.0, kEps);
+}
+
+TEST(EntropyVectorTest, ChainRuleFact63) {
+  // H(X,Y) = H(X) + H(Y|X) on an arbitrary relation.
+  Relation r("R", 2);
+  r.Insert({0, 0});
+  r.Insert({0, 1});
+  r.Insert({1, 0});
+  EntropyVector ev = EntropyVector::FromRelation(r);
+  EXPECT_NEAR(ev[0b11], ev[0b01] + ev.Conditional(0b10, 0b01), kEps);
+  EXPECT_NEAR(ev[0b11], ev[0b10] + ev.Conditional(0b01, 0b10), kEps);
+}
+
+TEST(EntropyVectorTest, MutualInformationSymmetryFact65) {
+  Relation r("R", 2);
+  r.Insert({0, 0});
+  r.Insert({0, 1});
+  r.Insert({1, 1});
+  r.Insert({1, 0});
+  r.Insert({2, 2});
+  EntropyVector ev = EntropyVector::FromRelation(r);
+  double ixy = ev.MutualInformation(0b11, 0);
+  EXPECT_NEAR(ixy, ev[0b01] + ev[0b10] - ev[0b11], kEps);
+  EXPECT_NEAR(ixy, ev[0b01] - ev.Conditional(0b01, 0b10), kEps);
+  EXPECT_NEAR(ixy, ev[0b10] - ev.Conditional(0b10, 0b01), kEps);
+}
+
+TEST(EntropyVectorTest, InformationDiagramIdentitiesFigure2) {
+  // The Figure 2 identities for three variables:
+  //   I(X;Y) = I(X;Y;Z) + I(X;Y|Z)
+  //   H(Z)   = I(X;Y;Z) + I(X;Z|Y) + I(Y;Z|X) + H(Z|X,Y).
+  Rng rng(9);
+  Relation r("R", 3);
+  for (int i = 0; i < 40; ++i) {
+    r.Insert({static_cast<Value>(rng.NextBelow(3)),
+              static_cast<Value>(rng.NextBelow(3)),
+              static_cast<Value>(rng.NextBelow(3))});
+  }
+  EntropyVector ev = EntropyVector::FromRelation(r);
+  const SubsetMask x = 0b001, y = 0b010, z = 0b100;
+  EXPECT_NEAR(ev.MutualInformation(x | y, 0),
+              ev.MutualInformation(x | y | z, 0) +
+                  ev.MutualInformation(x | y, z),
+              kEps);
+  EXPECT_NEAR(ev[z],
+              ev.MutualInformation(x | y | z, 0) +
+                  ev.MutualInformation(x | z, y) +
+                  ev.MutualInformation(y | z, x) + ev.Conditional(z, x | y),
+              kEps);
+}
+
+TEST(EntropyVectorTest, AtomDecompositionFact67) {
+  // h(K) = sum of diagram atoms mu(S) over S intersecting K (Fact 6.7 with
+  // K' empty): verify on a random relation for every K.
+  Rng rng(21);
+  Relation r("R", 4);
+  for (int i = 0; i < 60; ++i) {
+    r.Insert({static_cast<Value>(rng.NextBelow(2)),
+              static_cast<Value>(rng.NextBelow(3)),
+              static_cast<Value>(rng.NextBelow(2)),
+              static_cast<Value>(rng.NextBelow(3))});
+  }
+  EntropyVector ev = EntropyVector::FromRelation(r);
+  for (SubsetMask k = 1; k <= ev.Full(); ++k) {
+    double total = 0.0;
+    for (SubsetMask s = 1; s <= ev.Full(); ++s) {
+      if ((s & k) != 0) total += ev.Atom(s);
+    }
+    EXPECT_NEAR(total, ev[k], 1e-7) << "K=" << k;
+  }
+}
+
+TEST(EntropyVectorTest, EmpiricalVectorsSatisfyShannon) {
+  Rng rng(33);
+  for (int trial = 0; trial < 10; ++trial) {
+    Relation r("R", 4);
+    const int rows = 10 + static_cast<int>(rng.NextBelow(50));
+    for (int i = 0; i < rows; ++i) {
+      r.Insert({static_cast<Value>(rng.NextBelow(4)),
+                static_cast<Value>(rng.NextBelow(4)),
+                static_cast<Value>(rng.NextBelow(4)),
+                static_cast<Value>(rng.NextBelow(4))});
+    }
+    EntropyVector ev = EntropyVector::FromRelation(r);
+    EXPECT_LE(ev.MaxShannonViolation(), 1e-7);
+  }
+}
+
+TEST(EntropyVectorTest, ShamirGroupHasNegativeHigherOrderInformation) {
+  // Figure 3: within one Shamir group (k = 4), any two variables carry all
+  // the entropy, and the 4-way interaction information is negative.
+  auto built = BuildShamirGapConstruction(4, 5);
+  ASSERT_TRUE(built.ok());
+  const Relation* r1 = built->db.Find("R1");
+  ASSERT_NE(r1, nullptr);
+  EntropyVector ev = EntropyVector::FromRelation(*r1);
+  const double full = ev[ev.Full()];
+  EXPECT_NEAR(full, 2 * std::log2(5.0), kEps);  // N^{k/2} tuples, uniform
+  for (SubsetMask s = 1; s <= ev.Full(); ++s) {
+    if (PopCount(s) >= 2) {
+      EXPECT_NEAR(ev[s], full, kEps) << s;
+    }
+    if (PopCount(s) == 1) {
+      EXPECT_NEAR(ev[s], std::log2(5.0), kEps);
+    }
+  }
+  // I(X1;X2;X3;X4) = -2 in units of log2(N) (Figure 3 annotation).
+  double i4 = ev.MutualInformation(ev.Full(), 0);
+  EXPECT_NEAR(i4, -2.0 * std::log2(5.0), kEps);
+}
+
+TEST(ElementalInequalitiesTest, CountMatchesFormula) {
+  // n + C(n,2) * 2^(n-2) elemental inequalities.
+  for (int n = 2; n <= 6; ++n) {
+    auto ineqs = ElementalShannonInequalities(n);
+    std::size_t expected =
+        n + (static_cast<std::size_t>(n) * (n - 1) / 2) * (1ull << (n - 2));
+    EXPECT_EQ(ineqs.size(), expected) << "n=" << n;
+  }
+}
+
+TEST(ElementalInequalitiesTest, HoldOnEmpiricalVectors) {
+  Rng rng(44);
+  Relation r("R", 3);
+  for (int i = 0; i < 30; ++i) {
+    r.Insert({static_cast<Value>(rng.NextBelow(3)),
+              static_cast<Value>(rng.NextBelow(3)),
+              static_cast<Value>(rng.NextBelow(3))});
+  }
+  EntropyVector ev = EntropyVector::FromRelation(r);
+  for (const ElementalInequality& ineq : ElementalShannonInequalities(3)) {
+    double value = 0.0;
+    for (SubsetMask s : ineq.plus) value += ev[s];
+    for (SubsetMask s : ineq.minus) value -= ev[s];
+    EXPECT_GE(value, -1e-9);
+  }
+}
+
+TEST(MarginalEntropyTest, UniformAndDegenerate) {
+  Relation r("R", 2);
+  for (int i = 0; i < 8; ++i) r.Insert({i, 0});
+  EXPECT_NEAR(MarginalEntropyBits(r, {0}), 3.0, kEps);  // uniform over 8
+  EXPECT_NEAR(MarginalEntropyBits(r, {1}), 0.0, kEps);  // constant
+  EXPECT_NEAR(MarginalEntropyBits(r, {0, 1}), 3.0, kEps);
+}
+
+}  // namespace
+}  // namespace cqbounds

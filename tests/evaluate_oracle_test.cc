@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cq/parser.h"
+#include "cq/random_query.h"
+#include "relation/evaluate.h"
+#include "relation/generator.h"
+
+namespace cqbounds {
+namespace {
+
+/// Semantics oracle: enumerate every substitution theta : var(Q) -> adom(D)
+/// and collect theta(u0) for those satisfying all body atoms -- the literal
+/// Section 2 definition of Q(D). Exponential; only for tiny instances.
+Relation BruteForceEvaluate(const Query& query, const Database& db) {
+  std::set<Value> adom_set;
+  for (const auto& [name, rel] : db.relations()) {
+    for (Value v : rel.ActiveDomain()) adom_set.insert(v);
+  }
+  std::vector<Value> adom(adom_set.begin(), adom_set.end());
+  const int n = query.num_variables();
+  Relation output(query.head_relation(),
+                  static_cast<int>(query.head_vars().size()));
+  if (adom.empty()) return output;
+
+  std::vector<std::size_t> choice(n, 0);
+  while (true) {
+    // Build theta and test every atom.
+    bool satisfies = true;
+    for (const Atom& atom : query.atoms()) {
+      const Relation* rel = db.Find(atom.relation);
+      Tuple t;
+      t.reserve(atom.vars.size());
+      for (int v : atom.vars) t.push_back(adom[choice[v]]);
+      if (rel == nullptr || !rel->Contains(t)) {
+        satisfies = false;
+        break;
+      }
+    }
+    if (satisfies) {
+      Tuple head;
+      head.reserve(query.head_vars().size());
+      for (int v : query.head_vars()) head.push_back(adom[choice[v]]);
+      output.Insert(head);
+    }
+    int pos = 0;
+    while (pos < n && ++choice[pos] == adom.size()) {
+      choice[pos] = 0;
+      ++pos;
+    }
+    if (pos == n) break;
+  }
+  return output;
+}
+
+TEST(EvaluateOracleTest, HandPickedQueries) {
+  const char* queries[] = {
+      "Q(X,Y) :- R(X,Y).",
+      "Q(X) :- R(X,X).",
+      "Q(X,Z) :- R(X,Y), S(Y,Z).",
+      "T(X,Y,Z) :- E(X,Y), E(Y,Z), E(Z,X).",
+      "Q(X,X,Y) :- R(X), S(Y).",
+      "Q(A) :- R(A,B), R(B,A).",
+  };
+  for (const char* text : queries) {
+    auto q = ParseQuery(text);
+    ASSERT_TRUE(q.ok()) << text;
+    RandomDatabaseOptions opts;
+    opts.seed = 77;
+    opts.tuples_per_relation = 6;
+    opts.domain_size = 3;
+    Database db = RandomDatabase(*q, opts);
+    Relation oracle = BruteForceEvaluate(*q, db);
+    for (PlanKind kind : {PlanKind::kNaive, PlanKind::kJoinProject}) {
+      auto result = EvaluateQuery(*q, db, kind);
+      ASSERT_TRUE(result.ok()) << text;
+      ASSERT_EQ(result->size(), oracle.size()) << text;
+      for (const Tuple& t : oracle.tuples()) {
+        EXPECT_TRUE(result->Contains(t)) << text;
+      }
+    }
+  }
+}
+
+class EvaluateOracleRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EvaluateOracleRandomTest, MatchesDefinitionOnRandomInstances) {
+  Rng rng(GetParam() * 8191 + 3);
+  for (int trial = 0; trial < 8; ++trial) {
+    RandomQueryOptions options;
+    options.num_variables = 1 + static_cast<int>(rng.NextBelow(4));
+    options.num_atoms = 1 + static_cast<int>(rng.NextBelow(3));
+    options.max_arity = 2;
+    options.random_projection = true;
+    Query q = RandomQuery(options, &rng);
+    RandomDatabaseOptions opts;
+    opts.seed = rng.Next();
+    opts.tuples_per_relation = 5;
+    opts.domain_size = 3;
+    Database db = RandomDatabase(q, opts);
+    Relation oracle = BruteForceEvaluate(q, db);
+    auto result = EvaluateQuery(q, db, PlanKind::kJoinProject);
+    ASSERT_TRUE(result.ok()) << q.ToString();
+    ASSERT_EQ(result->size(), oracle.size()) << q.ToString();
+    for (const Tuple& t : oracle.tuples()) {
+      EXPECT_TRUE(result->Contains(t)) << q.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EvaluateOracleRandomTest,
+                         ::testing::Range(1, 12));
+
+}  // namespace
+}  // namespace cqbounds

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "core/color_number.h"
+#include "core/fd_reduction.h"
+#include "core/size_increase.h"
+#include "cq/parser.h"
+
+namespace cqbounds {
+namespace {
+
+TEST(FdReductionTest, NarrowFdsPassThrough) {
+  auto q = ParseQuery("Q(X,Y,Z) :- R(X,Y,Z). fd R: 1,2 -> 3.");
+  ASSERT_TRUE(q.ok());
+  Query reduced = ReduceFdArity(*q);
+  ASSERT_TRUE(reduced.Validate().ok());
+  for (const FunctionalDependency& fd : reduced.fds()) {
+    EXPECT_LE(fd.lhs.size(), 2u);
+  }
+  // The induced variable dependencies coincide.
+  auto c_before = ColorNumberDiagramLp(*q);
+  auto c_after = ColorNumberDiagramLp(reduced);
+  ASSERT_TRUE(c_before.ok());
+  ASSERT_TRUE(c_after.ok());
+  EXPECT_EQ(c_before->value, c_after->value);
+}
+
+TEST(FdReductionTest, WideFdSplitsWithGadget) {
+  auto q = ParseQuery(
+      "Q(A,B,C,D,E) :- R(A,B,C,D,E).\n"
+      "fd R: 1,2,3,4 -> 5.");
+  ASSERT_TRUE(q.ok());
+  Query reduced = ReduceFdArity(*q);
+  ASSERT_TRUE(reduced.Validate().ok()) << reduced.ToString();
+  for (const FunctionalDependency& fd : reduced.fds()) {
+    EXPECT_LE(fd.lhs.size(), 2u) << reduced.ToString();
+  }
+  // Gadget variables were added.
+  EXPECT_GT(reduced.num_variables(), q->num_variables());
+  // Original atoms are preserved.
+  EXPECT_GE(reduced.atoms().size(), q->atoms().size());
+}
+
+TEST(FdReductionTest, PreservesColorNumber) {
+  const char* queries[] = {
+      "Q(A,B,C,D) :- R(A,B,C,D), S(A,D). fd R: 1,2,3 -> 4.",
+      "Q(A,B,C,D) :- R(A,B,C), S(C,D), T(A,D). fd R: 1,2 -> 3.",
+      "Q(A,B,C,D,E) :- R(A,B,C,D,E). fd R: 1,2,3,4 -> 5.",
+  };
+  for (const char* text : queries) {
+    auto q = ParseQuery(text);
+    ASSERT_TRUE(q.ok()) << text;
+    Query reduced = ReduceFdArity(*q);
+    auto before = ColorNumberDiagramLp(*q);
+    auto after = ColorNumberDiagramLp(reduced);
+    ASSERT_TRUE(before.ok()) << before.status();
+    ASSERT_TRUE(after.ok()) << after.status() << " " << reduced.ToString();
+    EXPECT_EQ(before->value, after->value) << text;
+  }
+}
+
+TEST(FdReductionTest, PreservesSizeIncreaseDecision) {
+  const char* queries[] = {
+      "Q(A,B,C,D) :- R(A,B,C,D), S(A,D). fd R: 1,2,3 -> 4.",
+      "Q(A,B,C,D,E) :- R(A,B,C,D,E). fd R: 1,2,3,4 -> 5.",
+      "Q(A,B,C,D) :- R(A,B,C), S(C,D). fd R: 1,2 -> 3.",
+  };
+  for (const char* text : queries) {
+    auto q = ParseQuery(text);
+    ASSERT_TRUE(q.ok());
+    Query reduced = ReduceFdArity(*q);
+    auto before = SizeIncreasePossible(*q);
+    auto after = SizeIncreasePossible(reduced);
+    ASSERT_TRUE(before.ok());
+    ASSERT_TRUE(after.ok());
+    EXPECT_EQ(*before, *after) << text;
+  }
+}
+
+}  // namespace
+}  // namespace cqbounds

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "entropy/knitted.h"
+#include "gf/shamir_construction.h"
+#include "util/rng.h"
+
+namespace cqbounds {
+namespace {
+
+constexpr double kEps = 1e-9;
+
+TEST(KnittedTest, IndependentColumnsHaveRatioOne) {
+  // Full product table: all I-measure atoms are the per-variable entropies
+  // (non-negative), so knitted complexity is 1.
+  Relation r("T", 3);
+  for (Value a = 0; a < 3; ++a) {
+    for (Value b = 0; b < 3; ++b) {
+      for (Value c = 0; c < 3; ++c) r.Insert({a, b, c});
+    }
+  }
+  KnittedComplexity k = ComputeKnittedComplexity(r);
+  EXPECT_NEAR(k.ratio, 1.0, kEps);
+  EXPECT_NEAR(k.most_negative_atom, 0.0, kEps);
+  // Signed mass always equals h(full) = 3 log2 3.
+  EXPECT_NEAR(k.signed_mass, 3 * std::log2(3.0), kEps);
+}
+
+TEST(KnittedTest, SignedMassIsAlwaysFullEntropy) {
+  // Fact 6.7 with K = [n]: sum of all diagram atoms = h(full set).
+  Rng rng(12);
+  for (int trial = 0; trial < 10; ++trial) {
+    Relation r("R", 4);
+    for (int i = 0; i < 30; ++i) {
+      r.Insert({static_cast<Value>(rng.NextBelow(3)),
+                static_cast<Value>(rng.NextBelow(3)),
+                static_cast<Value>(rng.NextBelow(3)),
+                static_cast<Value>(rng.NextBelow(3))});
+    }
+    EntropyVector ev = EntropyVector::FromRelation(r);
+    KnittedComplexity k = ComputeKnittedComplexity(ev);
+    EXPECT_NEAR(k.signed_mass, ev[ev.Full()], 1e-7);
+    EXPECT_GE(k.ratio, 1.0 - kEps);  // |.| mass >= signed mass
+  }
+}
+
+TEST(KnittedTest, ShamirGroupIsHeavilyKnitted) {
+  // A Shamir share group has a large negative 4-way atom (Figure 3), so
+  // its knitted complexity exceeds 1 strictly -- the paper's motivation for
+  // the measure: color-number reasoning is exact only at ratio 1.
+  auto built = BuildShamirGapConstruction(4, 5);
+  ASSERT_TRUE(built.ok());
+  KnittedComplexity k = ComputeKnittedComplexity(*built->db.Find("R1"));
+  EXPECT_GT(k.ratio, 1.5);
+  EXPECT_LT(k.most_negative_atom, -1.0);  // I(X1;X2;X3;X4) = -2 log2(5)...
+  EXPECT_NEAR(k.signed_mass, 2 * std::log2(5.0), kEps);
+}
+
+TEST(KnittedTest, DegenerateRelation) {
+  Relation r("R", 2);
+  r.Insert({1, 1});
+  KnittedComplexity k = ComputeKnittedComplexity(r);
+  EXPECT_NEAR(k.absolute_mass, 0.0, kEps);
+  EXPECT_EQ(k.ratio, 1.0);
+}
+
+TEST(KnittedTest, PerfectlyCorrelatedPair) {
+  // X == Y uniform over 4 values: atoms are I(X;Y) = 2 bits, H(X|Y) =
+  // H(Y|X) = 0; ratio 1 (no negativity with two variables -- Shannon).
+  Relation r("R", 2);
+  for (Value v = 0; v < 4; ++v) r.Insert({v, v});
+  KnittedComplexity k = ComputeKnittedComplexity(r);
+  EXPECT_NEAR(k.ratio, 1.0, kEps);
+  EXPECT_NEAR(k.signed_mass, 2.0, kEps);
+}
+
+}  // namespace
+}  // namespace cqbounds

@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include "lp/simplex.h"
+#include "util/rng.h"
+
+namespace cqbounds {
+namespace {
+
+TEST(SimplexTest, SimpleMaximization) {
+  // max x + y s.t. x + 2y <= 4, 3x + y <= 6  ->  optimum at (8/5, 6/5).
+  LpProblem lp(true);
+  int x = lp.AddVariable("x");
+  int y = lp.AddVariable("y");
+  lp.SetObjectiveCoef(x, Rational(1));
+  lp.SetObjectiveCoef(y, Rational(1));
+  lp.AddConstraint({{x, Rational(1)}, {y, Rational(2)}},
+                   ConstraintSense::kLessEq, Rational(4));
+  lp.AddConstraint({{x, Rational(3)}, {y, Rational(1)}},
+                   ConstraintSense::kLessEq, Rational(6));
+  auto result = SolveLp(lp);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->objective, Rational(14, 5));
+  EXPECT_EQ(result->values[x], Rational(8, 5));
+  EXPECT_EQ(result->values[y], Rational(6, 5));
+}
+
+TEST(SimplexTest, Minimization) {
+  // min 2x + 3y s.t. x + y >= 4, x >= 1  ->  optimum (4, 0), value 8.
+  LpProblem lp(false);
+  int x = lp.AddVariable();
+  int y = lp.AddVariable();
+  lp.SetObjectiveCoef(x, Rational(2));
+  lp.SetObjectiveCoef(y, Rational(3));
+  lp.AddConstraint({{x, Rational(1)}, {y, Rational(1)}},
+                   ConstraintSense::kGreaterEq, Rational(4));
+  lp.AddConstraint({{x, Rational(1)}}, ConstraintSense::kGreaterEq,
+                   Rational(1));
+  auto result = SolveLp(lp);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->objective, Rational(8));
+}
+
+TEST(SimplexTest, EqualityConstraints) {
+  // max x s.t. x + y == 3, x - y == 1  ->  x = 2, y = 1.
+  LpProblem lp(true);
+  int x = lp.AddVariable();
+  int y = lp.AddVariable();
+  lp.SetObjectiveCoef(x, Rational(1));
+  lp.AddConstraint({{x, Rational(1)}, {y, Rational(1)}},
+                   ConstraintSense::kEqual, Rational(3));
+  lp.AddConstraint({{x, Rational(1)}, {y, Rational(-1)}},
+                   ConstraintSense::kEqual, Rational(1));
+  auto result = SolveLp(lp);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->values[x], Rational(2));
+  EXPECT_EQ(result->values[y], Rational(1));
+}
+
+TEST(SimplexTest, InfeasibleDetected) {
+  LpProblem lp(true);
+  int x = lp.AddVariable();
+  lp.SetObjectiveCoef(x, Rational(1));
+  lp.AddConstraint({{x, Rational(1)}}, ConstraintSense::kLessEq, Rational(1));
+  lp.AddConstraint({{x, Rational(1)}}, ConstraintSense::kGreaterEq,
+                   Rational(2));
+  auto result = SolveLp(lp);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInfeasible);
+}
+
+TEST(SimplexTest, UnboundedDetected) {
+  LpProblem lp(true);
+  int x = lp.AddVariable();
+  lp.SetObjectiveCoef(x, Rational(1));
+  lp.AddConstraint({{x, Rational(-1)}}, ConstraintSense::kLessEq, Rational(0));
+  auto result = SolveLp(lp);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnbounded);
+}
+
+TEST(SimplexTest, NegativeRhsNormalization) {
+  // x >= 2 written as -x <= -2.
+  LpProblem lp(false);
+  int x = lp.AddVariable();
+  lp.SetObjectiveCoef(x, Rational(1));
+  lp.AddConstraint({{x, Rational(-1)}}, ConstraintSense::kLessEq,
+                   Rational(-2));
+  auto result = SolveLp(lp);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->objective, Rational(2));
+}
+
+TEST(SimplexTest, DegenerateDoesNotCycle) {
+  // Classic Beale cycling example (cycles under naive most-negative rule;
+  // Bland's rule must terminate).
+  LpProblem lp(true);
+  int x1 = lp.AddVariable();
+  int x2 = lp.AddVariable();
+  int x3 = lp.AddVariable();
+  int x4 = lp.AddVariable();
+  lp.SetObjectiveCoef(x1, Rational(3, 4));
+  lp.SetObjectiveCoef(x2, Rational(-150));
+  lp.SetObjectiveCoef(x3, Rational(1, 50));
+  lp.SetObjectiveCoef(x4, Rational(-6));
+  lp.AddConstraint({{x1, Rational(1, 4)},
+                    {x2, Rational(-60)},
+                    {x3, Rational(-1, 25)},
+                    {x4, Rational(9)}},
+                   ConstraintSense::kLessEq, Rational(0));
+  lp.AddConstraint({{x1, Rational(1, 2)},
+                    {x2, Rational(-90)},
+                    {x3, Rational(-1, 50)},
+                    {x4, Rational(3)}},
+                   ConstraintSense::kLessEq, Rational(0));
+  lp.AddConstraint({{x3, Rational(1)}}, ConstraintSense::kLessEq, Rational(1));
+  auto result = SolveLp(lp);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->objective, Rational(1, 20));
+}
+
+TEST(SimplexTest, DuplicateTermsAreSummed) {
+  // x + x <= 4 should behave as 2x <= 4.
+  LpProblem lp(true);
+  int x = lp.AddVariable();
+  lp.SetObjectiveCoef(x, Rational(1));
+  lp.AddConstraint({{x, Rational(1)}, {x, Rational(1)}},
+                   ConstraintSense::kLessEq, Rational(4));
+  auto result = SolveLp(lp);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->objective, Rational(2));
+}
+
+TEST(SimplexTest, RedundantEqualityRows) {
+  // x + y == 2 stated twice: phase 1 must drive (or neutralize) the second
+  // artificial without declaring infeasibility.
+  LpProblem lp(true);
+  int x = lp.AddVariable();
+  int y = lp.AddVariable();
+  lp.SetObjectiveCoef(x, Rational(1));
+  lp.AddConstraint({{x, Rational(1)}, {y, Rational(1)}},
+                   ConstraintSense::kEqual, Rational(2));
+  lp.AddConstraint({{x, Rational(1)}, {y, Rational(1)}},
+                   ConstraintSense::kEqual, Rational(2));
+  auto result = SolveLp(lp);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->objective, Rational(2));
+}
+
+// Weak-duality / strong-duality property check on random LPs:
+// max c^T x, Ax <= b, x >= 0  vs  min b^T y, A^T y >= c, y >= 0.
+class SimplexDualityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexDualityTest, StrongDualityOnRandomLps) {
+  Rng rng(GetParam());
+  const int n = 2 + static_cast<int>(rng.NextBelow(4));
+  const int m = 2 + static_cast<int>(rng.NextBelow(4));
+  std::vector<std::vector<Rational>> a(m, std::vector<Rational>(n));
+  std::vector<Rational> b(m), c(n);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      a[i][j] = Rational(rng.NextInRange(0, 5));
+    }
+    b[i] = Rational(rng.NextInRange(1, 10));
+  }
+  for (int j = 0; j < n; ++j) c[j] = Rational(rng.NextInRange(0, 5));
+
+  LpProblem primal(true);
+  std::vector<int> xs;
+  for (int j = 0; j < n; ++j) {
+    int v = primal.AddVariable();
+    primal.SetObjectiveCoef(v, c[j]);
+    xs.push_back(v);
+  }
+  for (int i = 0; i < m; ++i) {
+    std::vector<LpTerm> terms;
+    for (int j = 0; j < n; ++j) terms.push_back({xs[j], a[i][j]});
+    primal.AddConstraint(std::move(terms), ConstraintSense::kLessEq, b[i]);
+  }
+  auto primal_result = SolveLp(primal);
+
+  LpProblem dual(false);
+  std::vector<int> ys;
+  for (int i = 0; i < m; ++i) {
+    int v = dual.AddVariable();
+    dual.SetObjectiveCoef(v, b[i]);
+    ys.push_back(v);
+  }
+  for (int j = 0; j < n; ++j) {
+    std::vector<LpTerm> terms;
+    for (int i = 0; i < m; ++i) terms.push_back({ys[i], a[i][j]});
+    dual.AddConstraint(std::move(terms), ConstraintSense::kGreaterEq, c[j]);
+  }
+  auto dual_result = SolveLp(dual);
+
+  if (primal_result.ok() && dual_result.ok()) {
+    EXPECT_EQ(primal_result->objective, dual_result->objective);
+    // Primal feasibility of the returned point.
+    for (int i = 0; i < m; ++i) {
+      Rational lhs(0);
+      for (int j = 0; j < n; ++j) lhs += a[i][j] * primal_result->values[j];
+      EXPECT_LE(lhs, b[i]);
+    }
+  } else {
+    // Primal unbounded <=> dual infeasible (b >= 0 makes primal feasible).
+    EXPECT_EQ(primal_result.status().code(), StatusCode::kUnbounded);
+    EXPECT_EQ(dual_result.status().code(), StatusCode::kInfeasible);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, SimplexDualityTest,
+                         ::testing::Range(1, 40));
+
+}  // namespace
+}  // namespace cqbounds

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "core/size_bounds.h"
+#include "cq/chase.h"
+#include "cq/random_query.h"
+#include "relation/evaluate.h"
+#include "relation/generator.h"
+
+namespace cqbounds {
+namespace {
+
+TEST(RandomQueryTest, AlwaysValid) {
+  Rng rng(1);
+  for (int trial = 0; trial < 100; ++trial) {
+    RandomQueryOptions options;
+    options.num_variables = 1 + static_cast<int>(rng.NextBelow(6));
+    options.num_atoms = 1 + static_cast<int>(rng.NextBelow(5));
+    options.key_percent = 40;
+    options.compound_fd_percent = 20;
+    options.random_projection = rng.NextBool(1, 2);
+    Query q = RandomQuery(options, &rng);
+    EXPECT_TRUE(q.Validate().ok()) << q.ToString();
+  }
+}
+
+TEST(RandomQueryTest, Deterministic) {
+  RandomQueryOptions options;
+  options.key_percent = 50;
+  Rng a(42), b(42);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(RandomQuery(options, &a).ToString(),
+              RandomQuery(options, &b).ToString());
+  }
+}
+
+TEST(RandomQueryTest, KeyPercentControlsFds) {
+  Rng rng(9);
+  RandomQueryOptions no_keys;
+  no_keys.key_percent = 0;
+  Query q1 = RandomQuery(no_keys, &rng);
+  EXPECT_TRUE(q1.fds().empty());
+
+  RandomQueryOptions all_keys;
+  all_keys.min_arity = 2;
+  all_keys.key_percent = 100;
+  Query q2 = RandomQuery(all_keys, &rng);
+  EXPECT_FALSE(q2.fds().empty());
+  EXPECT_TRUE(q2.AllFdsSimple());
+}
+
+// The grand property sweep: for random queries with random simple keys,
+// chase + bound + random database + evaluation all cohere (Theorem 4.4 and
+// Fact 2.4 at population scale).
+class GrandPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GrandPropertyTest, BoundsAndChaseHoldOnRandomInstances) {
+  Rng rng(GetParam() * 1009 + 13);
+  for (int trial = 0; trial < 12; ++trial) {
+    RandomQueryOptions options;
+    options.num_variables = 2 + static_cast<int>(rng.NextBelow(4));
+    options.num_atoms = 1 + static_cast<int>(rng.NextBelow(3));
+    options.key_percent = 50;
+    options.random_projection = true;
+    Query q = RandomQuery(options, &rng);
+
+    auto bound = ComputeSizeBound(q);
+    ASSERT_TRUE(bound.ok()) << q.ToString();
+    ASSERT_TRUE(bound->is_upper_bound);  // simple keys only
+
+    RandomDatabaseOptions db_opts;
+    db_opts.seed = rng.Next();
+    db_opts.tuples_per_relation = 20;
+    db_opts.domain_size = 4;
+    Database db = RandomDatabase(q, db_opts);
+    ASSERT_TRUE(db.CheckFds(q).ok());
+
+    auto result = EvaluateQuery(q, db, PlanKind::kJoinProject);
+    ASSERT_TRUE(result.ok());
+    BigInt actual(static_cast<std::int64_t>(result->size()));
+    BigInt rmax(static_cast<std::int64_t>(db.RMax(q)));
+    EXPECT_TRUE(SatisfiesSizeBound(actual, rmax, bound->exponent))
+        << q.ToString() << " |Q(D)|=" << actual << " rmax=" << rmax
+        << " C=" << bound->exponent;
+
+    // Fact 2.4 on the same instance.
+    Query chased = Chase(q);
+    auto chased_result = EvaluateQuery(chased, db, PlanKind::kJoinProject);
+    ASSERT_TRUE(chased_result.ok());
+    EXPECT_EQ(result->size(), chased_result->size()) << q.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GrandPropertyTest, ::testing::Range(1, 15));
+
+}  // namespace
+}  // namespace cqbounds

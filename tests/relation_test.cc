@@ -1,0 +1,262 @@
+#include <gtest/gtest.h>
+
+#include "cq/parser.h"
+#include "relation/database.h"
+#include "relation/evaluate.h"
+#include "relation/generator.h"
+#include "relation/relation.h"
+
+namespace cqbounds {
+namespace {
+
+TEST(RelationTest, InsertDeduplicates) {
+  Relation r("R", 2);
+  EXPECT_TRUE(r.Insert({1, 2}));
+  EXPECT_FALSE(r.Insert({1, 2}));
+  EXPECT_TRUE(r.Insert({2, 1}));
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_TRUE(r.Contains({1, 2}));
+  EXPECT_FALSE(r.Contains({3, 3}));
+}
+
+TEST(RelationTest, ProjectWithRepeats) {
+  Relation r("R", 2);
+  r.Insert({1, 2});
+  r.Insert({1, 3});
+  Relation p = r.Project({0}, "p");
+  EXPECT_EQ(p.size(), 1u);  // both tuples project to (1)
+  Relation pp = r.Project({1, 1, 0}, "pp");
+  EXPECT_EQ(pp.arity(), 3);
+  EXPECT_TRUE(pp.Contains({2, 2, 1}));
+}
+
+TEST(RelationTest, ColumnValuesAndActiveDomain) {
+  Relation r("R", 2);
+  r.Insert({1, 5});
+  r.Insert({2, 5});
+  EXPECT_EQ(r.ColumnValues(0), (std::vector<Value>{1, 2}));
+  EXPECT_EQ(r.ColumnValues(1), (std::vector<Value>{5}));
+  EXPECT_EQ(r.ActiveDomain(), (std::vector<Value>{1, 2, 5}));
+}
+
+TEST(RelationTest, SatisfiesFd) {
+  Relation r("R", 3);
+  r.Insert({1, 10, 100});
+  r.Insert({2, 10, 200});
+  r.Insert({1, 10, 100});
+  EXPECT_TRUE(r.SatisfiesFd({0}, 1));
+  EXPECT_TRUE(r.SatisfiesFd({0}, 2));
+  EXPECT_FALSE(r.SatisfiesFd({1}, 2));  // 10 -> {100, 200}
+  EXPECT_TRUE(r.SatisfiesFd({0, 1}, 2));
+}
+
+TEST(DatabaseTest, RMaxOverQueryRelations) {
+  Database db;
+  Relation* r = db.AddRelation("R", 1);
+  for (int i = 0; i < 5; ++i) r->Insert({i});
+  Relation* s = db.AddRelation("S", 1);
+  for (int i = 0; i < 9; ++i) s->Insert({i});
+  auto q = ParseQuery("Q(X) :- R(X).");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(db.RMax(*q), 5u);  // S is not referenced by the query
+  EXPECT_EQ(db.MaxRelationSize(), 9u);
+}
+
+TEST(DatabaseTest, CheckFdsReportsViolation) {
+  Database db;
+  Relation* r = db.AddRelation("R", 2);
+  r->Insert({1, 1});
+  r->Insert({1, 2});
+  auto q = ParseQuery("Q(X,Y) :- R(X,Y). fd R: 1 -> 2.");
+  ASSERT_TRUE(q.ok());
+  Status status = db.CheckFds(*q);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ValuePoolTest, InternStable) {
+  ValuePool pool;
+  Value a = pool.Intern("alpha");
+  Value b = pool.Intern("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(pool.Intern("alpha"), a);
+  EXPECT_EQ(pool.Spelling(a), "alpha");
+  EXPECT_EQ(pool.Spelling(999), "?999");
+}
+
+Database CartesianExample() {
+  // Example 2.1: R(A,B) = {(1,1), (1,2), ..., (1,n)} with n = 4.
+  Database db;
+  Relation* r = db.AddRelation("R", 2);
+  for (int i = 1; i <= 4; ++i) r->Insert({1, i});
+  return db;
+}
+
+TEST(EvaluateTest, Example21SelfJoin) {
+  // R'(X,Y,Z) <- R(X,Y), R(X,Z): n^2 output tuples.
+  Database db = CartesianExample();
+  auto q = ParseQuery("Rp(X,Y,Z) :- R(X,Y), R(X,Z).");
+  ASSERT_TRUE(q.ok());
+  auto result = EvaluateQuery(*q, db, PlanKind::kNaive);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->size(), 16u);
+}
+
+TEST(EvaluateTest, ProjectionSemantics) {
+  Database db = CartesianExample();
+  auto q = ParseQuery("P(X) :- R(X,Y), R(X,Z).");
+  ASSERT_TRUE(q.ok());
+  auto result = EvaluateQuery(*q, db, PlanKind::kNaive);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 1u);  // only X = 1
+}
+
+TEST(EvaluateTest, RepeatedVariableInAtom) {
+  Database db;
+  Relation* r = db.AddRelation("R", 2);
+  r->Insert({1, 1});
+  r->Insert({1, 2});
+  r->Insert({3, 3});
+  auto q = ParseQuery("Q(X) :- R(X,X).");
+  ASSERT_TRUE(q.ok());
+  auto result = EvaluateQuery(*q, db, PlanKind::kNaive);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 2u);  // (1) and (3)
+}
+
+TEST(EvaluateTest, RepeatedHeadVariable) {
+  Database db;
+  db.AddRelation("R", 1)->Insert({7});
+  auto q = ParseQuery("Q(X,X) :- R(X).");
+  ASSERT_TRUE(q.ok());
+  auto result = EvaluateQuery(*q, db, PlanKind::kNaive);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_TRUE(result->Contains({7, 7}));
+}
+
+TEST(EvaluateTest, MissingRelation) {
+  Database db;
+  auto q = ParseQuery("Q(X) :- R(X).");
+  ASSERT_TRUE(q.ok());
+  auto result = EvaluateQuery(*q, db, PlanKind::kNaive);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(EvaluateTest, ArityMismatch) {
+  Database db;
+  db.AddRelation("R", 3)->Insert({1, 2, 3});
+  auto q = ParseQuery("Q(X) :- R(X,Y).");
+  ASSERT_TRUE(q.ok());
+  auto result = EvaluateQuery(*q, db, PlanKind::kNaive);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EvaluateTest, EmptyRelationYieldsEmptyResult) {
+  Database db;
+  db.AddRelation("R", 2);
+  auto q = ParseQuery("Q(X,Y) :- R(X,Y).");
+  ASSERT_TRUE(q.ok());
+  auto result = EvaluateQuery(*q, db, PlanKind::kNaive);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 0u);
+}
+
+TEST(EvaluateTest, JoinProjectReducesIntermediates) {
+  // Four-atom path projecting onto the endpoints: once X is no longer
+  // needed the join-project plan collapses the fan-out that the naive plan
+  // carries to the end (10 vs 100 peak bindings here).
+  Database db;
+  Relation* r = db.AddRelation("R", 2);
+  Relation* s = db.AddRelation("S", 2);
+  Relation* t = db.AddRelation("T", 2);
+  Relation* u = db.AddRelation("U", 2);
+  for (int i = 0; i < 10; ++i) {
+    r->Insert({0, i});  // A -> X fan-out
+    s->Insert({i, 0});  // X -> B fan-in
+    t->Insert({0, i});  // B -> Y fan-out
+    u->Insert({i, 0});  // Y -> C fan-in
+  }
+  auto q = ParseQuery("Q(A,C) :- R(A,X), S(X,B), T(B,Y), U(Y,C).");
+  ASSERT_TRUE(q.ok());
+  EvalStats naive_stats, jp_stats;
+  auto naive = EvaluateQuery(*q, db, PlanKind::kNaive, &naive_stats);
+  auto jp = EvaluateQuery(*q, db, PlanKind::kJoinProject, &jp_stats);
+  ASSERT_TRUE(naive.ok());
+  ASSERT_TRUE(jp.ok());
+  EXPECT_EQ(naive->size(), 1u);
+  EXPECT_EQ(jp->size(), 1u);
+  EXPECT_EQ(naive_stats.max_intermediate, 100u);
+  EXPECT_EQ(jp_stats.max_intermediate, 10u);
+}
+
+TEST(EquiJoinTest, KeepsAllColumns) {
+  Relation r("R", 2), s("S", 2);
+  r.Insert({1, 10});
+  r.Insert({2, 20});
+  s.Insert({10, 100});
+  Relation j = EquiJoin(r, s, {{1, 0}});
+  ASSERT_EQ(j.size(), 1u);
+  EXPECT_EQ(j.arity(), 4);
+  EXPECT_TRUE(j.Contains({1, 10, 10, 100}));
+}
+
+TEST(EquiJoinTest, MultiConditionJoin) {
+  Relation r("R", 2), s("S", 2);
+  r.Insert({1, 2});
+  r.Insert({1, 3});
+  s.Insert({1, 2});
+  s.Insert({1, 3});
+  Relation j = EquiJoin(r, s, {{0, 0}, {1, 1}});
+  EXPECT_EQ(j.size(), 2u);  // exact matches only
+}
+
+TEST(GeneratorTest, RandomDatabaseSatisfiesFds) {
+  auto q = ParseQuery(
+      "Q(X,Y,Z) :- R(X,Y,Z), S(X,Y).\n"
+      "key R: 1. fd S: 1 -> 2.");
+  ASSERT_TRUE(q.ok());
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    RandomDatabaseOptions opts;
+    opts.seed = seed;
+    opts.tuples_per_relation = 50;
+    opts.domain_size = 6;
+    Database db = RandomDatabase(*q, opts);
+    EXPECT_TRUE(db.CheckFds(*q).ok()) << "seed " << seed;
+    EXPECT_GT(db.RMax(*q), 0u);
+  }
+}
+
+// Plan equivalence: both plans compute the same relation on random inputs.
+class PlanEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PlanEquivalenceTest, NaiveEqualsJoinProject) {
+  const char* queries[] = {
+      "Q(X,Z) :- R(X,Y), S(Y,Z).",
+      "Q(X) :- R(X,Y), S(Y,Z), T(Z,W).",
+      "Q(X,Y,Z) :- R(X,Y), R(Y,Z), R(Z,X).",
+      "Q(A,D) :- R(A,B), S(B,C), T(C,D), R(D,A).",
+  };
+  for (const char* text : queries) {
+    auto q = ParseQuery(text);
+    ASSERT_TRUE(q.ok());
+    RandomDatabaseOptions opts;
+    opts.seed = static_cast<std::uint64_t>(GetParam()) * 31 + 1;
+    opts.tuples_per_relation = 40;
+    opts.domain_size = 6;
+    Database db = RandomDatabase(*q, opts);
+    auto naive = EvaluateQuery(*q, db, PlanKind::kNaive);
+    auto jp = EvaluateQuery(*q, db, PlanKind::kJoinProject);
+    ASSERT_TRUE(naive.ok());
+    ASSERT_TRUE(jp.ok());
+    ASSERT_EQ(naive->size(), jp->size()) << text;
+    for (const Tuple& t : naive->tuples()) EXPECT_TRUE(jp->Contains(t));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlanEquivalenceTest, ::testing::Range(1, 12));
+
+}  // namespace
+}  // namespace cqbounds

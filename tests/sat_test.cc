@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "sat/cnf.h"
+#include "sat/threesat.h"
+#include "util/rng.h"
+
+namespace cqbounds {
+namespace {
+
+TEST(CnfTest, DualHornDetection) {
+  Cnf cnf;
+  int a = cnf.AddVariable("a");
+  int b = cnf.AddVariable("b");
+  int c = cnf.AddVariable("c");
+  cnf.AddClause({Literal{a, true}, Literal{b, true}, Literal{c, false}});
+  EXPECT_TRUE(cnf.IsDualHorn());
+  cnf.AddClause({Literal{a, false}, Literal{b, false}});
+  EXPECT_FALSE(cnf.IsDualHorn());
+}
+
+TEST(CnfTest, Evaluate) {
+  Cnf cnf;
+  int a = cnf.AddVariable();
+  int b = cnf.AddVariable();
+  cnf.AddClause({Literal{a, true}, Literal{b, false}});
+  EXPECT_TRUE(cnf.Evaluate({true, true}));
+  EXPECT_TRUE(cnf.Evaluate({true, false}));
+  EXPECT_FALSE(cnf.Evaluate({false, true}));
+}
+
+TEST(DualHornTest, SimpleSatisfiable) {
+  // (!a) /\ (a \/ b): forces a false, b stays true.
+  Cnf cnf;
+  int a = cnf.AddVariable("a");
+  int b = cnf.AddVariable("b");
+  cnf.AddClause({Literal{a, false}});
+  cnf.AddClause({Literal{a, true}, Literal{b, true}});
+  std::vector<bool> model;
+  ASSERT_TRUE(DualHornSatisfiable(cnf, &model));
+  EXPECT_FALSE(model[a]);
+  EXPECT_TRUE(model[b]);
+}
+
+TEST(DualHornTest, PropagationChainToConflict) {
+  // !a; (a \/ !b) forces b false; (b \/ !c) forces c false; (a \/ b \/ c)
+  // then has no support -> unsatisfiable.
+  Cnf cnf;
+  int a = cnf.AddVariable();
+  int b = cnf.AddVariable();
+  int c = cnf.AddVariable();
+  cnf.AddClause({Literal{a, false}});
+  cnf.AddClause({Literal{a, true}, Literal{b, false}});
+  cnf.AddClause({Literal{b, true}, Literal{c, false}});
+  cnf.AddClause({Literal{a, true}, Literal{b, true}, Literal{c, true}});
+  EXPECT_FALSE(DualHornSatisfiable(cnf, nullptr));
+}
+
+TEST(DualHornTest, MaximalTrueModel) {
+  // With no constraints everything stays true (the unique maximal model).
+  Cnf cnf;
+  int a = cnf.AddVariable();
+  int b = cnf.AddVariable();
+  cnf.AddClause({Literal{a, true}, Literal{b, true}});
+  std::vector<bool> model;
+  ASSERT_TRUE(DualHornSatisfiable(cnf, &model));
+  EXPECT_TRUE(model[a]);
+  EXPECT_TRUE(model[b]);
+}
+
+TEST(DualHornTest, EmptyClauseUnsatisfiable) {
+  Cnf cnf;
+  cnf.AddVariable();
+  cnf.AddClause(Clause{});
+  EXPECT_FALSE(DualHornSatisfiable(cnf, nullptr));
+}
+
+TEST(DualHornTest, DuplicateLiteralsHandled) {
+  // (a \/ a \/ !b) with !a: propagation must not double-count a.
+  Cnf cnf;
+  int a = cnf.AddVariable();
+  int b = cnf.AddVariable();
+  cnf.AddClause({Literal{a, false}});
+  cnf.AddClause({Literal{a, true}, Literal{a, true}, Literal{b, false}});
+  std::vector<bool> model;
+  ASSERT_TRUE(DualHornSatisfiable(cnf, &model));
+  EXPECT_FALSE(model[a]);
+  EXPECT_FALSE(model[b]);
+}
+
+class DualHornRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DualHornRandomTest, AgreesWithBruteForce) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 40; ++trial) {
+    const int n = 3 + static_cast<int>(rng.NextBelow(6));
+    const int clauses = 2 + static_cast<int>(rng.NextBelow(12));
+    Cnf cnf;
+    for (int v = 0; v < n; ++v) cnf.AddVariable();
+    for (int c = 0; c < clauses; ++c) {
+      Clause clause;
+      const int width = 1 + static_cast<int>(rng.NextBelow(4));
+      // At most one negative literal -> dual-Horn by construction.
+      bool used_negative = false;
+      for (int l = 0; l < width; ++l) {
+        int var = static_cast<int>(rng.NextBelow(n));
+        bool positive = used_negative || rng.NextBool(2, 3);
+        used_negative = used_negative || !positive;
+        clause.literals.push_back(Literal{var, positive});
+      }
+      cnf.AddClause(std::move(clause));
+    }
+    ASSERT_TRUE(cnf.IsDualHorn());
+    std::vector<bool> model;
+    bool fast = DualHornSatisfiable(cnf, &model);
+    bool slow = BruteForceSatisfiable(cnf, nullptr);
+    ASSERT_EQ(fast, slow);
+    if (fast) {
+      EXPECT_TRUE(cnf.Evaluate(model));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DualHornRandomTest, ::testing::Range(1, 20));
+
+TEST(ThreeSatTest, GeneratorShape) {
+  ThreeSatInstance inst = RandomThreeSat(5, 10, 3);
+  EXPECT_EQ(inst.num_variables, 5);
+  EXPECT_EQ(inst.clauses.size(), 10u);
+  for (const auto& clause : inst.clauses) {
+    std::set<int> vars = {clause[0].var, clause[1].var, clause[2].var};
+    EXPECT_EQ(vars.size(), 3u);  // distinct variables when pool >= 3
+    for (int v : vars) {
+      EXPECT_GE(v, 0);
+      EXPECT_LT(v, 5);
+    }
+  }
+  Cnf cnf = inst.ToCnf();
+  EXPECT_EQ(cnf.num_variables(), 5);
+  EXPECT_EQ(cnf.clauses().size(), 10u);
+}
+
+}  // namespace
+}  // namespace cqbounds

@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include "core/size_bounds.h"
+#include "cq/chase.h"
+#include "cq/parser.h"
+#include "relation/evaluate.h"
+#include "relation/generator.h"
+
+namespace cqbounds {
+namespace {
+
+TEST(SizeBoundArithmeticTest, SatisfiesSizeBound) {
+  // 8 <= 4^{3/2} = 8: holds with equality.
+  EXPECT_TRUE(SatisfiesSizeBound(BigInt(8), BigInt(4), Rational(3, 2)));
+  EXPECT_FALSE(SatisfiesSizeBound(BigInt(9), BigInt(4), Rational(3, 2)));
+  EXPECT_TRUE(SatisfiesSizeBound(BigInt(100), BigInt(10), Rational(2)));
+  EXPECT_TRUE(SatisfiesSizeBound(BigInt(0), BigInt(5), Rational(1)));
+}
+
+TEST(SizeBoundArithmeticTest, SizeBoundValue) {
+  EXPECT_EQ(SizeBoundValue(BigInt(4), Rational(3, 2)).ToInt64(), 8);
+  EXPECT_EQ(SizeBoundValue(BigInt(5), Rational(3, 2)).ToInt64(), 11);  // 5^1.5
+  EXPECT_EQ(SizeBoundValue(BigInt(10), Rational(2)).ToInt64(), 100);
+  EXPECT_EQ(SizeBoundValue(BigInt(7), Rational(0)).ToInt64(), 1);
+}
+
+TEST(WorstCaseDatabaseTest, TriangleTightness) {
+  // Proposition 4.1 tightness for the triangle: with the 3-coloring, M = 4
+  // gives |R(D)| = M^2 = 16 per atom pattern and |Q(D)| = M^3 = 64.
+  auto q = ParseQuery("S(X,Y,Z) :- R(X,Y), R(X,Z), R(Y,Z).");
+  ASSERT_TRUE(q.ok());
+  Coloring coloring;
+  coloring.labels = {{0}, {1}, {2}};
+  auto db = BuildWorstCaseDatabase(*q, coloring, 4);
+  ASSERT_TRUE(db.ok()) << db.status();
+  // rep(Q) = 3 copies of R unioned: each atom contributes 16 tuples but
+  // they overlap... the union is at most rep * M^2 = 48; at least M^2.
+  const Relation* r = db->Find("R");
+  ASSERT_NE(r, nullptr);
+  EXPECT_GE(r->size(), 16u);
+  EXPECT_LE(r->size(), 48u);
+  auto result = EvaluateQuery(*q, *db, PlanKind::kNaive);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 64u);  // M^{|head colors|}
+  EXPECT_EQ(HeadColorCount(*q, coloring), 3);
+}
+
+TEST(WorstCaseDatabaseTest, DistinctRelationsExactSizes) {
+  // With distinct relations (rep = 1) the sizes are exactly M^{colors(u_j)}.
+  auto q = ParseQuery("Q(X,Y,Z) :- R(X,Y), S(Y,Z), T(Z,X).");
+  ASSERT_TRUE(q.ok());
+  Coloring coloring;
+  coloring.labels = {{0}, {1}, {2}};
+  const std::int64_t m = 3;
+  auto db = BuildWorstCaseDatabase(*q, coloring, m);
+  ASSERT_TRUE(db.ok());
+  for (const char* rel : {"R", "S", "T"}) {
+    EXPECT_EQ(db->Find(rel)->size(), 9u) << rel;  // M^2
+  }
+  auto result = EvaluateQuery(*q, *db, PlanKind::kNaive);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 27u);  // M^3
+}
+
+TEST(WorstCaseDatabaseTest, EmptyLabelsGiveNullColumn) {
+  auto q = ParseQuery("Q(X) :- R(X,Y).");
+  ASSERT_TRUE(q.ok());
+  Coloring coloring;
+  coloring.labels.assign(2, {});
+  coloring.labels[q->FindVariable("X")] = {0};
+  auto db = BuildWorstCaseDatabase(*q, coloring, 5);
+  ASSERT_TRUE(db.ok());
+  const Relation* r = db->Find("R");
+  EXPECT_EQ(r->size(), 5u);              // M^1
+  EXPECT_EQ(r->ColumnValues(1).size(), 1u);  // all-null column
+  auto result = EvaluateQuery(*q, *db, PlanKind::kNaive);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 5u);
+}
+
+TEST(WorstCaseDatabaseTest, RespectsSimpleKeys) {
+  // Proposition 4.5 with FDs: the constructed database satisfies them.
+  auto q = ParseQuery(
+      "Q(X,Y,Z) :- R(X,Y), S(Y,Z).\n"
+      "key S: 1.");
+  ASSERT_TRUE(q.ok());
+  Query chased = Chase(*q);
+  auto bound = ComputeSizeBound(*q);
+  ASSERT_TRUE(bound.ok());
+  EXPECT_EQ(bound->exponent, Rational(1));
+  ASSERT_TRUE(ValidateColoring(chased, bound->witness).ok());
+  auto db = BuildWorstCaseDatabase(chased, bound->witness, 6);
+  ASSERT_TRUE(db.ok()) << db.status();
+  EXPECT_TRUE(db->CheckFds(*q).ok());
+  auto result = EvaluateQuery(chased, *db, PlanKind::kNaive);
+  ASSERT_TRUE(result.ok());
+  // |Q(D)| = M^{head colors} = M^{C} at denominator 1 = 6.
+  EXPECT_EQ(result->size(),
+            static_cast<std::size_t>(
+                BigInt::Pow(BigInt(6), HeadColorCount(chased, bound->witness))
+                    .ToInt64()));
+}
+
+TEST(WorstCaseDatabaseTest, InvalidColoringRejected) {
+  auto q = ParseQuery("Q(X,Y) :- R(X,Y). fd R: 1 -> 2.");
+  ASSERT_TRUE(q.ok());
+  Coloring bad;
+  bad.labels.assign(2, {});
+  bad.labels[q->FindVariable("Y")] = {0};
+  EXPECT_FALSE(BuildWorstCaseDatabase(*q, bad, 3).ok());
+}
+
+TEST(ComputeSizeBoundTest, UpperBoundFlagByFdClass) {
+  auto no_fd = ParseQuery("S(X,Y,Z) :- R(X,Y), R(X,Z), R(Y,Z).");
+  ASSERT_TRUE(no_fd.ok());
+  auto b1 = ComputeSizeBound(*no_fd);
+  ASSERT_TRUE(b1.ok());
+  EXPECT_TRUE(b1->is_upper_bound);
+  EXPECT_EQ(b1->exponent, Rational(3, 2));
+
+  auto compound = ParseQuery("Q(X,Y,Z) :- R(X,Y,Z). fd R: 1,2 -> 3.");
+  ASSERT_TRUE(compound.ok());
+  auto b2 = ComputeSizeBound(*compound);
+  ASSERT_TRUE(b2.ok());
+  EXPECT_FALSE(b2->is_upper_bound);
+}
+
+// Property: on random databases the bound |Q(D)| <= rmax^{C(chase(Q))}
+// holds for simple-FD queries (Theorem 4.4).
+class SizeBoundPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SizeBoundPropertyTest, BoundHoldsOnRandomDatabases) {
+  const char* queries[] = {
+      "S(X,Y,Z) :- R(X,Y), R(X,Z), R(Y,Z).",
+      "Q(X,Z) :- R(X,Y), S(Y,Z).",
+      "Q(X,Y,Z) :- R(X,Y), S(Y,Z). key S: 1.",
+      "Q(X,Y,Z) :- R(X,Y), R(X,Z). key R: 1.",
+      "Q(A,B,C,D) :- R(A,B), S(B,C), T(C,D).",
+      "Q(W,X,Y,Z) :- R1(W,X,Y), R1(W,W,W), R2(Y,Z). key R1: 1.",
+  };
+  for (const char* text : queries) {
+    auto q = ParseQuery(text);
+    ASSERT_TRUE(q.ok()) << text;
+    auto bound = ComputeSizeBound(*q);
+    ASSERT_TRUE(bound.ok()) << bound.status();
+    ASSERT_TRUE(bound->is_upper_bound);
+    RandomDatabaseOptions opts;
+    opts.seed = static_cast<std::uint64_t>(GetParam()) * 1000 + 7;
+    opts.tuples_per_relation = 25;
+    opts.domain_size = 5;
+    Database db = RandomDatabase(*q, opts);
+    ASSERT_TRUE(db.CheckFds(*q).ok());
+    auto result = EvaluateQuery(*q, db, PlanKind::kNaive);
+    ASSERT_TRUE(result.ok());
+    BigInt actual(static_cast<std::int64_t>(result->size()));
+    BigInt rmax(static_cast<std::int64_t>(db.RMax(*q)));
+    EXPECT_TRUE(SatisfiesSizeBound(actual, rmax, bound->exponent))
+        << text << ": |Q(D)|=" << actual << " rmax=" << rmax
+        << " C=" << bound->exponent;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SizeBoundPropertyTest, ::testing::Range(1, 12));
+
+// Tightness: the product database achieves M^{q*C} with rmax <= rep * M^q
+// -- check |Q(D)| >= (rmax/rep)^C exactly on the witness coloring.
+class TightnessTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TightnessTest, WitnessDatabasesReachTheBound) {
+  const char* queries[] = {
+      "S(X,Y,Z) :- R(X,Y), R(X,Z), R(Y,Z).",
+      "Q(X,Z) :- R(X,Y), S(Y,Z).",
+      "Q(A,B,C,D) :- R(A,B), S(B,C), T(C,D).",
+  };
+  const std::int64_t m = 2 + GetParam() % 4;
+  for (const char* text : queries) {
+    auto q = ParseQuery(text);
+    ASSERT_TRUE(q.ok());
+    auto bound = ComputeSizeBound(*q);
+    ASSERT_TRUE(bound.ok());
+    Query chased = Chase(*q);
+    auto db = BuildWorstCaseDatabase(chased, bound->witness, m);
+    ASSERT_TRUE(db.ok());
+    auto result = EvaluateQuery(chased, *db, PlanKind::kNaive);
+    ASSERT_TRUE(result.ok());
+    // |Q(D)| = M^{head colors}; and head colors / max-atom-colors = C.
+    BigInt expected =
+        BigInt::Pow(BigInt(m), HeadColorCount(chased, bound->witness));
+    EXPECT_EQ(BigInt(static_cast<std::int64_t>(result->size())), expected)
+        << text;
+    // The bound is met with equality in the exponent:
+    // |Q(D)|^denominator == (M^q)^numerator where q*C = head colors.
+    BigInt rmax(static_cast<std::int64_t>(db->RMax(chased)));
+    BigInt rep(static_cast<std::int64_t>(chased.Rep()));
+    // rmax <= rep * M^{max atom colors}: verify the paper's inequality.
+    int max_atom_colors = 0;
+    for (std::size_t i = 0; i < chased.atoms().size(); ++i) {
+      max_atom_colors = std::max(
+          max_atom_colors,
+          static_cast<int>(bound->witness
+                               .UnionOver(chased.AtomVarSet(
+                                   static_cast<int>(i)))
+                               .size()));
+    }
+    EXPECT_TRUE(rmax <= rep * BigInt::Pow(BigInt(m), max_atom_colors));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ms, TightnessTest, ::testing::Range(0, 4));
+
+}  // namespace
+}  // namespace cqbounds

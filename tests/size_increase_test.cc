@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "core/color_number.h"
+#include "core/size_increase.h"
+#include "cq/chase.h"
+#include "cq/parser.h"
+#include "util/rng.h"
+
+namespace cqbounds {
+namespace {
+
+TEST(SizeIncreaseTest, ClassicPositiveAndNegativeCases) {
+  struct Case {
+    const char* text;
+    bool increase;
+  };
+  const Case cases[] = {
+      {"S(X,Y,Z) :- R(X,Y), R(X,Z), R(Y,Z).", true},        // C = 3/2
+      {"Q(X,Y) :- R(X,Y).", false},                          // C = 1
+      {"Q(X,Y) :- R(X), S(Y).", true},                       // product
+      {"Q(X,Y,Z) :- R(X,Y), S(Y,Z). key S: 1.", false},      // keyed join
+      {"Q(X,Y,Z) :- R(X,Y), S(Y,Z).", true},                 // unkeyed
+      {"Q(X) :- R(X,Y), S(Y,Z).", false},                    // projection
+      {"Q(W,X,Y,Z) :- R1(W,X,Y), R1(W,W,W), R2(Y,Z). key R1: 1.", false},
+  };
+  for (const Case& c : cases) {
+    auto q = ParseQuery(c.text);
+    ASSERT_TRUE(q.ok()) << c.text;
+    auto result = SizeIncreasePossible(*q);
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_EQ(*result, c.increase) << c.text;
+  }
+}
+
+TEST(SizeIncreaseTest, CompoundFdCases) {
+  // Theorem 7.2 covers arbitrary FDs. A compound key over both join columns
+  // kills the increase; over one column it does not.
+  auto blocked = ParseQuery(
+      "Q(X,Y,Z) :- R(X,Y,Z), R(X,Y,W).\n"
+      "fd R: 1,2 -> 3.");
+  ASSERT_TRUE(blocked.ok());
+  // chase merges Z and W; C(chase) = 1? The single-atom body has all head
+  // vars -> no increase.
+  auto blocked_result = SizeIncreasePossible(*blocked);
+  ASSERT_TRUE(blocked_result.ok());
+  EXPECT_FALSE(*blocked_result);
+
+  auto open = ParseQuery(
+      "Q(A,B,C,D) :- R(A,B,C), S(C,D).\n"
+      "fd R: 1,2 -> 3.");
+  ASSERT_TRUE(open.ok());
+  auto open_result = SizeIncreasePossible(*open);
+  ASSERT_TRUE(open_result.ok());
+  EXPECT_TRUE(*open_result);
+}
+
+TEST(SizeIncreaseTest, SatEncodingIsDualHorn) {
+  auto q = ParseQuery(
+      "Q(A,B,C,D) :- R(A,B,C), S(C,D).\n"
+      "fd R: 1,2 -> 3.");
+  ASSERT_TRUE(q.ok());
+  Query chased = Chase(*q);
+  for (std::size_t i = 0; i < chased.atoms().size(); ++i) {
+    Cnf sat = BuildSizeIncreaseSat(chased, static_cast<int>(i));
+    EXPECT_TRUE(sat.IsDualHorn());
+    EXPECT_EQ(sat.num_variables(), chased.num_variables());
+  }
+}
+
+TEST(SizeIncreaseTest, AgreesWithColorNumberGreaterThanOne) {
+  // Theorem 6.1: increase possible <=> C(chase(Q)) > 1.
+  const char* queries[] = {
+      "S(X,Y,Z) :- R(X,Y), R(X,Z), R(Y,Z).",
+      "Q(X,Y) :- R(X,Y).",
+      "Q(X,Y) :- R(X), S(Y).",
+      "Q(X,Y,Z) :- R(X,Y), S(Y,Z). key S: 1.",
+      "Q(X,Y,Z) :- R(X,Y), S(Y,Z).",
+      "Q(A,B,C,D) :- R(A,B,C), S(C,D). fd R: 1,2 -> 3.",
+      "Q(X) :- R(X,Y), S(Y,Z).",
+      "Q(X,Y,Z) :- R(X,Y,Z). fd R: 1,2 -> 3.",
+  };
+  for (const char* text : queries) {
+    auto q = ParseQuery(text);
+    ASSERT_TRUE(q.ok());
+    auto decision = SizeIncreasePossible(*q);
+    auto c = ColorNumberOfChase(*q);
+    ASSERT_TRUE(decision.ok());
+    ASSERT_TRUE(c.ok()) << c.status();
+    EXPECT_EQ(*decision, c->value > Rational(1)) << text;
+  }
+}
+
+TEST(SizeIncreaseTest, Theorem61LowerBoundOnC) {
+  // If C(chase(Q)) > 1 then C(chase(Q)) >= m/(m-1) where m = #atoms of
+  // chase(Q).
+  const char* queries[] = {
+      "S(X,Y,Z) :- R(X,Y), R(X,Z), R(Y,Z).",
+      "Q(X,Y) :- R(X), S(Y).",
+      "Q(X,Y,Z) :- R(X,Y), S(Y,Z).",
+      "Q(A,B,C,D) :- R(A,B,C), S(C,D). fd R: 1,2 -> 3.",
+      "Q(A,B,C,D,E) :- R(A,B), S(B,C), T(C,D), U(D,E), V(E,A).",
+  };
+  for (const char* text : queries) {
+    auto q = ParseQuery(text);
+    ASSERT_TRUE(q.ok());
+    Query chased = Chase(*q);
+    auto c = ColorNumberOfChase(*q);
+    ASSERT_TRUE(c.ok());
+    if (c->value > Rational(1)) {
+      auto m = static_cast<std::int64_t>(chased.atoms().size());
+      EXPECT_GE(c->value, Rational(m, m - 1)) << text;
+    }
+  }
+}
+
+// Random queries with random simple keys: the Horn decision must agree with
+// the LP pipeline.
+class SizeIncreaseRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SizeIncreaseRandomTest, HornAgreesWithLp) {
+  Rng rng(GetParam() * 13 + 5);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int nvars = 2 + static_cast<int>(rng.NextBelow(4));
+    const int natoms = 1 + static_cast<int>(rng.NextBelow(3));
+    Query q;
+    std::vector<int> vars;
+    for (int v = 0; v < nvars; ++v) {
+      vars.push_back(q.InternVariable("V" + std::to_string(v)));
+    }
+    std::set<int> used;
+    for (int a = 0; a < natoms; ++a) {
+      const int arity = 1 + static_cast<int>(rng.NextBelow(3));
+      std::vector<int> atom_vars;
+      for (int p = 0; p < arity; ++p) {
+        int v = vars[rng.NextBelow(nvars)];
+        atom_vars.push_back(v);
+        used.insert(v);
+      }
+      std::string rel = "R" + std::to_string(a);
+      q.AddAtom(rel, atom_vars);
+      if (arity >= 2 && rng.NextBool(1, 2)) {
+        q.AddSimpleKey(rel, 0, arity);
+      }
+    }
+    std::vector<int> head(used.begin(), used.end());
+    q.SetHead("Q", head);
+    if (!q.Validate().ok()) continue;
+    auto horn = SizeIncreasePossible(q);
+    auto lp = ColorNumberOfChase(q);
+    ASSERT_TRUE(horn.ok());
+    ASSERT_TRUE(lp.ok()) << lp.status() << " " << q.ToString();
+    EXPECT_EQ(*horn, lp->value > Rational(1)) << q.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SizeIncreaseRandomTest, ::testing::Range(1, 15));
+
+}  // namespace
+}  // namespace cqbounds

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "cq/parser.h"
+#include "relation/evaluate.h"
+#include "relation/text_io.h"
+
+namespace cqbounds {
+namespace {
+
+TEST(TextIoTest, ParseBasicDatabase) {
+  Database db;
+  Status status = ReadDatabaseTextFromString(
+      "# a comment\n"
+      "relation R 2\n"
+      "R a b\n"
+      "R a c   # trailing comment\n"
+      "\n"
+      "relation S 1\n"
+      "S a\n",
+      &db);
+  ASSERT_TRUE(status.ok()) << status;
+  const Relation* r = db.Find("R");
+  const Relation* s = db.Find("S");
+  ASSERT_NE(r, nullptr);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(r->size(), 2u);
+  EXPECT_EQ(s->size(), 1u);
+  // "a" means the same value in both relations.
+  EXPECT_EQ(r->tuples()[0][0], s->tuples()[0][0]);
+}
+
+TEST(TextIoTest, Errors) {
+  Database db;
+  EXPECT_EQ(ReadDatabaseTextFromString("relation R\n", &db).code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(ReadDatabaseTextFromString("R a b\n", &db).code(),
+            StatusCode::kParseError);  // undeclared
+  Database db2;
+  EXPECT_EQ(ReadDatabaseTextFromString(
+                "relation R 2\nR a\n", &db2).code(),
+            StatusCode::kParseError);  // arity mismatch
+  Database db3;
+  EXPECT_EQ(ReadDatabaseTextFromString(
+                "relation R 2\nrelation R 3\n", &db3).code(),
+            StatusCode::kParseError);  // re-declared
+}
+
+TEST(TextIoTest, RoundTrip) {
+  Database db;
+  ASSERT_TRUE(ReadDatabaseTextFromString(
+                  "relation E 2\nE 1 2\nE 2 3\nE 3 1\n", &db)
+                  .ok());
+  std::string rendered = WriteDatabaseTextToString(db);
+  Database again;
+  ASSERT_TRUE(ReadDatabaseTextFromString(rendered, &again).ok());
+  EXPECT_EQ(WriteDatabaseTextToString(again), rendered);
+  EXPECT_EQ(again.Find("E")->size(), 3u);
+}
+
+TEST(TextIoTest, LoadedDatabaseIsQueryable) {
+  Database db;
+  ASSERT_TRUE(ReadDatabaseTextFromString(
+                  "relation E 2\n"
+                  "E a b\nE b c\nE c a\n"   // a triangle
+                  "E c d\n",
+                  &db)
+                  .ok());
+  auto q = ParseQuery("T(X,Y,Z) :- E(X,Y), E(Y,Z), E(Z,X).");
+  ASSERT_TRUE(q.ok());
+  auto result = EvaluateQuery(*q, db, PlanKind::kJoinProject);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 3u);  // the triangle in its 3 rotations
+}
+
+TEST(TextIoTest, ZeroArityRelation) {
+  Database db;
+  ASSERT_TRUE(ReadDatabaseTextFromString("relation Nil 0\nNil\n", &db).ok());
+  EXPECT_EQ(db.Find("Nil")->size(), 1u);  // the empty tuple
+}
+
+}  // namespace
+}  // namespace cqbounds

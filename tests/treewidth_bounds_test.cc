@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "core/coloring.h"
+#include "core/size_bounds.h"
+#include "core/treewidth_bounds.h"
+#include "cq/chase.h"
+#include "cq/parser.h"
+#include "graph/gaifman.h"
+#include "graph/treewidth.h"
+#include "relation/evaluate.h"
+#include "sat/cnf.h"
+
+namespace cqbounds {
+namespace {
+
+TEST(TreewidthPreservationTest, NoFdsCriterion) {
+  // Preserved iff all head-variable pairs co-occur in some atom (Prop 5.9).
+  struct Case {
+    const char* text;
+    bool preserved;
+  };
+  const Case cases[] = {
+      {"Q(X,Y) :- R(X,Y).", true},
+      {"S(X,Y,Z) :- R(X,Y), R(X,Z), R(Y,Z).", true},
+      {"Rp(X,Y,Z) :- R(X,Y), R(X,Z).", false},  // Example 2.1: Y,Z uncovered
+      {"Q(X,Z) :- R(X,Y), S(Y,Z).", false},
+      {"Q(X) :- R(X,Y), S(Y,Z).", true},  // single head var
+      {"Q(X,Y) :- R(X), S(Y).", false},
+  };
+  for (const Case& c : cases) {
+    auto q = ParseQuery(c.text);
+    ASSERT_TRUE(q.ok());
+    EXPECT_EQ(TreewidthPreservedNoFds(*q), c.preserved) << c.text;
+    // Prop 5.9's equivalence: preserved <=> no 2-coloring with number 2.
+    EXPECT_EQ(TreewidthPreservedNoFds(*q), !ExistsTwoColoringNumberTwo(*q))
+        << c.text;
+  }
+}
+
+TEST(TreewidthPreservationTest, SimpleFdsViaElimination) {
+  // Keyed joins preserve treewidth even when the pair is uncovered before
+  // elimination: Q(X,Y,Z) <- R(X,Y), S(Y,Z) with key S[1] appends Z to
+  // every atom containing Y, covering (X, Z).
+  auto keyed = ParseQuery("Q(X,Y,Z) :- R(X,Y), S(Y,Z). key S: 1.");
+  ASSERT_TRUE(keyed.ok());
+  auto preserved = TreewidthPreservedSimpleFds(*keyed);
+  ASSERT_TRUE(preserved.ok()) << preserved.status();
+  EXPECT_TRUE(*preserved);
+
+  auto unkeyed = ParseQuery("Q(X,Y,Z) :- R(X,Y), S(Y,Z).");
+  ASSERT_TRUE(unkeyed.ok());
+  auto unkeyed_preserved = TreewidthPreservedSimpleFds(*unkeyed);
+  ASSERT_TRUE(unkeyed_preserved.ok());
+  EXPECT_FALSE(*unkeyed_preserved);
+
+  // Example 2.2 with chase: everything collapses, trivially preserved.
+  auto chase_case = ParseQuery(
+      "Q(W,X,Y,Z) :- R1(W,X,Y), R1(W,W,W), R2(Y,Z). key R1: 1.");
+  ASSERT_TRUE(chase_case.ok());
+  auto chase_preserved = TreewidthPreservedSimpleFds(*chase_case);
+  ASSERT_TRUE(chase_preserved.ok());
+  EXPECT_TRUE(*chase_preserved);
+}
+
+TEST(TreewidthPreservationTest, SimpleFdsAgreeWithTwoColoringSearch) {
+  const char* queries[] = {
+      "Q(X,Y,Z) :- R(X,Y), S(Y,Z). key S: 1.",
+      "Q(X,Y,Z) :- R(X,Y), S(Y,Z).",
+      "Rp(X,Y,Z) :- R(X,Y), R(X,Z). key R: 1.",
+      "Rp(X,Y,Z) :- R(X,Y), R(X,Z).",
+      "Q(A,B) :- R(A,X), S(X,B). fd R: 2 -> 1.",
+  };
+  for (const char* text : queries) {
+    auto q = ParseQuery(text);
+    ASSERT_TRUE(q.ok());
+    auto preserved = TreewidthPreservedSimpleFds(*q);
+    ASSERT_TRUE(preserved.ok()) << text;
+    Query chased = Chase(*q);
+    EXPECT_EQ(*preserved, !ExistsTwoColoringNumberTwo(chased)) << text;
+  }
+}
+
+TEST(TreewidthPreservationTest, CompoundFdsRejectedByEliminationPipeline) {
+  auto q = ParseQuery("Q(X,Y,Z) :- R(X,Y,Z). fd R: 1,2 -> 3.");
+  ASSERT_TRUE(q.ok());
+  auto preserved = TreewidthPreservedSimpleFds(*q);
+  EXPECT_FALSE(preserved.ok());
+  EXPECT_EQ(preserved.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(TreewidthBlowupTest, WitnessDatabaseBlowsUpExample21) {
+  // Proposition 5.9 direction 1: a 2-coloring with number 2 yields product
+  // databases with tw(inputs) <= 1 but tw(Q(D)) >= M - 1.
+  auto q = ParseQuery("Rp(X,Y,Z) :- R(X,Y), R(X,Z).");
+  ASSERT_TRUE(q.ok());
+  Coloring coloring;
+  coloring.labels.assign(3, {});
+  coloring.labels[q->FindVariable("Y")] = {0};
+  coloring.labels[q->FindVariable("Z")] = {1};
+  ASSERT_TRUE(ValidateColoring(*q, coloring).ok());
+  const std::int64_t m = 5;
+  auto db = BuildWorstCaseDatabase(*q, coloring, m);
+  ASSERT_TRUE(db.ok());
+  GaifmanGraph before = BuildGaifmanGraph(*db);
+  EXPECT_LE(EstimateTreewidth(before.graph).upper, 1);
+  auto result = EvaluateQuery(*q, *db, PlanKind::kNaive);
+  ASSERT_TRUE(result.ok());
+  // rep(Q) = 2: the relation holds the union of both atoms' tuple sets, so
+  // the output is at least M^2 (Prop 4.5 gives >= for repeated relations).
+  EXPECT_GE(result->size(), static_cast<std::size_t>(m * m));
+  GaifmanGraph after = BuildGaifmanGraph({&*result});
+  // Output Gaifman graph contains K_{2m} over the Y/Z values (plus null).
+  TreewidthEstimate est = EstimateTreewidth(after.graph);
+  EXPECT_GE(est.lower, static_cast<int>(m) - 1);
+}
+
+TEST(FormulaTest, Theorem510AndProposition57) {
+  auto q = ParseQuery("Q(X,Y) :- R(X,Y).");
+  ASSERT_TRUE(q.ok());
+  // 2^{m |var|^2} (1 + max(tw, 2)) - 1 with m=1, |var|=2: 16*(1+2)-1 = 47.
+  EXPECT_DOUBLE_EQ(Theorem510Bound(*q, 1), 47.0);
+  // l^{n-1} (1 + max(tw,2)) - 1: l=3, n=3, tw=4 -> 9*5-1 = 44.
+  EXPECT_DOUBLE_EQ(KeyedJoinSequenceBound(3, 3, 4), 44.0);
+  EXPECT_DOUBLE_EQ(KeyedJoinSequenceBound(2, 2, 1), 2.0 * 3.0 - 1.0);
+}
+
+TEST(HardnessReductionTest, StructureMatchesProposition73) {
+  ThreeSatInstance inst;
+  inst.num_variables = 2;
+  inst.clauses.push_back(
+      {Literal{0, true}, Literal{1, false}, Literal{0, false}});
+  Query q = BuildHardnessReduction(inst);
+  ASSERT_TRUE(q.Validate().ok()) << q.ToString();
+  // 4 atoms per variable + 1 per clause.
+  EXPECT_EQ(q.atoms().size(), 4u * 2 + 1);
+  // FDs: two per variable + one per clause.
+  EXPECT_EQ(q.fds().size(), 2u * 2 + 1);
+  EXPECT_FALSE(q.AllFdsSimple());
+  // Head is Q(A, B).
+  EXPECT_EQ(q.head_vars().size(), 2u);
+}
+
+class HardnessEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HardnessEquivalenceTest, SatIffTwoColoring) {
+  // Proposition 7.3: E satisfiable <=> Q_E has a 2-coloring with color
+  // number 2. Cross-validate on random tiny instances.
+  ThreeSatInstance inst = RandomThreeSat(3, 3 + GetParam() % 5,
+                                         static_cast<std::uint64_t>(
+                                             GetParam() * 91 + 17));
+  bool satisfiable = BruteForceSatisfiable(inst.ToCnf(), nullptr);
+  Query q = BuildHardnessReduction(inst);
+  bool coloring = ExistsTwoColoringNumberTwo(q);
+  EXPECT_EQ(satisfiable, coloring);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HardnessEquivalenceTest,
+                         ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace cqbounds

@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "util/bigint.h"
+#include "util/rational.h"
+#include "util/rng.h"
+#include "util/subset.h"
+
+namespace cqbounds {
+namespace {
+
+TEST(BigIntTest, ConstructionAndToString) {
+  EXPECT_EQ(BigInt(0).ToString(), "0");
+  EXPECT_EQ(BigInt(42).ToString(), "42");
+  EXPECT_EQ(BigInt(-7).ToString(), "-7");
+  EXPECT_EQ(BigInt(INT64_MAX).ToString(), "9223372036854775807");
+  EXPECT_EQ(BigInt(INT64_MIN).ToString(), "-9223372036854775808");
+}
+
+TEST(BigIntTest, ParseRoundTrip) {
+  for (const char* text :
+       {"0", "1", "-1", "123456789012345678901234567890",
+        "-999999999999999999999999999999999"}) {
+    BigInt v;
+    ASSERT_TRUE(BigInt::Parse(text, &v)) << text;
+    EXPECT_EQ(v.ToString(), text);
+  }
+}
+
+TEST(BigIntTest, ParseRejectsMalformed) {
+  BigInt v;
+  EXPECT_FALSE(BigInt::Parse("", &v));
+  EXPECT_FALSE(BigInt::Parse("-", &v));
+  EXPECT_FALSE(BigInt::Parse("12a3", &v));
+  EXPECT_FALSE(BigInt::Parse("1.5", &v));
+}
+
+TEST(BigIntTest, ArithmeticMatchesInt64Reference) {
+  Rng rng(7);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::int64_t a = rng.NextInRange(-1000000, 1000000);
+    std::int64_t b = rng.NextInRange(-1000000, 1000000);
+    BigInt ba(a), bb(b);
+    EXPECT_EQ((ba + bb).ToInt64(), a + b);
+    EXPECT_EQ((ba - bb).ToInt64(), a - b);
+    EXPECT_EQ((ba * bb).ToInt64(), a * b);
+    if (b != 0) {
+      EXPECT_EQ((ba / bb).ToInt64(), a / b) << a << "/" << b;
+      EXPECT_EQ((ba % bb).ToInt64(), a % b) << a << "%" << b;
+    }
+    EXPECT_EQ(ba < bb, a < b);
+    EXPECT_EQ(ba == bb, a == b);
+  }
+}
+
+TEST(BigIntTest, MultiLimbDivMod) {
+  // Stress Knuth algorithm D with operands far beyond 64 bits: check the
+  // division identity a == q*b + r with |r| < |b| and sign(r) == sign(a).
+  Rng rng(11);
+  for (int trial = 0; trial < 300; ++trial) {
+    // Build random numbers with 3-9 limbs via string digits.
+    auto random_big = [&rng](int digits) {
+      std::string s;
+      if (rng.NextBool(1, 2)) s += '-';
+      s += static_cast<char>('1' + rng.NextBelow(9));
+      for (int i = 1; i < digits; ++i) {
+        s += static_cast<char>('0' + rng.NextBelow(10));
+      }
+      BigInt v;
+      EXPECT_TRUE(BigInt::Parse(s, &v));
+      return v;
+    };
+    BigInt a = random_big(30 + static_cast<int>(rng.NextBelow(40)));
+    BigInt b = random_big(10 + static_cast<int>(rng.NextBelow(25)));
+    BigInt q, r;
+    BigInt::DivMod(a, b, &q, &r);
+    EXPECT_EQ(q * b + r, a);
+    EXPECT_TRUE(r.Abs() < b.Abs());
+    if (!r.IsZero()) {
+      EXPECT_EQ(r.Sign(), a.Sign());
+    }
+  }
+}
+
+TEST(BigIntTest, DivModAddBackBranch) {
+  // A case engineered to exercise the rare "add back" correction in Knuth D:
+  // dividend slightly below a multiple of the divisor with max top limbs.
+  BigInt a, b;
+  ASSERT_TRUE(BigInt::Parse("340282366920938463463374607431768211455", &a));
+  ASSERT_TRUE(BigInt::Parse("18446744073709551615", &b));  // 2^64 - 1
+  BigInt q, r;
+  BigInt::DivMod(a, b, &q, &r);
+  EXPECT_EQ(q * b + r, a);
+  EXPECT_TRUE(r < b);
+}
+
+TEST(BigIntTest, PowAndGcd) {
+  EXPECT_EQ(BigInt::Pow(BigInt(2), 10).ToInt64(), 1024);
+  EXPECT_EQ(BigInt::Pow(BigInt(10), 0).ToInt64(), 1);
+  EXPECT_EQ(BigInt::Pow(BigInt(3), 40).ToString(), "12157665459056928801");
+  EXPECT_EQ(BigInt::Gcd(BigInt(48), BigInt(36)).ToInt64(), 12);
+  EXPECT_EQ(BigInt::Gcd(BigInt(-48), BigInt(36)).ToInt64(), 12);
+  EXPECT_EQ(BigInt::Gcd(BigInt(0), BigInt(5)).ToInt64(), 5);
+}
+
+TEST(BigIntTest, FitsInt64Boundaries) {
+  std::int64_t out = 0;
+  EXPECT_TRUE(BigInt(INT64_MAX).FitsInt64(&out));
+  EXPECT_EQ(out, INT64_MAX);
+  EXPECT_TRUE(BigInt(INT64_MIN).FitsInt64(&out));
+  EXPECT_EQ(out, INT64_MIN);
+  BigInt too_big = BigInt(INT64_MAX) + BigInt(1);
+  EXPECT_FALSE(too_big.FitsInt64(&out));
+  BigInt too_small = BigInt(INT64_MIN) - BigInt(1);
+  EXPECT_FALSE(too_small.FitsInt64(&out));
+}
+
+TEST(BigIntTest, BitLength) {
+  EXPECT_EQ(BigInt(0).BitLength(), 0);
+  EXPECT_EQ(BigInt(1).BitLength(), 1);
+  EXPECT_EQ(BigInt(255).BitLength(), 8);
+  EXPECT_EQ(BigInt(256).BitLength(), 9);
+  EXPECT_EQ(BigInt::Pow(BigInt(2), 100).BitLength(), 101);
+}
+
+TEST(RationalTest, NormalizationAndToString) {
+  EXPECT_EQ(Rational(6, 4).ToString(), "3/2");
+  EXPECT_EQ(Rational(-6, 4).ToString(), "-3/2");
+  EXPECT_EQ(Rational(6, -4).ToString(), "-3/2");
+  EXPECT_EQ(Rational(-6, -4).ToString(), "3/2");
+  EXPECT_EQ(Rational(0, 17).ToString(), "0");
+  EXPECT_EQ(Rational(8, 4).ToString(), "2");
+  EXPECT_TRUE(Rational(8, 4).IsInteger());
+}
+
+TEST(RationalTest, Arithmetic) {
+  EXPECT_EQ(Rational(1, 2) + Rational(1, 3), Rational(5, 6));
+  EXPECT_EQ(Rational(1, 2) - Rational(1, 3), Rational(1, 6));
+  EXPECT_EQ(Rational(2, 3) * Rational(3, 4), Rational(1, 2));
+  EXPECT_EQ(Rational(1, 2) / Rational(1, 4), Rational(2));
+  EXPECT_EQ(-Rational(1, 2), Rational(-1, 2));
+}
+
+TEST(RationalTest, Ordering) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_LT(Rational(-1, 2), Rational(-1, 3));
+  EXPECT_LT(Rational(-1), Rational(0));
+  EXPECT_GE(Rational(3, 2), Rational(3, 2));
+  EXPECT_GT(Rational(7, 4), Rational(3, 2));
+}
+
+TEST(RationalTest, FieldAxiomsRandomized) {
+  Rng rng(3);
+  auto random_rational = [&rng]() {
+    std::int64_t num = rng.NextInRange(-50, 50);
+    std::int64_t den = rng.NextInRange(1, 50);
+    return Rational(num, den);
+  };
+  for (int trial = 0; trial < 500; ++trial) {
+    Rational a = random_rational();
+    Rational b = random_rational();
+    Rational c = random_rational();
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ(a + Rational(0), a);
+    EXPECT_EQ(a * Rational(1), a);
+    if (!a.IsZero()) {
+      EXPECT_EQ(a / a, Rational(1));
+    }
+  }
+}
+
+TEST(RationalTest, FloorCeil) {
+  EXPECT_EQ(Rational(7, 2).Floor().ToInt64(), 3);
+  EXPECT_EQ(Rational(7, 2).Ceil().ToInt64(), 4);
+  EXPECT_EQ(Rational(-7, 2).Floor().ToInt64(), -4);
+  EXPECT_EQ(Rational(-7, 2).Ceil().ToInt64(), -3);
+  EXPECT_EQ(Rational(4).Floor().ToInt64(), 4);
+  EXPECT_EQ(Rational(4).Ceil().ToInt64(), 4);
+}
+
+TEST(RationalTest, Parse) {
+  Rational r;
+  ASSERT_TRUE(Rational::Parse("3/2", &r));
+  EXPECT_EQ(r, Rational(3, 2));
+  ASSERT_TRUE(Rational::Parse("-10", &r));
+  EXPECT_EQ(r, Rational(-10));
+  EXPECT_FALSE(Rational::Parse("1/0", &r));
+  EXPECT_FALSE(Rational::Parse("a/b", &r));
+}
+
+TEST(SubsetTest, Basics) {
+  EXPECT_EQ(PopCount(0b1011), 3);
+  EXPECT_TRUE(IsSubsetOf(0b001, 0b011));
+  EXPECT_FALSE(IsSubsetOf(0b100, 0b011));
+  EXPECT_TRUE(Contains(0b100, 2));
+  EXPECT_FALSE(Contains(0b100, 1));
+  EXPECT_EQ(FullSet(3), 0b111u);
+  EXPECT_EQ(FullSet(0), 0u);
+  EXPECT_EQ(MaskOf({0, 2}), 0b101u);
+  EXPECT_EQ(Elements(0b101), (std::vector<int>{0, 2}));
+}
+
+TEST(SubsetTest, ForEachSubsetEnumeratesAll) {
+  int count = 0;
+  SubsetMask seen = 0;
+  ForEachSubset(0b1010, [&](SubsetMask s) {
+    ++count;
+    EXPECT_TRUE(IsSubsetOf(s, 0b1010));
+    seen |= s;
+  });
+  EXPECT_EQ(count, 4);  // 2^2 subsets
+  EXPECT_EQ(seen, 0b1010u);
+}
+
+TEST(RngTest, DeterministicAndBounded) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+  Rng c(1);
+  for (int i = 0; i < 1000; ++i) {
+    std::uint64_t v = c.NextBelow(7);
+    EXPECT_LT(v, 7u);
+    std::int64_t r = c.NextInRange(-3, 3);
+    EXPECT_GE(r, -3);
+    EXPECT_LE(r, 3);
+  }
+}
+
+}  // namespace
+}  // namespace cqbounds
