@@ -3,6 +3,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <string>
@@ -11,7 +16,9 @@
 namespace cqbounds::bench {
 
 /// Minimal aligned-table printer for the paper-shaped result tables each
-/// bench emits before running its google-benchmark timers.
+/// bench emits before running its google-benchmark timers. Every printed
+/// table is also recorded in a process-wide registry so `--json out.json`
+/// can dump the full experiment output for perf tracking (see CQB_BENCH_MAIN).
 class Table {
  public:
   explicit Table(std::vector<std::string> headers)
@@ -19,48 +26,194 @@ class Table {
 
   void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
 
-  void Print(std::ostream& os = std::cout) const {
-    std::vector<std::size_t> widths(headers_.size());
-    for (std::size_t c = 0; c < headers_.size(); ++c) {
-      widths[c] = headers_[c].size();
-    }
-    for (const auto& row : rows_) {
-      for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
-        widths[c] = std::max(widths[c], row[c].size());
-      }
-    }
-    auto print_row = [&](const std::vector<std::string>& row) {
-      for (std::size_t c = 0; c < row.size(); ++c) {
-        os << std::left << std::setw(static_cast<int>(widths[c]) + 2)
-           << row[c];
-      }
-      os << "\n";
-    };
-    print_row(headers_);
-    std::size_t total = 0;
-    for (std::size_t w : widths) total += w + 2;
-    os << std::string(total, '-') << "\n";
-    for (const auto& row : rows_) print_row(row);
-  }
+  void Print(std::ostream& os = std::cout);
+
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
 
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;
+  bool recorded_ = false;
 };
+
+/// Registry of every table printed so far, in print order.
+inline std::vector<Table>& PrintedTables() {
+  static std::vector<Table> tables;
+  return tables;
+}
+
+inline void Table::Print(std::ostream& os) {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(widths[c]) + 2)
+         << row[c];
+    }
+    os << "\n";
+  };
+  print_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  os << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) print_row(row);
+  // Record for --json exactly once, even if the table is printed to several
+  // streams.
+  if (!recorded_) {
+    recorded_ = true;
+    PrintedTables().push_back(*this);
+  }
+}
 
 inline std::string Num(std::size_t v) { return std::to_string(v); }
 inline std::string Num(std::int64_t v) { return std::to_string(v); }
 inline std::string Num(int v) { return std::to_string(v); }
 
+namespace internal {
+
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+inline void WriteStringArray(std::ostream& os,
+                             const std::vector<std::string>& values) {
+  os << "[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << '"' << JsonEscape(values[i]) << '"';
+  }
+  os << "]";
+}
+
+/// Dumps every table printed so far as a JSON document:
+///   {"bench": ..., "quick": ..., "table_seconds": ...,
+///    "tables": [{"headers": [...], "rows": [[...], ...]}, ...]}
+inline bool WriteTablesJson(const std::string& path, const std::string& bench,
+                            bool quick, double table_seconds) {
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "error: cannot open --json output file: " << path << "\n";
+    return false;
+  }
+  os << "{\n  \"bench\": \"" << JsonEscape(bench) << "\",\n"
+     << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
+     << "  \"table_seconds\": " << table_seconds << ",\n"
+     << "  \"tables\": [\n";
+  const auto& tables = PrintedTables();
+  for (std::size_t t = 0; t < tables.size(); ++t) {
+    os << "    {\"headers\": ";
+    WriteStringArray(os, tables[t].headers());
+    os << ",\n     \"rows\": [\n";
+    const auto& rows = tables[t].rows();
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      os << "       ";
+      WriteStringArray(os, rows[r]);
+      os << (r + 1 < rows.size() ? ",\n" : "\n");
+    }
+    os << "     ]}" << (t + 1 < tables.size() ? ",\n" : "\n");
+  }
+  os << "  ]\n}\n";
+  return os.good();
+}
+
+struct BenchOptions {
+  bool quick = false;
+  bool error = false;
+  std::string json_path;
+};
+
+/// Strips the shared cqbounds flags (--quick, --json <path>, --json=<path>)
+/// from argv before google-benchmark sees the remainder.
+inline BenchOptions ParseSharedFlags(int* argc, char** argv) {
+  BenchOptions opts;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      opts.quick = true;
+    } else if (arg == "--json") {
+      if (i + 1 >= *argc) {
+        std::cerr << "error: --json requires an output path\n";
+        opts.error = true;
+        break;
+      }
+      opts.json_path = argv[++i];
+    } else if (arg.rfind("--json=", 0) == 0) {
+      opts.json_path = arg.substr(std::strlen("--json="));
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  return opts;
+}
+
+inline std::string Basename(const char* argv0) {
+  std::string name = argv0 ? argv0 : "bench";
+  std::size_t slash = name.find_last_of("/\\");
+  if (slash != std::string::npos) name = name.substr(slash + 1);
+  return name;
+}
+
+}  // namespace internal
+
 /// Shared main: print the experiment table(s) via `print_tables`, then run
-/// the registered google-benchmark timers.
-#define CQB_BENCH_MAIN(print_tables)                      \
-  int main(int argc, char** argv) {                       \
-    print_tables();                                       \
-    ::benchmark::Initialize(&argc, argv);                 \
-    ::benchmark::RunSpecifiedBenchmarks();                \
-    ::benchmark::Shutdown();                              \
-    return 0;                                             \
+/// the registered google-benchmark timers. `--quick` skips the timer loops
+/// (the tables alone exercise every code path end to end -- this is what the
+/// bench smoke test runs); `--json out.json` dumps all printed tables.
+#define CQB_BENCH_MAIN(print_tables)                                        \
+  int main(int argc, char** argv) {                                         \
+    const auto cqb_opts =                                                   \
+        ::cqbounds::bench::internal::ParseSharedFlags(&argc, argv);         \
+    if (cqb_opts.error) return 2;                                           \
+    const auto cqb_t0 = std::chrono::steady_clock::now();                   \
+    print_tables();                                                         \
+    const double cqb_table_seconds =                                        \
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -    \
+                                      cqb_t0)                               \
+            .count();                                                       \
+    if (!cqb_opts.json_path.empty() &&                                      \
+        !::cqbounds::bench::internal::WriteTablesJson(                      \
+            cqb_opts.json_path,                                             \
+            ::cqbounds::bench::internal::Basename(argv[0]), cqb_opts.quick, \
+            cqb_table_seconds)) {                                           \
+      return 1;                                                             \
+    }                                                                       \
+    if (cqb_opts.quick) {                                                   \
+      std::cout << "\n[--quick] skipping google-benchmark timer loops\n";   \
+      return 0;                                                             \
+    }                                                                       \
+    ::benchmark::Initialize(&argc, argv);                                   \
+    ::benchmark::RunSpecifiedBenchmarks();                                  \
+    ::benchmark::Shutdown();                                                \
+    return 0;                                                               \
   }
 
 }  // namespace cqbounds::bench

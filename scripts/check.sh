@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# One-command tier-1 verify: configure + build + ctest.
+#
+# Usage:
+#   scripts/check.sh                 # default build dir ./build
+#   BUILD_DIR=out scripts/check.sh   # custom build dir
+#   CXX=clang++ scripts/check.sh     # custom compiler
+#   scripts/check.sh -DCQBOUNDS_FORCE_BUNDLED_GTEST=ON   # extra cmake args
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
+
+cmake -B "$BUILD_DIR" -S . "$@"
+cmake --build "$BUILD_DIR" -j "$JOBS"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"

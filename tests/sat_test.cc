@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "sat/cnf.h"
 #include "sat/threesat.h"
 #include "util/rng.h"

@@ -1,0 +1,170 @@
+// Tests for util/status.h: every StatusCode, StatusCodeName, Status
+// construction/equality/printing, Result<T> ok/error propagation through the
+// CQB_* macros, and move semantics of Result values.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace cqbounds {
+namespace {
+
+TEST(StatusCodeTest, EveryCodeHasAStableName) {
+  const std::vector<std::pair<StatusCode, std::string>> expected = {
+      {StatusCode::kOk, "OK"},
+      {StatusCode::kInvalidArgument, "InvalidArgument"},
+      {StatusCode::kNotFound, "NotFound"},
+      {StatusCode::kOutOfRange, "OutOfRange"},
+      {StatusCode::kFailedPrecondition, "FailedPrecondition"},
+      {StatusCode::kUnimplemented, "Unimplemented"},
+      {StatusCode::kInternal, "Internal"},
+      {StatusCode::kResourceExhausted, "ResourceExhausted"},
+      {StatusCode::kParseError, "ParseError"},
+      {StatusCode::kInfeasible, "Infeasible"},
+      {StatusCode::kUnbounded, "Unbounded"},
+  };
+  for (const auto& [code, name] : expected) {
+    EXPECT_EQ(StatusCodeName(code), name);
+  }
+}
+
+TEST(StatusCodeTest, OkIsZeroSoDefaultStatusIsOk) {
+  EXPECT_EQ(static_cast<int>(StatusCode::kOk), 0);
+  EXPECT_TRUE(Status().ok());
+  EXPECT_EQ(Status().code(), StatusCode::kOk);
+}
+
+TEST(StatusTest, FactoriesProduceMatchingCodeAndMessage) {
+  const std::vector<std::pair<Status, StatusCode>> cases = {
+      {Status::InvalidArgument("m"), StatusCode::kInvalidArgument},
+      {Status::NotFound("m"), StatusCode::kNotFound},
+      {Status::OutOfRange("m"), StatusCode::kOutOfRange},
+      {Status::FailedPrecondition("m"), StatusCode::kFailedPrecondition},
+      {Status::Unimplemented("m"), StatusCode::kUnimplemented},
+      {Status::Internal("m"), StatusCode::kInternal},
+      {Status::ParseError("m"), StatusCode::kParseError},
+      {Status::Infeasible("m"), StatusCode::kInfeasible},
+      {Status::Unbounded("m"), StatusCode::kUnbounded},
+  };
+  for (const auto& [status, code] : cases) {
+    EXPECT_FALSE(status.ok()) << StatusCodeName(code);
+    EXPECT_EQ(status.code(), code);
+    EXPECT_EQ(status.message(), "m");
+  }
+  // kResourceExhausted has no factory; the two-arg constructor covers it.
+  const Status exhausted(StatusCode::kResourceExhausted, "m");
+  EXPECT_EQ(exhausted.code(), StatusCode::kResourceExhausted);
+  EXPECT_FALSE(exhausted.ok());
+}
+
+TEST(StatusTest, ToStringAndStreaming) {
+  EXPECT_EQ(Status::OK().ToString(), "OK");
+  EXPECT_EQ(Status::NotFound("no such relation").ToString(),
+            "NotFound: no such relation");
+  EXPECT_EQ(Status(StatusCode::kInternal, "").ToString(), "Internal");
+  std::ostringstream os;
+  os << Status::ParseError("line 3");
+  EXPECT_EQ(os.str(), "ParseError: line 3");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Internal("x"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::Infeasible("empty polytope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInfeasible);
+  EXPECT_EQ(r.status().message(), "empty polytope");
+}
+
+TEST(ResultTest, ArrowOperatorReachesValueMembers) {
+  Result<std::string> r(std::string("treewidth"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 9u);
+  EXPECT_EQ(*r, "treewidth");
+}
+
+TEST(ResultTest, MoveValueOrDieTransfersOwnership) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> owned = r.MoveValueOrDie();
+  ASSERT_TRUE(owned != nullptr);
+  EXPECT_EQ(*owned, 7);
+}
+
+TEST(ResultTest, MoveOnlyVectorRoundTrip) {
+  std::vector<std::unique_ptr<int>> v;
+  v.push_back(std::make_unique<int>(1));
+  v.push_back(std::make_unique<int>(2));
+  Result<std::vector<std::unique_ptr<int>>> r(std::move(v));
+  ASSERT_TRUE(r.ok());
+  auto out = r.MoveValueOrDie();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(*out[0], 1);
+  EXPECT_EQ(*out[1], 2);
+}
+
+Status FailIfNegative(int v) {
+  if (v < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status CheckBoth(int a, int b) {
+  CQB_RETURN_NOT_OK(FailIfNegative(a));
+  CQB_RETURN_NOT_OK(FailIfNegative(b));
+  return Status::OK();
+}
+
+TEST(StatusMacroTest, ReturnNotOkPropagatesFirstError) {
+  EXPECT_TRUE(CheckBoth(1, 2).ok());
+  const Status bad = CheckBoth(-1, 2);
+  EXPECT_EQ(bad.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(CheckBoth(1, -2).code(), StatusCode::kInvalidArgument);
+}
+
+Result<int> HalfOf(int v) {
+  if (v % 2 != 0) return Status::OutOfRange("odd");
+  return v / 2;
+}
+
+Result<int> QuarterOf(int v) {
+  int half = 0;
+  CQB_ASSIGN_OR_RETURN(half, HalfOf(v));
+  CQB_ASSIGN_OR_RETURN(half, HalfOf(half));
+  return half;
+}
+
+TEST(StatusMacroTest, AssignOrReturnChainsAndPropagates) {
+  Result<int> ok = QuarterOf(12);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 3);
+
+  Result<int> odd_at_first = QuarterOf(9);
+  ASSERT_FALSE(odd_at_first.ok());
+  EXPECT_EQ(odd_at_first.status().code(), StatusCode::kOutOfRange);
+
+  Result<int> odd_at_second = QuarterOf(6);  // 6 -> 3, then 3 is odd.
+  ASSERT_FALSE(odd_at_second.ok());
+  EXPECT_EQ(odd_at_second.status().code(), StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace cqbounds

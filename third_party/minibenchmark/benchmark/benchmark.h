@@ -1,0 +1,261 @@
+// minibenchmark -- a single-header, offline Google-Benchmark-compatible shim.
+//
+// Implements the API subset the cqbounds bench harness uses: BENCHMARK(fn)
+// with ->Arg / ->Args / ->DenseRange / ->Range / ->Unit chaining,
+// benchmark::State (range-for iteration, state.range(i), SkipWithError),
+// benchmark::DoNotOptimize, Initialize / RunSpecifiedBenchmarks / Shutdown,
+// and the TimeUnit constants. Timing is a simple two-phase calibrate-and-run
+// loop -- good enough to exercise every bench end to end offline; use a real
+// Google Benchmark (preferred automatically by the build when present) for
+// publishable numbers.
+
+#ifndef MINIBENCHMARK_BENCHMARK_BENCHMARK_H_
+#define MINIBENCHMARK_BENCHMARK_BENCHMARK_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace benchmark {
+
+enum TimeUnit { kNanosecond, kMicrosecond, kMillisecond, kSecond };
+
+template <class T>
+inline void DoNotOptimize(T const& value) {
+#if defined(__GNUC__) || defined(__clang__)
+  asm volatile("" : : "r,m"(value) : "memory");
+#else
+  static volatile const void* sink;
+  sink = &value;
+#endif
+}
+
+template <class T>
+inline void DoNotOptimize(T& value) {
+#if defined(__GNUC__) || defined(__clang__)
+  asm volatile("" : "+r,m"(value) : : "memory");
+#else
+  static volatile const void* sink;
+  sink = &value;
+#endif
+}
+
+class State {
+ public:
+  State(std::vector<std::int64_t> args, std::int64_t max_iterations)
+      : args_(std::move(args)), max_iterations_(max_iterations) {}
+
+  struct iterator {
+    std::int64_t remaining;
+    bool operator!=(const iterator& other) const {
+      return remaining != other.remaining;
+    }
+    iterator& operator++() {
+      --remaining;
+      return *this;
+    }
+    struct Value {};
+    Value operator*() const { return Value{}; }
+  };
+
+  iterator begin() { return iterator{error_ ? 0 : max_iterations_}; }
+  iterator end() { return iterator{0}; }
+
+  std::int64_t range(std::size_t index = 0) const {
+    return index < args_.size() ? args_[index] : 0;
+  }
+
+  void SkipWithError(const char* message) {
+    error_ = true;
+    error_message_ = message;
+  }
+  void SkipWithError(const std::string& message) {
+    SkipWithError(message.c_str());
+  }
+
+  bool skipped() const { return error_; }
+  const std::string& error_message() const { return error_message_; }
+  std::int64_t iterations() const { return error_ ? 0 : max_iterations_; }
+
+ private:
+  std::vector<std::int64_t> args_;
+  std::int64_t max_iterations_;
+  bool error_ = false;
+  std::string error_message_;
+};
+
+namespace internal {
+
+struct Flags {
+  std::string filter;
+  double min_time_seconds = 0.01;  // Shim default: quick but non-trivial.
+};
+
+inline Flags& GetFlags() {
+  static Flags flags;
+  return flags;
+}
+
+class Benchmark {
+ public:
+  using Function = void (*)(State&);
+
+  Benchmark(std::string name, Function fn) : name_(std::move(name)), fn_(fn) {}
+
+  Benchmark* Arg(std::int64_t value) {
+    arg_lists_.push_back({value});
+    return this;
+  }
+  Benchmark* Args(const std::vector<std::int64_t>& values) {
+    arg_lists_.push_back(values);
+    return this;
+  }
+  Benchmark* DenseRange(std::int64_t lo, std::int64_t hi,
+                        std::int64_t step = 1) {
+    for (std::int64_t v = lo; v <= hi; v += step) arg_lists_.push_back({v});
+    return this;
+  }
+  Benchmark* Range(std::int64_t lo, std::int64_t hi) {
+    // Google Benchmark uses a multiplicative sweep (default factor 8).
+    for (std::int64_t v = lo; v < hi; v = v <= 0 ? 1 : v * 8) {
+      arg_lists_.push_back({v});  // v <= 0 must still advance, not spin.
+    }
+    arg_lists_.push_back({hi});
+    return this;
+  }
+  Benchmark* Unit(TimeUnit unit) {
+    unit_ = unit;
+    return this;
+  }
+  // Accepted-but-inert tuning knobs, for source compatibility.
+  Benchmark* Iterations(std::int64_t) { return this; }
+  Benchmark* MinTime(double seconds) {
+    min_time_override_ = seconds;
+    return this;
+  }
+
+  void Run() const {
+    const std::vector<std::vector<std::int64_t>> configs =
+        arg_lists_.empty() ? std::vector<std::vector<std::int64_t>>{{}}
+                           : arg_lists_;
+    for (const auto& args : configs) {
+      std::string label = name_;
+      for (std::int64_t a : args) label += "/" + std::to_string(a);
+      if (!GetFlags().filter.empty() &&
+          label.find(GetFlags().filter) == std::string::npos) {
+        continue;
+      }
+      RunOne(label, args);
+    }
+  }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  void RunOne(const std::string& label,
+              const std::vector<std::int64_t>& args) const {
+    using Clock = std::chrono::steady_clock;
+    // Calibration pass: one iteration to estimate the per-iteration cost.
+    State probe(args, 1);
+    auto t0 = Clock::now();
+    fn_(probe);
+    double per_iter =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    if (probe.skipped()) {
+      std::printf("%-40s SKIPPED: %s\n", label.c_str(),
+                  probe.error_message().c_str());
+      return;
+    }
+    const double min_time = min_time_override_ > 0 ? min_time_override_
+                                                   : GetFlags().min_time_seconds;
+    std::int64_t iters = 1;
+    if (per_iter > 0 && per_iter < min_time) {
+      iters = std::clamp<std::int64_t>(
+          static_cast<std::int64_t>(min_time / per_iter), 1, 10000000);
+    }
+    State state(args, iters);
+    t0 = Clock::now();
+    fn_(state);
+    const double total =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    const double ns = total / static_cast<double>(iters) * 1e9;
+    const char* unit_name = "ns";
+    double value = ns;
+    switch (unit_) {
+      case kNanosecond: break;
+      case kMicrosecond: value = ns / 1e3; unit_name = "us"; break;
+      case kMillisecond: value = ns / 1e6; unit_name = "ms"; break;
+      case kSecond: value = ns / 1e9; unit_name = "s"; break;
+    }
+    std::printf("%-40s %12.3f %s %12lld iterations\n", label.c_str(), value,
+                unit_name, static_cast<long long>(iters));
+  }
+
+  std::string name_;
+  Function fn_;
+  std::vector<std::vector<std::int64_t>> arg_lists_;
+  TimeUnit unit_ = kNanosecond;
+  double min_time_override_ = 0;
+};
+
+inline std::vector<Benchmark*>& GetRegistry() {
+  static std::vector<Benchmark*> registry;
+  return registry;
+}
+
+inline Benchmark* RegisterBenchmarkInternal(const char* name,
+                                            Benchmark::Function fn) {
+  // Leaked intentionally: registrations live for the whole process, exactly
+  // like Google Benchmark's own registry.
+  Benchmark* b = new Benchmark(name, fn);
+  GetRegistry().push_back(b);
+  return b;
+}
+
+}  // namespace internal
+
+inline void Initialize(int* argc, char** argv) {
+  internal::Flags& flags = internal::GetFlags();
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--benchmark_filter=", 0) == 0) {
+      flags.filter = arg.substr(std::strlen("--benchmark_filter="));
+    } else if (arg.rfind("--benchmark_min_time=", 0) == 0) {
+      // Accept both "0.5" and Google Benchmark 1.7+'s "0.5s" spellings.
+      flags.min_time_seconds =
+          std::strtod(arg.c_str() + std::strlen("--benchmark_min_time="),
+                      nullptr);
+    } else if (arg.rfind("--benchmark_", 0) == 0) {
+      // Recognized-but-ignored flags.
+    } else {
+      argv[out++] = argv[i];
+      continue;
+    }
+  }
+  *argc = out;
+}
+
+inline void RunSpecifiedBenchmarks() {
+  std::printf("%-40s %15s %25s\n", "Benchmark", "Time", "Iterations");
+  std::printf("%s\n", std::string(82, '-').c_str());
+  for (const internal::Benchmark* b : internal::GetRegistry()) b->Run();
+}
+
+inline void Shutdown() {}
+
+}  // namespace benchmark
+
+#define MINIBENCHMARK_CONCAT_INNER_(a, b) a##b
+#define MINIBENCHMARK_CONCAT_(a, b) MINIBENCHMARK_CONCAT_INNER_(a, b)
+
+#define BENCHMARK(fn)                                                  \
+  [[maybe_unused]] static ::benchmark::internal::Benchmark*            \
+      MINIBENCHMARK_CONCAT_(minibenchmark_registration_, __LINE__) =   \
+          ::benchmark::internal::RegisterBenchmarkInternal(#fn, fn)
+
+#endif  // MINIBENCHMARK_BENCHMARK_BENCHMARK_H_

@@ -1,0 +1,709 @@
+// minigtest -- a single-header, offline, GoogleTest-compatible testing shim.
+//
+// Implements exactly the macro/API subset the cqbounds test suite uses:
+//   TEST, TEST_P + TestWithParam<T> + INSTANTIATE_TEST_SUITE_P with
+//   ::testing::Range / ::testing::Values / ::testing::ValuesIn,
+//   EXPECT_/ASSERT_{EQ,NE,LT,LE,GT,GE,TRUE,FALSE}, EXPECT_NEAR,
+//   EXPECT_DOUBLE_EQ, ADD_FAILURE, FAIL, SUCCEED, all with `<<` message
+//   streaming, plus --gtest_filter, --gtest_list_tests (in the exact
+//   format CMake's `gtest_discover_tests` parses) and a non-zero process
+//   exit code when any test fails.
+//
+// It is NOT GoogleTest: no death tests, no TEST_F fixtures-with-SetUpTestSuite,
+// no matchers, no threads. The build prefers a real GTest when one is
+// available (see third_party/CMakeLists.txt); this shim only exists so a
+// clean offline checkout still builds and runs the whole suite green.
+
+#ifndef MINIGTEST_GTEST_GTEST_H_
+#define MINIGTEST_GTEST_GTEST_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <iostream>
+#include <limits>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace testing {
+
+// ---------------------------------------------------------------------------
+// Value printing: use operator<< when the type has one, otherwise a
+// byte-count placeholder, so EXPECT_EQ on stream-less types still compiles.
+// ---------------------------------------------------------------------------
+namespace internal {
+
+template <typename T, typename = void>
+struct IsStreamable : std::false_type {};
+template <typename T>
+struct IsStreamable<T, std::void_t<decltype(std::declval<std::ostream&>()
+                                            << std::declval<const T&>())>>
+    : std::true_type {};
+
+template <typename T>
+std::string PrintToString(const T& value) {
+  std::ostringstream os;
+  os << std::boolalpha;
+  if constexpr (std::is_same_v<T, std::nullptr_t>) {
+    os << "nullptr";
+  } else if constexpr (IsStreamable<T>::value) {
+    os << value;
+  } else {
+    os << sizeof(T) << "-byte object <unprintable>";
+  }
+  return os.str();
+}
+
+}  // namespace internal
+
+// ---------------------------------------------------------------------------
+// Message + AssertionResult + AssertHelper: the gtest streaming machinery.
+// ---------------------------------------------------------------------------
+class Message {
+ public:
+  Message() = default;
+  template <typename T>
+  Message& operator<<(const T& value) {
+    stream_ << std::boolalpha << value;
+    return *this;
+  }
+  std::string GetString() const { return stream_.str(); }
+
+ private:
+  std::ostringstream stream_;
+};
+
+class AssertionResult {
+ public:
+  explicit AssertionResult(bool success) : success_(success) {}
+  explicit operator bool() const { return success_; }
+  template <typename T>
+  AssertionResult& operator<<(const T& value) {
+    Message m;
+    m << value;
+    message_ += m.GetString();
+    return *this;
+  }
+  const std::string& message() const { return message_; }
+
+ private:
+  bool success_;
+  std::string message_;
+};
+
+inline AssertionResult AssertionSuccess() { return AssertionResult(true); }
+inline AssertionResult AssertionFailure() { return AssertionResult(false); }
+
+namespace internal {
+
+// Per-process run state. Function-local statics give us a single instance
+// across all translation units without a separate .cc file.
+struct RunState {
+  bool current_test_failed = false;
+  int tests_run = 0;
+  std::vector<std::string> failed_test_names;
+};
+
+inline RunState& GetRunState() {
+  static RunState state;
+  return state;
+}
+
+class AssertHelper {
+ public:
+  AssertHelper(bool fatal, const char* file, int line, std::string message)
+      : fatal_(fatal), file_(file), line_(line), message_(std::move(message)) {}
+
+  // The `= Message()` in the assertion macros lands here: report the failure
+  // together with anything the test streamed after the macro.
+  void operator=(const Message& user_message) const {
+    GetRunState().current_test_failed = true;
+    std::cout << file_ << ":" << line_ << ": Failure\n" << message_;
+    const std::string extra = user_message.GetString();
+    if (!extra.empty()) std::cout << "\n" << extra;
+    std::cout << "\n" << std::flush;
+    (void)fatal_;  // Fatality is handled by the `return` in the macro itself.
+  }
+
+ private:
+  bool fatal_;
+  const char* file_;
+  int line_;
+  std::string message_;
+};
+
+}  // namespace internal
+
+// ---------------------------------------------------------------------------
+// Test base classes.
+// ---------------------------------------------------------------------------
+class Test {
+ public:
+  virtual ~Test() = default;
+  virtual void SetUp() {}
+  virtual void TearDown() {}
+  virtual void TestBody() = 0;
+
+  void Run() {
+    SetUp();
+    TestBody();
+    TearDown();
+  }
+};
+
+template <typename T>
+class WithParamInterface {
+ public:
+  using ParamType = T;
+  static const T& GetParam() { return *current_param_; }
+  static void SetCurrentParam(const T* param) { current_param_ = param; }
+
+ private:
+  static inline const T* current_param_ = nullptr;
+};
+
+template <typename T>
+class TestWithParam : public Test, public WithParamInterface<T> {};
+
+// ---------------------------------------------------------------------------
+// Registry: plain TESTs register directly; TEST_P bodies and
+// INSTANTIATE_TEST_SUITE_P generators register into per-fixture parameterized
+// suites that are expanded (cross product) when RUN_ALL_TESTS starts, so
+// macro ordering inside a translation unit never matters.
+// ---------------------------------------------------------------------------
+namespace internal {
+
+struct TestInfo {
+  std::string suite;
+  std::string name;
+  std::string param_text;  // " # GetParam() = v" annotation, may be empty.
+  std::function<void()> run;
+};
+
+inline std::vector<TestInfo>& GetTestRegistry() {
+  static std::vector<TestInfo> tests;
+  return tests;
+}
+
+class ParamSuiteBase {
+ public:
+  virtual ~ParamSuiteBase() = default;
+  virtual void Expand(std::vector<TestInfo>* out) = 0;
+};
+
+inline std::map<std::string, std::unique_ptr<ParamSuiteBase>>&
+GetParamSuites() {
+  static std::map<std::string, std::unique_ptr<ParamSuiteBase>> suites;
+  return suites;
+}
+
+template <typename T>
+class ParamSuite : public ParamSuiteBase {
+ public:
+  using Factory = std::function<Test*()>;
+
+  static ParamSuite& Instance(const std::string& fixture) {
+    auto& suites = GetParamSuites();
+    auto it = suites.find(fixture);
+    if (it == suites.end()) {
+      it = suites.emplace(fixture, std::make_unique<ParamSuite<T>>(fixture))
+               .first;
+    }
+    return *static_cast<ParamSuite<T>*>(it->second.get());
+  }
+
+  explicit ParamSuite(std::string fixture) : fixture_(std::move(fixture)) {}
+
+  void AddTest(const char* name, Factory factory) {
+    tests_.push_back({name, std::move(factory)});
+  }
+
+  void AddInstantiation(const char* prefix, std::vector<T> values) {
+    instantiations_.push_back({prefix, std::move(values)});
+  }
+
+  void Expand(std::vector<TestInfo>* out) override {
+    // Mirror GoogleTest >= 1.10: a TEST_P with no INSTANTIATE_TEST_SUITE_P
+    // (or the reverse) is a failing test, not silently zero tests.
+    if (tests_.empty() != instantiations_.empty()) {
+      const std::string fixture = fixture_;
+      const bool missing_instantiation = instantiations_.empty();
+      out->push_back(
+          {"GoogleTestVerification",
+           (missing_instantiation ? "UninstantiatedParameterizedTestSuite/"
+                                  : "InstantiationWithoutTests/") +
+               fixture,
+           "", [fixture, missing_instantiation]() {
+             GetRunState().current_test_failed = true;
+             std::cout << "Parameterized test suite " << fixture
+                       << (missing_instantiation
+                               ? " defines TEST_P bodies but is never "
+                                 "instantiated via INSTANTIATE_TEST_SUITE_P."
+                               : " is instantiated but defines no TEST_P "
+                                 "bodies.")
+                       << "\n";
+           }});
+      return;
+    }
+    for (const auto& inst : instantiations_) {
+      // Params are stored in this long-lived registry, so pointers handed to
+      // WithParamInterface stay valid for the whole run.
+      for (const auto& test : tests_) {
+        for (std::size_t i = 0; i < inst.values.size(); ++i) {
+          const T* param = &inst.values[i];
+          const Factory& factory = test.factory;
+          TestInfo info;
+          info.suite = inst.prefix + "/" + fixture_;
+          info.name = test.name + "/" + std::to_string(i);
+          info.param_text = " # GetParam() = " + PrintToString(*param);
+          info.run = [factory, param]() {
+            WithParamInterface<T>::SetCurrentParam(param);
+            std::unique_ptr<Test> t(factory());
+            t->Run();
+            WithParamInterface<T>::SetCurrentParam(nullptr);
+          };
+          out->push_back(std::move(info));
+        }
+      }
+    }
+  }
+
+ private:
+  struct NamedTest {
+    std::string name;
+    Factory factory;
+  };
+  struct Instantiation {
+    std::string prefix;
+    std::vector<T> values;
+  };
+
+  std::string fixture_;
+  std::vector<NamedTest> tests_;
+  std::vector<Instantiation> instantiations_;
+};
+
+struct TestRegistrar {
+  TestRegistrar(const char* suite, const char* name,
+                std::function<Test*()> factory) {
+    GetTestRegistry().push_back(
+        {suite, name, "", [factory = std::move(factory)]() {
+           std::unique_ptr<Test> t(factory());
+           t->Run();
+         }});
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Param generators. Each generator materializes to std::vector<ParamType> at
+// registration time via a templated conversion, so Values(1, 2.5) works for
+// any fixture whose ParamType is constructible from every listed value.
+// ---------------------------------------------------------------------------
+template <typename T>
+struct RangeGenerator {
+  T begin, end, step;
+  template <typename U>
+  operator std::vector<U>() const {
+    std::vector<U> out;
+    for (T v = begin; v < end; v = static_cast<T>(v + step)) {
+      out.push_back(static_cast<U>(v));
+    }
+    return out;
+  }
+};
+
+template <typename... Ts>
+struct ValuesGenerator {
+  std::tuple<Ts...> values;
+  template <typename U>
+  operator std::vector<U>() const {
+    std::vector<U> out;
+    out.reserve(sizeof...(Ts));
+    std::apply(
+        [&out](const Ts&... vs) { (out.push_back(static_cast<U>(vs)), ...); },
+        values);
+    return out;
+  }
+};
+
+template <typename Container>
+struct ValuesInGenerator {
+  Container container;
+  template <typename U>
+  operator std::vector<U>() const {
+    return std::vector<U>(container.begin(), container.end());
+  }
+};
+
+}  // namespace internal
+
+template <typename T>
+internal::RangeGenerator<T> Range(T begin, T end) {
+  return {begin, end, static_cast<T>(1)};
+}
+template <typename T>
+internal::RangeGenerator<T> Range(T begin, T end, T step) {
+  return {begin, end, step};
+}
+template <typename... Ts>
+internal::ValuesGenerator<Ts...> Values(Ts... values) {
+  return {std::make_tuple(values...)};
+}
+template <typename Container>
+internal::ValuesInGenerator<Container> ValuesIn(const Container& c) {
+  return {c};
+}
+
+// ---------------------------------------------------------------------------
+// Driver: filtering, listing, running.
+// ---------------------------------------------------------------------------
+namespace internal {
+
+// gtest-style glob: '*' any substring, '?' any single char; patterns are
+// ':'-separated, with an optional '-'-prefixed negative section.
+inline bool GlobMatch(const char* pattern, const char* text) {
+  if (*pattern == '\0') return *text == '\0';
+  if (*pattern == '*') {
+    return GlobMatch(pattern + 1, text) ||
+           (*text != '\0' && GlobMatch(pattern, text + 1));
+  }
+  if (*text == '\0') return false;
+  if (*pattern == '?' || *pattern == *text) {
+    return GlobMatch(pattern + 1, text + 1);
+  }
+  return false;
+}
+
+inline bool MatchesAnyPattern(const std::string& patterns,
+                              const std::string& name) {
+  if (patterns.empty()) return false;
+  std::size_t start = 0;
+  while (start <= patterns.size()) {
+    std::size_t colon = patterns.find(':', start);
+    std::string one = patterns.substr(
+        start, colon == std::string::npos ? std::string::npos : colon - start);
+    if (!one.empty() && GlobMatch(one.c_str(), name.c_str())) return true;
+    if (colon == std::string::npos) break;
+    start = colon + 1;
+  }
+  return false;
+}
+
+struct Flags {
+  std::string filter = "*";
+  bool list_tests = false;
+};
+
+inline Flags& GetFlags() {
+  static Flags flags;
+  return flags;
+}
+
+inline bool MatchesFilter(const std::string& full_name) {
+  const std::string& filter = GetFlags().filter;
+  std::string positive = filter, negative;
+  std::size_t dash = filter.find('-');
+  if (dash != std::string::npos) {
+    positive = filter.substr(0, dash);
+    negative = filter.substr(dash + 1);
+  }
+  if (positive.empty()) positive = "*";
+  return MatchesAnyPattern(positive, full_name) &&
+         !MatchesAnyPattern(negative, full_name);
+}
+
+inline void ExpandParamSuites() {
+  static bool expanded = false;
+  if (expanded) return;
+  expanded = true;
+  for (auto& [name, suite] : GetParamSuites()) {
+    suite->Expand(&GetTestRegistry());
+  }
+}
+
+inline int ListTests() {
+  // Format matches `--gtest_list_tests` closely enough for CMake's
+  // gtest_discover_tests parser: "Suite.\n  Name # GetParam() = v\n".
+  std::string last_suite;
+  for (const TestInfo& test : GetTestRegistry()) {
+    if (!MatchesFilter(test.suite + "." + test.name)) continue;
+    if (test.suite != last_suite) {
+      std::cout << test.suite << ".\n";
+      last_suite = test.suite;
+    }
+    std::cout << "  " << test.name << test.param_text << "\n";
+  }
+  return 0;
+}
+
+inline int RunAllTests() {
+  ExpandParamSuites();
+  if (GetFlags().list_tests) return ListTests();
+
+  RunState& state = GetRunState();
+  std::vector<const TestInfo*> selected;
+  for (const TestInfo& test : GetTestRegistry()) {
+    if (MatchesFilter(test.suite + "." + test.name)) {
+      selected.push_back(&test);
+    }
+  }
+  std::cout << "[==========] Running " << selected.size() << " tests.\n";
+  for (const TestInfo* test : selected) {
+    const std::string full_name = test->suite + "." + test->name;
+    std::cout << "[ RUN      ] " << full_name << "\n";
+    state.current_test_failed = false;
+    test->run();
+    ++state.tests_run;
+    if (state.current_test_failed) {
+      state.failed_test_names.push_back(full_name);
+      std::cout << "[  FAILED  ] " << full_name << "\n";
+    } else {
+      std::cout << "[       OK ] " << full_name << "\n";
+    }
+  }
+  std::cout << "[==========] " << state.tests_run << " tests ran.\n";
+  const std::size_t failed = state.failed_test_names.size();
+  std::cout << "[  PASSED  ] " << (state.tests_run - failed) << " tests.\n";
+  if (failed != 0) {
+    std::cout << "[  FAILED  ] " << failed << " tests, listed below:\n";
+    for (const std::string& name : state.failed_test_names) {
+      std::cout << "[  FAILED  ] " << name << "\n";
+    }
+  }
+  return failed == 0 ? 0 : 1;
+}
+
+// ---------------------------------------------------------------------------
+// Comparison helpers.
+// ---------------------------------------------------------------------------
+template <typename A, typename B>
+AssertionResult CmpHelperEQ(const char* a_text, const char* b_text,
+                            const A& a, const B& b) {
+  if (a == b) return AssertionSuccess();
+  return AssertionFailure() << "Expected equality of these values:\n  "
+                            << a_text << "\n    Which is: " << PrintToString(a)
+                            << "\n  " << b_text
+                            << "\n    Which is: " << PrintToString(b);
+}
+
+#define MINIGTEST_DEFINE_CMP_HELPER_(op_name, op)                            \
+  template <typename A, typename B>                                          \
+  AssertionResult CmpHelper##op_name(const char* a_text, const char* b_text, \
+                                     const A& a, const B& b) {               \
+    if (a op b) return AssertionSuccess();                                   \
+    return AssertionFailure()                                                \
+           << "Expected: (" << a_text << ") " #op " (" << b_text             \
+           << "), actual: " << PrintToString(a) << " vs "                    \
+           << PrintToString(b);                                              \
+  }
+
+MINIGTEST_DEFINE_CMP_HELPER_(NE, !=)
+MINIGTEST_DEFINE_CMP_HELPER_(LT, <)
+MINIGTEST_DEFINE_CMP_HELPER_(LE, <=)
+MINIGTEST_DEFINE_CMP_HELPER_(GT, >)
+MINIGTEST_DEFINE_CMP_HELPER_(GE, >=)
+#undef MINIGTEST_DEFINE_CMP_HELPER_
+
+template <typename T>
+AssertionResult CmpHelperBool(const char* text, const T& value,
+                              bool expected) {
+  if (static_cast<bool>(value) == expected) return AssertionSuccess();
+  return AssertionFailure() << "Value of: " << text
+                            << "\n  Actual: " << (expected ? "false" : "true")
+                            << "\nExpected: " << (expected ? "true" : "false");
+}
+
+inline AssertionResult CmpHelperNear(const char* a_text, const char* b_text,
+                                     const char* eps_text, double a, double b,
+                                     double eps) {
+  const double diff = std::fabs(a - b);
+  if (diff <= eps) return AssertionSuccess();
+  return AssertionFailure()
+         << "The difference between " << a_text << " and " << b_text << " is "
+         << diff << ", which exceeds " << eps_text << ", where\n  " << a_text
+         << " evaluates to " << a << ",\n  " << b_text << " evaluates to " << b
+         << ", and\n  " << eps_text << " evaluates to " << eps << ".";
+}
+
+inline AssertionResult CmpHelperDoubleEQ(const char* a_text,
+                                         const char* b_text, double a,
+                                         double b) {
+  // Approximation of gtest's 4-ULP rule, adequate for test tolerances.
+  if (a == b) return AssertionSuccess();
+  const double scale = std::max(std::fabs(a), std::fabs(b));
+  if (std::fabs(a - b) <=
+      4 * std::numeric_limits<double>::epsilon() * scale) {
+    return AssertionSuccess();
+  }
+  return AssertionFailure() << "Expected equality of these values:\n  "
+                            << a_text << "\n    Which is: " << PrintToString(a)
+                            << "\n  " << b_text
+                            << "\n    Which is: " << PrintToString(b);
+}
+
+}  // namespace internal
+
+// ---------------------------------------------------------------------------
+// Public entry points.
+// ---------------------------------------------------------------------------
+inline void InitGoogleTest(int* argc, char** argv) {
+  internal::Flags& flags = internal::GetFlags();
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--gtest_filter=", 0) == 0) {
+      flags.filter = arg.substr(std::strlen("--gtest_filter="));
+    } else if (arg == "--gtest_list_tests") {
+      flags.list_tests = true;
+    } else if (arg.rfind("--gtest_", 0) == 0) {
+      // Recognized-but-ignored gtest flags (color, brief, output, shuffle...).
+    } else {
+      argv[out++] = argv[i];
+      continue;
+    }
+  }
+  *argc = out;
+}
+
+inline void InitGoogleTest() {
+  int argc = 1;
+  char arg0[] = "test";
+  char* argv[] = {arg0, nullptr};
+  InitGoogleTest(&argc, argv);
+}
+
+}  // namespace testing
+
+inline int RUN_ALL_TESTS() { return ::testing::internal::RunAllTests(); }
+
+// ---------------------------------------------------------------------------
+// Test definition macros.
+// ---------------------------------------------------------------------------
+#define GTEST_TEST_CLASS_NAME_(suite, name) suite##_##name##_Test
+
+#define TEST(suite, name)                                                     \
+  class GTEST_TEST_CLASS_NAME_(suite, name) : public ::testing::Test {        \
+   public:                                                                    \
+    void TestBody() override;                                                 \
+  };                                                                          \
+  [[maybe_unused]] static const ::testing::internal::TestRegistrar           \
+      minigtest_registrar_##suite##_##name##_(#suite, #name, []() {           \
+        return static_cast<::testing::Test*>(                                 \
+            new GTEST_TEST_CLASS_NAME_(suite, name)());                       \
+      });                                                                     \
+  void GTEST_TEST_CLASS_NAME_(suite, name)::TestBody()
+
+#define TEST_P(fixture, name)                                                 \
+  class GTEST_TEST_CLASS_NAME_(fixture, name) : public fixture {              \
+   public:                                                                    \
+    void TestBody() override;                                                 \
+    static int AddToRegistry() {                                              \
+      ::testing::internal::ParamSuite<fixture::ParamType>::Instance(#fixture) \
+          .AddTest(#name, []() {                                              \
+            return static_cast<::testing::Test*>(                             \
+                new GTEST_TEST_CLASS_NAME_(fixture, name)());                 \
+          });                                                                 \
+      return 0;                                                               \
+    }                                                                         \
+  };                                                                          \
+  [[maybe_unused]] static const int                                           \
+      minigtest_param_registrar_##fixture##_##name##_ =                       \
+          GTEST_TEST_CLASS_NAME_(fixture, name)::AddToRegistry();             \
+  void GTEST_TEST_CLASS_NAME_(fixture, name)::TestBody()
+
+#define INSTANTIATE_TEST_SUITE_P(prefix, fixture, generator)                  \
+  [[maybe_unused]] static const int                                           \
+      minigtest_instantiation_##prefix##_##fixture##_ = []() {                \
+    ::testing::internal::ParamSuite<fixture::ParamType>::Instance(#fixture)   \
+        .AddInstantiation(#prefix,                                            \
+                          static_cast<std::vector<fixture::ParamType>>(       \
+                              generator));                                    \
+    return 0;                                                                 \
+  }()
+
+// Older-gtest spelling kept for source compatibility.
+#define INSTANTIATE_TEST_CASE_P INSTANTIATE_TEST_SUITE_P
+
+// ---------------------------------------------------------------------------
+// Assertion macros. The switch/if dance keeps them usable as single
+// statements with trailing `<< streams`, exactly like GoogleTest; fatal
+// variants `return` out of the enclosing void function.
+// ---------------------------------------------------------------------------
+#define MINIGTEST_AMBIGUOUS_ELSE_BLOCKER_ \
+  switch (0)                              \
+  case 0:                                 \
+  default:
+
+#define MINIGTEST_ASSERT_(expression, fatal, on_failure)                     \
+  MINIGTEST_AMBIGUOUS_ELSE_BLOCKER_                                          \
+  if (const ::testing::AssertionResult minigtest_ar = (expression))          \
+    ;                                                                        \
+  else                                                                       \
+    on_failure ::testing::internal::AssertHelper(fatal, __FILE__, __LINE__,  \
+                                                 minigtest_ar.message()) =   \
+        ::testing::Message()
+
+#define MINIGTEST_NONFATAL_(expression) MINIGTEST_ASSERT_(expression, false, )
+#define MINIGTEST_FATAL_(expression) MINIGTEST_ASSERT_(expression, true, return)
+
+#define EXPECT_EQ(a, b) \
+  MINIGTEST_NONFATAL_(::testing::internal::CmpHelperEQ(#a, #b, a, b))
+#define EXPECT_NE(a, b) \
+  MINIGTEST_NONFATAL_(::testing::internal::CmpHelperNE(#a, #b, a, b))
+#define EXPECT_LT(a, b) \
+  MINIGTEST_NONFATAL_(::testing::internal::CmpHelperLT(#a, #b, a, b))
+#define EXPECT_LE(a, b) \
+  MINIGTEST_NONFATAL_(::testing::internal::CmpHelperLE(#a, #b, a, b))
+#define EXPECT_GT(a, b) \
+  MINIGTEST_NONFATAL_(::testing::internal::CmpHelperGT(#a, #b, a, b))
+#define EXPECT_GE(a, b) \
+  MINIGTEST_NONFATAL_(::testing::internal::CmpHelperGE(#a, #b, a, b))
+#define EXPECT_TRUE(c) \
+  MINIGTEST_NONFATAL_(::testing::internal::CmpHelperBool(#c, c, true))
+#define EXPECT_FALSE(c) \
+  MINIGTEST_NONFATAL_(::testing::internal::CmpHelperBool(#c, c, false))
+#define EXPECT_NEAR(a, b, eps) \
+  MINIGTEST_NONFATAL_(         \
+      ::testing::internal::CmpHelperNear(#a, #b, #eps, a, b, eps))
+#define EXPECT_DOUBLE_EQ(a, b) \
+  MINIGTEST_NONFATAL_(::testing::internal::CmpHelperDoubleEQ(#a, #b, a, b))
+
+#define ASSERT_EQ(a, b) \
+  MINIGTEST_FATAL_(::testing::internal::CmpHelperEQ(#a, #b, a, b))
+#define ASSERT_NE(a, b) \
+  MINIGTEST_FATAL_(::testing::internal::CmpHelperNE(#a, #b, a, b))
+#define ASSERT_LT(a, b) \
+  MINIGTEST_FATAL_(::testing::internal::CmpHelperLT(#a, #b, a, b))
+#define ASSERT_LE(a, b) \
+  MINIGTEST_FATAL_(::testing::internal::CmpHelperLE(#a, #b, a, b))
+#define ASSERT_GT(a, b) \
+  MINIGTEST_FATAL_(::testing::internal::CmpHelperGT(#a, #b, a, b))
+#define ASSERT_GE(a, b) \
+  MINIGTEST_FATAL_(::testing::internal::CmpHelperGE(#a, #b, a, b))
+#define ASSERT_TRUE(c) \
+  MINIGTEST_FATAL_(::testing::internal::CmpHelperBool(#c, c, true))
+#define ASSERT_FALSE(c) \
+  MINIGTEST_FATAL_(::testing::internal::CmpHelperBool(#c, c, false))
+#define ASSERT_NEAR(a, b, eps) \
+  MINIGTEST_FATAL_(            \
+      ::testing::internal::CmpHelperNear(#a, #b, #eps, a, b, eps))
+#define ASSERT_DOUBLE_EQ(a, b) \
+  MINIGTEST_FATAL_(::testing::internal::CmpHelperDoubleEQ(#a, #b, a, b))
+
+#define ADD_FAILURE() \
+  MINIGTEST_NONFATAL_(::testing::AssertionFailure() << "Failed")
+#define FAIL() \
+  MINIGTEST_FATAL_(::testing::AssertionFailure() << "Failed")
+#define SUCCEED() \
+  MINIGTEST_NONFATAL_(::testing::AssertionSuccess())
+
+#endif  // MINIGTEST_GTEST_GTEST_H_
