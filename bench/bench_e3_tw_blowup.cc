@@ -8,6 +8,7 @@
 #include "cq/parser.h"
 #include "graph/gaifman.h"
 #include "graph/treewidth.h"
+#include "graph/treewidth_bb.h"
 #include "relation/evaluate.h"
 
 namespace cqbounds {
@@ -40,6 +41,21 @@ void PrintTables() {
   std::cout << "\nShape check: |R'| = n^2 and tw(R') = n (clique K_{n+1})\n"
                "while tw(R) stays 1 -- unbounded treewidth blowup.\n\n";
 }
+
+// Exact-treewidth engine timers over named graphs with known widths
+// (tracked across PRs via --json; see docs/BENCHMARKS.md).
+CQB_BENCH_TIMED("tw_exact/path_64", [] { TreewidthExact(Graph::Path(64)); })
+CQB_BENCH_TIMED("tw_exact/cycle_64", [] { TreewidthExact(Graph::Cycle(64)); })
+CQB_BENCH_TIMED("tw_exact/K_16", [] { TreewidthExact(Graph::Complete(16)); })
+CQB_BENCH_TIMED("tw_exact/petersen", [] { TreewidthExact(Graph::Petersen()); })
+CQB_BENCH_TIMED("tw_exact/grid_5x5", [] { TreewidthExact(Graph::Grid(5, 5)); })
+CQB_BENCH_TIMED("tw_exact/grid_5x6", [] { TreewidthExact(Graph::Grid(5, 6)); })
+CQB_BENCH_TIMED("tw_exact/star_blowup_n12", [] {
+  auto q = ParseQuery("Rp(X,Y,Z) :- R(X,Y), R(X,Z).");
+  Database db = StarDatabase(12);
+  auto result = EvaluateQuery(*q, db, PlanKind::kNaive);
+  TreewidthExact(BuildGaifmanGraph({&*result}).graph);
+})
 
 void BM_SelfJoinEval(benchmark::State& state) {
   auto q = ParseQuery("Rp(X,Y,Z) :- R(X,Y), R(X,Z).");

@@ -9,6 +9,7 @@
 #include "graph/gaifman.h"
 #include "graph/keyed_join.h"
 #include "graph/treewidth.h"
+#include "graph/treewidth_bb.h"
 #include "relation/evaluate.h"
 #include "util/rng.h"
 
@@ -49,13 +50,14 @@ void PrintTables() {
     for (int trial = 0; trial < 3; ++trial) {
       Instance inst = RandomKeyedInstance(j, 6 + trial * 3, seeds.Next());
       GaifmanGraph g = BuildGaifmanGraph({&inst.r, &inst.s});
-      TreewidthEstimate est = EstimateTreewidth(g.graph, 16);
-      auto td = KeyedJoinDecomposition(inst.r, 1, inst.s, 0, g,
-                                       est.decomposition);
+      // Certified path: omega is the true tw(<R, S>), and the witness
+      // decomposition seeds the Theorem 5.5 construction.
+      int omega = -1;
+      auto td = CertifiedKeyedJoinDecomposition(inst.r, 1, inst.s, 0, g,
+                                                &omega);
       if (!td.ok()) continue;
       Graph augmented = AugmentedJoinGraph(inst.r, 1, inst.s, 0, g);
-      TreewidthEstimate joined = EstimateTreewidth(augmented, 16);
-      int omega = est.decomposition.Width();
+      TreewidthEstimate joined = EstimateTreewidth(augmented, 24);
       int cap = KeyedJoinTreewidthBound(j, omega);
       table.AddRow({bench::Num(j), bench::Num(omega),
                     bench::Num(td->Width()), bench::Num(joined.upper),
@@ -82,6 +84,24 @@ void PrintTables() {
                "the cap grows geometrically with the chain length, as the\n"
                "paper's Prop 5.7 predicts.\n\n";
 }
+
+// Certified keyed-join timers on fixed random instances: the full
+// TreewidthExact + Theorem 5.5 pipeline per arity (see docs/BENCHMARKS.md).
+CQB_BENCH_TIMED("certified_keyed_join/j2", [] {
+  Instance inst = RandomKeyedInstance(2, 8, 99);
+  GaifmanGraph g = BuildGaifmanGraph({&inst.r, &inst.s});
+  CertifiedKeyedJoinDecomposition(inst.r, 1, inst.s, 0, g).status();
+})
+CQB_BENCH_TIMED("certified_keyed_join/j4", [] {
+  Instance inst = RandomKeyedInstance(4, 8, 99);
+  GaifmanGraph g = BuildGaifmanGraph({&inst.r, &inst.s});
+  CertifiedKeyedJoinDecomposition(inst.r, 1, inst.s, 0, g).status();
+})
+CQB_BENCH_TIMED("tw_exact/augmented_join_j3", [] {
+  Instance inst = RandomKeyedInstance(3, 10, 7);
+  GaifmanGraph g = BuildGaifmanGraph({&inst.r, &inst.s});
+  TreewidthBranchAndBound(AugmentedJoinGraph(inst.r, 1, inst.s, 0, g));
+})
 
 void BM_KeyedJoinDecomposition(benchmark::State& state) {
   Instance inst =

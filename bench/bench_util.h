@@ -8,9 +8,11 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <iomanip>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace cqbounds::bench {
@@ -77,6 +79,76 @@ inline std::string Num(std::size_t v) { return std::to_string(v); }
 inline std::string Num(std::int64_t v) { return std::to_string(v); }
 inline std::string Num(int v) { return std::to_string(v); }
 
+/// A named timed section registered with CQB_BENCH_TIMED. Unlike the
+/// google-benchmark timer loops (which `--quick` skips entirely), timed
+/// sections run in *every* mode -- once under `--quick`, rep-adaptive
+/// otherwise -- so `--json` dumps always carry a "timers" section and the
+/// perf trajectory (BENCH_baseline.json, docs/BENCHMARKS.md) tracks wall
+/// times, not just result tables.
+struct TimerCase {
+  std::string name;
+  std::function<void()> fn;
+};
+
+/// Registry of timed sections, in registration order.
+inline std::vector<TimerCase>& TimerCases() {
+  static std::vector<TimerCase> cases;
+  return cases;
+}
+
+/// One executed timed section: `reps` runs totalling `total_seconds`.
+struct TimerResult {
+  std::string name;
+  int reps = 0;
+  double total_seconds = 0.0;
+};
+
+/// Results of RunRegisteredTimers, in execution order.
+inline std::vector<TimerResult>& TimerResults() {
+  static std::vector<TimerResult> results;
+  return results;
+}
+
+/// Registers a timed section at namespace scope (static initialization).
+struct TimerRegistrar {
+  TimerRegistrar(std::string name, std::function<void()> fn) {
+    TimerCases().push_back({std::move(name), std::move(fn)});
+  }
+};
+
+#define CQB_BENCH_TIMED_CONCAT_INNER(a, b) a##b
+#define CQB_BENCH_TIMED_CONCAT(a, b) CQB_BENCH_TIMED_CONCAT_INNER(a, b)
+/// CQB_BENCH_TIMED("name", [] { ... }) -- registers a timed section.
+#define CQB_BENCH_TIMED(name, ...)                          \
+  static const ::cqbounds::bench::TimerRegistrar            \
+      CQB_BENCH_TIMED_CONCAT(cqb_timer_registrar_, __LINE__){name,         \
+                                                             __VA_ARGS__};
+
+/// Runs every registered timed section and prints a per-section summary.
+/// Under `--quick` each section runs exactly once (cheap smoke + JSON
+/// coverage); otherwise reps accumulate until ~0.2 s or 64 reps.
+inline void RunRegisteredTimers(bool quick, std::ostream& os = std::cout) {
+  if (TimerCases().empty()) return;
+  os << "Timed sections" << (quick ? " (--quick: single rep)" : "") << ":\n";
+  for (const TimerCase& c : TimerCases()) {
+    TimerResult result;
+    result.name = c.name;
+    do {
+      const auto t0 = std::chrono::steady_clock::now();
+      c.fn();
+      result.total_seconds +=
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      ++result.reps;
+    } while (!quick && result.total_seconds < 0.2 && result.reps < 64);
+    os << "  " << c.name << ": "
+       << result.total_seconds / result.reps * 1e3 << " ms/rep ("
+       << result.reps << (result.reps == 1 ? " rep" : " reps") << ")\n";
+    TimerResults().push_back(std::move(result));
+  }
+  os << "\n";
+}
+
 namespace internal {
 
 inline std::string JsonEscape(const std::string& s) {
@@ -112,9 +184,13 @@ inline void WriteStringArray(std::ostream& os,
   os << "]";
 }
 
-/// Dumps every table printed so far as a JSON document:
+/// Dumps every table printed and every timed section run so far as JSON:
 ///   {"bench": ..., "quick": ..., "table_seconds": ...,
-///    "tables": [{"headers": [...], "rows": [[...], ...]}, ...]}
+///    "tables": [{"headers": [...], "rows": [[...], ...]}, ...],
+///    "timers": [{"name": ..., "reps": ..., "total_seconds": ...,
+///                "seconds_per_rep": ...}, ...]}
+/// The "timers" section is present in --quick mode too (sections run once
+/// there), so baseline refreshes always capture wall times.
 inline bool WriteTablesJson(const std::string& path, const std::string& bench,
                             bool quick, double table_seconds) {
   std::ofstream os(path);
@@ -138,6 +214,16 @@ inline bool WriteTablesJson(const std::string& path, const std::string& bench,
       os << (r + 1 < rows.size() ? ",\n" : "\n");
     }
     os << "     ]}" << (t + 1 < tables.size() ? ",\n" : "\n");
+  }
+  os << "  ],\n  \"timers\": [\n";
+  const auto& timers = TimerResults();
+  for (std::size_t t = 0; t < timers.size(); ++t) {
+    os << "    {\"name\": \"" << JsonEscape(timers[t].name)
+       << "\", \"reps\": " << timers[t].reps
+       << ", \"total_seconds\": " << timers[t].total_seconds
+       << ", \"seconds_per_rep\": "
+       << timers[t].total_seconds / timers[t].reps << "}"
+       << (t + 1 < timers.size() ? ",\n" : "\n");
   }
   os << "  ]\n}\n";
   return os.good();
@@ -184,10 +270,13 @@ inline std::string Basename(const char* argv0) {
 
 }  // namespace internal
 
-/// Shared main: print the experiment table(s) via `print_tables`, then run
-/// the registered google-benchmark timers. `--quick` skips the timer loops
-/// (the tables alone exercise every code path end to end -- this is what the
-/// bench smoke test runs); `--json out.json` dumps all printed tables.
+/// Shared main: print the experiment table(s) via `print_tables`, run the
+/// CQB_BENCH_TIMED sections (single rep under --quick, rep-adaptive
+/// otherwise), then run the registered google-benchmark timers. `--quick`
+/// skips only the google-benchmark loops (the tables + timed sections
+/// exercise every code path end to end -- this is what the bench smoke
+/// test runs); `--json out.json` dumps all printed tables and all timed
+/// sections.
 #define CQB_BENCH_MAIN(print_tables)                                        \
   int main(int argc, char** argv) {                                         \
     const auto cqb_opts =                                                   \
@@ -199,6 +288,7 @@ inline std::string Basename(const char* argv0) {
         std::chrono::duration<double>(std::chrono::steady_clock::now() -    \
                                       cqb_t0)                               \
             .count();                                                       \
+    ::cqbounds::bench::RunRegisteredTimers(cqb_opts.quick);                 \
     if (!cqb_opts.json_path.empty() &&                                      \
         !::cqbounds::bench::internal::WriteTablesJson(                      \
             cqb_opts.json_path,                                             \

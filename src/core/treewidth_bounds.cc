@@ -1,12 +1,16 @@
 #include "core/treewidth_bounds.h"
 
 #include <cmath>
+#include <limits>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "core/color_number.h"
 #include "cq/chase.h"
+#include "graph/gaifman.h"
+#include "graph/treewidth_bb.h"
+#include "relation/evaluate.h"
 
 namespace cqbounds {
 
@@ -61,6 +65,36 @@ double KeyedJoinSequenceBound(int max_arity, int num_relations,
   double factor = std::pow(static_cast<double>(max_arity),
                            static_cast<double>(num_relations - 1));
   return factor * (1.0 + std::max(input_treewidth, 2)) - 1.0;
+}
+
+Result<TreewidthBlowupMeasurement> MeasureTreewidthBlowup(
+    const Query& query, const Database& db, int max_exact_vertices) {
+  TreewidthBlowupMeasurement out;
+  if (query.fds().empty()) {
+    out.preserved = TreewidthPreservedNoFds(query);
+  } else {
+    CQB_ASSIGN_OR_RETURN(out.preserved, TreewidthPreservedSimpleFds(query));
+  }
+  Relation view;
+  CQB_ASSIGN_OR_RETURN(view, EvaluateQuery(query, db, PlanKind::kNaive));
+  GaifmanGraph before = BuildGaifmanGraph(db);
+  GaifmanGraph after = BuildGaifmanGraph({&view});
+  if (before.graph.num_vertices() > max_exact_vertices ||
+      after.graph.num_vertices() > max_exact_vertices) {
+    return Status::FailedPrecondition(
+        "Gaifman graph too large for exact treewidth certification");
+  }
+  out.input_width = TreewidthExact(before.graph).width;
+  out.output_width = TreewidthExact(after.graph).width;
+  if (!out.preserved) {
+    out.bound = std::numeric_limits<double>::infinity();
+  } else if (query.fds().empty()) {
+    out.bound = out.input_width;  // Prop 5.9: tw(Q(D)) <= tw(D)
+  } else {
+    out.bound = Theorem510Bound(query, out.input_width);
+  }
+  out.within_bound = static_cast<double>(out.output_width) <= out.bound;
+  return out;
 }
 
 Query BuildHardnessReduction(const ThreeSatInstance& instance) {

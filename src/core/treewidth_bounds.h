@@ -2,6 +2,7 @@
 #define CQBOUNDS_CORE_TREEWIDTH_BOUNDS_H_
 
 #include "cq/query.h"
+#include "relation/database.h"
 #include "sat/threesat.h"
 #include "util/status.h"
 
@@ -31,6 +32,36 @@ double Theorem510Bound(const Query& query, int input_treewidth);
 /// max arity l: tw <= l^{n-1} (1 + max(tw, 2)) - 1.
 double KeyedJoinSequenceBound(int max_arity, int num_relations,
                               int input_treewidth);
+
+/// One measured, certified instance of the Section 5 preservation story:
+/// both treewidths are computed *exactly* (bitset branch-and-bound engine,
+/// treewidth_bb.h), not estimated, so `within_bound` is a theorem check,
+/// not a heuristic comparison.
+struct TreewidthBlowupMeasurement {
+  /// Certified tw of the Gaifman graph of the input database.
+  int input_width = -1;
+  /// Certified tw of the Gaifman graph of the view output Q(D).
+  int output_width = -1;
+  /// Verdict of the polynomial decision procedure (Prop 5.9 / Thm 5.10).
+  bool preserved = false;
+  /// The applicable cap on tw(Q(D)): input_width for preserved FD-free
+  /// queries (Prop 5.9), Theorem510Bound(...) for preserved simple-FD
+  /// queries, +infinity when preservation fails (the blowup is unbounded).
+  double bound = 0.0;
+  /// output_width <= bound. Must be true whenever `preserved` holds.
+  bool within_bound = false;
+};
+
+/// Evaluates `query` over `db` and measures the treewidth blowup exactly:
+/// certified tw before vs. after, compared against the paper's cap.
+/// Errors: propagates evaluation failures (missing relation, arity
+/// mismatch) and the compound-FD kFailedPrecondition of
+/// TreewidthPreservedSimpleFds; fails with kFailedPrecondition when either
+/// Gaifman graph exceeds `max_exact_vertices` (exact certification would
+/// be intractable). Cost: one query evaluation plus two exact treewidth
+/// runs, each exponential in the worst case but fast at experiment sizes.
+Result<TreewidthBlowupMeasurement> MeasureTreewidthBlowup(
+    const Query& query, const Database& db, int max_exact_vertices = 32);
 
 /// The Proposition 7.3 reduction: maps a 3-SAT instance E to a conjunctive
 /// query Q_E with compound FDs such that E is satisfiable iff Q_E has a

@@ -20,12 +20,15 @@ struct GaifmanGraph {
   std::map<Value, int> value_to_vertex;
 };
 
-/// Gaifman graph of all relations in `db`.
+/// Gaifman graph of all relations in `db`. Vertices are numbered in order
+/// of first appearance during the scan; the mapping is recorded in both
+/// directions. O(sum over tuples of arity^2 * log n).
 GaifmanGraph BuildGaifmanGraph(const Database& db);
 
 /// Gaifman graph of an explicit list of relation instances (the paper often
 /// speaks of tw(<R(D), S(D)>), the treewidth of the structure holding just
-/// those relations).
+/// those relations). Same numbering and complexity as the Database
+/// overload; the pointers must be non-null.
 GaifmanGraph BuildGaifmanGraph(const std::vector<const Relation*>& relations);
 
 }  // namespace cqbounds

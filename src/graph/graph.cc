@@ -82,4 +82,20 @@ Graph Graph::Cycle(int n) {
   return g;
 }
 
+Graph Graph::Path(int n) {
+  Graph g(n);
+  for (int u = 0; u + 1 < n; ++u) g.AddEdge(u, u + 1);
+  return g;
+}
+
+Graph Graph::Petersen() {
+  Graph g(10);
+  for (int i = 0; i < 5; ++i) {
+    g.AddEdge(i, (i + 1) % 5);          // outer cycle
+    g.AddEdge(5 + i, 5 + (i + 2) % 5);  // inner pentagram
+    g.AddEdge(i, 5 + i);                // spokes
+  }
+  return g;
+}
+
 }  // namespace cqbounds

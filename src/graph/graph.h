@@ -19,24 +19,28 @@ class Graph {
   explicit Graph(int num_vertices) : adjacency_(num_vertices) {}
 
   int num_vertices() const { return static_cast<int>(adjacency_.size()); }
-  /// Number of undirected edges.
+  /// Number of undirected edges. O(n) (sums stored degrees).
   std::size_t num_edges() const;
 
-  /// Grows the vertex set to at least `n` vertices.
+  /// Grows the vertex set to at least `n` vertices (amortized O(growth)).
   void EnsureVertices(int n);
 
-  /// Adds edge {u, v}; ignores u == v. Returns true if newly added.
+  /// Adds edge {u, v}, growing the vertex set as needed; ignores u == v.
+  /// Returns true if newly added. O(log deg). Requires u, v >= 0.
   bool AddEdge(int u, int v);
+  /// O(log deg); false for out-of-range vertices.
   bool HasEdge(int u, int v) const;
 
+  /// Adjacency set of v (sorted, never contains v). Requires 0 <= v < n.
   const std::set<int>& Neighbors(int v) const { return adjacency_[v]; }
   int Degree(int v) const { return static_cast<int>(adjacency_[v].size()); }
 
-  /// All edges as (u, v) with u < v, sorted.
+  /// All edges as (u, v) with u < v, sorted lexicographically. O(n + m).
   std::vector<std::pair<int, int>> Edges() const;
 
   /// The subgraph induced by `vertices` (relabeled 0..k-1 in the order
-  /// given).
+  /// given). `vertices` must be duplicate-free. O(k log k + m_k log k) for
+  /// k = |vertices| and m_k induced edges.
   Graph InducedSubgraph(const std::vector<int>& vertices) const;
 
   /// An n-by-m rectangular grid (vertex (i,j) -> index i*m + j). Treewidth
@@ -48,6 +52,14 @@ class Graph {
 
   /// A simple cycle C_n (treewidth 2 for n >= 3).
   static Graph Cycle(int n);
+
+  /// A simple path P_n on n vertices (treewidth 1 for n >= 2).
+  static Graph Path(int n);
+
+  /// The Petersen graph: outer 5-cycle {0..4}, inner 5-cycle {5..9}
+  /// chorded as a pentagram, spokes i -- i+5. Treewidth 4; a standard
+  /// named instance for exact-solver tests.
+  static Graph Petersen();
 
  private:
   std::vector<std::set<int>> adjacency_;

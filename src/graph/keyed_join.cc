@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <set>
 
+#include "graph/treewidth_bb.h"
+
 namespace cqbounds {
 
 Result<TreeDecomposition> KeyedJoinDecomposition(
@@ -68,6 +70,14 @@ Result<TreeDecomposition> KeyedJoinDecomposition(
     }
   }
   return td;
+}
+
+Result<TreeDecomposition> CertifiedKeyedJoinDecomposition(
+    const Relation& r, int a, const Relation& s, int b,
+    const GaifmanGraph& gaifman, int* omega_out) {
+  ExactTreewidthResult exact = TreewidthExact(gaifman.graph);
+  if (omega_out != nullptr) *omega_out = exact.width;
+  return KeyedJoinDecomposition(r, a, s, b, gaifman, exact.decomposition);
 }
 
 Graph AugmentedJoinGraph(const Relation& r, int a, const Relation& s, int b,

@@ -37,6 +37,18 @@ Result<TreeDecomposition> KeyedJoinDecomposition(
     const Relation& r, int a, const Relation& s, int b,
     const GaifmanGraph& gaifman, const TreeDecomposition& input);
 
+/// KeyedJoinDecomposition seeded with a *certified optimal* decomposition
+/// of the input structure: computes tw(<R, S>) exactly with the bitset
+/// branch-and-bound engine (treewidth_bb.h) and feeds its witness
+/// decomposition through the Theorem 5.5 construction, so the resulting
+/// width bound j*(omega+1) - 1 uses the true omega = tw(<R, S>) rather
+/// than a heuristic upper bound. Sets `*omega_out` (if non-null) to that
+/// certified treewidth. Exponential in the worst case like any exact
+/// solver; intended for the instance sizes of the paper's experiments.
+Result<TreeDecomposition> CertifiedKeyedJoinDecomposition(
+    const Relation& r, int a, const Relation& s, int b,
+    const GaifmanGraph& gaifman, int* omega_out = nullptr);
+
 /// The Gaifman graph of <R, S> augmented with a clique over the combined
 /// values of every matched pair (t in R, u in S, t[a] == u[b]) -- i.e. the
 /// graph whose edges the joined relation's tuples induce, over `gaifman`'s

@@ -4,6 +4,7 @@
 #include <set>
 #include <vector>
 
+#include "graph/treewidth_bb.h"
 #include "util/subset.h"
 
 namespace cqbounds {
@@ -168,12 +169,12 @@ TreewidthEstimate EstimateTreewidth(const Graph& g, int exact_limit) {
     return est;
   }
   if (n <= exact_limit) {
-    std::vector<int> order;
-    int tw = TreewidthExact(g, &order);
-    est.lower = est.upper = tw;
+    // Certified exact value from the bitset branch-and-bound engine
+    // (treewidth_bb.h); its witness decomposition is returned as-is.
+    ExactTreewidthResult exact = TreewidthExact(g);
+    est.lower = est.upper = exact.width;
     est.exact = true;
-    est.decomposition = DecompositionFromOrdering(g, order);
-    CQB_CHECK(est.decomposition.Width() == tw);
+    est.decomposition = std::move(exact.decomposition);
     return est;
   }
   std::vector<int> order_degree = MinDegreeOrdering(g);

@@ -7,22 +7,33 @@
 namespace cqbounds {
 
 /// Elimination ordering produced by the greedy min-degree heuristic
-/// (ties broken by smallest vertex id; deterministic).
+/// (ties broken by smallest vertex id; deterministic). Upper-bound
+/// heuristic only -- no optimality guarantee. O(n^2 + fill work).
 std::vector<int> MinDegreeOrdering(const Graph& g);
 
 /// Elimination ordering produced by the greedy min-fill heuristic
-/// (pick the vertex whose elimination adds the fewest fill edges).
+/// (pick the vertex whose elimination adds the fewest fill edges; ties
+/// broken by smallest id). Usually tighter than min-degree; O(n * m * deg)
+/// per step in the worst case.
 std::vector<int> MinFillOrdering(const Graph& g);
 
 /// Exact treewidth via the Held-Karp style dynamic program over vertex
-/// subsets (O*(2^n)); also reconstructs an optimal elimination ordering.
-/// Requires g.num_vertices() <= 22 (memory guard); intended for the small
-/// instances used in tests. `order_out` may be null.
+/// subsets (O*(2^n) time and 2^n memory); also reconstructs an optimal
+/// elimination ordering. Requires g.num_vertices() <= 22 (memory guard).
+/// `order_out` may be null.
+///
+/// This is the seed reference implementation, kept as the *oracle* that
+/// cross-validates the production bitset branch-and-bound engine (the
+/// one-argument TreewidthExact overload in treewidth_bb.h) in randomized
+/// property tests. Production call sites should prefer the engine: it is
+/// orders of magnitude faster on sparse graphs and returns a certified
+/// witness decomposition.
 int TreewidthExact(const Graph& g, std::vector<int>* order_out);
 
 /// Maximum-minimum-degree (MMD) lower bound: repeatedly delete a vertex of
 /// minimum degree; the largest minimum degree ever seen is a treewidth lower
-/// bound.
+/// bound. O(n^2). The exact engine's internal MMD+ (contraction) bound
+/// dominates this one; MMD is kept for the large-graph sandwich.
 int TreewidthLowerBoundMmd(const Graph& g);
 
 /// A treewidth estimate: `lower <= tw(g) <= upper`, with a validated tree
@@ -35,10 +46,13 @@ struct TreewidthEstimate {
   TreeDecomposition decomposition;
 };
 
-/// Computes a treewidth sandwich for `g`: exact DP when the graph has at
-/// most `exact_limit` vertices, otherwise the best of the min-degree /
-/// min-fill upper bounds together with the MMD lower bound. The returned
-/// decomposition always passes TreeDecomposition::Validate.
+/// Computes a treewidth sandwich for `g`: the exact bitset branch-and-
+/// bound engine (treewidth_bb.h) when the graph has at most `exact_limit`
+/// vertices, otherwise the best of the min-degree / min-fill upper bounds
+/// together with the MMD lower bound. The returned decomposition always
+/// passes TreeDecomposition::Validate. The engine handles graphs well past
+/// the old DP's 22-vertex ceiling; `exact_limit` is now purely a latency
+/// knob for callers that sweep many graphs.
 ///
 /// This is the "simulated treewidth oracle" substitution documented in
 /// DESIGN.md: the paper reasons about tw(D) abstractly; experiments report

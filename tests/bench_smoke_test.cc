@@ -91,6 +91,37 @@ TEST(BenchSmokeTest, JsonFlagWritesParsableTableDump) {
   EXPECT_NE(json.find("\"tables\""), std::string::npos);
   EXPECT_NE(json.find("\"headers\""), std::string::npos);
   EXPECT_NE(json.find("\"rows\""), std::string::npos);
+  // The timers section exists even when no timed sections are registered.
+  EXPECT_NE(json.find("\"timers\""), std::string::npos);
+}
+
+TEST(BenchSmokeTest, QuickJsonStillCarriesTimedSections) {
+  // Regression guard for the "--quick skips timer registration" bug: timed
+  // sections (CQB_BENCH_TIMED) must run -- and land in the JSON dump -- in
+  // quick mode too, so baseline refreshes track wall times, not just
+  // tables. bench_e3 registers tw_exact/* sections.
+  const std::string json_path =
+      std::string(CQBOUNDS_BENCH_DIR) + "/smoke_e3.json";
+  std::string output;
+  const int rc = RunCommand("'" + BenchPath("bench_e3_tw_blowup") +
+                                "' --quick --json '" + json_path + "'",
+                            &output);
+  ASSERT_EQ(rc, 0) << output;
+
+  std::ifstream in(json_path);
+  ASSERT_TRUE(in.good()) << "missing " << json_path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string json = buf.str();
+  std::remove(json_path.c_str());
+
+  EXPECT_NE(json.find("\"timers\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"name\": \"tw_exact/petersen\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"reps\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"seconds_per_rep\""), std::string::npos);
+  // And the sections were actually executed on the way.
+  EXPECT_NE(output.find("Timed sections"), std::string::npos) << output;
 }
 
 }  // namespace

@@ -111,13 +111,12 @@ TEST(KeyedJoinTest, GridSelfJoinDecompositionWithinBound) {
   GridConstruction gc = BuildGridConstruction(3, 1);
   const Relation* r = gc.db.Find("R");
   GaifmanGraph g = BuildGaifmanGraph(gc.db);
-  std::vector<int> order;
-  TreewidthExact(g.graph, &order);
-  TreeDecomposition input = DecompositionFromOrdering(g.graph, order);
-  ASSERT_TRUE(input.Validate(g.graph).ok());
-  const int omega = input.Width();  // = 3 by Lemma 5.3
-  auto td = KeyedJoinDecomposition(*r, 0, *r, 1, g, input);
+  // The certified path: the exact engine's witness decomposition seeds the
+  // Theorem 5.5 construction, so omega is the true treewidth.
+  int omega = -1;
+  auto td = CertifiedKeyedJoinDecomposition(*r, 0, *r, 1, g, &omega);
   ASSERT_TRUE(td.ok()) << td.status();
+  EXPECT_EQ(omega, 3);  // Lemma 5.3
   Graph augmented = AugmentedJoinGraph(*r, 0, *r, 1, g);
   EXPECT_TRUE(td->Validate(augmented).ok());
   EXPECT_LE(td->Width(), KeyedJoinTreewidthBound(r->arity(), omega));

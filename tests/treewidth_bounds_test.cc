@@ -114,6 +114,55 @@ TEST(TreewidthBlowupTest, WitnessDatabaseBlowsUpExample21) {
   EXPECT_GE(est.lower, static_cast<int>(m) - 1);
 }
 
+TEST(TreewidthBlowupTest, MeasuredBlowupIsCertifiedExactly) {
+  // MeasureTreewidthBlowup certifies the Example 2.1 blowup with the exact
+  // engine: inputs stay width 1 while the view output is (nearly) a clique
+  // over the 2M color values plus the shared null, so tw = 2M.
+  auto q = ParseQuery("Rp(X,Y,Z) :- R(X,Y), R(X,Z).");
+  ASSERT_TRUE(q.ok());
+  Coloring coloring;
+  coloring.labels.assign(3, {});
+  coloring.labels[q->FindVariable("Y")] = {0};
+  coloring.labels[q->FindVariable("Z")] = {1};
+  const std::int64_t m = 4;
+  auto db = BuildWorstCaseDatabase(*q, coloring, m);
+  ASSERT_TRUE(db.ok());
+  auto blowup = MeasureTreewidthBlowup(*q, *db);
+  ASSERT_TRUE(blowup.ok()) << blowup.status();
+  EXPECT_FALSE(blowup->preserved);  // wedge view: Y,Z never co-occur
+  EXPECT_EQ(blowup->input_width, 1);
+  EXPECT_EQ(blowup->output_width, 2 * static_cast<int>(m));
+  EXPECT_TRUE(blowup->within_bound);  // non-preserved cap is +infinity
+}
+
+TEST(TreewidthBlowupTest, MeasuredPreservationStaysWithinCap) {
+  // A preserved FD-free view (all head pairs covered) must measure within
+  // the Prop 5.9 cap tw(Q(D)) <= tw(D).
+  auto q = ParseQuery("Q(X,Y) :- R(X,Y).");
+  ASSERT_TRUE(q.ok());
+  Database db;
+  Relation* r = db.AddRelation("R", 2);
+  for (int i = 1; i <= 6; ++i) r->Insert({0, i});  // a star: tw 1
+  auto blowup = MeasureTreewidthBlowup(*q, db);
+  ASSERT_TRUE(blowup.ok()) << blowup.status();
+  EXPECT_TRUE(blowup->preserved);
+  EXPECT_EQ(blowup->input_width, 1);
+  EXPECT_LE(blowup->output_width, blowup->input_width);
+  EXPECT_TRUE(blowup->within_bound);
+  EXPECT_DOUBLE_EQ(blowup->bound, 1.0);
+}
+
+TEST(TreewidthBlowupTest, MeasurementRefusesHugeGraphs) {
+  auto q = ParseQuery("Q(X,Y) :- R(X,Y).");
+  ASSERT_TRUE(q.ok());
+  Database db;
+  Relation* r = db.AddRelation("R", 2);
+  for (int i = 1; i <= 50; ++i) r->Insert({0, i});  // 51 vertices > cap 32
+  auto blowup = MeasureTreewidthBlowup(*q, db);
+  ASSERT_FALSE(blowup.ok());
+  EXPECT_EQ(blowup.status().code(), StatusCode::kFailedPrecondition);
+}
+
 TEST(FormulaTest, Theorem510AndProposition57) {
   auto q = ParseQuery("Q(X,Y) :- R(X,Y).");
   ASSERT_TRUE(q.ok());
