@@ -67,6 +67,14 @@ Result<ColorNumberResult> ColorNumberNoFds(const Query& query) {
 }
 
 Result<Rational> FractionalEdgeCoverNumber(const Query& query) {
+  EdgeCoverWeights cover;
+  CQB_ASSIGN_OR_RETURN(
+      cover, FractionalEdgeCoverWeights(query, /*cover_all_body_vars=*/false));
+  return cover.value;
+}
+
+Result<EdgeCoverWeights> FractionalEdgeCoverWeights(const Query& query,
+                                                    bool cover_all_body_vars) {
   CQB_RETURN_NOT_OK(query.Validate());
   LpProblem lp(/*maximize=*/false);
   std::vector<int> y;
@@ -76,7 +84,9 @@ Result<Rational> FractionalEdgeCoverNumber(const Query& query) {
     lp.SetObjectiveCoef(var, Rational(1));
     y.push_back(var);
   }
-  for (int v : query.HeadVarSet()) {
+  const std::set<int> covered =
+      cover_all_body_vars ? query.BodyVarSet() : query.HeadVarSet();
+  for (int v : covered) {
     std::vector<LpTerm> terms;
     for (std::size_t j = 0; j < query.atoms().size(); ++j) {
       if (query.AtomVarSet(static_cast<int>(j)).count(v)) {
@@ -88,7 +98,11 @@ Result<Rational> FractionalEdgeCoverNumber(const Query& query) {
   }
   LpSolution solution;
   CQB_ASSIGN_OR_RETURN(solution, SolveLp(lp));
-  return solution.objective;
+  EdgeCoverWeights out;
+  out.value = solution.objective;
+  out.weights = std::move(solution.values);
+  out.lp_pivots = solution.pivots;
+  return out;
 }
 
 Result<Query> EliminateSimpleFds(const Query& query) {

@@ -37,6 +37,26 @@ Result<ColorNumberResult> ColorNumberNoFds(const Query& query);
 /// ColorNumberNoFds(query).value -- tests assert it.
 Result<Rational> FractionalEdgeCoverNumber(const Query& query);
 
+/// An optimal fractional edge cover with its per-atom weights exposed.
+struct EdgeCoverWeights {
+  /// sum_j y_j = rho* of the covered variable set.
+  Rational value;
+  /// y_j >= 0, parallel to query.atoms(); for every covered variable the
+  /// weights of the atoms containing it sum to >= 1.
+  std::vector<Rational> weights;
+  /// Simplex pivots spent.
+  int lp_pivots = 0;
+};
+
+/// Solves the Definition 3.5 cover LP and returns the atom weights, not just
+/// the objective. With `cover_all_body_vars` the cover constraint ranges
+/// over var(Q) instead of the head variables: the resulting value is
+/// rho*(full join), the AGM envelope that bounds every intermediate of the
+/// generic-join executor (relation/evaluate.h), and the weights drive its
+/// variable-order heuristic (ChooseGenericJoinOrder in core/join_plan.h).
+Result<EdgeCoverWeights> FractionalEdgeCoverWeights(const Query& query,
+                                                    bool cover_all_body_vars);
+
 /// The Theorem 4.4 elimination procedure: rewrites chase(Q) with simple FDs
 /// into an FD-free query Q' with C(Q') == C(chase(Q)), by processing the
 /// variable-level FDs in |var(Q)| rounds; removing X -> Y appends Y to every

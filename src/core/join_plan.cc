@@ -7,6 +7,8 @@
 #include <unordered_set>
 
 #include "core/color_number.h"
+#include "graph/graph.h"
+#include "graph/treewidth_bb.h"
 #include "relation/tuple.h"
 
 namespace cqbounds {
@@ -153,7 +155,10 @@ Result<Relation> ExecuteJoinPlan(const Query& query, const JoinPlan& plan,
           key.push_back(t[pos]);
         }
       }
-      if (ok) index[key].push_back(&t);
+      if (ok) {
+        index[key].push_back(&t);
+        ++local.indexed_tuples;
+      }
     }
     std::vector<int> joined_vars = bound_vars;
     for (const auto& [pos, var] : new_pos) {
@@ -199,6 +204,7 @@ Result<Relation> ExecuteJoinPlan(const Query& query, const JoinPlan& plan,
     }
     bound_vars = step.keep_vars;
     bindings = std::move(projected);
+    local.intermediate_sizes.push_back(bindings.size());
     local.max_intermediate = std::max(local.max_intermediate, bindings.size());
     local.total_intermediate += bindings.size();
   }
@@ -224,6 +230,114 @@ Result<Relation> ExecuteJoinPlan(const Query& query, const JoinPlan& plan,
   local.output_size = output.size();
   if (stats != nullptr) *stats = local;
   return output;
+}
+
+const char* VariableOrderSourceName(VariableOrderSource source) {
+  switch (source) {
+    case VariableOrderSource::kTreeDecomposition: return "tree-decomposition";
+    case VariableOrderSource::kFractionalCover: return "fractional-cover";
+    case VariableOrderSource::kGreedy: return "greedy";
+  }
+  return "unknown";
+}
+
+std::string GenericJoinOrder::ToString(const Query& query) const {
+  std::ostringstream os;
+  os << "GenericJoinOrder(source=" << VariableOrderSourceName(source);
+  if (intersection_width >= 0) os << ", width=" << intersection_width;
+  os << ", envelope rmax^" << envelope_exponent.ToString() << "): ";
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (i) os << " -> ";
+    os << query.variable_name(order[i]);
+  }
+  return os.str();
+}
+
+Result<GenericJoinOrder> ChooseGenericJoinOrder(const Query& query) {
+  CQB_RETURN_NOT_OK(query.Validate());
+  GenericJoinOrder out;
+
+  // The AGM envelope and the per-atom weights come from the cover LP over
+  // *all* body variables (the generic join enumerates full bindings, so its
+  // prefix counts are governed by rho* of the full join, not of the head).
+  auto cover = FractionalEdgeCoverWeights(query, /*cover_all_body_vars=*/true);
+  if (cover.ok()) {
+    out.envelope_exponent = cover->value;
+  } else {
+    // No fractional cover (only possible for degenerate bodies): fall back
+    // to the trivial all-ones cover exponent.
+    out.envelope_exponent =
+        Rational(static_cast<std::int64_t>(query.atoms().size()));
+  }
+
+  // Variable-intersection graph: body variables, edges between variables
+  // sharing an atom (the Gaifman graph of the canonical instance).
+  const std::set<int> body_set = query.BodyVarSet();
+  const std::vector<int> body(body_set.begin(), body_set.end());
+  std::vector<int> dense(query.num_variables(), -1);
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    dense[body[i]] = static_cast<int>(i);
+  }
+  Graph var_graph(static_cast<int>(body.size()));
+  for (std::size_t i = 0; i < query.atoms().size(); ++i) {
+    const std::set<int> vars = query.AtomVarSet(static_cast<int>(i));
+    for (int u : vars) {
+      for (int v : vars) {
+        if (u < v) var_graph.AddEdge(dense[u], dense[v]);
+      }
+    }
+  }
+
+  // Low-width path: bind along the certified elimination order, last
+  // eliminated first. In a (reversed) perfect-style elimination order every
+  // variable's already-bound neighbours form a clique, so each leapfrog
+  // intersection runs over tries that were all narrowed by the same prefix.
+  constexpr int kExactVertexLimit = 40;
+  constexpr int kLowWidth = 2;
+  // Width-<=2 graphs are K4-minor-free and have at most 2n-3 edges, so a
+  // denser graph cannot take this path -- skip the exponential probe
+  // outright instead of running the B&B to completion just to learn the
+  // width is >= 3.
+  const bool possibly_low_width =
+      var_graph.num_edges() <=
+      std::max<std::size_t>(2 * var_graph.num_vertices(), 3) - 3;
+  if (!body.empty() && possibly_low_width &&
+      var_graph.num_vertices() <= kExactVertexLimit) {
+    ExactTreewidthResult tw = TreewidthExact(var_graph);
+    if (tw.width >= 0 && tw.width <= kLowWidth) {
+      out.intersection_width = tw.width;
+      out.source = VariableOrderSource::kTreeDecomposition;
+      out.order.reserve(body.size());
+      for (auto it = tw.elimination_order.rbegin();
+           it != tw.elimination_order.rend(); ++it) {
+        out.order.push_back(body[*it]);
+      }
+      return out;
+    }
+  }
+
+  if (!cover.ok()) {
+    out.source = VariableOrderSource::kGreedy;
+    out.order = DefaultGenericJoinOrder(query);
+    return out;
+  }
+
+  // Cover-weight path: a variable's mass is the total optimal cover weight
+  // of the atoms containing it (>= 1 by the cover constraint). Heavier
+  // variables sit in more of the relations that pay for the envelope, so
+  // binding them first narrows every trie at once. Connected-first with
+  // deterministic ties (ConnectedFirstOrder).
+  std::vector<Rational> mass(query.num_variables(), Rational(0));
+  for (std::size_t j = 0; j < query.atoms().size(); ++j) {
+    for (int v : query.AtomVarSet(static_cast<int>(j))) {
+      mass[v] = mass[v] + cover->weights[j];
+    }
+  }
+  out.source = VariableOrderSource::kFractionalCover;
+  out.order = ConnectedFirstOrder(query, [&mass](int incumbent, int candidate) {
+    return mass[incumbent] < mass[candidate];
+  });
+  return out;
 }
 
 }  // namespace cqbounds

@@ -54,6 +54,50 @@ Result<JoinPlan> BuildJoinProjectPlan(const Query& query);
 Result<Relation> ExecuteJoinPlan(const Query& query, const JoinPlan& plan,
                                  const Database& db, EvalStats* stats);
 
+/// How ChooseGenericJoinOrder derived its variable order.
+enum class VariableOrderSource {
+  /// Reverse elimination order of the certified TreewidthExact decomposition
+  /// of the query's variable-intersection graph (taken when the graph is
+  /// acyclic or low-width): each variable's already-bound neighbours form a
+  /// clique, so trie descents stay aligned.
+  kTreeDecomposition,
+  /// Greedy by fractional-edge-cover mass: variables whose atoms carry more
+  /// optimal cover weight bind first (they are intersected by more of the
+  /// relations that pay for the AGM envelope), extended connected-first.
+  kFractionalCover,
+  /// Atom-degree greedy fallback (DefaultGenericJoinOrder) when the cover
+  /// LP is unavailable.
+  kGreedy,
+};
+
+/// Short lowercase name for `source` ("tree-decomposition", ...).
+const char* VariableOrderSourceName(VariableOrderSource source);
+
+/// A variable order for the generic-join executor, plus the certificates
+/// that chose it. Any order is correct and worst-case optimal; this module
+/// only tunes the constants (seek counts, trie reuse).
+struct GenericJoinOrder {
+  /// Every body variable exactly once, in binding order. Feed to
+  /// EvaluateGenericJoin.
+  std::vector<int> order;
+  VariableOrderSource source = VariableOrderSource::kGreedy;
+  /// rho*(full join) -- the AGM envelope exponent: the generic join
+  /// enumerates at most rmax^envelope_exponent bindings at every depth.
+  Rational envelope_exponent;
+  /// Certified treewidth of the variable-intersection graph when the
+  /// kTreeDecomposition path was taken; -1 otherwise.
+  int intersection_width = -1;
+
+  std::string ToString(const Query& query) const;
+};
+
+/// Derives the generic-join variable order for `query`: solves the
+/// full-body fractional edge cover LP (the AGM envelope and the weight
+/// heuristic), and runs the exact treewidth engine on the query's
+/// variable-intersection graph, preferring the certified elimination order
+/// when the graph is low-width (<= 2; chains, trees, cycles, triangles).
+Result<GenericJoinOrder> ChooseGenericJoinOrder(const Query& query);
+
 }  // namespace cqbounds
 
 #endif  // CQBOUNDS_CORE_JOIN_PLAN_H_

@@ -1,46 +1,323 @@
 #include "relation/evaluate.h"
 
 #include <algorithm>
+#include <map>
 #include <set>
 #include <unordered_map>
 #include <unordered_set>
+
+#include "relation/trie_index.h"
+#include "relation/tuple.h"
 
 namespace cqbounds {
 
 namespace {
 
-/// Variables needed at or after body position `from`: head variables plus
-/// variables of atoms from..m-1.
-std::set<int> NeededVars(const Query& query, std::size_t from) {
-  std::set<int> needed(query.head_vars().begin(), query.head_vars().end());
-  for (std::size_t j = from; j < query.atoms().size(); ++j) {
+/// Suffix variable sets, computed once per query: needed_after[j] holds the
+/// head variables plus the variables of atoms j..m-1, so the kJoinProject
+/// projection at step `step` reads needed_after[step+1]. One backward pass,
+/// O(m * vars) total -- recomputing from scratch at every step made the
+/// join-project path O(m^2 * vars) in the number of atoms.
+std::vector<std::set<int>> NeededVarsBySuffix(const Query& query) {
+  const std::size_t m = query.atoms().size();
+  std::vector<std::set<int>> needed_after(m + 1);
+  needed_after[m] = query.HeadVarSet();
+  for (std::size_t j = m; j-- > 0;) {
+    needed_after[j] = needed_after[j + 1];
     const Atom& a = query.atoms()[j];
-    needed.insert(a.vars.begin(), a.vars.end());
+    needed_after[j].insert(a.vars.begin(), a.vars.end());
   }
-  return needed;
+  return needed_after;
 }
+
+/// Resolves and checks the relation behind `atom`, the shared precondition
+/// of every plan kind.
+Result<const Relation*> ResolveAtom(const Atom& atom, const Database& db) {
+  const Relation* rel = db.Find(atom.relation);
+  if (rel == nullptr) {
+    return Status::NotFound("relation '" + atom.relation +
+                            "' missing from database");
+  }
+  if (rel->arity() != static_cast<int>(atom.vars.size())) {
+    return Status::InvalidArgument(
+        "atom " + atom.relation + " has arity " +
+        std::to_string(atom.vars.size()) + " but relation has arity " +
+        std::to_string(rel->arity()));
+  }
+  return rel;
+}
+
+/// State of the leapfrog search: one trie per atom plus a stack of sibling
+/// ranges tracking each trie's descent along the global variable order.
+struct GenericJoinSearch {
+  Relation* output;
+  EvalStats* stats;
+
+  /// Variable ids in binding order.
+  const std::vector<int>& order;
+  /// One trie per atom, keyed by the atom's variables in global order.
+  std::vector<TrieIndex> tries;
+  /// atoms_at[d]: atoms whose trie has a level for variable order[d].
+  std::vector<std::vector<int>> atoms_at;
+  /// Current candidate range per atom (top of its descent stack).
+  std::vector<std::vector<TrieIndex::Range>> range_stack;
+  /// assignment[var] = bound value for the already-bound prefix.
+  std::vector<Value> assignment;
+  /// Output template: head positions into `assignment`.
+  std::vector<int> head_vars;
+  /// Per-depth leapfrog scratch (cursor and trie level per participating
+  /// atom), allocated once -- Run visits thousands of nodes and must not
+  /// allocate per node.
+  std::vector<std::vector<std::size_t>> cursor_scratch;
+  std::vector<std::vector<int>> level_scratch;
+
+  GenericJoinSearch(Relation* out, EvalStats* st,
+                    const std::vector<int>& var_order)
+      : output(out), stats(st), order(var_order) {}
+
+  /// Binds order[depth..] recursively; every match at a depth increments
+  /// that depth's intermediate counter (the quantity the AGM envelope
+  /// bounds).
+  void Run(std::size_t depth) {
+    if (depth == order.size()) {
+      Tuple head(head_vars.size());
+      for (std::size_t i = 0; i < head_vars.size(); ++i) {
+        head[i] = assignment[head_vars[i]];
+      }
+      output->Insert(head);
+      return;
+    }
+    const std::vector<int>& atoms = atoms_at[depth];
+    // Leapfrog: keep one cursor per participating atom; repeatedly seek
+    // every cursor up to the current maximum value until all agree (a
+    // match) or one range is exhausted. An atom's current trie level is its
+    // descent-stack height minus the root.
+    std::vector<std::size_t>& cursor = cursor_scratch[depth];
+    std::vector<int>& level = level_scratch[depth];
+    for (std::size_t k = 0; k < atoms.size(); ++k) {
+      const int a = atoms[k];
+      cursor[k] = range_stack[a].back().begin;
+      level[k] = static_cast<int>(range_stack[a].size()) - 1;
+      if (cursor[k] >= range_stack[a].back().end) return;
+    }
+    Value target = tries[atoms[0]].ValueAt(level[0], cursor[0]);
+    while (true) {
+      // `target` is the running maximum over all cursors; it only grows, so
+      // each non-aligned round strictly advances some cursor.
+      bool aligned = true;
+      for (std::size_t k = 0; k < atoms.size(); ++k) {
+        const int a = atoms[k];
+        const TrieIndex::Range r{cursor[k], range_stack[a].back().end};
+        const std::size_t pos = tries[a].SeekGE(level[k], r, target);
+        ++stats->intersection_seeks;
+        if (pos >= r.end) return;  // range exhausted: no more matches
+        cursor[k] = pos;
+        const Value found = tries[a].ValueAt(level[k], pos);
+        if (found != target) {
+          target = found;  // overshoot: restart the round at the new max
+          aligned = false;
+          break;
+        }
+      }
+      if (!aligned) continue;
+
+      // All cursors agree on `target`: bind and descend.
+      assignment[order[depth]] = target;
+      ++stats->intermediate_sizes[depth];
+      for (std::size_t k = 0; k < atoms.size(); ++k) {
+        const int a = atoms[k];
+        range_stack[a].push_back(tries[a].ChildRange(level[k], cursor[k]));
+      }
+      Run(depth + 1);
+      for (int a : atoms) range_stack[a].pop_back();
+
+      // Advance past the match; stop when the first atom's range runs dry.
+      if (++cursor[0] >= range_stack[atoms[0]].back().end) return;
+      target = tries[atoms[0]].ValueAt(level[0], cursor[0]);
+    }
+  }
+};
 
 }  // namespace
 
+Result<Relation> EvaluateGenericJoin(const Query& query, const Database& db,
+                                     const std::vector<int>& variable_order,
+                                     EvalStats* stats) {
+  EvalStats local;
+  // The order must enumerate the body variables exactly once each.
+  {
+    std::set<int> body = query.BodyVarSet();
+    std::set<int> seen;
+    for (int v : variable_order) {
+      if (!body.count(v) || !seen.insert(v).second) {
+        return Status::InvalidArgument(
+            "variable order is not a permutation of the body variables");
+      }
+    }
+    if (seen.size() != body.size()) {
+      return Status::InvalidArgument(
+          "variable order misses " +
+          std::to_string(body.size() - seen.size()) + " body variable(s)");
+    }
+    for (int v : query.head_vars()) {
+      if (!body.count(v)) {
+        return Status::InvalidArgument("head variable '" +
+                                       query.variable_name(v) +
+                                       "' does not occur in the body");
+      }
+    }
+  }
+
+  Relation output(query.head_relation(),
+                  static_cast<int>(query.head_vars().size()));
+  std::vector<int> rank(query.num_variables(), -1);
+  for (std::size_t d = 0; d < variable_order.size(); ++d) {
+    rank[variable_order[d]] = static_cast<int>(d);
+  }
+
+  GenericJoinSearch search(&output, &local, variable_order);
+  search.assignment.assign(query.num_variables(), 0);
+  search.head_vars = query.head_vars();
+  search.atoms_at.resize(variable_order.size());
+  local.intermediate_sizes.assign(variable_order.size(), 0);
+
+  // Resolve every atom up front so missing relations and arity mismatches
+  // error deterministically even when an earlier trie is already empty.
+  std::vector<const Relation*> rels;
+  rels.reserve(query.atoms().size());
+  for (const Atom& atom : query.atoms()) {
+    const Relation* rel;
+    CQB_ASSIGN_OR_RETURN(rel, ResolveAtom(atom, db));
+    rels.push_back(rel);
+  }
+
+  bool empty_atom = false;
+  for (std::size_t i = 0; i < query.atoms().size() && !empty_atom; ++i) {
+    const Atom& atom = query.atoms()[i];
+    const Relation* rel = rels[i];
+
+    // The atom's distinct variables in global order, with every tuple
+    // position each one occupies (repeats become equality filters).
+    std::map<int, std::vector<int>> positions_by_rank;
+    for (std::size_t p = 0; p < atom.vars.size(); ++p) {
+      positions_by_rank[rank[atom.vars[p]]].push_back(static_cast<int>(p));
+    }
+    std::vector<std::vector<int>> level_positions;
+    std::vector<int> ranks;
+    for (auto& [r, positions] : positions_by_rank) {
+      ranks.push_back(r);
+      level_positions.push_back(std::move(positions));
+    }
+    search.tries.emplace_back(*rel, level_positions);
+    const TrieIndex& trie = search.tries.back();
+    local.indexed_tuples += trie.num_tuples();
+    if (trie.num_tuples() == 0) empty_atom = true;
+    for (int r : ranks) {
+      search.atoms_at[r].push_back(static_cast<int>(i));
+    }
+    search.range_stack.push_back({trie.RootRange()});
+  }
+
+  if (!empty_atom && !query.atoms().empty()) {
+    search.cursor_scratch.resize(variable_order.size());
+    search.level_scratch.resize(variable_order.size());
+    for (std::size_t d = 0; d < variable_order.size(); ++d) {
+      search.cursor_scratch[d].resize(search.atoms_at[d].size());
+      search.level_scratch[d].resize(search.atoms_at[d].size());
+    }
+    search.Run(0);
+  } else if (query.atoms().empty()) {
+    output.Insert(Tuple{});  // empty body: the single empty substitution
+  }
+
+  for (std::size_t s : local.intermediate_sizes) {
+    local.max_intermediate = std::max(local.max_intermediate, s);
+    local.total_intermediate += s;
+  }
+  local.output_size = output.size();
+  if (stats != nullptr) *stats = std::move(local);
+  return output;
+}
+
+const char* PlanKindName(PlanKind kind) {
+  switch (kind) {
+    case PlanKind::kNaive: return "naive";
+    case PlanKind::kJoinProject: return "join-project";
+    case PlanKind::kGenericJoin: return "generic-join";
+  }
+  return "unknown";
+}
+
+std::vector<int> ConnectedFirstOrder(
+    const Query& query,
+    const std::function<bool(int incumbent, int candidate)>& strictly_better) {
+  // Co-occurrence adjacency, for the connected-first extension.
+  std::map<int, std::set<int>> adjacent;
+  for (std::size_t i = 0; i < query.atoms().size(); ++i) {
+    std::set<int> vars = query.AtomVarSet(static_cast<int>(i));
+    for (int u : vars) {
+      for (int v : vars) {
+        if (u != v) adjacent[u].insert(v);
+      }
+    }
+  }
+  std::vector<int> order;
+  std::set<int> remaining = query.BodyVarSet();
+  std::set<int> frontier;  // unordered vars adjacent to the ordered prefix
+  while (!remaining.empty()) {
+    const std::set<int>& candidates = frontier.empty() ? remaining : frontier;
+    int best = -1;
+    for (int v : candidates) {
+      if (best < 0 || strictly_better(best, v)) best = v;
+    }
+    order.push_back(best);
+    remaining.erase(best);
+    frontier.erase(best);
+    for (int v : adjacent[best]) {
+      if (remaining.count(v)) frontier.insert(v);
+    }
+  }
+  return order;
+}
+
+std::vector<int> DefaultGenericJoinOrder(const Query& query) {
+  // Atom-degree of every body variable.
+  std::map<int, int> degree;
+  for (int v : query.BodyVarSet()) degree[v] = 0;
+  for (std::size_t i = 0; i < query.atoms().size(); ++i) {
+    for (int v : query.AtomVarSet(static_cast<int>(i))) ++degree[v];
+  }
+  return ConnectedFirstOrder(query, [&degree](int incumbent, int candidate) {
+    return degree[candidate] > degree[incumbent];
+  });
+}
+
 Result<Relation> EvaluateQuery(const Query& query, const Database& db,
                                PlanKind kind, EvalStats* stats) {
+  if (kind == PlanKind::kGenericJoin) {
+    return EvaluateGenericJoin(query, db, DefaultGenericJoinOrder(query),
+                               stats);
+  }
+
   EvalStats local;
   // Bindings are tuples over `bound_vars` (parallel layout).
   std::vector<int> bound_vars;
   std::vector<Tuple> bindings = {Tuple{}};
+  const std::vector<std::set<int>> needed_after =
+      kind == PlanKind::kJoinProject ? NeededVarsBySuffix(query)
+                                     : std::vector<std::set<int>>();
 
   for (std::size_t step = 0; step < query.atoms().size(); ++step) {
     const Atom& atom = query.atoms()[step];
-    const Relation* rel = db.Find(atom.relation);
-    if (rel == nullptr) {
-      return Status::NotFound("relation '" + atom.relation +
-                              "' missing from database");
-    }
-    if (rel->arity() != static_cast<int>(atom.vars.size())) {
-      return Status::InvalidArgument(
-          "atom " + atom.relation + " has arity " +
-          std::to_string(atom.vars.size()) + " but relation has arity " +
-          std::to_string(rel->arity()));
+    const Relation* rel;
+    CQB_ASSIGN_OR_RETURN(rel, ResolveAtom(atom, db));
+
+    // Once no binding survives, the result is empty whatever the remaining
+    // atoms hold: skip their index construction (but keep the metadata
+    // checks above, so missing relations still error deterministically).
+    if (bindings.empty()) {
+      local.intermediate_sizes.push_back(0);
+      continue;
     }
 
     // Split the atom's positions into join positions (variable already
@@ -81,7 +358,10 @@ Result<Relation> EvaluateQuery(const Query& query, const Database& db,
           key.push_back(t[pos]);
         }
       }
-      if (self_consistent) index[key].push_back(&t);
+      if (self_consistent) {
+        index[key].push_back(&t);
+        ++local.indexed_tuples;
+      }
     }
 
     // Probe.
@@ -113,7 +393,7 @@ Result<Relation> EvaluateQuery(const Query& query, const Database& db,
 
     if (kind == PlanKind::kJoinProject) {
       // Keep only the variables needed by the head or by future atoms.
-      std::set<int> needed = NeededVars(query, step + 1);
+      const std::set<int>& needed = needed_after[step + 1];
       std::vector<int> kept_positions;
       std::vector<int> kept_vars;
       for (std::size_t i = 0; i < bound_vars.size(); ++i) {
@@ -136,8 +416,12 @@ Result<Relation> EvaluateQuery(const Query& query, const Database& db,
       }
     }
 
-    local.max_intermediate = std::max(local.max_intermediate, bindings.size());
-    local.total_intermediate += bindings.size();
+    local.intermediate_sizes.push_back(bindings.size());
+  }
+
+  for (std::size_t s : local.intermediate_sizes) {
+    local.max_intermediate = std::max(local.max_intermediate, s);
+    local.total_intermediate += s;
   }
 
   // Project onto the head variable list (which may repeat variables).
@@ -145,12 +429,14 @@ Result<Relation> EvaluateQuery(const Query& query, const Database& db,
                   static_cast<int>(query.head_vars().size()));
   std::vector<int> head_positions;
   head_positions.reserve(query.head_vars().size());
-  for (int var : query.head_vars()) {
-    auto it = std::find(bound_vars.begin(), bound_vars.end(), var);
-    CQB_CHECK(it != bound_vars.end());  // Validate() guarantees this
-    head_positions.push_back(static_cast<int>(it - bound_vars.begin()));
+  if (!bindings.empty()) {
+    for (int var : query.head_vars()) {
+      auto it = std::find(bound_vars.begin(), bound_vars.end(), var);
+      CQB_CHECK(it != bound_vars.end());  // Validate() guarantees this
+      head_positions.push_back(static_cast<int>(it - bound_vars.begin()));
+    }
   }
-  Tuple head_tuple(head_positions.size());
+  Tuple head_tuple(query.head_vars().size());
   for (const Tuple& binding : bindings) {
     for (std::size_t i = 0; i < head_positions.size(); ++i) {
       head_tuple[i] = binding[head_positions[i]];
@@ -158,7 +444,7 @@ Result<Relation> EvaluateQuery(const Query& query, const Database& db,
     output.Insert(head_tuple);
   }
   local.output_size = output.size();
-  if (stats != nullptr) *stats = local;
+  if (stats != nullptr) *stats = std::move(local);
   return output;
 }
 

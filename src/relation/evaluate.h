@@ -1,6 +1,10 @@
 #ifndef CQBOUNDS_RELATION_EVALUATE_H_
 #define CQBOUNDS_RELATION_EVALUATE_H_
 
+#include <cstddef>
+#include <functional>
+#include <vector>
+
 #include "cq/query.h"
 #include "relation/database.h"
 #include "util/status.h"
@@ -17,10 +21,20 @@ enum class PlanKind {
   /// needed (head variables plus variables of unprocessed atoms), keeping
   /// intermediate sizes within the rmax^C envelope.
   kJoinProject,
+  /// Worst-case-optimal generic join: one sorted-column trie per atom
+  /// (trie_index.h), variables bound one at a time by a leapfrog-style
+  /// multiway intersection. The number of bindings enumerated at every
+  /// depth is bounded by the AGM envelope rmax^{rho*} of the full join --
+  /// the executor *meets* the Prop 4.1/4.3 size bound instead of merely
+  /// stating it. See docs/EVALUATION.md.
+  kGenericJoin,
 };
 
-/// Counters reported by EvaluateQuery, used by the E10 benchmark to contrast
-/// the two plans.
+/// Short display name for `kind` ("naive", "join-project", "generic-join").
+const char* PlanKindName(PlanKind kind);
+
+/// Counters reported by the evaluators, used by the E10 benchmark and the
+/// oracle tests to contrast the three plans against the paper's envelopes.
 struct EvalStats {
   /// Largest intermediate binding set encountered.
   std::size_t max_intermediate = 0;
@@ -28,17 +42,61 @@ struct EvalStats {
   std::size_t total_intermediate = 0;
   /// Number of tuples in the output relation.
   std::size_t output_size = 0;
+  /// Intermediate size per step: bindings alive after each join for the
+  /// binary-join plans; bindings enumerated per *variable depth* (in the
+  /// global variable order) for the generic join. max/total above aggregate
+  /// this vector.
+  std::vector<std::size_t> intermediate_sizes;
+  /// Tuples inserted into per-atom indexes (hash buckets for the binary
+  /// plans, trie keys for the generic join). Guards the empty-join
+  /// short-circuit: once no binding survives, later atoms are not indexed.
+  std::size_t indexed_tuples = 0;
+  /// Generic join only: trie SeekGE calls issued by the leapfrog
+  /// intersection loops (the executor's unit of work).
+  std::size_t intersection_seeks = 0;
 };
 
 /// Evaluates `query` over `db`, producing the head relation Q(D) with set
 /// semantics: all tuples theta(u0) for substitutions theta satisfying every
-/// body atom (Section 2 of the paper).
+/// body atom (Section 2 of the paper). PlanKind::kGenericJoin runs
+/// EvaluateGenericJoin over DefaultGenericJoinOrder (use
+/// ChooseGenericJoinOrder in core/join_plan.h for the LP/treewidth-derived
+/// order).
 ///
 /// Errors: kNotFound if a body relation is missing from `db`;
 /// kInvalidArgument if an atom's arity disagrees with the stored relation.
 /// `stats` may be null.
 Result<Relation> EvaluateQuery(const Query& query, const Database& db,
                                PlanKind kind, EvalStats* stats = nullptr);
+
+/// The worst-case-optimal executor: builds one TrieIndex per atom keyed by
+/// `variable_order` (which must enumerate every body variable exactly once)
+/// and binds variables in that order with leapfrog intersections. Any order
+/// preserves the AGM envelope on intermediates; the order affects constants
+/// (seek counts), not the worst-case guarantee.
+///
+/// Errors: as EvaluateQuery, plus kInvalidArgument if `variable_order` is
+/// not a permutation of the body variables.
+Result<Relation> EvaluateGenericJoin(const Query& query, const Database& db,
+                                     const std::vector<int>& variable_order,
+                                     EvalStats* stats = nullptr);
+
+/// A dependency-light default variable order: greedy by atom-degree
+/// (variables constrained by more atoms first), extending connected-first so
+/// intersections bind early. Deterministic. core/join_plan.h's
+/// ChooseGenericJoinOrder upgrades this with fractional-edge-cover weights
+/// and certified tree decompositions.
+std::vector<int> DefaultGenericJoinOrder(const Query& query);
+
+/// Shared greedy skeleton of the variable-order heuristics: orders the body
+/// variables of `query`, repeatedly picking -- among the unordered variables
+/// sharing an atom with the ordered prefix, or all remaining ones when no
+/// such neighbour exists -- the candidate that `strictly_better` prefers
+/// over the incumbent. Candidates are scanned in increasing variable id, so
+/// ties go to the smallest id. Deterministic.
+std::vector<int> ConnectedFirstOrder(
+    const Query& query,
+    const std::function<bool(int incumbent, int candidate)>& strictly_better);
 
 /// Equi-join R x S keeping all columns of both inputs (the treewidth
 /// sections of the paper treat the result of R join_{A=B} S as a relation of

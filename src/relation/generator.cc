@@ -64,4 +64,18 @@ Database RandomDatabase(const Query& query,
   return db;
 }
 
+
+Database StarTriangleDatabase(int spokes, const std::string& name) {
+  Database db;
+  Relation* e = db.AddRelation(name, 2);
+  for (int i = 1; i <= spokes; ++i) {
+    e->Insert({0, i});
+    e->Insert({i, 0});
+  }
+  e->Insert({spokes + 1, spokes + 2});
+  e->Insert({spokes + 2, spokes + 3});
+  e->Insert({spokes + 3, spokes + 1});
+  return db;
+}
+
 }  // namespace cqbounds

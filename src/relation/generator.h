@@ -36,6 +36,16 @@ Database RandomDatabase(const Query& query, const RandomDatabaseOptions& opts);
 void FillRandomRelation(Database* db, const std::string& name, int arity,
                         std::size_t count, std::int64_t domain_size, Rng* rng);
 
+/// The "star triangle" adversary shared by the E10 bench, the generic-join
+/// tests and the demo example: hub-and-spoke edges {(0,i)} u {(i,0)} for
+/// i in 1..spokes, plus one genuine triangle on fresh vertices, all in the
+/// binary relation `name`. Against the triangle query E(X,Y), E(Y,Z),
+/// E(Z,X) the binary-join plans materialize ~spokes^2 two-step walks
+/// through the hub -- beyond the AGM envelope |E|^{3/2} with |E| =
+/// 2*spokes+3 -- while the output is exactly the 3 rotations of the
+/// genuine triangle.
+Database StarTriangleDatabase(int spokes, const std::string& name = "E");
+
 }  // namespace cqbounds
 
 #endif  // CQBOUNDS_RELATION_GENERATOR_H_

@@ -1,0 +1,78 @@
+#include "relation/trie_index.h"
+
+#include <algorithm>
+
+namespace cqbounds {
+
+TrieIndex::TrieIndex(const Relation& rel,
+                     const std::vector<std::vector<int>>& level_positions) {
+  const int depth = static_cast<int>(level_positions.size());
+  if (depth == 0) {
+    // Zero key variables: the trie only records whether any tuple survives
+    // the (vacuous) filters -- the atom acts as a boolean guard.
+    num_tuples_ = rel.empty() ? 0 : 1;
+    return;
+  }
+
+  // Extract the key tuple of every self-consistent tuple.
+  std::vector<Tuple> keys;
+  keys.reserve(rel.size());
+  Tuple key(depth);
+  for (const Tuple& t : rel.tuples()) {
+    bool consistent = true;
+    for (int l = 0; l < depth && consistent; ++l) {
+      const std::vector<int>& positions = level_positions[l];
+      key[l] = t[positions.front()];
+      for (std::size_t p = 1; p < positions.size(); ++p) {
+        if (t[positions[p]] != key[l]) {
+          consistent = false;
+          break;
+        }
+      }
+    }
+    if (consistent) keys.push_back(key);
+  }
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  num_tuples_ = keys.size();
+
+  // One scan over the sorted keys builds every level: key i opens new nodes
+  // at all levels past its common prefix with key i-1. A node's first-child
+  // offset is recorded at creation (the next level's current size); the
+  // trailing sentinel closes the last node of each level.
+  levels_.resize(depth);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    int split = 0;
+    if (i > 0) {
+      while (split < depth && keys[i][split] == keys[i - 1][split]) ++split;
+    }
+    for (int l = split; l < depth; ++l) {
+      if (l + 1 < depth) {
+        levels_[l].child_begin.push_back(levels_[l + 1].values.size());
+      }
+      levels_[l].values.push_back(keys[i][l]);
+    }
+  }
+  for (int l = 0; l + 1 < depth; ++l) {
+    levels_[l].child_begin.push_back(levels_[l + 1].values.size());
+  }
+}
+
+std::size_t TrieIndex::SeekGE(int level, Range r, Value v) const {
+  const std::vector<Value>& vals = levels_[level].values;
+  if (r.empty() || vals[r.begin] >= v) return r.begin;
+  // Gallop from the current position, then binary-search the final window.
+  std::size_t lo = r.begin;
+  std::size_t step = 1;
+  while (lo + step < r.end && vals[lo + step] < v) {
+    lo += step;
+    step <<= 1;
+  }
+  const std::size_t hi = std::min(lo + step + 1, r.end);
+  return static_cast<std::size_t>(
+      std::lower_bound(vals.begin() + static_cast<std::ptrdiff_t>(lo),
+                       vals.begin() + static_cast<std::ptrdiff_t>(hi), v) -
+      vals.begin());
+}
+
+}  // namespace cqbounds

@@ -1,0 +1,91 @@
+#ifndef CQBOUNDS_RELATION_TRIE_INDEX_H_
+#define CQBOUNDS_RELATION_TRIE_INDEX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "relation/relation.h"
+#include "relation/tuple.h"
+
+namespace cqbounds {
+
+/// A sorted-column trie over one relation instance, the per-atom index of
+/// the worst-case-optimal generic-join executor (EvaluateGenericJoin).
+///
+/// Level l of the trie holds the distinct values of the atom's l-th key
+/// variable, grouped under their level-(l-1) parent and sorted within each
+/// group, so a node's children form a contiguous sorted range that supports
+/// galloping `SeekGE` -- the primitive the leapfrog intersection loop is
+/// built on. The key variables (and hence the column permutation) are chosen
+/// by the caller to follow one global variable order shared by every atom of
+/// the query; see docs/EVALUATION.md.
+///
+/// Storage is three flat vectors per level (value, first-child offset), not
+/// pointer-chased nodes: construction is sort + single scan, and iteration
+/// is cache-friendly array walking.
+class TrieIndex {
+ public:
+  /// A contiguous run of sibling nodes at one level: indices [begin, end).
+  struct Range {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+
+    std::size_t size() const { return end - begin; }
+    bool empty() const { return begin >= end; }
+  };
+
+  /// Builds the trie for an atom over `rel`. `level_positions[l]` lists
+  /// every tuple position (0-based column of `rel`) holding the atom's l-th
+  /// key variable; a tuple is indexed only if all positions of each level
+  /// carry the same value (intra-atom repeated variables act as equality
+  /// filters, e.g. R(X,X)), and that shared value is the level-l key.
+  /// Positions may cover the relation's columns in any order or partially
+  /// (projection happens implicitly, with set semantics on the keys).
+  TrieIndex(const Relation& rel,
+            const std::vector<std::vector<int>>& level_positions);
+
+  /// Number of key levels (the atom's distinct-variable count).
+  int num_levels() const { return static_cast<int>(levels_.size()); }
+
+  /// Distinct key tuples indexed (after equality filtering + projection).
+  std::size_t num_tuples() const { return num_tuples_; }
+
+  /// The children of the (implicit) root: all level-0 nodes.
+  Range RootRange() const {
+    return Range{0, levels_.empty() ? 0 : levels_[0].values.size()};
+  }
+
+  /// Key value of node `idx` at `level`.
+  Value ValueAt(int level, std::size_t idx) const {
+    return levels_[level].values[idx];
+  }
+
+  /// Children (at level+1) of node `idx` at `level`; empty at the last
+  /// level.
+  Range ChildRange(int level, std::size_t idx) const {
+    if (level + 1 >= num_levels()) return Range{0, 0};
+    const std::vector<std::size_t>& begins = levels_[level].child_begin;
+    return Range{begins[idx], begins[idx + 1]};
+  }
+
+  /// First index in [r.begin, r.end) whose value is >= v, or r.end if none.
+  /// Galloping search: O(log gap), so a full leapfrog intersection costs
+  /// O(sum of log-sized jumps), not a linear merge.
+  std::size_t SeekGE(int level, Range r, Value v) const;
+
+ private:
+  struct Level {
+    /// Node keys, grouped by parent, sorted within each group.
+    std::vector<Value> values;
+    /// child_begin[i]..child_begin[i+1] delimit node i's children at the
+    /// next level (size values.size()+1); empty for the last level.
+    std::vector<std::size_t> child_begin;
+  };
+
+  std::vector<Level> levels_;
+  std::size_t num_tuples_ = 0;
+};
+
+}  // namespace cqbounds
+
+#endif  // CQBOUNDS_RELATION_TRIE_INDEX_H_

@@ -72,7 +72,8 @@ TEST(EvaluateOracleTest, HandPickedQueries) {
     opts.domain_size = 3;
     Database db = RandomDatabase(*q, opts);
     Relation oracle = BruteForceEvaluate(*q, db);
-    for (PlanKind kind : {PlanKind::kNaive, PlanKind::kJoinProject}) {
+    for (PlanKind kind : {PlanKind::kNaive, PlanKind::kJoinProject,
+                          PlanKind::kGenericJoin}) {
       auto result = EvaluateQuery(*q, db, kind);
       ASSERT_TRUE(result.ok()) << text;
       ASSERT_EQ(result->size(), oracle.size()) << text;
@@ -100,13 +101,48 @@ TEST_P(EvaluateOracleRandomTest, MatchesDefinitionOnRandomInstances) {
     opts.domain_size = 3;
     Database db = RandomDatabase(q, opts);
     Relation oracle = BruteForceEvaluate(q, db);
-    auto result = EvaluateQuery(q, db, PlanKind::kJoinProject);
-    ASSERT_TRUE(result.ok()) << q.ToString();
-    ASSERT_EQ(result->size(), oracle.size()) << q.ToString();
-    for (const Tuple& t : oracle.tuples()) {
-      EXPECT_TRUE(result->Contains(t)) << q.ToString();
+    for (PlanKind kind : {PlanKind::kNaive, PlanKind::kJoinProject,
+                          PlanKind::kGenericJoin}) {
+      auto result = EvaluateQuery(q, db, kind);
+      ASSERT_TRUE(result.ok()) << q.ToString();
+      ASSERT_EQ(result->size(), oracle.size()) << q.ToString();
+      for (const Tuple& t : oracle.tuples()) {
+        EXPECT_TRUE(result->Contains(t)) << q.ToString();
+      }
     }
   }
+}
+
+TEST(EvaluateStatsTest, EmptyFirstJoinShortCircuitsRemainingAtoms) {
+  // R is empty, so the first join kills every binding; the evaluator must
+  // not keep building hash indexes for S and T (the old path indexed every
+  // remaining atom -- 2000 wasted insertions here).
+  auto q = ParseQuery("Q(X,Z) :- R(X,Y), S(Y,Z), T(Z,X).");
+  ASSERT_TRUE(q.ok());
+  Database db;
+  db.AddRelation("R", 2);
+  Relation* s = db.AddRelation("S", 2);
+  Relation* t = db.AddRelation("T", 2);
+  for (int i = 0; i < 1000; ++i) {
+    s->Insert({i, i + 1});
+    t->Insert({i + 1, i});
+  }
+  for (PlanKind kind : {PlanKind::kNaive, PlanKind::kJoinProject,
+                        PlanKind::kGenericJoin}) {
+    EvalStats stats;
+    auto result = EvaluateQuery(*q, db, kind, &stats);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->size(), 0u);
+    EXPECT_EQ(stats.total_intermediate, 0u);
+    EXPECT_EQ(stats.max_intermediate, 0u);
+    // R's index/trie receives zero tuples and no later atom is indexed at
+    // all -- neither hash buckets nor trie keys.
+    EXPECT_EQ(stats.indexed_tuples, 0u) << static_cast<int>(kind);
+  }
+  // Errors still surface even when the bindings die before the bad atom.
+  auto missing = ParseQuery("Q(X,Z) :- R(X,Y), Missing(Y,Z).");
+  ASSERT_TRUE(missing.ok());
+  EXPECT_FALSE(EvaluateQuery(*missing, db, PlanKind::kNaive).ok());
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EvaluateOracleRandomTest,

@@ -1,0 +1,368 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/color_number.h"
+#include "core/join_plan.h"
+#include "core/size_bounds.h"
+#include "cq/parser.h"
+#include "cq/random_query.h"
+#include "relation/evaluate.h"
+#include "relation/generator.h"
+#include "relation/trie_index.h"
+
+namespace cqbounds {
+namespace {
+
+// --- TrieIndex -------------------------------------------------------------
+
+TEST(TrieIndexTest, BuildsSortedLevelsAndChildRanges) {
+  Relation r("R", 2);
+  r.Insert({2, 30});
+  r.Insert({1, 10});
+  r.Insert({2, 10});
+  r.Insert({1, 20});
+  r.Insert({2, 30});  // duplicate, set semantics upstream
+
+  TrieIndex trie(r, {{0}, {1}});
+  ASSERT_EQ(trie.num_levels(), 2);
+  EXPECT_EQ(trie.num_tuples(), 4u);
+
+  TrieIndex::Range root = trie.RootRange();
+  ASSERT_EQ(root.size(), 2u);
+  EXPECT_EQ(trie.ValueAt(0, 0), 1);
+  EXPECT_EQ(trie.ValueAt(0, 1), 2);
+
+  TrieIndex::Range under1 = trie.ChildRange(0, 0);
+  ASSERT_EQ(under1.size(), 2u);
+  EXPECT_EQ(trie.ValueAt(1, under1.begin), 10);
+  EXPECT_EQ(trie.ValueAt(1, under1.begin + 1), 20);
+
+  TrieIndex::Range under2 = trie.ChildRange(0, 1);
+  ASSERT_EQ(under2.size(), 2u);
+  EXPECT_EQ(trie.ValueAt(1, under2.begin), 10);
+  EXPECT_EQ(trie.ValueAt(1, under2.begin + 1), 30);
+
+  // Last level has no children.
+  EXPECT_TRUE(trie.ChildRange(1, under2.begin).empty());
+}
+
+TEST(TrieIndexTest, ColumnPermutationAndRepeatedVariableFilter) {
+  Relation r("R", 3);
+  r.Insert({1, 2, 1});   // t[0] == t[2]: survives the X filter
+  r.Insert({1, 2, 3});   // violates it: dropped
+  r.Insert({4, 5, 4});
+
+  // Atom R(X, Y, X) keyed as Y then X: level 0 reads column 1, level 1
+  // reads columns {0, 2} which must agree.
+  TrieIndex trie(r, {{1}, {0, 2}});
+  EXPECT_EQ(trie.num_tuples(), 2u);
+  TrieIndex::Range root = trie.RootRange();
+  ASSERT_EQ(root.size(), 2u);
+  EXPECT_EQ(trie.ValueAt(0, 0), 2);  // Y values
+  EXPECT_EQ(trie.ValueAt(0, 1), 5);
+  EXPECT_EQ(trie.ValueAt(1, trie.ChildRange(0, 0).begin), 1);  // X under Y=2
+  EXPECT_EQ(trie.ValueAt(1, trie.ChildRange(0, 1).begin), 4);  // X under Y=5
+}
+
+TEST(TrieIndexTest, SeekGallopsWithinRange) {
+  Relation r("R", 1);
+  for (Value v : {2, 3, 5, 7, 11, 13, 17, 19, 23}) r.Insert({v});
+  TrieIndex trie(r, {{0}});
+  TrieIndex::Range root = trie.RootRange();
+  EXPECT_EQ(trie.ValueAt(0, trie.SeekGE(0, root, 1)), 2);
+  EXPECT_EQ(trie.ValueAt(0, trie.SeekGE(0, root, 5)), 5);
+  EXPECT_EQ(trie.ValueAt(0, trie.SeekGE(0, root, 6)), 7);
+  EXPECT_EQ(trie.ValueAt(0, trie.SeekGE(0, root, 23)), 23);
+  EXPECT_EQ(trie.SeekGE(0, root, 24), root.end);
+  // Seeks respect the range's start (mid-descent subranges).
+  TrieIndex::Range tail{4, root.end};
+  EXPECT_EQ(trie.ValueAt(0, trie.SeekGE(0, tail, 3)), 11);
+}
+
+// --- Executor correctness --------------------------------------------------
+
+void ExpectSameRelation(const Relation& a, const Relation& b,
+                        const std::string& context) {
+  ASSERT_EQ(a.size(), b.size()) << context;
+  for (const Tuple& t : a.tuples()) {
+    EXPECT_TRUE(b.Contains(t)) << context;
+  }
+}
+
+TEST(GenericJoinTest, MatchesBinaryPlansOnHandPickedQueries) {
+  const char* queries[] = {
+      "Q(X,Y) :- R(X,Y).",
+      "Q(X) :- R(X,X).",
+      "Q(X,Z) :- R(X,Y), S(Y,Z).",
+      "T(X,Y,Z) :- E(X,Y), E(Y,Z), E(Z,X).",
+      "Q(X,X,Y) :- R(X), S(Y).",
+      "Q(A) :- R(A,B), R(B,A).",
+      "Q(A,D) :- R(A,B), T(C,D), S(B,C).",
+      "Q(A,C) :- R(A,X), S(X,B), T(B,Y), U(Y,C).",
+  };
+  for (const char* text : queries) {
+    auto q = ParseQuery(text);
+    ASSERT_TRUE(q.ok()) << text;
+    RandomDatabaseOptions opts;
+    opts.seed = 99;
+    opts.tuples_per_relation = 25;
+    opts.domain_size = 5;
+    Database db = RandomDatabase(*q, opts);
+    auto naive = EvaluateQuery(*q, db, PlanKind::kNaive);
+    auto generic = EvaluateQuery(*q, db, PlanKind::kGenericJoin);
+    ASSERT_TRUE(naive.ok()) << text;
+    ASSERT_TRUE(generic.ok()) << text;
+    ExpectSameRelation(*naive, *generic, text);
+  }
+}
+
+TEST(GenericJoinTest, RespectsExplicitVariableOrders) {
+  // Every permutation of the triangle's variables gives the same output.
+  auto q = ParseQuery("T(X,Y,Z) :- E(X,Y), E(Y,Z), E(Z,X).");
+  ASSERT_TRUE(q.ok());
+  RandomDatabaseOptions opts;
+  opts.seed = 5;
+  opts.tuples_per_relation = 40;
+  opts.domain_size = 8;
+  Database db = RandomDatabase(*q, opts);
+  auto reference = EvaluateQuery(*q, db, PlanKind::kNaive);
+  ASSERT_TRUE(reference.ok());
+
+  const std::set<int> body = q->BodyVarSet();
+  std::vector<int> order(body.begin(), body.end());
+  do {
+    EvalStats stats;
+    auto result = EvaluateGenericJoin(*q, db, order, &stats);
+    ASSERT_TRUE(result.ok());
+    ExpectSameRelation(*reference, *result, "permuted order");
+    ASSERT_EQ(stats.intermediate_sizes.size(), order.size());
+  } while (std::next_permutation(order.begin(), order.end()));
+}
+
+TEST(GenericJoinTest, RejectsBadVariableOrders) {
+  auto q = ParseQuery("Q(X,Z) :- R(X,Y), S(Y,Z).");
+  ASSERT_TRUE(q.ok());
+  Database db;
+  db.AddRelation("R", 2)->Insert({1, 2});
+  db.AddRelation("S", 2)->Insert({2, 3});
+  std::vector<int> full = DefaultGenericJoinOrder(*q);
+  ASSERT_EQ(full.size(), 3u);
+
+  std::vector<int> missing(full.begin(), full.end() - 1);
+  EXPECT_FALSE(EvaluateGenericJoin(*q, db, missing, nullptr).ok());
+
+  std::vector<int> repeated = full;
+  repeated.back() = repeated.front();
+  EXPECT_FALSE(EvaluateGenericJoin(*q, db, repeated, nullptr).ok());
+
+  std::vector<int> foreign = full;
+  foreign.back() = 99;
+  EXPECT_FALSE(EvaluateGenericJoin(*q, db, foreign, nullptr).ok());
+}
+
+// --- The AGM envelope ------------------------------------------------------
+
+/// rho*(full join): the fractional edge cover number of `query` with every
+/// body variable promoted into the head.
+Rational FullJoinCoverExponent(const Query& query) {
+  auto cover = FractionalEdgeCoverWeights(query, /*cover_all_body_vars=*/true);
+  CQB_CHECK(cover.ok());
+  return cover->value;
+}
+
+TEST(GenericJoinTest, IntermediatesStayWithinAgmEnvelopeOnAdversary) {
+  // The fan-in/fan-out chain where the naive left-deep plan carries
+  // quadratic intermediates: the generic join must stay within
+  // rmax^{rho*(full join)} at every depth (and does much better).
+  auto q = ParseQuery("Q(A,C) :- R(A,X), S(X,B), T(B,Y), U(Y,C).");
+  ASSERT_TRUE(q.ok());
+  Database db;
+  Relation* r = db.AddRelation("R", 2);
+  Relation* s = db.AddRelation("S", 2);
+  Relation* t = db.AddRelation("T", 2);
+  Relation* u = db.AddRelation("U", 2);
+  const int fanout = 50;
+  for (int i = 0; i < fanout; ++i) {
+    r->Insert({0, i});
+    s->Insert({i, 0});
+    t->Insert({0, i});
+    u->Insert({i, 0});
+  }
+  const BigInt rmax(static_cast<std::int64_t>(db.RMax(*q)));
+  const Rational envelope = FullJoinCoverExponent(*q);
+
+  EvalStats generic_stats;
+  auto generic = EvaluateQuery(*q, db, PlanKind::kGenericJoin, &generic_stats);
+  ASSERT_TRUE(generic.ok());
+  EXPECT_TRUE(SatisfiesSizeBound(
+      BigInt(static_cast<std::int64_t>(generic_stats.max_intermediate)), rmax,
+      envelope));
+
+  // And the adversary does hurt the naive plan as designed.
+  EvalStats naive_stats;
+  auto naive = EvaluateQuery(*q, db, PlanKind::kNaive, &naive_stats);
+  ASSERT_TRUE(naive.ok());
+  EXPECT_EQ(naive_stats.max_intermediate,
+            static_cast<std::size_t>(fanout) * fanout);
+  EXPECT_LE(generic_stats.max_intermediate, naive_stats.max_intermediate);
+  ExpectSameRelation(*naive, *generic, "chain adversary");
+}
+
+TEST(GenericJoinTest, IntermediatesStayWithinAgmEnvelopeOnWorstCaseDbs) {
+  // On the Prop 4.5 worst-case triangle databases the naive plan's first
+  // binary join exceeds the AGM bound; the generic join cannot.
+  auto q = ParseQuery("S(X,Y,Z) :- R(X,Y), R(X,Z), R(Y,Z).");
+  ASSERT_TRUE(q.ok());
+  auto bound = ComputeSizeBound(*q);
+  ASSERT_TRUE(bound.ok());
+  const Rational envelope = FullJoinCoverExponent(*q);
+  EXPECT_EQ(envelope, bound->exponent);  // all variables are in the head
+
+  for (std::int64_t m : {4, 8, 16}) {
+    auto db = BuildWorstCaseDatabase(*q, bound->witness, m);
+    ASSERT_TRUE(db.ok());
+    const BigInt rmax(static_cast<std::int64_t>(db->RMax(*q)));
+
+    EvalStats generic_stats, naive_stats;
+    auto generic = EvaluateQuery(*q, *db, PlanKind::kGenericJoin,
+                                 &generic_stats);
+    auto naive = EvaluateQuery(*q, *db, PlanKind::kNaive, &naive_stats);
+    ASSERT_TRUE(generic.ok());
+    ASSERT_TRUE(naive.ok());
+    ExpectSameRelation(*naive, *generic, "worst-case triangle");
+
+    EXPECT_TRUE(SatisfiesSizeBound(
+        BigInt(static_cast<std::int64_t>(generic_stats.max_intermediate)),
+        rmax, envelope))
+        << "M=" << m;
+    // The worst-case databases are tight for the *output*; the naive
+    // intermediate R x R (4M^3 vs the ~5.2M^3 cap) sits above it.
+    EXPECT_GT(naive_stats.max_intermediate, generic_stats.max_intermediate)
+        << "M=" << m;
+  }
+}
+
+TEST(GenericJoinTest, NaiveExceedsEnvelopeOnStarTriangleGenericJoinCannot) {
+  // The star adversary: E = {(0,i)} u {(i,0)} plus one genuine triangle.
+  // The naive plan's second step materializes ~n^2 two-step walks through
+  // the hub, blowing past the AGM envelope (2n)^{3/2}; the generic join is
+  // structurally incapable of that.
+  auto q = ParseQuery("T(X,Y,Z) :- E(X,Y), E(Y,Z), E(Z,X).");
+  ASSERT_TRUE(q.ok());
+  Database db = StarTriangleDatabase(60);
+  const BigInt rmax(static_cast<std::int64_t>(db.RMax(*q)));
+  const Rational envelope = FullJoinCoverExponent(*q);
+  EXPECT_EQ(envelope, Rational(3, 2));
+
+  EvalStats naive_stats, generic_stats;
+  auto naive = EvaluateQuery(*q, db, PlanKind::kNaive, &naive_stats);
+  auto generic = EvaluateQuery(*q, db, PlanKind::kGenericJoin,
+                               &generic_stats);
+  ASSERT_TRUE(naive.ok());
+  ASSERT_TRUE(generic.ok());
+  ExpectSameRelation(*naive, *generic, "star triangle");
+  EXPECT_EQ(generic->size(), 3u);  // the cyclic rotations of the triangle
+
+  EXPECT_FALSE(SatisfiesSizeBound(
+      BigInt(static_cast<std::int64_t>(naive_stats.max_intermediate)), rmax,
+      envelope));
+  EXPECT_TRUE(SatisfiesSizeBound(
+      BigInt(static_cast<std::int64_t>(generic_stats.max_intermediate)), rmax,
+      envelope));
+}
+
+TEST(GenericJoinTest, RandomizedThreePlanCrossValidationWithEnvelope) {
+  Rng rng(20260731);
+  for (int trial = 0; trial < 40; ++trial) {
+    RandomQueryOptions options;
+    options.num_variables = 2 + static_cast<int>(rng.NextBelow(4));
+    options.num_atoms = 2 + static_cast<int>(rng.NextBelow(3));
+    options.max_arity = 3;
+    options.random_projection = true;
+    Query q = RandomQuery(options, &rng);
+    RandomDatabaseOptions opts;
+    opts.seed = rng.Next();
+    opts.tuples_per_relation = 20;
+    opts.domain_size = 4;
+    Database db = RandomDatabase(q, opts);
+
+    EvalStats generic_stats;
+    auto naive = EvaluateQuery(q, db, PlanKind::kNaive);
+    auto project = EvaluateQuery(q, db, PlanKind::kJoinProject);
+    auto generic = EvaluateQuery(q, db, PlanKind::kGenericJoin,
+                                 &generic_stats);
+    ASSERT_TRUE(naive.ok()) << q.ToString();
+    ASSERT_TRUE(project.ok()) << q.ToString();
+    ASSERT_TRUE(generic.ok()) << q.ToString();
+    ExpectSameRelation(*naive, *project, q.ToString());
+    ExpectSameRelation(*naive, *generic, q.ToString());
+
+    const std::size_t rmax_size = db.RMax(q);
+    if (rmax_size > 0) {
+      EXPECT_TRUE(SatisfiesSizeBound(
+          BigInt(static_cast<std::int64_t>(generic_stats.max_intermediate)),
+          BigInt(static_cast<std::int64_t>(rmax_size)),
+          FullJoinCoverExponent(q)))
+          << q.ToString();
+    }
+  }
+}
+
+// --- Variable-order selection ----------------------------------------------
+
+TEST(GenericJoinOrderTest, ChainQueryUsesCertifiedDecomposition) {
+  auto q = ParseQuery("Q(A,C) :- R(A,X), S(X,B), T(B,Y), U(Y,C).");
+  ASSERT_TRUE(q.ok());
+  auto order = ChooseGenericJoinOrder(*q);
+  ASSERT_TRUE(order.ok()) << order.status();
+  EXPECT_EQ(order->source, VariableOrderSource::kTreeDecomposition);
+  EXPECT_EQ(order->intersection_width, 1);  // the chain's variable graph
+  EXPECT_EQ(order->order.size(), q->BodyVarSet().size());
+  // rho* of the full chain join: both endpoint atoms pay 1 and the middle
+  // variable B still needs a unit of cover.
+  EXPECT_EQ(order->envelope_exponent, Rational(3));
+  EXPECT_NE(order->ToString(*q).find("tree-decomposition"),
+            std::string::npos);
+}
+
+TEST(GenericJoinOrderTest, DenseQueryFallsBackToCoverWeights) {
+  // K4 as a clique query: variable graph K4 has width 3 > 2, so the order
+  // comes from the fractional-cover mass.
+  auto q = ParseQuery(
+      "Q(A,B,C,D) :- R(A,B), R(A,C), R(A,D), R(B,C), R(B,D), R(C,D).");
+  ASSERT_TRUE(q.ok());
+  auto order = ChooseGenericJoinOrder(*q);
+  ASSERT_TRUE(order.ok()) << order.status();
+  EXPECT_EQ(order->source, VariableOrderSource::kFractionalCover);
+  EXPECT_EQ(order->order.size(), 4u);
+  EXPECT_EQ(order->envelope_exponent, Rational(2));  // perfect matching
+}
+
+TEST(GenericJoinOrderTest, ChosenOrderEvaluatesIdentically) {
+  const char* queries[] = {
+      "Q(X,Z) :- R(X,Y), S(Y,Z).",
+      "T(X,Y,Z) :- E(X,Y), E(Y,Z), E(Z,X).",
+      "Q(A,B,C,D) :- R(A,B), R(A,C), R(A,D), R(B,C), R(B,D), R(C,D).",
+  };
+  for (const char* text : queries) {
+    auto q = ParseQuery(text);
+    ASSERT_TRUE(q.ok()) << text;
+    RandomDatabaseOptions opts;
+    opts.seed = 31;
+    opts.tuples_per_relation = 30;
+    opts.domain_size = 6;
+    Database db = RandomDatabase(*q, opts);
+    auto order = ChooseGenericJoinOrder(*q);
+    ASSERT_TRUE(order.ok()) << text;
+    auto via_order = EvaluateGenericJoin(*q, db, order->order, nullptr);
+    auto reference = EvaluateQuery(*q, db, PlanKind::kNaive);
+    ASSERT_TRUE(via_order.ok()) << text;
+    ASSERT_TRUE(reference.ok()) << text;
+    ExpectSameRelation(*reference, *via_order, text);
+  }
+}
+
+}  // namespace
+}  // namespace cqbounds
