@@ -7,8 +7,6 @@
 #include <unordered_set>
 
 #include "core/color_number.h"
-#include "graph/graph.h"
-#include "graph/treewidth_bb.h"
 #include "relation/tuple.h"
 
 namespace cqbounds {
@@ -104,6 +102,9 @@ Result<JoinPlan> BuildJoinProjectPlan(const Query& query) {
 
 Result<Relation> ExecuteJoinPlan(const Query& query, const JoinPlan& plan,
                                  const Database& db, EvalStats* stats) {
+  // Same contract as the relation/ evaluators: never leave a reused
+  // EvalStats holding the previous run's counters on an error return.
+  if (stats != nullptr) *stats = EvalStats{};
   if (plan.steps.size() != query.atoms().size()) {
     return Status::InvalidArgument("plan does not cover all atoms");
   }
@@ -245,6 +246,7 @@ std::string GenericJoinOrder::ToString(const Query& query) const {
   std::ostringstream os;
   os << "GenericJoinOrder(source=" << VariableOrderSourceName(source);
   if (intersection_width >= 0) os << ", width=" << intersection_width;
+  os << ", plan=" << PlanKindName(recommended_plan);
   os << ", envelope rmax^" << envelope_exponent.ToString() << "): ";
   for (std::size_t i = 0; i < order.size(); ++i) {
     if (i) os << " -> ";
@@ -270,50 +272,18 @@ Result<GenericJoinOrder> ChooseGenericJoinOrder(const Query& query) {
         Rational(static_cast<std::int64_t>(query.atoms().size()));
   }
 
-  // Variable-intersection graph: body variables, edges between variables
-  // sharing an atom (the Gaifman graph of the canonical instance).
-  const std::set<int> body_set = query.BodyVarSet();
-  const std::vector<int> body(body_set.begin(), body_set.end());
-  std::vector<int> dense(query.num_variables(), -1);
-  for (std::size_t i = 0; i < body.size(); ++i) {
-    dense[body[i]] = static_cast<int>(i);
-  }
-  Graph var_graph(static_cast<int>(body.size()));
-  for (std::size_t i = 0; i < query.atoms().size(); ++i) {
-    const std::set<int> vars = query.AtomVarSet(static_cast<int>(i));
-    for (int u : vars) {
-      for (int v : vars) {
-        if (u < v) var_graph.AddEdge(dense[u], dense[v]);
-      }
-    }
-  }
-
-  // Low-width path: bind along the certified elimination order, last
-  // eliminated first. In a (reversed) perfect-style elimination order every
-  // variable's already-bound neighbours form a clique, so each leapfrog
-  // intersection runs over tries that were all narrowed by the same prefix.
-  constexpr int kExactVertexLimit = 40;
-  constexpr int kLowWidth = 2;
-  // Width-<=2 graphs are K4-minor-free and have at most 2n-3 edges, so a
-  // denser graph cannot take this path -- skip the exponential probe
-  // outright instead of running the B&B to completion just to learn the
-  // width is >= 3.
-  const bool possibly_low_width =
-      var_graph.num_edges() <=
-      std::max<std::size_t>(2 * var_graph.num_vertices(), 3) - 3;
-  if (!body.empty() && possibly_low_width &&
-      var_graph.num_vertices() <= kExactVertexLimit) {
-    ExactTreewidthResult tw = TreewidthExact(var_graph);
-    if (tw.width >= 0 && tw.width <= kLowWidth) {
-      out.intersection_width = tw.width;
-      out.source = VariableOrderSource::kTreeDecomposition;
-      out.order.reserve(body.size());
-      for (auto it = tw.elimination_order.rbegin();
-           it != tw.elimination_order.rend(); ++it) {
-        out.order.push_back(body[*it]);
-      }
-      return out;
-    }
+  // Low-width path: the shared probe (relation/evaluate.h) builds the
+  // variable-intersection graph, certifies its width when small and sparse
+  // enough, and derives the reverse-elimination binding order -- the same
+  // gate EvaluateHybridYannakakis runs, so the recommended plan and the
+  // executor's behavior cannot drift apart.
+  const LowWidthProbe probe = ProbeLowWidthStructure(query);
+  if (probe.low_width) {
+    out.intersection_width = probe.tw.width;
+    out.source = VariableOrderSource::kTreeDecomposition;
+    out.recommended_plan = PlanKind::kHybridYannakakis;
+    out.order = probe.order;
+    return out;
   }
 
   if (!cover.ok()) {

@@ -87,6 +87,11 @@ struct GenericJoinOrder {
   /// Certified treewidth of the variable-intersection graph when the
   /// kTreeDecomposition path was taken; -1 otherwise.
   int intersection_width = -1;
+  /// The executor this module recommends: kHybridYannakakis exactly when
+  /// the low-width tree-decomposition path certified (the same gate
+  /// EvaluateHybridYannakakis re-derives, so the hybrid's semi-join pass
+  /// will actually engage), kGenericJoin otherwise.
+  PlanKind recommended_plan = PlanKind::kGenericJoin;
 
   std::string ToString(const Query& query) const;
 };

@@ -1,0 +1,28 @@
+#include "relation/eval_context.h"
+
+#include "relation/evaluate.h"
+
+namespace cqbounds {
+
+const TrieIndex& EvalContext::GetTrie(
+    const Relation& rel, const std::vector<std::vector<int>>& level_positions,
+    EvalStats* stats) {
+  Key key{rel.name(), level_positions};
+  auto it = cache_.find(key);
+  if (it != cache_.end() && it->second.generation == rel.generation()) {
+    ++hits_;
+    if (stats != nullptr) ++stats->trie_cache_hits;
+    return it->second.trie;
+  }
+  ++misses_;
+  if (stats != nullptr) ++stats->trie_cache_misses;
+  Entry entry{rel.generation(), TrieIndex(rel, level_positions)};
+  if (it != cache_.end()) {
+    it->second = std::move(entry);
+  } else {
+    it = cache_.emplace(std::move(key), std::move(entry)).first;
+  }
+  return it->second.trie;
+}
+
+}  // namespace cqbounds

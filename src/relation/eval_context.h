@@ -1,0 +1,81 @@
+#ifndef CQBOUNDS_RELATION_EVAL_CONTEXT_H_
+#define CQBOUNDS_RELATION_EVAL_CONTEXT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "relation/database.h"
+#include "relation/trie_index.h"
+
+namespace cqbounds {
+
+struct EvalStats;  // evaluate.h (which includes this header)
+
+/// A per-database evaluation context memoizing the sorted-column tries the
+/// generic-join executor builds per atom. Without it every
+/// EvaluateGenericJoin call re-sorts every body relation from scratch --
+/// fine for one-shot analysis, a serious performance bug for the
+/// repeated-evaluation workloads (same database, many queries, or the same
+/// query served many times) the ROADMAP targets.
+///
+/// Cache key: (relation name, level-position layout). The layout is the
+/// trie's column permutation induced by the global variable order, so two
+/// atoms -- in the same query or across queries -- that index the same
+/// relation the same way share one trie (e.g. E(X,Y) and E(Y,Z) under the
+/// order X<Y<Z both key E as [{0},{1}]).
+///
+/// Invalidation is generation-based: each entry snapshots
+/// Relation::generation() at build time and is rebuilt (counted as a miss)
+/// when the relation has been mutated since. The context holds a pointer to
+/// its Database, whose relations live in a std::map, so cached references
+/// stay stable across insertions of new relations.
+///
+/// Not thread-safe; use one context per evaluation thread.
+class EvalContext {
+ public:
+  explicit EvalContext(const Database& db) : db_(&db) {}
+
+  /// The cached trie for `rel` under `level_positions`, building (or
+  /// rebuilding, if `rel` mutated since) on demand. `rel` must belong to
+  /// the attached database. Hit/miss counters are bumped both on the
+  /// context (lifetime totals) and in `stats` (per-call) when non-null.
+  /// The reference stays valid until Clear(), context destruction, or a
+  /// later GetTrie for the same (relation, layout) after the relation
+  /// mutated -- the rebuild replaces the entry in place, so do not hold
+  /// the reference across relation mutations.
+  const TrieIndex& GetTrie(const Relation& rel,
+                           const std::vector<std::vector<int>>& level_positions,
+                           EvalStats* stats);
+
+  const Database& database() const { return *db_; }
+
+  /// Lifetime totals across every evaluation run through this context.
+  std::size_t hits() const { return hits_; }
+  std::size_t misses() const { return misses_; }
+
+  /// Number of distinct (relation, layout) tries currently cached.
+  std::size_t size() const { return cache_.size(); }
+
+  /// Drops every cached trie (counters are kept).
+  void Clear() { cache_.clear(); }
+
+ private:
+  using Key = std::pair<std::string, std::vector<std::vector<int>>>;
+  struct Entry {
+    std::uint64_t generation;
+    TrieIndex trie;
+  };
+
+  const Database* db_;
+  std::map<Key, Entry> cache_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+}  // namespace cqbounds
+
+#endif  // CQBOUNDS_RELATION_EVAL_CONTEXT_H_

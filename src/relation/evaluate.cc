@@ -1,11 +1,15 @@
 #include "relation/evaluate.h"
 
 #include <algorithm>
+#include <deque>
 #include <map>
 #include <set>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "graph/graph.h"
+#include "graph/tree_decomposition.h"
+#include "graph/treewidth_bb.h"
 #include "relation/trie_index.h"
 #include "relation/tuple.h"
 
@@ -47,6 +51,68 @@ Result<const Relation*> ResolveAtom(const Atom& atom, const Database& db) {
   return rel;
 }
 
+/// `ctx`, when provided, must cache for the same database the evaluation
+/// reads -- otherwise it would serve tries of unrelated relations that
+/// happen to share a name.
+Status CheckContextDatabase(const EvalContext* ctx, const Database& db) {
+  if (ctx != nullptr && &ctx->database() != &db) {
+    return Status::InvalidArgument(
+        "evaluation context is attached to a different database");
+  }
+  return Status::OK();
+}
+
+/// An atom's trie layout under a global variable order: the atom's distinct
+/// variables sorted by their rank in the order, with every tuple position
+/// each one occupies (repeats become equality filters). This layout -- not
+/// the atom identity -- is the EvalContext cache key alongside the relation
+/// name, so atoms indexing a relation the same way share one trie.
+struct AtomLayout {
+  std::vector<std::vector<int>> level_positions;
+  /// Global depth (rank in the order) of each trie level.
+  std::vector<int> ranks;
+};
+
+AtomLayout LayoutForAtom(const Atom& atom, const std::vector<int>& rank) {
+  std::map<int, std::vector<int>> positions_by_rank;
+  for (std::size_t p = 0; p < atom.vars.size(); ++p) {
+    positions_by_rank[rank[atom.vars[p]]].push_back(static_cast<int>(p));
+  }
+  AtomLayout layout;
+  for (auto& [r, positions] : positions_by_rank) {
+    layout.ranks.push_back(r);
+    layout.level_positions.push_back(std::move(positions));
+  }
+  return layout;
+}
+
+/// The order must enumerate the body variables exactly once each, and every
+/// head variable must occur in the body.
+Status ValidateGenericJoinInputs(const Query& query,
+                                 const std::vector<int>& variable_order) {
+  std::set<int> body = query.BodyVarSet();
+  std::set<int> seen;
+  for (int v : variable_order) {
+    if (!body.count(v) || !seen.insert(v).second) {
+      return Status::InvalidArgument(
+          "variable order is not a permutation of the body variables");
+    }
+  }
+  if (seen.size() != body.size()) {
+    return Status::InvalidArgument(
+        "variable order misses " +
+        std::to_string(body.size() - seen.size()) + " body variable(s)");
+  }
+  for (int v : query.head_vars()) {
+    if (!body.count(v)) {
+      return Status::InvalidArgument("head variable '" +
+                                     query.variable_name(v) +
+                                     "' does not occur in the body");
+    }
+  }
+  return Status::OK();
+}
+
 /// State of the leapfrog search: one trie per atom plus a stack of sibling
 /// ranges tracking each trie's descent along the global variable order.
 struct GenericJoinSearch {
@@ -55,8 +121,9 @@ struct GenericJoinSearch {
 
   /// Variable ids in binding order.
   const std::vector<int>& order;
-  /// One trie per atom, keyed by the atom's variables in global order.
-  std::vector<TrieIndex> tries;
+  /// One trie per atom (cached in an EvalContext or owned transiently by
+  /// the caller), keyed by the atom's variables in global order.
+  std::vector<const TrieIndex*> tries;
   /// atoms_at[d]: atoms whose trie has a level for variable order[d].
   std::vector<std::vector<int>> atoms_at;
   /// Current candidate range per atom (top of its descent stack).
@@ -100,7 +167,7 @@ struct GenericJoinSearch {
       level[k] = static_cast<int>(range_stack[a].size()) - 1;
       if (cursor[k] >= range_stack[a].back().end) return;
     }
-    Value target = tries[atoms[0]].ValueAt(level[0], cursor[0]);
+    Value target = tries[atoms[0]]->ValueAt(level[0], cursor[0]);
     while (true) {
       // `target` is the running maximum over all cursors; it only grows, so
       // each non-aligned round strictly advances some cursor.
@@ -108,11 +175,11 @@ struct GenericJoinSearch {
       for (std::size_t k = 0; k < atoms.size(); ++k) {
         const int a = atoms[k];
         const TrieIndex::Range r{cursor[k], range_stack[a].back().end};
-        const std::size_t pos = tries[a].SeekGE(level[k], r, target);
+        const std::size_t pos = tries[a]->SeekGE(level[k], r, target);
         ++stats->intersection_seeks;
         if (pos >= r.end) return;  // range exhausted: no more matches
         cursor[k] = pos;
-        const Value found = tries[a].ValueAt(level[k], pos);
+        const Value found = tries[a]->ValueAt(level[k], pos);
         if (found != target) {
           target = found;  // overshoot: restart the round at the new max
           aligned = false;
@@ -126,47 +193,31 @@ struct GenericJoinSearch {
       ++stats->intermediate_sizes[depth];
       for (std::size_t k = 0; k < atoms.size(); ++k) {
         const int a = atoms[k];
-        range_stack[a].push_back(tries[a].ChildRange(level[k], cursor[k]));
+        range_stack[a].push_back(tries[a]->ChildRange(level[k], cursor[k]));
       }
       Run(depth + 1);
       for (int a : atoms) range_stack[a].pop_back();
 
       // Advance past the match; stop when the first atom's range runs dry.
       if (++cursor[0] >= range_stack[atoms[0]].back().end) return;
-      target = tries[atoms[0]].ValueAt(level[0], cursor[0]);
+      target = tries[atoms[0]]->ValueAt(level[0], cursor[0]);
     }
   }
 };
 
-}  // namespace
-
-Result<Relation> EvaluateGenericJoin(const Query& query, const Database& db,
-                                     const std::vector<int>& variable_order,
-                                     EvalStats* stats) {
-  EvalStats local;
-  // The order must enumerate the body variables exactly once each.
-  {
-    std::set<int> body = query.BodyVarSet();
-    std::set<int> seen;
-    for (int v : variable_order) {
-      if (!body.count(v) || !seen.insert(v).second) {
-        return Status::InvalidArgument(
-            "variable order is not a permutation of the body variables");
-      }
-    }
-    if (seen.size() != body.size()) {
-      return Status::InvalidArgument(
-          "variable order misses " +
-          std::to_string(body.size() - seen.size()) + " body variable(s)");
-    }
-    for (int v : query.head_vars()) {
-      if (!body.count(v)) {
-        return Status::InvalidArgument("head variable '" +
-                                       query.variable_name(v) +
-                                       "' does not occur in the body");
-      }
-    }
-  }
+/// The shared generic-join engine behind EvaluateGenericJoin and the hybrid
+/// plan. `overrides`, when non-null, replaces atom i's relation with
+/// `(*overrides)[i]` (the hybrid's semi-join-reduced copy) if non-null;
+/// overridden atoms always get transient tries (their contents are
+/// call-specific), while untouched atoms go through `ctx` when provided.
+/// Fills `local` (assumed zeroed); the caller owns publishing it to the
+/// user-facing stats pointer.
+Result<Relation> GenericJoinImpl(const Query& query, const Database& db,
+                                 const std::vector<int>& variable_order,
+                                 EvalContext* ctx,
+                                 const std::vector<const Relation*>* overrides,
+                                 EvalStats* local) {
+  CQB_RETURN_NOT_OK(ValidateGenericJoinInputs(query, variable_order));
 
   Relation output(query.head_relation(),
                   static_cast<int>(query.head_vars().size()));
@@ -175,11 +226,11 @@ Result<Relation> EvaluateGenericJoin(const Query& query, const Database& db,
     rank[variable_order[d]] = static_cast<int>(d);
   }
 
-  GenericJoinSearch search(&output, &local, variable_order);
+  GenericJoinSearch search(&output, local, variable_order);
   search.assignment.assign(query.num_variables(), 0);
   search.head_vars = query.head_vars();
   search.atoms_at.resize(variable_order.size());
-  local.intermediate_sizes.assign(variable_order.size(), 0);
+  local->intermediate_sizes.assign(variable_order.size(), 0);
 
   // Resolve every atom up front so missing relations and arity mismatches
   // error deterministically even when an earlier trie is already empty.
@@ -191,31 +242,34 @@ Result<Relation> EvaluateGenericJoin(const Query& query, const Database& db,
     rels.push_back(rel);
   }
 
+  // Transient tries (no context, or semi-join-reduced relations) live here;
+  // deque keeps the pointers handed to the search stable.
+  std::deque<TrieIndex> owned;
   bool empty_atom = false;
   for (std::size_t i = 0; i < query.atoms().size() && !empty_atom; ++i) {
-    const Atom& atom = query.atoms()[i];
-    const Relation* rel = rels[i];
-
-    // The atom's distinct variables in global order, with every tuple
-    // position each one occupies (repeats become equality filters).
-    std::map<int, std::vector<int>> positions_by_rank;
-    for (std::size_t p = 0; p < atom.vars.size(); ++p) {
-      positions_by_rank[rank[atom.vars[p]]].push_back(static_cast<int>(p));
+    AtomLayout layout = LayoutForAtom(query.atoms()[i], rank);
+    const Relation* override_rel =
+        overrides != nullptr ? (*overrides)[i] : nullptr;
+    const Relation* src = override_rel != nullptr ? override_rel : rels[i];
+    const TrieIndex* trie;
+    if (ctx != nullptr && override_rel == nullptr) {
+      const std::size_t misses_before = local->trie_cache_misses;
+      trie = &ctx->GetTrie(*src, layout.level_positions, local);
+      if (local->trie_cache_misses != misses_before) {
+        local->indexed_tuples += trie->num_tuples();
+      }
+    } else {
+      ++local->trie_cache_misses;
+      owned.emplace_back(*src, layout.level_positions);
+      trie = &owned.back();
+      local->indexed_tuples += trie->num_tuples();
     }
-    std::vector<std::vector<int>> level_positions;
-    std::vector<int> ranks;
-    for (auto& [r, positions] : positions_by_rank) {
-      ranks.push_back(r);
-      level_positions.push_back(std::move(positions));
-    }
-    search.tries.emplace_back(*rel, level_positions);
-    const TrieIndex& trie = search.tries.back();
-    local.indexed_tuples += trie.num_tuples();
-    if (trie.num_tuples() == 0) empty_atom = true;
-    for (int r : ranks) {
+    if (trie->num_tuples() == 0) empty_atom = true;
+    for (int r : layout.ranks) {
       search.atoms_at[r].push_back(static_cast<int>(i));
     }
-    search.range_stack.push_back({trie.RootRange()});
+    search.tries.push_back(trie);
+    search.range_stack.push_back({trie->RootRange()});
   }
 
   if (!empty_atom && !query.atoms().empty()) {
@@ -230,13 +284,298 @@ Result<Relation> EvaluateGenericJoin(const Query& query, const Database& db,
     output.Insert(Tuple{});  // empty body: the single empty substitution
   }
 
-  for (std::size_t s : local.intermediate_sizes) {
-    local.max_intermediate = std::max(local.max_intermediate, s);
-    local.total_intermediate += s;
+  for (std::size_t s : local->intermediate_sizes) {
+    local->max_intermediate = std::max(local->max_intermediate, s);
+    local->total_intermediate += s;
   }
-  local.output_size = output.size();
-  if (stats != nullptr) *stats = std::move(local);
+  local->output_size = output.size();
   return output;
+}
+
+// --- Yannakakis semi-join reduction over the certified decomposition ------
+
+/// Per-atom state of the semi-join reduction: the atom's distinct variables
+/// (with one representative tuple position each), its surviving tuples
+/// (borrowed from the relation -- stable for the call, so the common
+/// nothing-dropped case copies no tuple at all), and the decomposition bag
+/// the atom was assigned to.
+struct AtomSurvivors {
+  std::vector<int> vars;     // distinct variable ids, sorted
+  std::vector<int> var_pos;  // a tuple position carrying each var
+  std::vector<const Tuple*> tuples;  // surviving full-arity tuples
+  std::size_t initial = 0;   // survivor count before any semi-join
+  int bag = -1;              // owning bag index, -1 for variable-free atoms
+  int depth = 0;             // BFS depth of `bag` in the bag tree
+};
+
+AtomSurvivors MakeSurvivors(const Atom& atom, const Relation& rel) {
+  std::map<int, std::vector<int>> positions;  // var -> tuple positions
+  for (std::size_t p = 0; p < atom.vars.size(); ++p) {
+    positions[atom.vars[p]].push_back(static_cast<int>(p));
+  }
+  AtomSurvivors s;
+  for (const auto& [v, ps] : positions) {
+    s.vars.push_back(v);
+    s.var_pos.push_back(ps.front());
+  }
+  // Intra-atom repeated variables filter here, exactly as the trie build
+  // would -- the reduction must not "drop" tuples the enumeration never
+  // sees anyway.
+  for (const Tuple& t : rel.tuples()) {
+    bool consistent = true;
+    for (const auto& [v, ps] : positions) {
+      for (std::size_t i = 1; i < ps.size(); ++i) {
+        if (t[ps[i]] != t[ps[0]]) {
+          consistent = false;
+          break;
+        }
+      }
+      if (!consistent) break;
+    }
+    if (consistent) s.tuples.push_back(&t);
+  }
+  s.initial = s.tuples.size();
+  return s;
+}
+
+/// Semi-joins `target` against `source` on their shared variables: keeps
+/// only target tuples whose shared-variable projection occurs in `source`.
+/// A no-op when the atoms share no variable.
+void SemijoinFilter(const AtomSurvivors& source, AtomSurvivors* target) {
+  std::vector<int> src_pos, tgt_pos;  // positions of the shared vars
+  for (std::size_t i = 0, j = 0;
+       i < source.vars.size() && j < target->vars.size();) {
+    if (source.vars[i] < target->vars[j]) {
+      ++i;
+    } else if (source.vars[i] > target->vars[j]) {
+      ++j;
+    } else {
+      src_pos.push_back(source.var_pos[i++]);
+      tgt_pos.push_back(target->var_pos[j++]);
+    }
+  }
+  if (src_pos.empty() || target->tuples.empty()) return;
+
+  std::unordered_set<Tuple, TupleHash> keys;
+  Tuple key(src_pos.size());
+  for (const Tuple* t : source.tuples) {
+    for (std::size_t i = 0; i < src_pos.size(); ++i) {
+      key[i] = (*t)[src_pos[i]];
+    }
+    keys.insert(key);
+  }
+  std::vector<const Tuple*> kept;
+  kept.reserve(target->tuples.size());
+  for (const Tuple* t : target->tuples) {
+    for (std::size_t i = 0; i < tgt_pos.size(); ++i) {
+      key[i] = (*t)[tgt_pos[i]];
+    }
+    if (keys.count(key)) kept.push_back(t);
+  }
+  target->tuples = std::move(kept);
+}
+
+/// The Yannakakis-style reduction pass: assigns every atom to a bag of the
+/// certified decomposition (its distinct variables form a clique of the
+/// variable-intersection graph, so a containing bag exists), then runs
+/// semi-joins between variable-sharing atoms up the bag tree (deepest bags
+/// first) and back down. Atoms that lost tuples get a reduced relation
+/// copy installed in `overrides`/`storage`; untouched atoms keep nullptr
+/// (and hence their cacheable full-relation tries). Only ever *filters*
+/// base relations -- no join is materialized, so no intermediate of the
+/// pass can exceed any single relation's size.
+void SemijoinReduce(const Query& query,
+                    const std::vector<const Relation*>& rels,
+                    const TreeDecomposition& td,
+                    const std::vector<int>& dense,
+                    EvalStats* stats,
+                    std::vector<const Relation*>* overrides,
+                    std::deque<Relation>* storage) {
+  const std::size_t m = query.atoms().size();
+  if (m == 0 || td.bags.empty()) return;
+
+  // Bag tree BFS from bag 0 (DecompositionFromOrdering chains components,
+  // so the tree is connected): depth orders the up/down passes.
+  std::vector<std::vector<int>> adj(td.bags.size());
+  for (const auto& [a, b] : td.tree_edges) {
+    adj[a].push_back(b);
+    adj[b].push_back(a);
+  }
+  std::vector<int> depth(td.bags.size(), -1);
+  std::vector<int> bfs{0};
+  depth[0] = 0;
+  for (std::size_t i = 0; i < bfs.size(); ++i) {
+    for (int next : adj[bfs[i]]) {
+      if (depth[next] < 0) {
+        depth[next] = depth[bfs[i]] + 1;
+        bfs.push_back(next);
+      }
+    }
+  }
+
+  std::vector<AtomSurvivors> atoms(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    atoms[i] = MakeSurvivors(query.atoms()[i], *rels[i]);
+    if (atoms[i].vars.empty()) continue;  // nullary guard: nothing to share
+    std::vector<int> dense_vars;
+    dense_vars.reserve(atoms[i].vars.size());
+    for (int v : atoms[i].vars) dense_vars.push_back(dense[v]);
+    std::sort(dense_vars.begin(), dense_vars.end());
+    atoms[i].bag = td.FindBagContaining(dense_vars);
+    if (atoms[i].bag < 0) return;  // uncertified bag: skip the reduction
+    atoms[i].depth = depth[atoms[i].bag];
+  }
+
+  // Up pass: atoms in deepest bags first, each filtering every
+  // variable-sharing atom at the same or smaller depth; then the mirrored
+  // down pass. Semi-joins only remove tuples that cannot extend to a match
+  // of the partner atom, so any schedule is sound; this tree-guided one is
+  // a full reducer when sharing atoms sit in adjacent bags (chains, trees
+  // -- the alpha-acyclic shape Yannakakis 1981 targets).
+  std::vector<std::size_t> up_order;
+  for (std::size_t i = 0; i < m; ++i) {
+    if (atoms[i].bag >= 0) up_order.push_back(i);
+  }
+  std::stable_sort(up_order.begin(), up_order.end(),
+                   [&atoms](std::size_t a, std::size_t b) {
+                     return atoms[a].depth > atoms[b].depth;
+                   });
+  for (std::size_t a : up_order) {
+    for (std::size_t b : up_order) {
+      if (a != b && atoms[b].depth <= atoms[a].depth) {
+        SemijoinFilter(atoms[a], &atoms[b]);
+      }
+    }
+  }
+  // Strictly downward: equal-depth pairs were already filtered in both
+  // directions by the up pass, so repeating them here would only rebuild
+  // the same hash sets for a guaranteed no-op.
+  for (auto it = up_order.rbegin(); it != up_order.rend(); ++it) {
+    for (std::size_t b : up_order) {
+      if (*it != b && atoms[b].depth > atoms[*it].depth) {
+        SemijoinFilter(atoms[*it], &atoms[b]);
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::size_t dropped = atoms[i].initial - atoms[i].tuples.size();
+    if (dropped == 0) continue;  // cacheable full-relation trie stays usable
+    stats->semijoin_dropped_tuples += dropped;
+    storage->emplace_back(rels[i]->name(), rels[i]->arity());
+    for (const Tuple* t : atoms[i].tuples) storage->back().Insert(*t);
+    (*overrides)[i] = &storage->back();
+  }
+}
+
+/// Variable-intersection graph of `query` (the Gaifman graph of the
+/// canonical instance): one vertex per body variable (dense numbering via
+/// `body`/`dense`), edges between variables sharing an atom.
+Graph VariableIntersectionGraph(const Query& query, std::vector<int>* body,
+                                std::vector<int>* dense) {
+  const std::set<int> body_set = query.BodyVarSet();
+  body->assign(body_set.begin(), body_set.end());
+  dense->assign(query.num_variables(), -1);
+  for (std::size_t i = 0; i < body->size(); ++i) {
+    (*dense)[(*body)[i]] = static_cast<int>(i);
+  }
+  Graph g(static_cast<int>(body->size()));
+  for (std::size_t i = 0; i < query.atoms().size(); ++i) {
+    const std::set<int> vars = query.AtomVarSet(static_cast<int>(i));
+    for (int u : vars) {
+      for (int v : vars) {
+        if (u < v) g.AddEdge((*dense)[u], (*dense)[v]);
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace
+
+LowWidthProbe ProbeLowWidthStructure(const Query& query) {
+  LowWidthProbe probe;
+  Graph g = VariableIntersectionGraph(query, &probe.body, &probe.dense);
+  const bool possibly_low_width =
+      g.num_edges() <= std::max<std::size_t>(2 * g.num_vertices(), 3) - 3;
+  if (probe.body.empty() || !possibly_low_width ||
+      g.num_vertices() > kHybridExactVertexLimit) {
+    return probe;
+  }
+  probe.tw = TreewidthExact(g);
+  probe.low_width =
+      probe.tw.width >= 0 && probe.tw.width <= kHybridWidthThreshold;
+  if (!probe.low_width) return probe;
+  // Bind along the certified elimination order, last eliminated first: in
+  // a reversed perfect-style elimination order every variable's
+  // already-bound neighbours form a clique, so each leapfrog intersection
+  // runs over tries narrowed by the same prefix.
+  probe.order.reserve(probe.body.size());
+  for (auto it = probe.tw.elimination_order.rbegin();
+       it != probe.tw.elimination_order.rend(); ++it) {
+    probe.order.push_back(probe.body[*it]);
+  }
+  return probe;
+}
+
+Result<Relation> EvaluateGenericJoin(const Query& query, const Database& db,
+                                     const std::vector<int>& variable_order,
+                                     EvalContext* ctx, EvalStats* stats) {
+  if (stats != nullptr) *stats = EvalStats{};
+  CQB_RETURN_NOT_OK(CheckContextDatabase(ctx, db));
+  EvalStats local;
+  auto result = GenericJoinImpl(query, db, variable_order, ctx,
+                                /*overrides=*/nullptr, &local);
+  if (result.ok() && stats != nullptr) *stats = std::move(local);
+  return result;
+}
+
+Result<Relation> EvaluateGenericJoin(const Query& query, const Database& db,
+                                     const std::vector<int>& variable_order,
+                                     EvalStats* stats) {
+  return EvaluateGenericJoin(query, db, variable_order, /*ctx=*/nullptr,
+                             stats);
+}
+
+Result<Relation> EvaluateHybridYannakakis(const Query& query,
+                                          const Database& db,
+                                          EvalContext* ctx,
+                                          EvalStats* stats) {
+  if (stats != nullptr) *stats = EvalStats{};
+  CQB_RETURN_NOT_OK(CheckContextDatabase(ctx, db));
+
+  // Resolve every atom before planning so metadata errors surface
+  // identically to the other plans.
+  std::vector<const Relation*> rels;
+  rels.reserve(query.atoms().size());
+  for (const Atom& atom : query.atoms()) {
+    const Relation* rel;
+    CQB_ASSIGN_OR_RETURN(rel, ResolveAtom(atom, db));
+    rels.push_back(rel);
+  }
+
+  const LowWidthProbe probe = ProbeLowWidthStructure(query);
+
+  EvalStats local;
+  std::vector<int> order;
+  std::vector<const Relation*> overrides(query.atoms().size(), nullptr);
+  std::deque<Relation> reduced;
+  if (probe.low_width) {
+    // The certified reverse elimination order (the same order
+    // ChooseGenericJoinOrder's tree path picks), with the atoms
+    // pre-filtered through the certified decomposition.
+    order = probe.order;
+    SemijoinReduce(query, rels, probe.tw.decomposition, probe.dense, &local,
+                   &overrides, &reduced);
+  } else {
+    order = DefaultGenericJoinOrder(query);
+  }
+
+  auto result = GenericJoinImpl(query, db, order, ctx,
+                                probe.low_width ? &overrides : nullptr,
+                                &local);
+  if (result.ok() && stats != nullptr) *stats = std::move(local);
+  return result;
 }
 
 const char* PlanKindName(PlanKind kind) {
@@ -244,6 +583,7 @@ const char* PlanKindName(PlanKind kind) {
     case PlanKind::kNaive: return "naive";
     case PlanKind::kJoinProject: return "join-project";
     case PlanKind::kGenericJoin: return "generic-join";
+    case PlanKind::kHybridYannakakis: return "hybrid-yannakakis";
   }
   return "unknown";
 }
@@ -293,15 +633,27 @@ std::vector<int> DefaultGenericJoinOrder(const Query& query) {
 }
 
 Result<Relation> EvaluateQuery(const Query& query, const Database& db,
-                               PlanKind kind, EvalStats* stats) {
+                               PlanKind kind, EvalContext* ctx,
+                               EvalStats* stats) {
   if (kind == PlanKind::kGenericJoin) {
-    return EvaluateGenericJoin(query, db, DefaultGenericJoinOrder(query),
+    return EvaluateGenericJoin(query, db, DefaultGenericJoinOrder(query), ctx,
                                stats);
   }
+  if (kind == PlanKind::kHybridYannakakis) {
+    return EvaluateHybridYannakakis(query, db, ctx, stats);
+  }
 
+  // Binary-join plans: `ctx` is accepted for interface uniformity but the
+  // per-step hash indexes are query-position-specific and not cached.
+  if (stats != nullptr) *stats = EvalStats{};
+  CQB_RETURN_NOT_OK(CheckContextDatabase(ctx, db));
   EvalStats local;
-  // Bindings are tuples over `bound_vars` (parallel layout).
+  // Bindings are tuples over `bound_vars` (parallel layout); var_slot maps
+  // a variable id to its position in `bound_vars` (-1 when unbound), so
+  // per-atom binding lookups are O(1) instead of a std::find scan per
+  // position (quadratic in the variable count).
   std::vector<int> bound_vars;
+  std::vector<int> var_slot(query.num_variables(), -1);
   std::vector<Tuple> bindings = {Tuple{}};
   const std::vector<std::set<int>> needed_after =
       kind == PlanKind::kJoinProject ? NeededVarsBySuffix(query)
@@ -327,10 +679,8 @@ Result<Relation> EvaluateQuery(const Query& query, const Database& db,
     std::vector<int> first_seen(query.num_variables(), -1);
     for (std::size_t p = 0; p < atom.vars.size(); ++p) {
       int var = atom.vars[p];
-      auto it = std::find(bound_vars.begin(), bound_vars.end(), var);
-      if (it != bound_vars.end()) {
-        join_pos.emplace_back(static_cast<int>(p),
-                              static_cast<int>(it - bound_vars.begin()));
+      if (var_slot[var] >= 0) {
+        join_pos.emplace_back(static_cast<int>(p), var_slot[var]);
       } else if (first_seen[var] >= 0) {
         // Repeated new variable inside the atom: equality filter against its
         // first occurrence, handled below during indexing.
@@ -368,6 +718,7 @@ Result<Relation> EvaluateQuery(const Query& query, const Database& db,
     std::vector<int> next_vars = bound_vars;
     for (const auto& [pos, var] : new_pos) {
       (void)pos;
+      var_slot[var] = static_cast<int>(next_vars.size());
       next_vars.push_back(var);
     }
     std::vector<Tuple> next;
@@ -411,6 +762,10 @@ Result<Relation> EvaluateQuery(const Query& query, const Database& db,
           for (int pos : kept_positions) p.push_back(binding[pos]);
           if (dedup.insert(p).second) projected.push_back(std::move(p));
         }
+        for (int v : bound_vars) var_slot[v] = -1;
+        for (std::size_t i = 0; i < kept_vars.size(); ++i) {
+          var_slot[kept_vars[i]] = static_cast<int>(i);
+        }
         bound_vars = std::move(kept_vars);
         bindings = std::move(projected);
       }
@@ -431,9 +786,8 @@ Result<Relation> EvaluateQuery(const Query& query, const Database& db,
   head_positions.reserve(query.head_vars().size());
   if (!bindings.empty()) {
     for (int var : query.head_vars()) {
-      auto it = std::find(bound_vars.begin(), bound_vars.end(), var);
-      CQB_CHECK(it != bound_vars.end());  // Validate() guarantees this
-      head_positions.push_back(static_cast<int>(it - bound_vars.begin()));
+      CQB_CHECK(var_slot[var] >= 0);  // Validate() guarantees this
+      head_positions.push_back(var_slot[var]);
     }
   }
   Tuple head_tuple(query.head_vars().size());
@@ -448,9 +802,21 @@ Result<Relation> EvaluateQuery(const Query& query, const Database& db,
   return output;
 }
 
+Result<Relation> EvaluateQuery(const Query& query, const Database& db,
+                               PlanKind kind, EvalStats* stats) {
+  return EvaluateQuery(query, db, kind, /*ctx=*/nullptr, stats);
+}
+
 Relation EquiJoin(const Relation& left, const Relation& right,
                   const std::vector<std::pair<int, int>>& pairs,
                   const std::string& result_name) {
+  // The position pairs are invariants of the call, not of any tuple:
+  // validate them once up front instead of re-checking inside the
+  // per-tuple indexing and probing loops.
+  for (const auto& [lp, rp] : pairs) {
+    CQB_CHECK(lp >= 0 && lp < left.arity());
+    CQB_CHECK(rp >= 0 && rp < right.arity());
+  }
   Relation out(result_name, left.arity() + right.arity());
   // Index the right side on its join key.
   std::unordered_map<Tuple, std::vector<const Tuple*>, TupleHash> index;
@@ -459,7 +825,6 @@ Relation EquiJoin(const Relation& left, const Relation& right,
     key.reserve(pairs.size());
     for (const auto& [lp, rp] : pairs) {
       (void)lp;
-      CQB_CHECK(rp >= 0 && rp < right.arity());
       key.push_back(t[rp]);
     }
     index[key].push_back(&t);
@@ -469,7 +834,6 @@ Relation EquiJoin(const Relation& left, const Relation& right,
     key.reserve(pairs.size());
     for (const auto& [lp, rp] : pairs) {
       (void)rp;
-      CQB_CHECK(lp >= 0 && lp < left.arity());
       key.push_back(t[lp]);
     }
     auto it = index.find(key);

@@ -6,7 +6,9 @@
 #include <vector>
 
 #include "cq/query.h"
+#include "graph/treewidth_bb.h"
 #include "relation/database.h"
+#include "relation/eval_context.h"
 #include "util/status.h"
 
 namespace cqbounds {
@@ -28,10 +30,58 @@ enum class PlanKind {
   /// the executor *meets* the Prop 4.1/4.3 size bound instead of merely
   /// stating it. See docs/EVALUATION.md.
   kGenericJoin,
+  /// Hybrid for low-width queries: when the exact treewidth engine
+  /// certifies that the variable-intersection graph has width <=
+  /// kHybridWidthThreshold, a Yannakakis-style semi-join reduction pass
+  /// runs up and down the certified TreeDecomposition, filtering dangling
+  /// tuples out of every atom before a generic-join enumeration over the
+  /// reduced relations (whose intermediates are a subset of the plain
+  /// generic join's, so the AGM envelope still holds). High-width queries
+  /// fall back to plain generic join. See docs/EVALUATION.md.
+  kHybridYannakakis,
 };
 
-/// Short display name for `kind` ("naive", "join-project", "generic-join").
+/// Short display name for `kind` ("naive", "join-project", "generic-join",
+/// "hybrid-yannakakis").
 const char* PlanKindName(PlanKind kind);
+
+/// Width gate of the hybrid plan and of ChooseGenericJoinOrder's
+/// tree-decomposition path: the certified-decomposition machinery engages
+/// only when the variable-intersection graph has treewidth <= this.
+inline constexpr int kHybridWidthThreshold = 2;
+
+/// Vertex cap for the exact treewidth probe on variable-intersection
+/// graphs (matches the engine's practical range on sparse graphs).
+inline constexpr int kHybridExactVertexLimit = 40;
+
+/// Result of ProbeLowWidthStructure: the query's variable-intersection
+/// graph numbering plus, when certified, the treewidth witness and the
+/// binding order it induces.
+struct LowWidthProbe {
+  /// Dense vertex id -> variable id of the variable-intersection graph.
+  std::vector<int> body;
+  /// Variable id -> dense vertex id (-1 for non-body variables).
+  std::vector<int> dense;
+  /// Certified exact result (width, elimination order, decomposition);
+  /// only meaningful when `low_width`.
+  ExactTreewidthResult tw;
+  /// True iff the certified width is within kHybridWidthThreshold.
+  bool low_width = false;
+  /// The reverse elimination order mapped back to variable ids -- the
+  /// binding order of the tree-decomposition path. Empty unless
+  /// `low_width`.
+  std::vector<int> order;
+};
+
+/// Builds the variable-intersection graph (body variables adjacent iff
+/// they share an atom) and, when it is small and sparse enough
+/// (kHybridExactVertexLimit; width-<=2 graphs are K4-minor-free with at
+/// most 2n-3 edges, so denser graphs skip the exponential probe), runs the
+/// certified exact treewidth engine. The single implementation shared by
+/// ChooseGenericJoinOrder (core/join_plan.cc) and the hybrid executor, so
+/// the planner's recommendation and the executor's own gate cannot drift
+/// apart.
+LowWidthProbe ProbeLowWidthStructure(const Query& query);
 
 /// Counters reported by the evaluators, used by the E10 benchmark and the
 /// oracle tests to contrast the three plans against the paper's envelopes.
@@ -54,6 +104,16 @@ struct EvalStats {
   /// Generic join only: trie SeekGE calls issued by the leapfrog
   /// intersection loops (the executor's unit of work).
   std::size_t intersection_seeks = 0;
+  /// Tries served from the EvalContext cache without rebuilding.
+  std::size_t trie_cache_hits = 0;
+  /// Tries (re)built this call: cache misses when an EvalContext is
+  /// attached, and every per-call transient build when none is (the
+  /// rebuild-per-call cost the cache exists to eliminate).
+  std::size_t trie_cache_misses = 0;
+  /// Hybrid plan only: tuples removed from atom relations by the
+  /// Yannakakis semi-join reduction pass (0 when the plan fell back to
+  /// plain generic join or nothing dangled).
+  std::size_t semijoin_dropped_tuples = 0;
 };
 
 /// Evaluates `query` over `db`, producing the head relation Q(D) with set
@@ -65,9 +125,20 @@ struct EvalStats {
 ///
 /// Errors: kNotFound if a body relation is missing from `db`;
 /// kInvalidArgument if an atom's arity disagrees with the stored relation.
-/// `stats` may be null.
+/// `stats` may be null; when non-null it is fully reassigned on *every*
+/// exit path, success or error -- a caller reusing one EvalStats across
+/// calls never reads the previous run's counters.
 Result<Relation> EvaluateQuery(const Query& query, const Database& db,
                                PlanKind kind, EvalStats* stats = nullptr);
+
+/// As above, evaluating through `ctx` (may be null): the trie-based plans
+/// (kGenericJoin, kHybridYannakakis) reuse cached per-atom tries instead of
+/// rebuilding them per call. `ctx` must be attached to `db`
+/// (kInvalidArgument otherwise); the binary-join plans accept but ignore
+/// it (their transient hash indexes are not cached).
+Result<Relation> EvaluateQuery(const Query& query, const Database& db,
+                               PlanKind kind, EvalContext* ctx,
+                               EvalStats* stats);
 
 /// The worst-case-optimal executor: builds one TrieIndex per atom keyed by
 /// `variable_order` (which must enumerate every body variable exactly once)
@@ -80,6 +151,27 @@ Result<Relation> EvaluateQuery(const Query& query, const Database& db,
 Result<Relation> EvaluateGenericJoin(const Query& query, const Database& db,
                                      const std::vector<int>& variable_order,
                                      EvalStats* stats = nullptr);
+
+/// As above through `ctx` (may be null; must be attached to `db`).
+Result<Relation> EvaluateGenericJoin(const Query& query, const Database& db,
+                                     const std::vector<int>& variable_order,
+                                     EvalContext* ctx, EvalStats* stats);
+
+/// The kHybridYannakakis executor. Probes the query's
+/// variable-intersection graph with the certified exact treewidth engine
+/// (graph/treewidth_bb.h); on width <= kHybridWidthThreshold it runs a
+/// semi-join reduction pass up and down the certified TreeDecomposition
+/// (dropping tuples that cannot contribute to any answer -- counted in
+/// EvalStats::semijoin_dropped_tuples) and then enumerates with the
+/// generic join over the reduced relations, binding along the reverse
+/// elimination order. Otherwise it is exactly EvaluateGenericJoin over
+/// DefaultGenericJoinOrder. Atoms untouched by the reduction still use
+/// `ctx`-cached tries; reduced atoms get transient tries (counted as
+/// misses).
+Result<Relation> EvaluateHybridYannakakis(const Query& query,
+                                          const Database& db,
+                                          EvalContext* ctx = nullptr,
+                                          EvalStats* stats = nullptr);
 
 /// A dependency-light default variable order: greedy by atom-degree
 /// (variables constrained by more atoms first), extending connected-first so

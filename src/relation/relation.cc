@@ -9,6 +9,7 @@ bool Relation::Insert(const Tuple& t) {
   CQB_CHECK(static_cast<int>(t.size()) == arity_);
   if (!index_.insert(t).second) return false;
   tuples_.push_back(t);
+  ++generation_;
   return true;
 }
 

@@ -1,6 +1,7 @@
 #ifndef CQBOUNDS_RELATION_RELATION_H_
 #define CQBOUNDS_RELATION_RELATION_H_
 
+#include <cstdint>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -25,6 +26,12 @@ class Relation {
   int arity() const { return arity_; }
   std::size_t size() const { return tuples_.size(); }
   bool empty() const { return tuples_.empty(); }
+
+  /// Mutation counter: bumped every time a tuple is actually inserted (a
+  /// duplicate Insert leaves it unchanged). Index caches (EvalContext in
+  /// eval_context.h) snapshot it at build time and rebuild when it moves --
+  /// generation-based invalidation instead of content hashing.
+  std::uint64_t generation() const { return generation_; }
 
   /// Inserts `t` if not present; returns true if inserted. Aborts if the
   /// arity does not match (a programming error, not a data error).
@@ -52,6 +59,7 @@ class Relation {
   int arity_;
   std::vector<Tuple> tuples_;
   std::unordered_set<Tuple, TupleHash> index_;
+  std::uint64_t generation_ = 0;
 };
 
 }  // namespace cqbounds

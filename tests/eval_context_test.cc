@@ -1,0 +1,421 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/join_plan.h"
+#include "cq/parser.h"
+#include "relation/eval_context.h"
+#include "relation/evaluate.h"
+#include "relation/generator.h"
+
+namespace cqbounds {
+namespace {
+
+void ExpectSameRelation(const Relation& a, const Relation& b,
+                        const std::string& context) {
+  ASSERT_EQ(a.size(), b.size()) << context;
+  for (const Tuple& t : a.tuples()) {
+    EXPECT_TRUE(b.Contains(t)) << context;
+  }
+}
+
+// --- Relation generations --------------------------------------------------
+
+TEST(RelationGenerationTest, BumpsOnActualInsertOnly) {
+  Relation r("R", 2);
+  EXPECT_EQ(r.generation(), 0u);
+  EXPECT_TRUE(r.Insert({1, 2}));
+  EXPECT_EQ(r.generation(), 1u);
+  // Duplicate insert: set semantics, relation unchanged, generation too.
+  EXPECT_FALSE(r.Insert({1, 2}));
+  EXPECT_EQ(r.generation(), 1u);
+  EXPECT_TRUE(r.Insert({3, 4}));
+  EXPECT_EQ(r.generation(), 2u);
+}
+
+// --- The trie cache --------------------------------------------------------
+
+TEST(EvalContextTest, RepeatedEvaluationReusesTries) {
+  auto q = ParseQuery("T(X,Y,Z) :- E(X,Y), E(Y,Z), E(Z,X).");
+  ASSERT_TRUE(q.ok());
+  Database db = StarTriangleDatabase(20);
+  EvalContext ctx(db);
+
+  // Cold run: every distinct (relation, layout) builds once. Under the
+  // default order X<Y<Z the atoms E(X,Y) and E(Y,Z) share the identity
+  // layout, so even the first call hits once.
+  EvalStats cold;
+  auto first = EvaluateQuery(*q, db, PlanKind::kGenericJoin, &ctx, &cold);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(cold.trie_cache_misses, 2u);
+  EXPECT_EQ(cold.trie_cache_hits, 1u);
+  EXPECT_EQ(ctx.size(), 2u);
+
+  // Warm run: zero rebuilds, identical output.
+  EvalStats warm;
+  auto second = EvaluateQuery(*q, db, PlanKind::kGenericJoin, &ctx, &warm);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(warm.trie_cache_misses, 0u);
+  EXPECT_EQ(warm.trie_cache_hits, 3u);
+  EXPECT_EQ(warm.indexed_tuples, 0u);  // nothing was (re)built
+  ExpectSameRelation(*first, *second, "warm run");
+  EXPECT_EQ(ctx.hits(), 4u);
+  EXPECT_EQ(ctx.misses(), 2u);
+}
+
+TEST(EvalContextTest, CacheIsSharedAcrossQueriesOnTheSameDatabase) {
+  Database db = StarTriangleDatabase(12);
+  EvalContext ctx(db);
+  auto triangle = ParseQuery("T(X,Y,Z) :- E(X,Y), E(Y,Z), E(Z,X).");
+  auto path = ParseQuery("P(X,Z) :- E(X,Y), E(Y,Z).");
+  ASSERT_TRUE(triangle.ok());
+  ASSERT_TRUE(path.ok());
+
+  EvalStats s1;
+  ASSERT_TRUE(EvaluateQuery(*triangle, db, PlanKind::kGenericJoin, &ctx, &s1)
+                  .ok());
+  // The path query keys E identically (both atoms use the identity
+  // layout), so it runs entirely off tries the triangle query built.
+  EvalStats s2;
+  ASSERT_TRUE(EvaluateQuery(*path, db, PlanKind::kGenericJoin, &ctx, &s2)
+                  .ok());
+  EXPECT_EQ(s2.trie_cache_misses, 0u);
+  EXPECT_EQ(s2.trie_cache_hits, 2u);
+}
+
+TEST(EvalContextTest, MutationInvalidatesExactlyTheStaleTries) {
+  auto q = ParseQuery("T(X,Y,Z) :- E(X,Y), E(Y,Z), E(Z,X).");
+  ASSERT_TRUE(q.ok());
+  Database db = StarTriangleDatabase(10);
+  EvalContext ctx(db);
+
+  EvalStats s;
+  auto before = EvaluateQuery(*q, db, PlanKind::kGenericJoin, &ctx, &s);
+  ASSERT_TRUE(before.ok());
+  const std::size_t triangles_before = before->size();
+
+  // Add a second genuine triangle on fresh vertices; every cached E trie
+  // (both layouts) is now stale and must rebuild.
+  Relation* e = db.FindMutable("E");
+  ASSERT_NE(e, nullptr);
+  e->Insert({101, 102});
+  e->Insert({102, 103});
+  e->Insert({103, 101});
+
+  auto after = EvaluateQuery(*q, db, PlanKind::kGenericJoin, &ctx, &s);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(s.trie_cache_misses, 2u);
+  EXPECT_EQ(s.trie_cache_hits, 1u);
+  EXPECT_EQ(after->size(), triangles_before + 3);  // 3 rotations of the
+                                                   // new triangle
+  EXPECT_TRUE(after->Contains({101, 102, 103}));
+
+  // And the rebuilt tries are clean again.
+  auto third = EvaluateQuery(*q, db, PlanKind::kGenericJoin, &ctx, &s);
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(s.trie_cache_misses, 0u);
+  EXPECT_EQ(s.trie_cache_hits, 3u);
+}
+
+TEST(EvalContextTest, ClearDropsCachedTries) {
+  auto q = ParseQuery("P(X,Z) :- E(X,Y), E(Y,Z).");
+  ASSERT_TRUE(q.ok());
+  Database db = StarTriangleDatabase(8);
+  EvalContext ctx(db);
+  EvalStats s;
+  ASSERT_TRUE(EvaluateQuery(*q, db, PlanKind::kGenericJoin, &ctx, &s).ok());
+  EXPECT_GT(ctx.size(), 0u);
+  ctx.Clear();
+  EXPECT_EQ(ctx.size(), 0u);
+  ASSERT_TRUE(EvaluateQuery(*q, db, PlanKind::kGenericJoin, &ctx, &s).ok());
+  EXPECT_GT(s.trie_cache_misses, 0u);
+}
+
+TEST(EvalContextTest, RejectsContextAttachedToAnotherDatabase) {
+  auto q = ParseQuery("P(X,Z) :- E(X,Y), E(Y,Z).");
+  ASSERT_TRUE(q.ok());
+  Database db = StarTriangleDatabase(5);
+  Database other = StarTriangleDatabase(5);
+  EvalContext ctx(other);
+  for (PlanKind kind : {PlanKind::kNaive, PlanKind::kJoinProject,
+                        PlanKind::kGenericJoin, PlanKind::kHybridYannakakis}) {
+    EvalStats stats;
+    stats.output_size = 123;  // must be cleared even on the error path
+    auto result = EvaluateQuery(*q, db, kind, &ctx, &stats);
+    EXPECT_FALSE(result.ok()) << PlanKindName(kind);
+    EXPECT_EQ(stats.output_size, 0u) << PlanKindName(kind);
+  }
+}
+
+// --- The hybrid Yannakakis plan --------------------------------------------
+
+TEST(HybridYannakakisTest, ChainWithDanglingTuplesReducesAndMatches) {
+  // Fan chain plus dangling garbage: tuples of U whose Y never appears in
+  // T, and tuples of R whose X never appears in S. A Yannakakis pass over
+  // the width-1 decomposition must drop them before enumeration.
+  auto q = ParseQuery("Q(A,C) :- R(A,X), S(X,B), T(B,Y), U(Y,C).");
+  ASSERT_TRUE(q.ok());
+  Database db;
+  Relation* r = db.AddRelation("R", 2);
+  Relation* s = db.AddRelation("S", 2);
+  Relation* t = db.AddRelation("T", 2);
+  Relation* u = db.AddRelation("U", 2);
+  for (int i = 0; i < 20; ++i) {
+    r->Insert({0, i});
+    s->Insert({i, 0});
+    t->Insert({0, i});
+    u->Insert({i, 0});
+  }
+  for (int i = 0; i < 15; ++i) {
+    r->Insert({7, 1000 + i});  // X values matching nothing in S
+    u->Insert({2000 + i, 9});  // Y values matching nothing in T
+  }
+
+  auto order = ChooseGenericJoinOrder(*q);
+  ASSERT_TRUE(order.ok());
+  EXPECT_EQ(order->recommended_plan, PlanKind::kHybridYannakakis);
+
+  EvalStats hybrid_stats, generic_stats;
+  auto hybrid =
+      EvaluateQuery(*q, db, PlanKind::kHybridYannakakis, &hybrid_stats);
+  auto generic = EvaluateQuery(*q, db, PlanKind::kGenericJoin, &generic_stats);
+  auto naive = EvaluateQuery(*q, db, PlanKind::kNaive);
+  ASSERT_TRUE(hybrid.ok());
+  ASSERT_TRUE(generic.ok());
+  ASSERT_TRUE(naive.ok());
+  ExpectSameRelation(*naive, *hybrid, "hybrid vs naive");
+
+  // The reduction dropped all 30 dangling tuples, and the reduced
+  // enumeration touched no more bindings than the plain generic join.
+  EXPECT_EQ(hybrid_stats.semijoin_dropped_tuples, 30u);
+  EXPECT_LE(hybrid_stats.max_intermediate, generic_stats.max_intermediate);
+  EXPECT_LE(hybrid_stats.intersection_seeks, generic_stats.intersection_seeks);
+}
+
+TEST(HybridYannakakisTest, CleanDatabaseKeepsCachedTriesUsable) {
+  // When nothing dangles, the reduction drops nothing and the hybrid can
+  // serve every atom from the context cache on a warm run.
+  auto q = ParseQuery("Q(A,C) :- R(A,X), S(X,B), T(B,Y), U(Y,C).");
+  ASSERT_TRUE(q.ok());
+  Database db;
+  Relation* r = db.AddRelation("R", 2);
+  Relation* s = db.AddRelation("S", 2);
+  Relation* t = db.AddRelation("T", 2);
+  Relation* u = db.AddRelation("U", 2);
+  for (int i = 0; i < 10; ++i) {
+    r->Insert({0, i});
+    s->Insert({i, 0});
+    t->Insert({0, i});
+    u->Insert({i, 0});
+  }
+  EvalContext ctx(db);
+  EvalStats cold, warm;
+  auto first =
+      EvaluateQuery(*q, db, PlanKind::kHybridYannakakis, &ctx, &cold);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(cold.semijoin_dropped_tuples, 0u);
+  EXPECT_EQ(cold.trie_cache_misses, 4u);
+  auto second =
+      EvaluateQuery(*q, db, PlanKind::kHybridYannakakis, &ctx, &warm);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(warm.trie_cache_misses, 0u);
+  EXPECT_EQ(warm.trie_cache_hits, 4u);
+  ExpectSameRelation(*first, *second, "warm hybrid");
+}
+
+TEST(HybridYannakakisTest, HighWidthQueryFallsBackToGenericJoin) {
+  // K4 as a clique query has variable-intersection width 3 > 2: the hybrid
+  // must silently become the plain generic join.
+  auto q = ParseQuery(
+      "Q(A,B,C,D) :- R(A,B), R(A,C), R(A,D), R(B,C), R(B,D), R(C,D).");
+  ASSERT_TRUE(q.ok());
+  auto order = ChooseGenericJoinOrder(*q);
+  ASSERT_TRUE(order.ok());
+  EXPECT_EQ(order->recommended_plan, PlanKind::kGenericJoin);
+
+  RandomDatabaseOptions opts;
+  opts.seed = 17;
+  opts.tuples_per_relation = 30;
+  opts.domain_size = 6;
+  Database db = RandomDatabase(*q, opts);
+  EvalStats stats;
+  auto hybrid = EvaluateQuery(*q, db, PlanKind::kHybridYannakakis, &stats);
+  auto naive = EvaluateQuery(*q, db, PlanKind::kNaive);
+  ASSERT_TRUE(hybrid.ok());
+  ASSERT_TRUE(naive.ok());
+  ExpectSameRelation(*naive, *hybrid, "K4 fallback");
+  EXPECT_EQ(stats.semijoin_dropped_tuples, 0u);
+}
+
+TEST(HybridYannakakisTest, TriangleSingleBagStaysCorrect) {
+  // The triangle's variable graph is K3 (width 2): one bag holds all three
+  // atoms, so the pass degenerates to pairwise filtering -- output must
+  // still match, and the enumeration still meets the AGM envelope.
+  auto q = ParseQuery("T(X,Y,Z) :- E(X,Y), E(Y,Z), E(Z,X).");
+  ASSERT_TRUE(q.ok());
+  Database db = StarTriangleDatabase(30);
+  EvalStats stats;
+  auto hybrid = EvaluateQuery(*q, db, PlanKind::kHybridYannakakis, &stats);
+  auto naive = EvaluateQuery(*q, db, PlanKind::kNaive);
+  ASSERT_TRUE(hybrid.ok());
+  ASSERT_TRUE(naive.ok());
+  ExpectSameRelation(*naive, *hybrid, "star triangle hybrid");
+  EXPECT_EQ(hybrid->size(), 3u);
+}
+
+// --- Stale-stats regression (validation-error early returns) ---------------
+
+TEST(EvalStatsResetTest, ErrorPathsClearReusedStats) {
+  auto q = ParseQuery("Q(X,Z) :- R(X,Y), S(Y,Z).");
+  ASSERT_TRUE(q.ok());
+  Database db;
+  Relation* r = db.AddRelation("R", 2);
+  Relation* s = db.AddRelation("S", 2);
+  for (int i = 0; i < 5; ++i) {
+    r->Insert({i, i + 1});
+    s->Insert({i + 1, i + 2});
+  }
+
+  for (PlanKind kind : {PlanKind::kNaive, PlanKind::kJoinProject,
+                        PlanKind::kGenericJoin, PlanKind::kHybridYannakakis}) {
+    // First call succeeds and fills the counters.
+    EvalStats stats;
+    ASSERT_TRUE(EvaluateQuery(*q, db, kind, &stats).ok());
+    ASSERT_GT(stats.output_size, 0u) << PlanKindName(kind);
+    ASSERT_FALSE(stats.intermediate_sizes.empty()) << PlanKindName(kind);
+
+    // Second call errors (missing relation): the reused stats must not
+    // leak the previous run's counters.
+    auto bad = ParseQuery("Q(X,Z) :- R(X,Y), Missing(Y,Z).");
+    ASSERT_TRUE(bad.ok());
+    EXPECT_FALSE(EvaluateQuery(*bad, db, kind, &stats).ok())
+        << PlanKindName(kind);
+    EXPECT_EQ(stats.output_size, 0u) << PlanKindName(kind);
+    EXPECT_EQ(stats.max_intermediate, 0u) << PlanKindName(kind);
+    EXPECT_EQ(stats.total_intermediate, 0u) << PlanKindName(kind);
+    EXPECT_EQ(stats.indexed_tuples, 0u) << PlanKindName(kind);
+    EXPECT_EQ(stats.intersection_seeks, 0u) << PlanKindName(kind);
+    EXPECT_TRUE(stats.intermediate_sizes.empty()) << PlanKindName(kind);
+  }
+
+  // The generic join's validation-error early returns (bad variable
+  // orders) must clear too -- the original bug left them stale.
+  EvalStats stats;
+  ASSERT_TRUE(
+      EvaluateGenericJoin(*q, db, DefaultGenericJoinOrder(*q), &stats).ok());
+  ASSERT_GT(stats.output_size, 0u);
+  std::vector<int> bad_order = DefaultGenericJoinOrder(*q);
+  bad_order.pop_back();
+  EXPECT_FALSE(EvaluateGenericJoin(*q, db, bad_order, &stats).ok());
+  EXPECT_EQ(stats.output_size, 0u);
+  EXPECT_TRUE(stats.intermediate_sizes.empty());
+}
+
+// --- Degenerate atoms through all four plans -------------------------------
+
+constexpr PlanKind kAllPlans[] = {PlanKind::kNaive, PlanKind::kJoinProject,
+                                  PlanKind::kGenericJoin,
+                                  PlanKind::kHybridYannakakis};
+
+TEST(DegenerateAtomTest, NullaryAtomActsAsBooleanGuard) {
+  // Q(X) :- R(X), G() -- the nullary atom exercises the depth-0 trie path:
+  // it contributes no variable and only gates the query on G's emptiness.
+  Query q;
+  const int x = q.InternVariable("X");
+  q.SetHead("Q", {x});
+  q.AddAtom("R", {x});
+  q.AddAtom("G", {});
+  ASSERT_TRUE(q.Validate().ok());
+
+  Database db;
+  Relation* r = db.AddRelation("R", 1);
+  r->Insert({1});
+  r->Insert({2});
+  Relation* g = db.AddRelation("G", 0);
+
+  for (PlanKind kind : kAllPlans) {
+    EvalStats stats;
+    auto empty_guard = EvaluateQuery(q, db, kind, &stats);
+    ASSERT_TRUE(empty_guard.ok()) << PlanKindName(kind);
+    EXPECT_EQ(empty_guard->size(), 0u) << PlanKindName(kind);
+  }
+
+  g->Insert(Tuple{});  // the nullary tuple: the guard is now satisfied
+  for (PlanKind kind : kAllPlans) {
+    auto passed = EvaluateQuery(q, db, kind);
+    ASSERT_TRUE(passed.ok()) << PlanKindName(kind);
+    EXPECT_EQ(passed->size(), 2u) << PlanKindName(kind);
+    EXPECT_TRUE(passed->Contains({1})) << PlanKindName(kind);
+    EXPECT_TRUE(passed->Contains({2})) << PlanKindName(kind);
+  }
+}
+
+TEST(DegenerateAtomTest, RepeatedVariableOnlyAtoms) {
+  // Atoms whose every position carries the same variable: R(X,X) is a
+  // one-level trie with an equality filter; S(Y,Y,Y) likewise at arity 3.
+  auto q = ParseQuery("Q(X,Y) :- R(X,X), S(Y,Y,Y).");
+  ASSERT_TRUE(q.ok());
+  Database db;
+  Relation* r = db.AddRelation("R", 2);
+  r->Insert({1, 1});
+  r->Insert({1, 2});  // violates X=X
+  r->Insert({3, 3});
+  Relation* s = db.AddRelation("S", 3);
+  s->Insert({5, 5, 5});
+  s->Insert({5, 5, 6});  // violates Y=Y=Y
+  s->Insert({7, 7, 7});
+
+  for (PlanKind kind : kAllPlans) {
+    auto result = EvaluateQuery(*q, db, kind);
+    ASSERT_TRUE(result.ok()) << PlanKindName(kind);
+    EXPECT_EQ(result->size(), 4u) << PlanKindName(kind);  // {1,3} x {5,7}
+    EXPECT_TRUE(result->Contains({1, 5})) << PlanKindName(kind);
+    EXPECT_TRUE(result->Contains({3, 7})) << PlanKindName(kind);
+  }
+}
+
+TEST(DegenerateAtomTest, EmptyBodyQueryYieldsTheEmptySubstitution) {
+  Query q;
+  q.SetHead("Q", {});
+  ASSERT_TRUE(q.Validate().ok());
+  Database db;
+  for (PlanKind kind : kAllPlans) {
+    auto result = EvaluateQuery(q, db, kind);
+    ASSERT_TRUE(result.ok()) << PlanKindName(kind);
+    EXPECT_EQ(result->size(), 1u) << PlanKindName(kind);
+    EXPECT_TRUE(result->Contains(Tuple{})) << PlanKindName(kind);
+  }
+}
+
+TEST(DegenerateAtomTest, CacheServesDegenerateLayoutsToo) {
+  // Cache-invalidation on the degenerate shapes: a repeated-variable atom
+  // uses a one-level two-position layout; mutating the relation must
+  // rebuild exactly that trie.
+  auto q = ParseQuery("Q(X) :- R(X,X).");
+  ASSERT_TRUE(q.ok());
+  Database db;
+  Relation* r = db.AddRelation("R", 2);
+  r->Insert({1, 1});
+  r->Insert({2, 3});
+  EvalContext ctx(db);
+
+  EvalStats s;
+  auto first = EvaluateQuery(*q, db, PlanKind::kGenericJoin, &ctx, &s);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->size(), 1u);
+  EXPECT_EQ(s.trie_cache_misses, 1u);
+
+  ASSERT_TRUE(EvaluateQuery(*q, db, PlanKind::kGenericJoin, &ctx, &s).ok());
+  EXPECT_EQ(s.trie_cache_hits, 1u);
+  EXPECT_EQ(s.trie_cache_misses, 0u);
+
+  r->Insert({4, 4});
+  auto mutated = EvaluateQuery(*q, db, PlanKind::kGenericJoin, &ctx, &s);
+  ASSERT_TRUE(mutated.ok());
+  EXPECT_EQ(s.trie_cache_misses, 1u);
+  EXPECT_EQ(mutated->size(), 2u);
+  EXPECT_TRUE(mutated->Contains({4}));
+}
+
+}  // namespace
+}  // namespace cqbounds

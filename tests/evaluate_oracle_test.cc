@@ -73,7 +73,8 @@ TEST(EvaluateOracleTest, HandPickedQueries) {
     Database db = RandomDatabase(*q, opts);
     Relation oracle = BruteForceEvaluate(*q, db);
     for (PlanKind kind : {PlanKind::kNaive, PlanKind::kJoinProject,
-                          PlanKind::kGenericJoin}) {
+                          PlanKind::kGenericJoin,
+                          PlanKind::kHybridYannakakis}) {
       auto result = EvaluateQuery(*q, db, kind);
       ASSERT_TRUE(result.ok()) << text;
       ASSERT_EQ(result->size(), oracle.size()) << text;
@@ -102,7 +103,8 @@ TEST_P(EvaluateOracleRandomTest, MatchesDefinitionOnRandomInstances) {
     Database db = RandomDatabase(q, opts);
     Relation oracle = BruteForceEvaluate(q, db);
     for (PlanKind kind : {PlanKind::kNaive, PlanKind::kJoinProject,
-                          PlanKind::kGenericJoin}) {
+                          PlanKind::kGenericJoin,
+                          PlanKind::kHybridYannakakis}) {
       auto result = EvaluateQuery(q, db, kind);
       ASSERT_TRUE(result.ok()) << q.ToString();
       ASSERT_EQ(result->size(), oracle.size()) << q.ToString();
@@ -128,7 +130,8 @@ TEST(EvaluateStatsTest, EmptyFirstJoinShortCircuitsRemainingAtoms) {
     t->Insert({i + 1, i});
   }
   for (PlanKind kind : {PlanKind::kNaive, PlanKind::kJoinProject,
-                        PlanKind::kGenericJoin}) {
+                        PlanKind::kGenericJoin,
+                        PlanKind::kHybridYannakakis}) {
     EvalStats stats;
     auto result = EvaluateQuery(*q, db, kind, &stats);
     ASSERT_TRUE(result.ok());
