@@ -62,6 +62,14 @@ void AddPlanRows(bench::Table* table, const std::string& instance,
     auto result = kind == PlanKind::kGenericJoin
                       ? EvaluateGenericJoin(q, db, order.order, &stats)
                       : EvaluateQuery(q, db, kind, &stats);
+    // The semi-join column makes the hybrid's reduction pass visible: an
+    // abandoned pass used to read exactly like a clean one.
+    const char* pass = "-";
+    if (kind == PlanKind::kHybridYannakakis) {
+      pass = stats.semijoin_pass_skipped
+                 ? "skipped"
+                 : (stats.semijoin_pass_ran ? "ran" : "off");
+    }
     table->AddRow({instance, PlanKindName(kind),
                    bench::Num(stats.max_intermediate),
                    bench::Num(result->size()), cap.ToString(),
@@ -70,7 +78,8 @@ void AddPlanRows(bench::Table* table, const std::string& instance,
                            stats.max_intermediate)),
                        rmax, exponent)
                        ? "yes"
-                       : "NO"});
+                       : "NO",
+                   pass});
   }
 }
 
@@ -95,7 +104,7 @@ void PrintTables() {
   std::cout << "Chain adversary (binary plans capped at rmax^{C+1}, "
                "Cor 4.8; generic join\nat the AGM cap rmax^{rho*full}):\n";
   bench::Table table({"instance", "plan", "max intermediate", "output",
-                      "envelope cap", "within"});
+                      "envelope cap", "within", "semijoin"});
   for (int fanout : {10, 40, 100}) {
     AddPlanRows(&table, "chain/" + std::to_string(fanout), *chain,
                 ChainAdversary(fanout), chain_bound->exponent + Rational(1),
@@ -109,7 +118,7 @@ void PrintTables() {
                "cannot help a full-head query -- while the generic join\n"
                "structurally cannot:\n";
   bench::Table star_table({"instance", "plan", "max intermediate", "output",
-                           "envelope cap", "within"});
+                           "envelope cap", "within", "semijoin"});
   for (int n : {30, 60, 120}) {
     AddPlanRows(&star_table, "star/" + std::to_string(n), *star,
                 StarTriangleDatabase(n), star_order->envelope_exponent,
@@ -120,7 +129,7 @@ void PrintTables() {
   std::cout << "\nWorst-case triangle inputs (Prop 4.5 databases; binary "
                "plans at rmax^{C+1},\ngeneric join at the AGM cap):\n";
   bench::Table tri({"instance", "plan", "max intermediate", "output",
-                    "envelope cap", "within"});
+                    "envelope cap", "within", "semijoin"});
   for (std::int64_t m : {4, 8, 16}) {
     auto db = BuildWorstCaseDatabase(*triangle, tri_bound->witness, m);
     AddPlanRows(&tri, "triangle-wc/" + std::to_string(m), *triangle, *db,

@@ -10,7 +10,7 @@ reported (with a slowdown threshold) but only fail the run with
 
 Usage:
   scripts/bench_diff.py [--baseline BENCH_baseline.json]
-                        [--timer-factor 2.0] [--fail-on-timers]
+                        [--timer-factor 2.0] [--fail-on-timers] [--strict]
                         dump1.json [dump2.json ...]
 
 Typical flows:
@@ -94,6 +94,11 @@ def main():
                         help="report timers slower than baseline * factor")
     parser.add_argument("--fail-on-timers", action="store_true",
                         help="exit non-zero on timer slowdowns too")
+    parser.add_argument("--strict", action="store_true",
+                        help="fail when a dump has no baseline entry -- a "
+                             "newly baselined bench (e.g. E12) silently "
+                             "skipping the table guard is itself a "
+                             "regression")
     parser.add_argument("dumps", nargs="+", help="fresh --json dump files")
     args = parser.parse_args()
 
@@ -106,12 +111,18 @@ def main():
 
     table_problems, slowdowns, notes = [], [], []
     compared = 0
+    seen = set()
     for path in args.dumps:
         dump = load(path)
         name = dump.get("bench", path)
+        seen.add(name)
         base = benches.get(name)
         if base is None:
-            notes.append(f"{name}: not in baseline (add per docs/BENCHMARKS.md)")
+            message = f"{name}: not in baseline (add per docs/BENCHMARKS.md)"
+            if args.strict:
+                table_problems.append(message)
+            else:
+                notes.append(message)
             continue
         compared += 1
         table_problems += diff_tables(name, base["tables"], dump["tables"])
@@ -119,6 +130,16 @@ def main():
                            dump.get("timers", []), args.timer_factor)
         slowdowns += s
         notes += n
+
+    # The symmetric strict guard: a baselined bench with no fresh dump means
+    # its table guard silently stopped running (bench dropped from the CI
+    # dump loop? binary renamed?) -- just as much a regression as a dump
+    # with no baseline.
+    if args.strict:
+        for name in sorted(set(benches) - seen):
+            table_problems.append(
+                f"{name}: in baseline but no dump supplied -- its table "
+                f"guard did not run")
 
     print(f"bench_diff: compared {compared}/{len(args.dumps)} dump(s) "
           f"against {args.baseline}")

@@ -256,6 +256,11 @@ std::string GenericJoinOrder::ToString(const Query& query) const {
 }
 
 Result<GenericJoinOrder> ChooseGenericJoinOrder(const Query& query) {
+  return ChooseGenericJoinOrder(query, /*ctx=*/nullptr);
+}
+
+Result<GenericJoinOrder> ChooseGenericJoinOrder(const Query& query,
+                                                EvalContext* ctx) {
   CQB_RETURN_NOT_OK(query.Validate());
   GenericJoinOrder out;
 
@@ -276,8 +281,12 @@ Result<GenericJoinOrder> ChooseGenericJoinOrder(const Query& query) {
   // variable-intersection graph, certifies its width when small and sparse
   // enough, and derives the reverse-elimination binding order -- the same
   // gate EvaluateHybridYannakakis runs, so the recommended plan and the
-  // executor's behavior cannot drift apart.
-  const LowWidthProbe probe = ProbeLowWidthStructure(query);
+  // executor's behavior cannot drift apart. With a context, planner and
+  // executor even share the same cached probe entry.
+  LowWidthProbe transient_probe;
+  const LowWidthProbe& probe =
+      ctx != nullptr ? ctx->GetPlan(query, nullptr).probe
+                     : (transient_probe = ProbeLowWidthStructure(query));
   if (probe.low_width) {
     out.intersection_width = probe.tw.width;
     out.source = VariableOrderSource::kTreeDecomposition;

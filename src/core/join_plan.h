@@ -103,6 +103,15 @@ struct GenericJoinOrder {
 /// when the graph is low-width (<= 2; chains, trees, cycles, triangles).
 Result<GenericJoinOrder> ChooseGenericJoinOrder(const Query& query);
 
+/// As above, sharing `ctx`'s plan tier (relation/eval_context.h) for the
+/// treewidth probe: the planner and the hybrid executor then derive their
+/// low-width certificates from the same cached entry, so planning a query
+/// that was already evaluated (or evaluating one that was already planned)
+/// re-runs zero TreewidthExact calls. `ctx` may be null (identical to the
+/// overload above).
+Result<GenericJoinOrder> ChooseGenericJoinOrder(const Query& query,
+                                                EvalContext* ctx);
+
 }  // namespace cqbounds
 
 #endif  // CQBOUNDS_CORE_JOIN_PLAN_H_

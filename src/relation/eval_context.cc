@@ -1,12 +1,46 @@
 #include "relation/eval_context.h"
 
+#include <sstream>
+
 #include "relation/evaluate.h"
 
 namespace cqbounds {
 
+namespace {
+
+/// Canonical spelling of a query's shape: everything
+/// ProbeLowWidthStructure reads (variable count, atom relation names,
+/// per-atom variable ids). Two queries with equal signatures have
+/// identical variable-intersection graphs, so they share one plan entry --
+/// e.g. the same parsed query object evaluated many times, or two parses
+/// of the same text (ParseQuery interns variables in order of appearance).
+/// Relation names are length-prefixed: Query places no character
+/// restrictions on them, so a name containing the signature's own
+/// separators must not let two distinct shapes collide on one key.
+std::string PlanSignature(const Query& query) {
+  std::ostringstream os;
+  os << query.num_variables() << '|';
+  for (const Atom& atom : query.atoms()) {
+    os << atom.relation.size() << ':' << atom.relation << '(';
+    for (std::size_t i = 0; i < atom.vars.size(); ++i) {
+      if (i != 0) os << ',';
+      os << atom.vars[i];
+    }
+    os << ");";
+  }
+  return os.str();
+}
+
+}  // namespace
+
 const TrieIndex& EvalContext::GetTrie(
     const Relation& rel, const std::vector<std::vector<int>>& level_positions,
     EvalStats* stats) {
+  // Identity, not name equality: a same-named relation from another
+  // database can coincide in generation, and serving it a "hit" would
+  // silently return a trie over different tuples.
+  CQB_CHECK(OwnsRelation(rel) &&
+            "relation does not belong to the context's database");
   Key key{rel.name(), level_positions};
   auto it = cache_.find(key);
   if (it != cache_.end() && it->second.generation == rel.generation()) {
@@ -23,6 +57,23 @@ const TrieIndex& EvalContext::GetTrie(
     it = cache_.emplace(std::move(key), std::move(entry)).first;
   }
   return it->second.trie;
+}
+
+EvalContext::CachedPlan& EvalContext::GetPlan(const Query& query,
+                                              EvalStats* stats) {
+  std::string key = PlanSignature(query);
+  auto it = plans_.find(key);
+  if (it != plans_.end()) {
+    ++plan_hits_;
+    if (stats != nullptr) ++stats->plan_cache_hits;
+    return it->second;
+  }
+  ++plan_misses_;
+  if (stats != nullptr) ++stats->plan_cache_misses;
+  CachedPlan plan;
+  plan.probe = ProbeLowWidthStructure(query);
+  if (stats != nullptr && plan.probe.probe_ran) ++stats->treewidth_probe_runs;
+  return plans_.emplace(std::move(key), std::move(plan)).first->second;
 }
 
 }  // namespace cqbounds

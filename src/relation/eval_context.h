@@ -8,6 +8,8 @@
 #include <utility>
 #include <vector>
 
+#include "cq/query.h"
+#include "graph/treewidth_bb.h"
 #include "relation/database.h"
 #include "relation/trie_index.h"
 
@@ -15,53 +17,122 @@ namespace cqbounds {
 
 struct EvalStats;  // evaluate.h (which includes this header)
 
-/// A per-database evaluation context memoizing the sorted-column tries the
-/// generic-join executor builds per atom. Without it every
-/// EvaluateGenericJoin call re-sorts every body relation from scratch --
-/// fine for one-shot analysis, a serious performance bug for the
-/// repeated-evaluation workloads (same database, many queries, or the same
-/// query served many times) the ROADMAP targets.
+/// Result of ProbeLowWidthStructure (relation/evaluate.h): the query's
+/// variable-intersection graph numbering plus, when certified, the
+/// treewidth witness and the binding order it induces. Depends only on the
+/// query's *shape* (atoms and variable layout), never on relation contents,
+/// which is what makes it cacheable in the EvalContext plan tier below.
+struct LowWidthProbe {
+  /// Dense vertex id -> variable id of the variable-intersection graph.
+  std::vector<int> body;
+  /// Variable id -> dense vertex id (-1 for non-body variables).
+  std::vector<int> dense;
+  /// Certified exact result (width, elimination order, decomposition);
+  /// only meaningful when `low_width`.
+  ExactTreewidthResult tw;
+  /// True iff the certified width is within kHybridWidthThreshold.
+  bool low_width = false;
+  /// True iff the exponential TreewidthExact engine actually ran (the graph
+  /// passed the size and sparsity gates). The treewidth_probe_runs counter
+  /// in EvalStats sums this per evaluation call.
+  bool probe_ran = false;
+  /// The reverse elimination order mapped back to variable ids -- the
+  /// binding order of the tree-decomposition path. Empty unless
+  /// `low_width`.
+  std::vector<int> order;
+};
+
+/// A per-database evaluation context memoizing what repeated evaluations
+/// would otherwise recompute from scratch, in two tiers:
 ///
-/// Cache key: (relation name, level-position layout). The layout is the
-/// trie's column permutation induced by the global variable order, so two
-/// atoms -- in the same query or across queries -- that index the same
-/// relation the same way share one trie (e.g. E(X,Y) and E(Y,Z) under the
-/// order X<Y<Z both key E as [{0},{1}]).
+///  1. a **trie tier**: the sorted-column tries the generic-join executor
+///     builds per atom, keyed by (relation name, level-position layout) --
+///     the layout is the trie's column permutation induced by the global
+///     variable order, so two atoms (in the same query or across queries)
+///     that index the same relation the same way share one trie;
+///  2. a **plan tier**: the ProbeLowWidthStructure result (certified width,
+///     decomposition, binding order) keyed by the *query shape* (atom
+///     relation names + variable layout), so a warm hybrid run performs
+///     zero TreewidthExact calls. Each plan entry also records the
+///     relation generations observed after a semi-join reduction pass that
+///     dropped nothing, letting EvaluateHybridYannakakis skip the pass
+///     entirely when nothing changed since.
 ///
-/// Invalidation is generation-based: each entry snapshots
-/// Relation::generation() at build time and is rebuilt (counted as a miss)
-/// when the relation has been mutated since. The context holds a pointer to
-/// its Database, whose relations live in a std::map, so cached references
-/// stay stable across insertions of new relations.
+/// Invalidation: trie entries snapshot Relation::generation() at build time
+/// and are rebuilt (counted as a miss) when the relation mutated since.
+/// Plan entries depend only on the query shape and never go stale from data
+/// mutations -- only their semi-join skip state is generation-checked per
+/// use. The context holds a pointer to its Database, whose relations live
+/// in a std::map, so cached references stay stable across insertions of new
+/// relations.
 ///
 /// Not thread-safe; use one context per evaluation thread.
 class EvalContext {
  public:
   explicit EvalContext(const Database& db) : db_(&db) {}
 
+  /// One plan-tier entry. `probe` is immutable once cached; the skip state
+  /// is maintained by EvaluateHybridYannakakis after each reduction pass.
+  struct CachedPlan {
+    LowWidthProbe probe;
+    /// True when the last completed reduction pass under this plan dropped
+    /// nothing; `clean_generations[i]` then holds atom i's relation
+    /// generation observed at that pass. A later run whose generations all
+    /// match can skip the pass outright -- it would provably drop nothing
+    /// again. Any generation bump (or a pass that dropped tuples) forces a
+    /// re-reduce.
+    bool reduction_clean = false;
+    std::vector<std::uint64_t> clean_generations;
+  };
+
   /// The cached trie for `rel` under `level_positions`, building (or
   /// rebuilding, if `rel` mutated since) on demand. `rel` must belong to
-  /// the attached database. Hit/miss counters are bumped both on the
-  /// context (lifetime totals) and in `stats` (per-call) when non-null.
-  /// The reference stays valid until Clear(), context destruction, or a
-  /// later GetTrie for the same (relation, layout) after the relation
-  /// mutated -- the rebuild replaces the entry in place, so do not hold
-  /// the reference across relation mutations.
+  /// the attached database -- checked by identity, not by name, and
+  /// enforced with CQB_CHECK: a same-named relation from another database
+  /// can coincide in generation, and serving it a "hit" would silently
+  /// return a trie over different tuples. Hit/miss counters are bumped both
+  /// on the context (lifetime totals) and in `stats` (per-call) when
+  /// non-null. The reference stays valid until Clear(), context
+  /// destruction, or a later GetTrie for the same (relation, layout) after
+  /// the relation mutated -- the rebuild replaces the entry in place, so do
+  /// not hold the reference across relation mutations.
   const TrieIndex& GetTrie(const Relation& rel,
                            const std::vector<std::vector<int>>& level_positions,
                            EvalStats* stats);
+
+  /// The cached plan for `query`'s shape, running ProbeLowWidthStructure on
+  /// first use (a plan miss; the probe's TreewidthExact run, if any, lands
+  /// in `stats->treewidth_probe_runs`). Warm calls are pure map lookups:
+  /// zero graph builds, zero treewidth probes. The returned reference stays
+  /// valid until Clear() or context destruction; only its skip state
+  /// (reduction_clean / clean_generations) may be updated in place by the
+  /// hybrid executor.
+  CachedPlan& GetPlan(const Query& query, EvalStats* stats);
+
+  /// True iff `rel` is the attached database's relation of that name (the
+  /// identity GetTrie enforces).
+  bool OwnsRelation(const Relation& rel) const {
+    return db_->Find(rel.name()) == &rel;
+  }
 
   const Database& database() const { return *db_; }
 
   /// Lifetime totals across every evaluation run through this context.
   std::size_t hits() const { return hits_; }
   std::size_t misses() const { return misses_; }
+  std::size_t plan_hits() const { return plan_hits_; }
+  std::size_t plan_misses() const { return plan_misses_; }
 
   /// Number of distinct (relation, layout) tries currently cached.
   std::size_t size() const { return cache_.size(); }
+  /// Number of distinct query shapes currently cached in the plan tier.
+  std::size_t plan_size() const { return plans_.size(); }
 
-  /// Drops every cached trie (counters are kept).
-  void Clear() { cache_.clear(); }
+  /// Drops every cached trie and plan (counters are kept).
+  void Clear() {
+    cache_.clear();
+    plans_.clear();
+  }
 
  private:
   using Key = std::pair<std::string, std::vector<std::vector<int>>>;
@@ -72,8 +143,11 @@ class EvalContext {
 
   const Database* db_;
   std::map<Key, Entry> cache_;
+  std::map<std::string, CachedPlan> plans_;
   std::size_t hits_ = 0;
   std::size_t misses_ = 0;
+  std::size_t plan_hits_ = 0;
+  std::size_t plan_misses_ = 0;
 };
 
 }  // namespace cqbounds

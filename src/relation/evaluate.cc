@@ -132,6 +132,12 @@ struct GenericJoinSearch {
   std::vector<Value> assignment;
   /// Output template: head positions into `assignment`.
   std::vector<int> head_vars;
+  /// Deepest depth whose variable occurs in the head (-1 when the head is
+  /// variable-free). Past it the search only needs *one* witness per bound
+  /// prefix -- the head tuple is already determined -- so Run returns as
+  /// soon as a completion is found instead of enumerating every witness
+  /// for output->Insert to dedup away.
+  int last_head_depth = -1;
   /// Per-depth leapfrog scratch (cursor and trie level per participating
   /// atom), allocated once -- Run visits thousands of nodes and must not
   /// allocate per node.
@@ -144,16 +150,19 @@ struct GenericJoinSearch {
 
   /// Binds order[depth..] recursively; every match at a depth increments
   /// that depth's intermediate counter (the quantity the AGM envelope
-  /// bounds).
-  void Run(std::size_t depth) {
+  /// bounds). Returns true iff at least one full binding was reached below
+  /// this node -- the signal the projection-aware early exit keys on.
+  bool Run(std::size_t depth) {
     if (depth == order.size()) {
       Tuple head(head_vars.size());
       for (std::size_t i = 0; i < head_vars.size(); ++i) {
         head[i] = assignment[head_vars[i]];
       }
       output->Insert(head);
-      return;
+      return true;
     }
+    // Past the last head variable a single witness suffices.
+    const bool witness_only = static_cast<int>(depth) > last_head_depth;
     const std::vector<int>& atoms = atoms_at[depth];
     // Leapfrog: keep one cursor per participating atom; repeatedly seek
     // every cursor up to the current maximum value until all agree (a
@@ -165,8 +174,9 @@ struct GenericJoinSearch {
       const int a = atoms[k];
       cursor[k] = range_stack[a].back().begin;
       level[k] = static_cast<int>(range_stack[a].size()) - 1;
-      if (cursor[k] >= range_stack[a].back().end) return;
+      if (cursor[k] >= range_stack[a].back().end) return false;
     }
+    bool found = false;
     Value target = tries[atoms[0]]->ValueAt(level[0], cursor[0]);
     while (true) {
       // `target` is the running maximum over all cursors; it only grows, so
@@ -177,11 +187,11 @@ struct GenericJoinSearch {
         const TrieIndex::Range r{cursor[k], range_stack[a].back().end};
         const std::size_t pos = tries[a]->SeekGE(level[k], r, target);
         ++stats->intersection_seeks;
-        if (pos >= r.end) return;  // range exhausted: no more matches
+        if (pos >= r.end) return found;  // range exhausted: no more matches
         cursor[k] = pos;
-        const Value found = tries[a]->ValueAt(level[k], pos);
-        if (found != target) {
-          target = found;  // overshoot: restart the round at the new max
+        const Value found_value = tries[a]->ValueAt(level[k], pos);
+        if (found_value != target) {
+          target = found_value;  // overshoot: restart the round at the new max
           aligned = false;
           break;
         }
@@ -195,27 +205,40 @@ struct GenericJoinSearch {
         const int a = atoms[k];
         range_stack[a].push_back(tries[a]->ChildRange(level[k], cursor[k]));
       }
-      Run(depth + 1);
+      if (Run(depth + 1)) found = true;
       for (int a : atoms) range_stack[a].pop_back();
 
+      if (found && witness_only) {
+        // The head tuple was fixed above; any remaining sibling would only
+        // re-derive it.
+        ++stats->projection_subtrees_skipped;
+        return true;
+      }
+
       // Advance past the match; stop when the first atom's range runs dry.
-      if (++cursor[0] >= range_stack[atoms[0]].back().end) return;
+      if (++cursor[0] >= range_stack[atoms[0]].back().end) return found;
       target = tries[atoms[0]]->ValueAt(level[0], cursor[0]);
     }
   }
 };
 
+/// A borrowed filtered view of one atom's relation: the tuples that
+/// survived the semi-join reduction, by pointer into the relation's own
+/// storage. Handing these straight to trie construction keeps the
+/// reduction zero-copy -- no reduced Relation is ever materialized.
+using TupleView = std::vector<const Tuple*>;
+
 /// The shared generic-join engine behind EvaluateGenericJoin and the hybrid
-/// plan. `overrides`, when non-null, replaces atom i's relation with
-/// `(*overrides)[i]` (the hybrid's semi-join-reduced copy) if non-null;
-/// overridden atoms always get transient tries (their contents are
-/// call-specific), while untouched atoms go through `ctx` when provided.
-/// Fills `local` (assumed zeroed); the caller owns publishing it to the
-/// user-facing stats pointer.
+/// plan. `overrides`, when non-null, replaces atom i's relation with the
+/// filtered view `(*overrides)[i]` (the hybrid's semi-join survivors) if
+/// non-null; overridden atoms always get transient tries built from the
+/// view (their contents are call-specific), while untouched atoms go
+/// through `ctx` when provided. Fills `local` (assumed zeroed); the caller
+/// owns publishing it to the user-facing stats pointer.
 Result<Relation> GenericJoinImpl(const Query& query, const Database& db,
                                  const std::vector<int>& variable_order,
                                  EvalContext* ctx,
-                                 const std::vector<const Relation*>* overrides,
+                                 const std::vector<const TupleView*>* overrides,
                                  EvalStats* local) {
   CQB_RETURN_NOT_OK(ValidateGenericJoinInputs(query, variable_order));
 
@@ -230,6 +253,12 @@ Result<Relation> GenericJoinImpl(const Query& query, const Database& db,
   search.assignment.assign(query.num_variables(), 0);
   search.head_vars = query.head_vars();
   search.atoms_at.resize(variable_order.size());
+  const std::set<int> head_set = query.HeadVarSet();
+  for (std::size_t d = 0; d < variable_order.size(); ++d) {
+    if (head_set.count(variable_order[d])) {
+      search.last_head_depth = static_cast<int>(d);
+    }
+  }
   local->intermediate_sizes.assign(variable_order.size(), 0);
 
   // Resolve every atom up front so missing relations and arity mismatches
@@ -242,25 +271,31 @@ Result<Relation> GenericJoinImpl(const Query& query, const Database& db,
     rels.push_back(rel);
   }
 
-  // Transient tries (no context, or semi-join-reduced relations) live here;
+  // Transient tries (no context, or semi-join-filtered views) live here;
   // deque keeps the pointers handed to the search stable.
   std::deque<TrieIndex> owned;
   bool empty_atom = false;
   for (std::size_t i = 0; i < query.atoms().size() && !empty_atom; ++i) {
     AtomLayout layout = LayoutForAtom(query.atoms()[i], rank);
-    const Relation* override_rel =
+    const TupleView* view =
         overrides != nullptr ? (*overrides)[i] : nullptr;
-    const Relation* src = override_rel != nullptr ? override_rel : rels[i];
     const TrieIndex* trie;
-    if (ctx != nullptr && override_rel == nullptr) {
+    if (view != nullptr) {
+      // Reduced atom: a transient trie straight from the borrowed survivor
+      // pointers -- no Relation copy in between.
+      ++local->trie_cache_misses;
+      owned.emplace_back(*view, layout.level_positions);
+      trie = &owned.back();
+      local->indexed_tuples += trie->num_tuples();
+    } else if (ctx != nullptr) {
       const std::size_t misses_before = local->trie_cache_misses;
-      trie = &ctx->GetTrie(*src, layout.level_positions, local);
+      trie = &ctx->GetTrie(*rels[i], layout.level_positions, local);
       if (local->trie_cache_misses != misses_before) {
         local->indexed_tuples += trie->num_tuples();
       }
     } else {
       ++local->trie_cache_misses;
-      owned.emplace_back(*src, layout.level_positions);
+      owned.emplace_back(*rels[i], layout.level_positions);
       trie = &owned.back();
       local->indexed_tuples += trie->num_tuples();
     }
@@ -375,24 +410,34 @@ void SemijoinFilter(const AtomSurvivors& source, AtomSurvivors* target) {
   target->tuples = std::move(kept);
 }
 
+/// Outcome of one semi-join reduction pass. `atoms[i].tuples` owns the
+/// survivor pointer views the enumeration borrows, so the result must
+/// outlive the GenericJoinImpl call it feeds.
+struct ReductionResult {
+  /// True iff the pass completed. False when there was nothing to reduce
+  /// or when a bag assignment failed against an uncertified decomposition
+  /// -- previously that abandonment was silent and indistinguishable from
+  /// a clean pass.
+  bool ran = false;
+  std::vector<AtomSurvivors> atoms;
+};
+
 /// The Yannakakis-style reduction pass: assigns every atom to a bag of the
 /// certified decomposition (its distinct variables form a clique of the
 /// variable-intersection graph, so a containing bag exists), then runs
 /// semi-joins between variable-sharing atoms up the bag tree (deepest bags
-/// first) and back down. Atoms that lost tuples get a reduced relation
-/// copy installed in `overrides`/`storage`; untouched atoms keep nullptr
-/// (and hence their cacheable full-relation tries). Only ever *filters*
-/// base relations -- no join is materialized, so no intermediate of the
-/// pass can exceed any single relation's size.
-void SemijoinReduce(const Query& query,
-                    const std::vector<const Relation*>& rels,
-                    const TreeDecomposition& td,
-                    const std::vector<int>& dense,
-                    EvalStats* stats,
-                    std::vector<const Relation*>* overrides,
-                    std::deque<Relation>* storage) {
+/// first) and back down. Survivors are borrowed tuple pointers -- the pass
+/// only ever *filters* base relations, materializes no join and copies no
+/// tuple, so no intermediate of the pass can exceed any single relation's
+/// size and the nothing-dropped case allocates nothing beyond the pointer
+/// vectors.
+ReductionResult SemijoinReduce(const Query& query,
+                               const std::vector<const Relation*>& rels,
+                               const TreeDecomposition& td,
+                               const std::vector<int>& dense) {
+  ReductionResult result;
   const std::size_t m = query.atoms().size();
-  if (m == 0 || td.bags.empty()) return;
+  if (m == 0 || td.bags.empty()) return result;
 
   // Bag tree BFS from bag 0 (DecompositionFromOrdering chains components,
   // so the tree is connected): depth orders the up/down passes.
@@ -413,7 +458,8 @@ void SemijoinReduce(const Query& query,
     }
   }
 
-  std::vector<AtomSurvivors> atoms(m);
+  std::vector<AtomSurvivors>& atoms = result.atoms;
+  atoms.resize(m);
   for (std::size_t i = 0; i < m; ++i) {
     atoms[i] = MakeSurvivors(query.atoms()[i], *rels[i]);
     if (atoms[i].vars.empty()) continue;  // nullary guard: nothing to share
@@ -422,7 +468,13 @@ void SemijoinReduce(const Query& query,
     for (int v : atoms[i].vars) dense_vars.push_back(dense[v]);
     std::sort(dense_vars.begin(), dense_vars.end());
     atoms[i].bag = td.FindBagContaining(dense_vars);
-    if (atoms[i].bag < 0) return;  // uncertified bag: skip the reduction
+    if (atoms[i].bag < 0) {
+      // Uncertified bag assignment: abandon the pass *visibly* (ran stays
+      // false, so stats and the plan tier's skip state cannot mistake this
+      // for a clean reduction).
+      atoms.clear();
+      return result;
+    }
     atoms[i].depth = depth[atoms[i].bag];
   }
 
@@ -458,14 +510,8 @@ void SemijoinReduce(const Query& query,
     }
   }
 
-  for (std::size_t i = 0; i < m; ++i) {
-    const std::size_t dropped = atoms[i].initial - atoms[i].tuples.size();
-    if (dropped == 0) continue;  // cacheable full-relation trie stays usable
-    stats->semijoin_dropped_tuples += dropped;
-    storage->emplace_back(rels[i]->name(), rels[i]->arity());
-    for (const Tuple* t : atoms[i].tuples) storage->back().Insert(*t);
-    (*overrides)[i] = &storage->back();
-  }
+  result.ran = true;
+  return result;
 }
 
 /// Variable-intersection graph of `query` (the Gaifman graph of the
@@ -502,6 +548,7 @@ LowWidthProbe ProbeLowWidthStructure(const Query& query) {
       g.num_vertices() > kHybridExactVertexLimit) {
     return probe;
   }
+  probe.probe_ran = true;
   probe.tw = TreewidthExact(g);
   probe.low_width =
       probe.tw.width >= 0 && probe.tw.width <= kHybridWidthThreshold;
@@ -554,25 +601,86 @@ Result<Relation> EvaluateHybridYannakakis(const Query& query,
     rels.push_back(rel);
   }
 
-  const LowWidthProbe probe = ProbeLowWidthStructure(query);
-
   EvalStats local;
+
+  // Plan tier: with a context the width probe (the TreewidthExact call and
+  // the graph build feeding it) runs once per query shape and is served
+  // from the cache afterwards -- warm runs perform zero probes. Without a
+  // context the per-call transient probe counts as a plan miss, mirroring
+  // the trie tier's convention.
+  EvalContext::CachedPlan* plan = nullptr;
+  LowWidthProbe transient_probe;
+  const LowWidthProbe* probe;
+  if (ctx != nullptr) {
+    plan = &ctx->GetPlan(query, &local);
+    probe = &plan->probe;
+  } else {
+    ++local.plan_cache_misses;
+    transient_probe = ProbeLowWidthStructure(query);
+    if (transient_probe.probe_ran) ++local.treewidth_probe_runs;
+    probe = &transient_probe;
+  }
+
   std::vector<int> order;
-  std::vector<const Relation*> overrides(query.atoms().size(), nullptr);
-  std::deque<Relation> reduced;
-  if (probe.low_width) {
+  std::vector<const TupleView*> overrides(query.atoms().size(), nullptr);
+  ReductionResult reduction;  // owns the survivor views until enumeration ends
+  if (probe->low_width) {
     // The certified reverse elimination order (the same order
     // ChooseGenericJoinOrder's tree path picks), with the atoms
     // pre-filtered through the certified decomposition.
-    order = probe.order;
-    SemijoinReduce(query, rels, probe.tw.decomposition, probe.dense, &local,
-                   &overrides, &reduced);
+    order = probe->order;
+
+    // Semi-join skip: a previous pass under this cached plan dropped
+    // nothing, and no atom relation generation moved since -- re-running
+    // the pass would provably drop nothing again, so skip it (and its
+    // survivor scans) outright.
+    bool skip = false;
+    if (plan != nullptr && plan->reduction_clean &&
+        plan->clean_generations.size() == rels.size()) {
+      skip = true;
+      for (std::size_t i = 0; i < rels.size(); ++i) {
+        if (rels[i]->generation() != plan->clean_generations[i]) {
+          skip = false;
+          break;
+        }
+      }
+    }
+    if (skip) {
+      local.semijoin_pass_skipped = true;
+    } else {
+      reduction =
+          SemijoinReduce(query, rels, probe->tw.decomposition, probe->dense);
+      local.semijoin_pass_ran = reduction.ran;
+      if (reduction.ran) {
+        for (std::size_t i = 0; i < reduction.atoms.size(); ++i) {
+          const AtomSurvivors& s = reduction.atoms[i];
+          const std::size_t dropped = s.initial - s.tuples.size();
+          if (dropped == 0) continue;  // cached full-relation trie stays usable
+          local.semijoin_dropped_tuples += dropped;
+          overrides[i] = &s.tuples;
+        }
+      }
+      if (plan != nullptr) {
+        // Only a completed pass that dropped nothing arms the skip; any
+        // other outcome (drops, or an abandoned pass) forces the next run
+        // to reduce again.
+        plan->reduction_clean =
+            reduction.ran && local.semijoin_dropped_tuples == 0;
+        plan->clean_generations.clear();
+        if (plan->reduction_clean) {
+          plan->clean_generations.reserve(rels.size());
+          for (const Relation* rel : rels) {
+            plan->clean_generations.push_back(rel->generation());
+          }
+        }
+      }
+    }
   } else {
     order = DefaultGenericJoinOrder(query);
   }
 
   auto result = GenericJoinImpl(query, db, order, ctx,
-                                probe.low_width ? &overrides : nullptr,
+                                probe->low_width ? &overrides : nullptr,
                                 &local);
   if (result.ok() && stats != nullptr) *stats = std::move(local);
   return result;

@@ -54,25 +54,6 @@ inline constexpr int kHybridWidthThreshold = 2;
 /// graphs (matches the engine's practical range on sparse graphs).
 inline constexpr int kHybridExactVertexLimit = 40;
 
-/// Result of ProbeLowWidthStructure: the query's variable-intersection
-/// graph numbering plus, when certified, the treewidth witness and the
-/// binding order it induces.
-struct LowWidthProbe {
-  /// Dense vertex id -> variable id of the variable-intersection graph.
-  std::vector<int> body;
-  /// Variable id -> dense vertex id (-1 for non-body variables).
-  std::vector<int> dense;
-  /// Certified exact result (width, elimination order, decomposition);
-  /// only meaningful when `low_width`.
-  ExactTreewidthResult tw;
-  /// True iff the certified width is within kHybridWidthThreshold.
-  bool low_width = false;
-  /// The reverse elimination order mapped back to variable ids -- the
-  /// binding order of the tree-decomposition path. Empty unless
-  /// `low_width`.
-  std::vector<int> order;
-};
-
 /// Builds the variable-intersection graph (body variables adjacent iff
 /// they share an atom) and, when it is small and sparse enough
 /// (kHybridExactVertexLimit; width-<=2 graphs are K4-minor-free with at
@@ -80,7 +61,9 @@ struct LowWidthProbe {
 /// certified exact treewidth engine. The single implementation shared by
 /// ChooseGenericJoinOrder (core/join_plan.cc) and the hybrid executor, so
 /// the planner's recommendation and the executor's own gate cannot drift
-/// apart.
+/// apart. The LowWidthProbe result type lives in relation/eval_context.h,
+/// whose plan tier memoizes this probe by query shape -- prefer evaluating
+/// through an EvalContext so warm runs never re-probe.
 LowWidthProbe ProbeLowWidthStructure(const Query& query);
 
 /// Counters reported by the evaluators, used by the E10 benchmark and the
@@ -110,10 +93,38 @@ struct EvalStats {
   /// attached, and every per-call transient build when none is (the
   /// rebuild-per-call cost the cache exists to eliminate).
   std::size_t trie_cache_misses = 0;
+  /// Plans served from the EvalContext plan tier without re-probing.
+  std::size_t plan_cache_hits = 0;
+  /// Plans (re)derived this call: plan-tier misses when an EvalContext is
+  /// attached, and every per-call transient probe when none is (the
+  /// re-probe cost the plan tier exists to eliminate).
+  std::size_t plan_cache_misses = 0;
+  /// TreewidthExact invocations made by this call (0 on every warm
+  /// plan-cache hit; also 0 when the variable graph failed the size or
+  /// sparsity gates and the exponential probe never ran).
+  std::size_t treewidth_probe_runs = 0;
   /// Hybrid plan only: tuples removed from atom relations by the
   /// Yannakakis semi-join reduction pass (0 when the plan fell back to
   /// plain generic join or nothing dangled).
   std::size_t semijoin_dropped_tuples = 0;
+  /// Hybrid plan only: true iff the semi-join reduction pass actually
+  /// executed. False when the plan fell back to plain generic join, when
+  /// the pass was skipped as provably redundant (see
+  /// semijoin_pass_skipped), or when an uncertified bag assignment
+  /// abandoned it -- previously that abandonment was silent and the stats
+  /// read as if the hybrid had engaged.
+  bool semijoin_pass_ran = false;
+  /// Hybrid plan only: true iff the pass was skipped because a previous
+  /// pass under the same cached plan dropped nothing and every atom
+  /// relation generation is unchanged since -- re-running it would
+  /// provably drop nothing again.
+  bool semijoin_pass_skipped = false;
+  /// Generic join: sibling scans truncated by the projection-aware early
+  /// exit -- once the bound prefix covers every head variable, a single
+  /// witness of the remaining variables suffices, so the search returns as
+  /// soon as one completion is found instead of enumerating (and deduping
+  /// away) every other witness.
+  std::size_t projection_subtrees_skipped = 0;
 };
 
 /// Evaluates `query` over `db`, producing the head relation Q(D) with set
@@ -159,15 +170,24 @@ Result<Relation> EvaluateGenericJoin(const Query& query, const Database& db,
 
 /// The kHybridYannakakis executor. Probes the query's
 /// variable-intersection graph with the certified exact treewidth engine
-/// (graph/treewidth_bb.h); on width <= kHybridWidthThreshold it runs a
-/// semi-join reduction pass up and down the certified TreeDecomposition
-/// (dropping tuples that cannot contribute to any answer -- counted in
+/// (graph/treewidth_bb.h) -- through `ctx`'s plan tier when attached, so
+/// only the first evaluation of a query shape pays for TreewidthExact; on
+/// width <= kHybridWidthThreshold it runs a semi-join reduction pass up
+/// and down the certified TreeDecomposition (dropping tuples that cannot
+/// contribute to any answer -- counted in
 /// EvalStats::semijoin_dropped_tuples) and then enumerates with the
 /// generic join over the reduced relations, binding along the reverse
 /// elimination order. Otherwise it is exactly EvaluateGenericJoin over
-/// DefaultGenericJoinOrder. Atoms untouched by the reduction still use
-/// `ctx`-cached tries; reduced atoms get transient tries (counted as
-/// misses).
+/// DefaultGenericJoinOrder. The reduction is zero-copy: atoms that lost
+/// tuples hand a borrowed filtered view of their survivors straight to
+/// trie construction (no reduced Relation is ever materialized), and with
+/// `ctx` attached the pass itself is skipped when a previous pass under
+/// the same plan dropped nothing and no relation generation moved since
+/// (EvalStats::semijoin_pass_skipped). Atoms untouched by the reduction
+/// still use `ctx`-cached tries; reduced atoms get transient tries
+/// (counted as misses). A fully warm run on unchanged generations
+/// therefore performs zero TreewidthExact calls, zero semi-joins, zero
+/// trie builds, and zero tuple copies.
 Result<Relation> EvaluateHybridYannakakis(const Query& query,
                                           const Database& db,
                                           EvalContext* ctx = nullptr,

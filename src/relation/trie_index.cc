@@ -4,6 +4,49 @@
 
 namespace cqbounds {
 
+bool TrieIndex::ExtractKey(const Tuple& t,
+                           const std::vector<std::vector<int>>& level_positions,
+                           Tuple* key) {
+  const int depth = static_cast<int>(level_positions.size());
+  for (int l = 0; l < depth; ++l) {
+    const std::vector<int>& positions = level_positions[l];
+    (*key)[l] = t[positions.front()];
+    for (std::size_t p = 1; p < positions.size(); ++p) {
+      if (t[positions[p]] != (*key)[l]) return false;
+    }
+  }
+  return true;
+}
+
+void TrieIndex::BuildFromKeys(std::vector<Tuple>* keys, int depth) {
+  std::sort(keys->begin(), keys->end());
+  keys->erase(std::unique(keys->begin(), keys->end()), keys->end());
+  num_tuples_ = keys->size();
+
+  // One scan over the sorted keys builds every level: key i opens new nodes
+  // at all levels past its common prefix with key i-1. A node's first-child
+  // offset is recorded at creation (the next level's current size); the
+  // trailing sentinel closes the last node of each level.
+  levels_.resize(depth);
+  for (std::size_t i = 0; i < keys->size(); ++i) {
+    int split = 0;
+    if (i > 0) {
+      while (split < depth && (*keys)[i][split] == (*keys)[i - 1][split]) {
+        ++split;
+      }
+    }
+    for (int l = split; l < depth; ++l) {
+      if (l + 1 < depth) {
+        levels_[l].child_begin.push_back(levels_[l + 1].values.size());
+      }
+      levels_[l].values.push_back((*keys)[i][l]);
+    }
+  }
+  for (int l = 0; l + 1 < depth; ++l) {
+    levels_[l].child_begin.push_back(levels_[l + 1].values.size());
+  }
+}
+
 TrieIndex::TrieIndex(const Relation& rel,
                      const std::vector<std::vector<int>>& level_positions) {
   const int depth = static_cast<int>(level_positions.size());
@@ -19,43 +62,25 @@ TrieIndex::TrieIndex(const Relation& rel,
   keys.reserve(rel.size());
   Tuple key(depth);
   for (const Tuple& t : rel.tuples()) {
-    bool consistent = true;
-    for (int l = 0; l < depth && consistent; ++l) {
-      const std::vector<int>& positions = level_positions[l];
-      key[l] = t[positions.front()];
-      for (std::size_t p = 1; p < positions.size(); ++p) {
-        if (t[positions[p]] != key[l]) {
-          consistent = false;
-          break;
-        }
-      }
-    }
-    if (consistent) keys.push_back(key);
+    if (ExtractKey(t, level_positions, &key)) keys.push_back(key);
   }
-  std::sort(keys.begin(), keys.end());
-  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
-  num_tuples_ = keys.size();
+  BuildFromKeys(&keys, depth);
+}
 
-  // One scan over the sorted keys builds every level: key i opens new nodes
-  // at all levels past its common prefix with key i-1. A node's first-child
-  // offset is recorded at creation (the next level's current size); the
-  // trailing sentinel closes the last node of each level.
-  levels_.resize(depth);
-  for (std::size_t i = 0; i < keys.size(); ++i) {
-    int split = 0;
-    if (i > 0) {
-      while (split < depth && keys[i][split] == keys[i - 1][split]) ++split;
-    }
-    for (int l = split; l < depth; ++l) {
-      if (l + 1 < depth) {
-        levels_[l].child_begin.push_back(levels_[l + 1].values.size());
-      }
-      levels_[l].values.push_back(keys[i][l]);
-    }
+TrieIndex::TrieIndex(const std::vector<const Tuple*>& tuples,
+                     const std::vector<std::vector<int>>& level_positions) {
+  const int depth = static_cast<int>(level_positions.size());
+  if (depth == 0) {
+    num_tuples_ = tuples.empty() ? 0 : 1;
+    return;
   }
-  for (int l = 0; l + 1 < depth; ++l) {
-    levels_[l].child_begin.push_back(levels_[l + 1].values.size());
+  std::vector<Tuple> keys;
+  keys.reserve(tuples.size());
+  Tuple key(depth);
+  for (const Tuple* t : tuples) {
+    if (ExtractKey(*t, level_positions, &key)) keys.push_back(key);
   }
+  BuildFromKeys(&keys, depth);
 }
 
 std::size_t TrieIndex::SeekGE(int level, Range r, Value v) const {

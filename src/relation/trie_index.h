@@ -44,6 +44,16 @@ class TrieIndex {
   TrieIndex(const Relation& rel,
             const std::vector<std::vector<int>>& level_positions);
 
+  /// As above over a borrowed filtered view: `tuples` holds pointers into
+  /// some relation's tuple storage (e.g. the survivors of a semi-join
+  /// reduction pass). Nothing is copied out of the view -- the trie only
+  /// extracts the key columns -- so building from a filtered view costs the
+  /// same as building from a relation of that size, with no intermediate
+  /// Relation materialization. The pointed-to tuples need only outlive the
+  /// constructor.
+  TrieIndex(const std::vector<const Tuple*>& tuples,
+            const std::vector<std::vector<int>>& level_positions);
+
   /// Number of key levels (the atom's distinct-variable count).
   int num_levels() const { return static_cast<int>(levels_.size()); }
 
@@ -81,6 +91,16 @@ class TrieIndex {
     /// next level (size values.size()+1); empty for the last level.
     std::vector<std::size_t> child_begin;
   };
+
+  /// Extracts `t`'s key into `key` (sized to the level count); false if the
+  /// tuple violates an intra-level equality filter.
+  static bool ExtractKey(const Tuple& t,
+                         const std::vector<std::vector<int>>& level_positions,
+                         Tuple* key);
+
+  /// Sorts and dedups `keys`, then builds the per-level arrays. Shared tail
+  /// of both constructors; `keys` is consumed.
+  void BuildFromKeys(std::vector<Tuple>* keys, int depth);
 
   std::vector<Level> levels_;
   std::size_t num_tuples_ = 0;

@@ -131,6 +131,36 @@ TEST(EvalContextTest, ClearDropsCachedTries) {
   EXPECT_GT(s.trie_cache_misses, 0u);
 }
 
+TEST(EvalContextTest, GetTrieEnforcesRelationIdentityNotNameEquality) {
+  // The aliasing bug: two databases can hold same-named relations whose
+  // generations coincide. A cache keyed on name alone would serve the
+  // wrong database's trie as a "hit"; GetTrie must check identity against
+  // its own database and fail loudly otherwise.
+  Database db;
+  Relation* mine = db.AddRelation("R", 2);
+  mine->Insert({1, 2});
+  mine->Insert({3, 4});
+
+  Database other;
+  Relation* foreign = other.AddRelation("R", 2);
+  foreign->Insert({7, 8});
+  foreign->Insert({9, 10});
+  ASSERT_EQ(mine->generation(), foreign->generation());  // the trap
+
+  EvalContext ctx(db);
+  EXPECT_TRUE(ctx.OwnsRelation(*mine));
+  EXPECT_FALSE(ctx.OwnsRelation(*foreign));
+
+  // Warm the cache with the legitimate relation; the foreign same-named,
+  // same-generation relation must not be served that entry.
+  const TrieIndex& trie = ctx.GetTrie(*mine, {{0}, {1}}, nullptr);
+  EXPECT_EQ(trie.num_tuples(), 2u);
+#if defined(GTEST_HAS_DEATH_TEST) && GTEST_HAS_DEATH_TEST
+  EXPECT_DEATH(ctx.GetTrie(*foreign, {{0}, {1}}, nullptr),
+               "does not belong");
+#endif
+}
+
 TEST(EvalContextTest, RejectsContextAttachedToAnotherDatabase) {
   auto q = ParseQuery("P(X,Z) :- E(X,Y), E(Y,Z).");
   ASSERT_TRUE(q.ok());
@@ -185,8 +215,12 @@ TEST(HybridYannakakisTest, ChainWithDanglingTuplesReducesAndMatches) {
   ASSERT_TRUE(naive.ok());
   ExpectSameRelation(*naive, *hybrid, "hybrid vs naive");
 
-  // The reduction dropped all 30 dangling tuples, and the reduced
-  // enumeration touched no more bindings than the plain generic join.
+  // The reduction pass actually engaged (the stats must say so -- an
+  // abandoned pass used to be indistinguishable from a clean one), dropped
+  // all 30 dangling tuples, and the reduced enumeration touched no more
+  // bindings than the plain generic join.
+  EXPECT_TRUE(hybrid_stats.semijoin_pass_ran);
+  EXPECT_FALSE(hybrid_stats.semijoin_pass_skipped);
   EXPECT_EQ(hybrid_stats.semijoin_dropped_tuples, 30u);
   EXPECT_LE(hybrid_stats.max_intermediate, generic_stats.max_intermediate);
   EXPECT_LE(hybrid_stats.intersection_seeks, generic_stats.intersection_seeks);
@@ -213,6 +247,7 @@ TEST(HybridYannakakisTest, CleanDatabaseKeepsCachedTriesUsable) {
   auto first =
       EvaluateQuery(*q, db, PlanKind::kHybridYannakakis, &ctx, &cold);
   ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(cold.semijoin_pass_ran);
   EXPECT_EQ(cold.semijoin_dropped_tuples, 0u);
   EXPECT_EQ(cold.trie_cache_misses, 4u);
   auto second =
@@ -220,6 +255,10 @@ TEST(HybridYannakakisTest, CleanDatabaseKeepsCachedTriesUsable) {
   ASSERT_TRUE(second.ok());
   EXPECT_EQ(warm.trie_cache_misses, 0u);
   EXPECT_EQ(warm.trie_cache_hits, 4u);
+  // The clean cold pass armed the plan-tier skip: the warm run does not
+  // repeat the (provably no-op) reduction.
+  EXPECT_FALSE(warm.semijoin_pass_ran);
+  EXPECT_TRUE(warm.semijoin_pass_skipped);
   ExpectSameRelation(*first, *second, "warm hybrid");
 }
 
@@ -245,6 +284,9 @@ TEST(HybridYannakakisTest, HighWidthQueryFallsBackToGenericJoin) {
   ASSERT_TRUE(naive.ok());
   ExpectSameRelation(*naive, *hybrid, "K4 fallback");
   EXPECT_EQ(stats.semijoin_dropped_tuples, 0u);
+  // On the fallback path no reduction pass runs -- and the stats say so.
+  EXPECT_FALSE(stats.semijoin_pass_ran);
+  EXPECT_FALSE(stats.semijoin_pass_skipped);
 }
 
 TEST(HybridYannakakisTest, TriangleSingleBagStaysCorrect) {
@@ -260,7 +302,215 @@ TEST(HybridYannakakisTest, TriangleSingleBagStaysCorrect) {
   ASSERT_TRUE(hybrid.ok());
   ASSERT_TRUE(naive.ok());
   ExpectSameRelation(*naive, *hybrid, "star triangle hybrid");
+  EXPECT_TRUE(stats.semijoin_pass_ran);
   EXPECT_EQ(hybrid->size(), 3u);
+}
+
+// --- The plan tier ---------------------------------------------------------
+
+Database CleanChain(int fanout) {
+  Database db;
+  Relation* r = db.AddRelation("R", 2);
+  Relation* s = db.AddRelation("S", 2);
+  Relation* t = db.AddRelation("T", 2);
+  Relation* u = db.AddRelation("U", 2);
+  for (int i = 0; i < fanout; ++i) {
+    r->Insert({0, i});
+    s->Insert({i, 0});
+    t->Insert({0, i});
+    u->Insert({i, 0});
+  }
+  return db;
+}
+
+TEST(PlanCacheTest, WarmHybridRunsZeroProbesAndZeroCopies) {
+  // The acceptance shape of the plan tier: a warm hybrid evaluation on
+  // unchanged relation generations performs zero TreewidthExact calls,
+  // skips the semi-join pass, and (re)builds/copies nothing at all.
+  auto q = ParseQuery("Q(A,C) :- R(A,X), S(X,B), T(B,Y), U(Y,C).");
+  ASSERT_TRUE(q.ok());
+  Database db = CleanChain(12);
+  EvalContext ctx(db);
+
+  EvalStats cold;
+  auto first = EvaluateQuery(*q, db, PlanKind::kHybridYannakakis, &ctx, &cold);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(cold.plan_cache_misses, 1u);
+  EXPECT_EQ(cold.plan_cache_hits, 0u);
+  EXPECT_EQ(cold.treewidth_probe_runs, 1u);  // the one and only probe
+  EXPECT_TRUE(cold.semijoin_pass_ran);
+  EXPECT_EQ(cold.semijoin_dropped_tuples, 0u);
+  EXPECT_EQ(ctx.plan_size(), 1u);
+
+  EvalStats warm;
+  auto second = EvaluateQuery(*q, db, PlanKind::kHybridYannakakis, &ctx, &warm);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(warm.plan_cache_hits, 1u);
+  EXPECT_EQ(warm.plan_cache_misses, 0u);
+  EXPECT_EQ(warm.treewidth_probe_runs, 0u);  // zero TreewidthExact calls
+  EXPECT_FALSE(warm.semijoin_pass_ran);      // pass skipped outright
+  EXPECT_TRUE(warm.semijoin_pass_skipped);
+  EXPECT_EQ(warm.trie_cache_misses, 0u);     // zero trie (re)builds
+  EXPECT_EQ(warm.indexed_tuples, 0u);        // zero tuples copied/indexed
+  ExpectSameRelation(*first, *second, "warm plan-cache hybrid");
+  EXPECT_EQ(ctx.plan_hits(), 1u);
+  EXPECT_EQ(ctx.plan_misses(), 1u);
+}
+
+TEST(PlanCacheTest, GenerationBumpForcesReReduceButNeverReProbes) {
+  auto q = ParseQuery("Q(A,C) :- R(A,X), S(X,B), T(B,Y), U(Y,C).");
+  ASSERT_TRUE(q.ok());
+  Database db = CleanChain(10);
+  EvalContext ctx(db);
+
+  EvalStats s;
+  auto before = EvaluateQuery(*q, db, PlanKind::kHybridYannakakis, &ctx, &s);
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(s.semijoin_pass_ran);
+
+  // A dangling tuple bumps R's generation: the cached plan survives (the
+  // probe depends only on the query shape), but the armed semi-join skip
+  // must not -- the pass re-runs and drops the new tuple.
+  db.FindMutable("R")->Insert({42, 99999});
+  EvalStats mutated;
+  auto after = EvaluateQuery(*q, db, PlanKind::kHybridYannakakis, &ctx,
+                             &mutated);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(mutated.plan_cache_hits, 1u);
+  EXPECT_EQ(mutated.treewidth_probe_runs, 0u);
+  EXPECT_FALSE(mutated.semijoin_pass_skipped);
+  EXPECT_TRUE(mutated.semijoin_pass_ran);
+  EXPECT_EQ(mutated.semijoin_dropped_tuples, 1u);
+  ExpectSameRelation(*before, *after, "dangling tuple changes nothing");
+
+  // That pass dropped tuples, so the skip stays disarmed: warm runs on the
+  // dirty database keep re-reducing (they would re-drop the dangler).
+  EvalStats again;
+  ASSERT_TRUE(
+      EvaluateQuery(*q, db, PlanKind::kHybridYannakakis, &ctx, &again).ok());
+  EXPECT_FALSE(again.semijoin_pass_skipped);
+  EXPECT_TRUE(again.semijoin_pass_ran);
+  EXPECT_EQ(again.semijoin_dropped_tuples, 1u);
+  EXPECT_EQ(again.treewidth_probe_runs, 0u);
+}
+
+TEST(PlanCacheTest, PlannerAndExecutorShareTheCachedProbe) {
+  auto q = ParseQuery("Q(A,C) :- R(A,X), S(X,B), T(B,Y), U(Y,C).");
+  ASSERT_TRUE(q.ok());
+  Database db = CleanChain(8);
+  EvalContext ctx(db);
+
+  // Planning through the context populates the plan tier...
+  auto order = ChooseGenericJoinOrder(*q, &ctx);
+  ASSERT_TRUE(order.ok());
+  EXPECT_EQ(order->recommended_plan, PlanKind::kHybridYannakakis);
+  EXPECT_EQ(order->source, VariableOrderSource::kTreeDecomposition);
+  EXPECT_EQ(ctx.plan_misses(), 1u);
+
+  // ...so the executor's first run is already probe-free, and re-planning
+  // is a pure cache hit.
+  EvalStats stats;
+  ASSERT_TRUE(
+      EvaluateQuery(*q, db, PlanKind::kHybridYannakakis, &ctx, &stats).ok());
+  EXPECT_EQ(stats.plan_cache_hits, 1u);
+  EXPECT_EQ(stats.treewidth_probe_runs, 0u);
+  auto replanned = ChooseGenericJoinOrder(*q, &ctx);
+  ASSERT_TRUE(replanned.ok());
+  EXPECT_EQ(replanned->order, order->order);
+  EXPECT_EQ(ctx.plan_misses(), 1u);
+  EXPECT_GE(ctx.plan_hits(), 2u);
+}
+
+TEST(PlanCacheTest, HighWidthShapeIsCachedWithoutEverProbing) {
+  // K4's variable graph has 6 edges > 2n-3 = 5: the sparsity gate means
+  // even the cold run never calls TreewidthExact -- and the cached plan
+  // still saves the warm runs the graph construction and gate re-checks.
+  auto q = ParseQuery(
+      "Q(A,B,C,D) :- R(A,B), R(A,C), R(A,D), R(B,C), R(B,D), R(C,D).");
+  ASSERT_TRUE(q.ok());
+  RandomDatabaseOptions opts;
+  opts.seed = 23;
+  opts.tuples_per_relation = 20;
+  opts.domain_size = 5;
+  Database db = RandomDatabase(*q, opts);
+  EvalContext ctx(db);
+
+  EvalStats cold, warm;
+  ASSERT_TRUE(
+      EvaluateQuery(*q, db, PlanKind::kHybridYannakakis, &ctx, &cold).ok());
+  EXPECT_EQ(cold.plan_cache_misses, 1u);
+  EXPECT_EQ(cold.treewidth_probe_runs, 0u);  // gated out, not cached out
+  ASSERT_TRUE(
+      EvaluateQuery(*q, db, PlanKind::kHybridYannakakis, &ctx, &warm).ok());
+  EXPECT_EQ(warm.plan_cache_hits, 1u);
+  EXPECT_EQ(warm.plan_cache_misses, 0u);
+  EXPECT_EQ(warm.treewidth_probe_runs, 0u);
+}
+
+TEST(PlanCacheTest, SignatureCannotBeSpoofedByRelationNames) {
+  // Query places no character restrictions on relation names, so the plan
+  // key length-prefixes them: a name containing the signature's own
+  // separators must not make two distinct shapes collide on one entry
+  // (here, two unary atoms R(B)/S(C) vs one atom literally named
+  // "R(1);S" -- without the length prefix both spell "3|R(1);S(2);").
+  Query two_atoms;
+  const int a1 = two_atoms.InternVariable("A");
+  const int b1 = two_atoms.InternVariable("B");
+  const int c1 = two_atoms.InternVariable("C");
+  (void)a1;
+  two_atoms.SetHead("Q", {b1, c1});
+  two_atoms.AddAtom("R", {b1});
+  two_atoms.AddAtom("S", {c1});
+  ASSERT_TRUE(two_atoms.Validate().ok());
+
+  Query spoofed;
+  spoofed.InternVariable("A");
+  spoofed.InternVariable("B");
+  const int c2 = spoofed.InternVariable("C");
+  spoofed.SetHead("Q", {c2});
+  spoofed.AddAtom("R(1);S", {c2});
+  ASSERT_TRUE(spoofed.Validate().ok());
+
+  Database db;
+  db.AddRelation("R", 1)->Insert({1});
+  db.AddRelation("S", 1)->Insert({2});
+  Relation* weird = db.AddRelation("R(1);S", 1);
+  weird->Insert({7});
+  weird->Insert({8});
+
+  EvalContext ctx(db);
+  EvalStats s1, s2;
+  auto first =
+      EvaluateQuery(two_atoms, db, PlanKind::kHybridYannakakis, &ctx, &s1);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(s1.plan_cache_misses, 1u);
+  // The spoofed shape must get its own plan entry, not the cached one.
+  auto second =
+      EvaluateQuery(spoofed, db, PlanKind::kHybridYannakakis, &ctx, &s2);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(s2.plan_cache_misses, 1u);
+  EXPECT_EQ(s2.plan_cache_hits, 0u);
+  EXPECT_EQ(ctx.plan_size(), 2u);
+  EXPECT_EQ(second->size(), 2u);
+  EXPECT_TRUE(second->Contains({7}));
+}
+
+TEST(PlanCacheTest, ClearDropsCachedPlans) {
+  auto q = ParseQuery("Q(A,C) :- R(A,X), S(X,B), T(B,Y), U(Y,C).");
+  ASSERT_TRUE(q.ok());
+  Database db = CleanChain(6);
+  EvalContext ctx(db);
+  EvalStats s;
+  ASSERT_TRUE(
+      EvaluateQuery(*q, db, PlanKind::kHybridYannakakis, &ctx, &s).ok());
+  EXPECT_EQ(ctx.plan_size(), 1u);
+  ctx.Clear();
+  EXPECT_EQ(ctx.plan_size(), 0u);
+  EXPECT_EQ(ctx.size(), 0u);
+  ASSERT_TRUE(
+      EvaluateQuery(*q, db, PlanKind::kHybridYannakakis, &ctx, &s).ok());
+  EXPECT_EQ(s.plan_cache_misses, 1u);
+  EXPECT_EQ(s.treewidth_probe_runs, 1u);
 }
 
 // --- Stale-stats regression (validation-error early returns) ---------------

@@ -322,6 +322,84 @@ TEST(GenericJoinTest, RandomizedFourPlanCrossValidationWithEnvelope) {
   }
 }
 
+// --- Projection-aware early exit -------------------------------------------
+
+TEST(GenericJoinTest, ProjectionEarlyExitSkipsWitnessSubtrees) {
+  // Q(A) :- R(A,X), S(X,B): under the order A < X < B, once A is bound the
+  // head tuple is fixed -- a single (X, B) witness suffices. The executor
+  // used to enumerate every witness and let output->Insert dedup them away.
+  auto projected = ParseQuery("Q(A) :- R(A,X), S(X,B).");
+  auto full = ParseQuery("Q(A,X,B) :- R(A,X), S(X,B).");
+  ASSERT_TRUE(projected.ok());
+  ASSERT_TRUE(full.ok());
+  Database db;
+  Relation* r = db.AddRelation("R", 2);
+  Relation* s = db.AddRelation("S", 2);
+  const int fanout = 30;
+  for (int a = 0; a < 4; ++a) {
+    for (int x = 0; x < fanout; ++x) r->Insert({a, x});
+  }
+  for (int x = 0; x < fanout; ++x) {
+    for (int b = 0; b < fanout; ++b) s->Insert({x, 1000 + b});
+  }
+
+  // Same body, same order; only the head differs. ParseQuery interns
+  // variables in appearance order, so both queries share variable ids.
+  const std::vector<int> order = DefaultGenericJoinOrder(*full);
+  EvalStats head_only, full_stats;
+  auto result = EvaluateGenericJoin(*projected, db, order, &head_only);
+  auto witness_all = EvaluateGenericJoin(*full, db, order, &full_stats);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(witness_all.ok());
+
+  EXPECT_EQ(result->size(), 4u);  // one output tuple per A value
+  auto naive = EvaluateQuery(*projected, db, PlanKind::kNaive);
+  ASSERT_TRUE(naive.ok());
+  ASSERT_EQ(naive->size(), result->size());
+  for (const Tuple& t : naive->tuples()) EXPECT_TRUE(result->Contains(t));
+
+  // The projected query truncated witness enumeration; the full-head query
+  // could not (its counter must stay zero).
+  EXPECT_GT(head_only.projection_subtrees_skipped, 0u);
+  EXPECT_EQ(full_stats.projection_subtrees_skipped, 0u);
+  EXPECT_LT(head_only.intersection_seeks, full_stats.intersection_seeks);
+  EXPECT_LT(head_only.total_intermediate, full_stats.total_intermediate);
+}
+
+TEST(GenericJoinTest, BooleanQueryStopsAtTheFirstWitness) {
+  // A variable-free head: the whole search is an existence check, so the
+  // executor must touch exactly one binding per depth however large E is.
+  Query q;
+  const int x = q.InternVariable("X");
+  const int y = q.InternVariable("Y");
+  q.SetHead("Q", {});
+  q.AddAtom("E", {x, y});
+  ASSERT_TRUE(q.Validate().ok());
+
+  Database db;
+  Relation* e = db.AddRelation("E", 2);
+  for (int i = 0; i < 500; ++i) e->Insert({i, i + 1});
+
+  EvalStats stats;
+  auto result = EvaluateQuery(q, db, PlanKind::kGenericJoin, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 1u);
+  EXPECT_TRUE(result->Contains(Tuple{}));
+  ASSERT_EQ(stats.intermediate_sizes.size(), 2u);
+  EXPECT_EQ(stats.intermediate_sizes[0], 1u);
+  EXPECT_EQ(stats.intermediate_sizes[1], 1u);
+  EXPECT_GT(stats.projection_subtrees_skipped, 0u);
+
+  // And an unsatisfiable body still reports the empty answer.
+  Query dead = q;
+  dead.AddAtom("Empty", {x});
+  ASSERT_TRUE(dead.Validate().ok());
+  db.AddRelation("Empty", 1);
+  auto no = EvaluateQuery(dead, db, PlanKind::kGenericJoin);
+  ASSERT_TRUE(no.ok());
+  EXPECT_EQ(no->size(), 0u);
+}
+
 // --- Variable-order selection ----------------------------------------------
 
 TEST(GenericJoinOrderTest, ChainQueryUsesCertifiedDecomposition) {

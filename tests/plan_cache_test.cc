@@ -1,0 +1,162 @@
+// Randomized cross-validation of the EvalContext plan tier under
+// interleaved mutation: relations mutate *between* warm evaluations, and
+// every plan must keep matching the naive oracle while the cached plan
+// keeps serving probe-free runs. The deterministic plan-tier unit tests
+// live in eval_context_test.cc; this suite hammers the invalidation
+// invariants the cache's correctness rests on:
+//
+//  - the plan entry itself never goes stale (it depends only on the query
+//    shape), so warm runs perform zero TreewidthExact calls even across
+//    mutations;
+//  - the semi-join skip is sound: the pass may only be skipped when *no*
+//    body relation generation moved since the last hybrid evaluation (a
+//    generation bump forces a re-reduce);
+//  - the trie-based plans' intermediates stay within the AGM envelope
+//    rmax^{rho*(full join)} on every (mutated) instance.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/color_number.h"
+#include "core/size_bounds.h"
+#include "cq/random_query.h"
+#include "relation/eval_context.h"
+#include "relation/evaluate.h"
+#include "relation/generator.h"
+#include "util/rng.h"
+
+namespace cqbounds {
+namespace {
+
+void ExpectSameRelation(const Relation& a, const Relation& b,
+                        const std::string& context) {
+  ASSERT_EQ(a.size(), b.size()) << context;
+  for (const Tuple& t : a.tuples()) {
+    EXPECT_TRUE(b.Contains(t)) << context;
+  }
+}
+
+/// rho*(full join): the fractional edge cover number of `query` with every
+/// body variable promoted into the head -- the AGM envelope exponent.
+Rational FullJoinCoverExponent(const Query& query) {
+  auto cover = FractionalEdgeCoverWeights(query, /*cover_all_body_vars=*/true);
+  CQB_CHECK(cover.ok());
+  return cover->value;
+}
+
+constexpr PlanKind kAllPlans[] = {PlanKind::kNaive, PlanKind::kJoinProject,
+                                  PlanKind::kGenericJoin,
+                                  PlanKind::kHybridYannakakis};
+
+class PlanCacheInterleavedMutationTest
+    : public ::testing::TestWithParam<int> {};
+
+TEST_P(PlanCacheInterleavedMutationTest, FourPlansStayCorrectAcrossMutation) {
+  Rng rng(GetParam() * 104729 + 31);
+  for (int trial = 0; trial < 4; ++trial) {
+    RandomQueryOptions options;
+    options.num_variables = 2 + static_cast<int>(rng.NextBelow(4));
+    options.num_atoms = 2 + static_cast<int>(rng.NextBelow(3));
+    options.max_arity = 2;
+    options.random_projection = true;
+    Query q = RandomQuery(options, &rng);
+    RandomDatabaseOptions opts;
+    opts.seed = rng.Next();
+    opts.tuples_per_relation = 12;
+    opts.domain_size = 4;
+    Database db = RandomDatabase(q, opts);
+    EvalContext ctx(db);
+
+    // Distinct body relation names (atoms may repeat a relation).
+    std::set<std::string> body_rels;
+    for (const Atom& atom : q.atoms()) body_rels.insert(atom.relation);
+
+    // Generations observed at the previous hybrid evaluation: the skip
+    // soundness invariant below compares against them.
+    std::map<std::string, std::uint64_t> gens_at_last_hybrid;
+    bool mutated_since_last_hybrid = false;
+
+    for (int round = 0; round < 4; ++round) {
+      if (round > 0) {
+        // Mutate between warm evaluations: a few random tuples into a
+        // couple of body relations (values inside the active domain so the
+        // join results actually change).
+        for (const std::string& name : body_rels) {
+          if (rng.NextBelow(2) == 0) continue;
+          Relation* rel = db.FindMutable(name);
+          ASSERT_NE(rel, nullptr);
+          const int inserts = 1 + static_cast<int>(rng.NextBelow(3));
+          for (int i = 0; i < inserts; ++i) {
+            Tuple t(rel->arity());
+            for (int p = 0; p < rel->arity(); ++p) {
+              t[p] = static_cast<Value>(rng.NextBelow(opts.domain_size));
+            }
+            if (rel->Insert(t)) mutated_since_last_hybrid = true;
+          }
+        }
+      }
+
+      const std::string tag =
+          q.ToString() + " round " + std::to_string(round);
+      auto oracle = EvaluateQuery(q, db, PlanKind::kNaive);
+      ASSERT_TRUE(oracle.ok()) << tag;
+
+      for (PlanKind kind : kAllPlans) {
+        EvalStats stats;
+        auto result = EvaluateQuery(q, db, kind, &ctx, &stats);
+        ASSERT_TRUE(result.ok()) << tag;
+        ExpectSameRelation(*oracle, *result,
+                           tag + " plan " + PlanKindName(kind));
+
+        if (kind == PlanKind::kHybridYannakakis) {
+          // Plan-tier invariants: only the very first hybrid run of a
+          // trial may miss (and probe); every later run -- mutated or not
+          // -- is served the cached shape-only plan.
+          if (round == 0) {
+            EXPECT_EQ(stats.plan_cache_misses, 1u) << tag;
+          } else {
+            EXPECT_EQ(stats.plan_cache_misses, 0u) << tag;
+            EXPECT_EQ(stats.plan_cache_hits, 1u) << tag;
+            EXPECT_EQ(stats.treewidth_probe_runs, 0u) << tag;
+          }
+          // Skip soundness: the pass may only be skipped when no body
+          // relation generation moved since the previous hybrid run.
+          if (stats.semijoin_pass_skipped) {
+            EXPECT_FALSE(stats.semijoin_pass_ran) << tag;
+            EXPECT_FALSE(mutated_since_last_hybrid) << tag;
+            for (const std::string& name : body_rels) {
+              EXPECT_EQ(db.Find(name)->generation(),
+                        gens_at_last_hybrid[name])
+                  << tag << " relation " << name;
+            }
+          }
+          for (const std::string& name : body_rels) {
+            gens_at_last_hybrid[name] = db.Find(name)->generation();
+          }
+          mutated_since_last_hybrid = false;
+        }
+
+        // Envelope compliance for the trie-based plans, mutation or not.
+        if ((kind == PlanKind::kGenericJoin ||
+             kind == PlanKind::kHybridYannakakis) &&
+            db.RMax(q) > 0) {
+          const BigInt rmax(static_cast<std::int64_t>(db.RMax(q)));
+          EXPECT_TRUE(SatisfiesSizeBound(
+              BigInt(static_cast<std::int64_t>(stats.max_intermediate)),
+              rmax, FullJoinCoverExponent(q)))
+              << tag;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlanCacheInterleavedMutationTest,
+                         ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace cqbounds
