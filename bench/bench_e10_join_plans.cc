@@ -51,7 +51,7 @@ void AddPlanRows(bench::Table* table, const std::string& instance,
                  const Query& q, const Database& db,
                  const Rational& binary_exponent,
                  const GenericJoinOrder& order) {
-  BigInt rmax(static_cast<std::int64_t>(db.RMax(q)));
+  BigInt rmax(static_cast<std::int64_t>(db.RMax(q).ValueOrDie()));
   for (PlanKind kind : kAllPlans) {
     const Rational& exponent = kind == PlanKind::kGenericJoin ||
                                        kind == PlanKind::kHybridYannakakis

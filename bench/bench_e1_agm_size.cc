@@ -50,7 +50,7 @@ void PrintTables() {
     for (std::int64_t m : {2, 4, 8}) {
       auto db = BuildWorstCaseDatabase(*q, bound->witness, m);
       auto result = EvaluateQuery(*q, *db, PlanKind::kJoinProject);
-      BigInt rmax(static_cast<std::int64_t>(db->RMax(*q)));
+      BigInt rmax(static_cast<std::int64_t>(db->RMax(*q).ValueOrDie()));
       BigInt cap = SizeBoundValue(rmax, bound->exponent);
       BigInt actual(static_cast<std::int64_t>(result->size()));
       // Tightness target from Prop 4.5: M^{|head colors|}, reached exactly

@@ -69,7 +69,7 @@ void PrintTables() {
     for (std::int64_t m : {3, 6, 12}) {
       auto db = BuildWorstCaseDatabase(chased, bound->witness, m);
       auto result = EvaluateQuery(chased, *db, PlanKind::kJoinProject);
-      BigInt rmax(static_cast<std::int64_t>(db->RMax(chased)));
+      BigInt rmax(static_cast<std::int64_t>(db->RMax(chased).ValueOrDie()));
       sweep.AddRow({q->fds().empty() ? "no key" : "keyed", bench::Num(m),
                     rmax.ToString(), bench::Num(result->size()),
                     SizeBoundValue(rmax, bound->exponent).ToString()});

@@ -33,7 +33,7 @@ void PrintTables() {
     GaifmanGraph after = BuildGaifmanGraph({&*result});
     TreewidthEstimate tw_before = EstimateTreewidth(before.graph);
     TreewidthEstimate tw_after = EstimateTreewidth(after.graph);
-    table.AddRow({bench::Num(n), bench::Num(db.RMax(*q)),
+    table.AddRow({bench::Num(n), bench::Num(db.RMax(*q).ValueOrDie()),
                   bench::Num(result->size()), bench::Num(tw_before.upper),
                   bench::Num(tw_after.lower), bench::Num(tw_after.upper)});
   }

@@ -130,7 +130,14 @@ int main(int argc, char** argv) {
       std::cerr << db.status() << "\n";
       return 1;
     }
-    WriteDatabaseText(*db, std::cout);
+    // Render to a string first so a write error leaves no partial output
+    // on stdout.
+    auto rendered = WriteDatabaseTextToString(*db);
+    if (!rendered.ok()) {
+      std::cerr << rendered.status() << "\n";
+      return 1;
+    }
+    std::cout << *rendered;
     return 0;
   }
   return Usage();

@@ -77,7 +77,7 @@ int main() {
       std::cerr << mapping.name << ": " << result.status() << "\n";
       return 1;
     }
-    BigInt rmax(static_cast<std::int64_t>(db.RMax(*q)));
+    BigInt rmax(static_cast<std::int64_t>(db.RMax(*q).ValueOrDie()));
     BigInt predicted = SizeBoundValue(rmax, bound->exponent);
     std::cout << std::left << std::setw(26) << mapping.name << std::setw(10)
               << bound->exponent.ToString() << std::setw(10)

@@ -58,7 +58,7 @@ int main(int argc, char** argv) {
   std::cout << "query: " << query_text << "\n"
             << order->ToString(*q) << "\n\n";
 
-  const BigInt rmax(static_cast<std::int64_t>(db.RMax(*q)));
+  const BigInt rmax(static_cast<std::int64_t>(db.RMax(*q).ValueOrDie()));
   const BigInt cap = SizeBoundValue(rmax, order->envelope_exponent);
   std::cout << "rmax = " << rmax.ToString() << ", AGM envelope rmax^"
             << order->envelope_exponent.ToString() << " = " << cap.ToString()

@@ -74,7 +74,7 @@ int main(int argc, char** argv) {
   }
   std::cout << "\nexecuted: |Q(D)| = " << result->size()
             << ", peak intermediate = " << stats.max_intermediate
-            << ", rmax = " << db.RMax(*q) << "\n";
+            << ", rmax = " << db.RMax(*q).ValueOrDie() << "\n";
   std::cout << "\nresult tuples:\n";
   std::size_t shown = 0;
   for (const Tuple& t : result->tuples()) {

@@ -61,11 +61,11 @@ int main(int argc, char** argv) {
     auto result = EvaluateQuery(chased, *db, PlanKind::kJoinProject);
     if (result.ok()) {
       std::cout << "\nworst-case database with M = " << m << ":\n"
-                << "  rmax(D)   = " << db->RMax(chased) << "\n"
+                << "  rmax(D)   = " << db->RMax(chased).ValueOrDie() << "\n"
                 << "  |Q(D)|    = " << result->size() << "\n"
                 << "  bound     = rmax^C = "
                 << SizeBoundValue(
-                       BigInt(static_cast<std::int64_t>(db->RMax(chased))),
+                       BigInt(static_cast<std::int64_t>(db->RMax(chased).ValueOrDie())),
                        bound->exponent)
                 << "\n";
     }

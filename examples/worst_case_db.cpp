@@ -66,7 +66,7 @@ int main(int argc, char** argv) {
     std::cerr << "evaluation error: " << result.status() << "\n";
     return 1;
   }
-  BigInt rmax(static_cast<std::int64_t>(db->RMax(chased)));
+  BigInt rmax(static_cast<std::int64_t>(db->RMax(chased).ValueOrDie()));
   std::cout << "\nledger (M = " << m << "):\n"
             << "  rmax(D)        = " << rmax << "\n"
             << "  |Q(D)|         = " << result->size() << "\n"

@@ -101,6 +101,9 @@ Result<Database> BuildWorstCaseDatabase(const Query& query,
   for (const Atom& atom : query.atoms()) {
     Relation* rel =
         db.AddRelation(atom.relation, static_cast<int>(atom.vars.size()));
+    // Two atoms over one relation always have equal arity in a validated
+    // query, so a conflict here is a programming error.
+    CQB_CHECK(rel != nullptr);
     // Colors appearing in this atom.
     std::set<int> colors;
     for (int v : atom.vars) {

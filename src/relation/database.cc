@@ -21,7 +21,10 @@ std::string ValuePool::Spelling(Value id) const {
 Relation* Database::AddRelation(const std::string& name, int arity) {
   auto it = relations_.find(name);
   if (it != relations_.end()) {
-    CQB_CHECK(it->second.arity() == arity);
+    // Arity-mismatched re-declaration: a recoverable schema conflict (the
+    // caller may be loading untrusted input), not a programming error --
+    // report it by returning null instead of aborting the process.
+    if (it->second.arity() != arity) return nullptr;
     return &it->second;
   }
   auto [inserted, ok] = relations_.emplace(name, Relation(name, arity));
@@ -39,11 +42,15 @@ Relation* Database::FindMutable(const std::string& name) {
   return it == relations_.end() ? nullptr : &it->second;
 }
 
-std::size_t Database::RMax(const Query& query) const {
+Result<std::size_t> Database::RMax(const Query& query) const {
   std::size_t rmax = 0;
   for (const Atom& atom : query.atoms()) {
     const Relation* r = Find(atom.relation);
-    if (r != nullptr) rmax = std::max(rmax, r->size());
+    if (r == nullptr) {
+      return Status::NotFound("rmax: relation '" + atom.relation +
+                              "' missing from database");
+    }
+    rmax = std::max(rmax, r->size());
   }
   return rmax;
 }

@@ -32,7 +32,10 @@ class ValuePool {
 class Database {
  public:
   /// Creates (empty) or fetches the relation `name` with the given arity.
-  /// Aborts if it already exists with a different arity.
+  /// Returns nullptr -- a recoverable schema conflict, not a crash -- if
+  /// the relation already exists with a *different* arity: the existing
+  /// relation and its tuples are left untouched, and the caller decides
+  /// whether to error (as the text reader does) or pick another name.
   Relation* AddRelation(const std::string& name, int arity);
 
   /// Returns the relation or nullptr.
@@ -44,9 +47,14 @@ class Database {
   }
 
   /// rmax(D) restricted to the relations occurring in the body of `query`
-  /// (the paper's rmax is over the relations R_{i1},...,R_{im} referenced by
-  /// the query). Returns 0 if no body relation is present.
-  std::size_t RMax(const Query& query) const;
+  /// (the paper's rmax is over the relations R_{i1},...,R_{im} referenced
+  /// by the query). A *missing* body relation is kNotFound -- previously it
+  /// was silently skipped, making "relation absent" indistinguishable from
+  /// "every referenced relation genuinely empty", and a size bound
+  /// rmax^{rho*} computed against the wrong database read as a legitimate
+  /// 0. A variable-free body (no atoms) and present-but-empty relations
+  /// both yield 0, which is the honest envelope in those cases.
+  Result<std::size_t> RMax(const Query& query) const;
 
   /// Largest relation size over all relations in the database.
   std::size_t MaxRelationSize() const;

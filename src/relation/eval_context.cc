@@ -1,5 +1,6 @@
 #include "relation/eval_context.h"
 
+#include <functional>
 #include <sstream>
 
 #include "relation/evaluate.h"
@@ -33,7 +34,18 @@ std::string PlanSignature(const Query& query) {
 
 }  // namespace
 
-const TrieIndex& EvalContext::GetTrie(
+EvalContext::Shard& EvalContext::ShardFor(const Key& key) {
+  // Name + layout shape: two layouts of one relation land on (usually)
+  // different stripes, so even single-relation self-join workloads spread.
+  std::size_t h = std::hash<std::string>{}(key.first);
+  for (const std::vector<int>& level : key.second) {
+    h = h * 1315423911u + level.size();
+    for (int p : level) h = h * 2654435761u + static_cast<std::size_t>(p) + 1;
+  }
+  return shards_[h % kNumShards];
+}
+
+std::shared_ptr<const TrieIndex> EvalContext::GetTrie(
     const Relation& rel, const std::vector<std::vector<int>>& level_positions,
     EvalStats* stats) {
   // Identity, not name equality: a same-named relation from another
@@ -42,38 +54,87 @@ const TrieIndex& EvalContext::GetTrie(
   CQB_CHECK(OwnsRelation(rel) &&
             "relation does not belong to the context's database");
   Key key{rel.name(), level_positions};
-  auto it = cache_.find(key);
-  if (it != cache_.end() && it->second.generation == rel.generation()) {
-    ++hits_;
-    if (stats != nullptr) ++stats->trie_cache_hits;
-    return it->second.trie;
+  Shard& shard = ShardFor(key);
+  const std::uint64_t generation = rel.generation();
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.entries.find(key);
+    if (it != shard.entries.end() && it->second.generation == generation) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      if (stats != nullptr) ++stats->trie_cache_hits;
+      return it->second.trie;
+    }
   }
-  ++misses_;
+  // Build outside the stripe lock: a slow cold build must not block other
+  // threads' hits on same-stripe keys. Two threads racing the same stale
+  // entry may both build -- from the same relation state (mutations are
+  // excluded during evaluation), so either result is correct; last insert
+  // wins and the loser's trie lives on via its own shared_ptr.
+  misses_.fetch_add(1, std::memory_order_relaxed);
   if (stats != nullptr) ++stats->trie_cache_misses;
-  Entry entry{rel.generation(), TrieIndex(rel, level_positions)};
-  if (it != cache_.end()) {
-    it->second = std::move(entry);
-  } else {
-    it = cache_.emplace(std::move(key), std::move(entry)).first;
+  auto trie = std::make_shared<const TrieIndex>(rel, level_positions);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    Entry& entry = shard.entries[std::move(key)];
+    entry.generation = generation;
+    entry.trie = trie;
   }
-  return it->second.trie;
+  return trie;
 }
 
 EvalContext::CachedPlan& EvalContext::GetPlan(const Query& query,
                                               EvalStats* stats) {
   std::string key = PlanSignature(query);
-  auto it = plans_.find(key);
-  if (it != plans_.end()) {
-    ++plan_hits_;
-    if (stats != nullptr) ++stats->plan_cache_hits;
-    return it->second;
+  CachedPlan* plan;
+  bool inserted;
+  {
+    std::lock_guard<std::mutex> lock(plan_mu_);
+    auto [it, is_new] = plans_.try_emplace(std::move(key));
+    plan = &it->second;
+    inserted = is_new;
   }
-  ++plan_misses_;
-  if (stats != nullptr) ++stats->plan_cache_misses;
-  CachedPlan plan;
-  plan.probe = ProbeLowWidthStructure(query);
-  if (stats != nullptr && plan.probe.probe_ran) ++stats->treewidth_probe_runs;
-  return plans_.emplace(std::move(key), std::move(plan)).first->second;
+  if (inserted) {
+    plan_misses_.fetch_add(1, std::memory_order_relaxed);
+    if (stats != nullptr) ++stats->plan_cache_misses;
+  } else {
+    plan_hits_.fetch_add(1, std::memory_order_relaxed);
+    if (stats != nullptr) ++stats->plan_cache_hits;
+  }
+  // Exactly one caller runs the (potentially exponential) probe; the rest
+  // block here until it lands. The probe's TreewidthExact run is charged to
+  // whichever caller executed it -- under races that may be a "hit" thread
+  // that outpaced the inserter, but the total across threads is always one
+  // run per shape.
+  std::call_once(plan->probe_once, [plan, &query, stats] {
+    plan->probe = ProbeLowWidthStructure(query);
+    if (stats != nullptr && plan->probe.probe_ran) {
+      ++stats->treewidth_probe_runs;
+    }
+  });
+  return *plan;
+}
+
+std::size_t EvalContext::size() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.entries.size();
+  }
+  return total;
+}
+
+std::size_t EvalContext::plan_size() const {
+  std::lock_guard<std::mutex> lock(plan_mu_);
+  return plans_.size();
+}
+
+void EvalContext::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.entries.clear();
+  }
+  std::lock_guard<std::mutex> lock(plan_mu_);
+  plans_.clear();
 }
 
 }  // namespace cqbounds

@@ -1,9 +1,12 @@
 #ifndef CQBOUNDS_RELATION_EVAL_CONTEXT_H_
 #define CQBOUNDS_RELATION_EVAL_CONTEXT_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -66,13 +69,43 @@ struct LowWidthProbe {
 /// in a std::map, so cached references stay stable across insertions of new
 /// relations.
 ///
-/// Not thread-safe; use one context per evaluation thread.
+/// ## Concurrency
+///
+/// One context safely serves any number of concurrent evaluation threads
+/// (the shared-memo-table shape of a chess engine's transposition table
+/// serving N search threads):
+///
+///  - the trie tier is sharded into lock-striped buckets, so lookups on
+///    different relations rarely contend, and entries hold the trie behind
+///    a shared_ptr -- a thread holding a trie keeps it alive even while
+///    another thread concurrently replaces the entry after a mutation, so
+///    no reader ever observes a dangling or half-built index. Two threads
+///    racing a cold (or stale) entry may both build; the duplicate build is
+///    wasted work, never wrong data (both build from the same relation
+///    state), and each build is still counted as a miss;
+///  - the plan tier fills each entry's probe exactly once per query shape
+///    (std::call_once), so concurrent first evaluations of one shape run
+///    one TreewidthExact probe total, with late arrivals blocking until it
+///    lands; the per-entry semi-join skip state is guarded by its own
+///    mutex (see CachedPlan);
+///  - lifetime counters are atomics.
+///
+/// What stays on the caller: **relation mutations must not overlap
+/// evaluations** through the context (the standard readers-xor-writer
+/// contract -- Relation itself is not a concurrent structure), `Clear()`
+/// requires the same exclusivity (it invalidates outstanding plan
+/// references), and an EvalStats object must not be shared between
+/// concurrently evaluating threads. Interleaving is fine: mutate, then run
+/// any number of parallel evaluations, then mutate again.
 class EvalContext {
  public:
   explicit EvalContext(const Database& db) : db_(&db) {}
 
-  /// One plan-tier entry. `probe` is immutable once cached; the skip state
-  /// is maintained by EvaluateHybridYannakakis after each reduction pass.
+  /// One plan-tier entry. `probe` is filled exactly once (concurrent
+  /// GetPlan calls for one shape run one probe, the rest wait) and is
+  /// immutable afterwards; the skip state is maintained by
+  /// EvaluateHybridYannakakis after each reduction pass and must only be
+  /// touched with `skip_mu` held.
   struct CachedPlan {
     LowWidthProbe probe;
     /// True when the last completed reduction pass under this plan dropped
@@ -80,9 +113,14 @@ class EvalContext {
     /// generation observed at that pass. A later run whose generations all
     /// match can skip the pass outright -- it would provably drop nothing
     /// again. Any generation bump (or a pass that dropped tuples) forces a
-    /// re-reduce.
+    /// re-reduce. Guarded by `skip_mu`.
     bool reduction_clean = false;
     std::vector<std::uint64_t> clean_generations;
+    /// Guards the skip state above against concurrent hybrid evaluations
+    /// of the same shape.
+    std::mutex skip_mu;
+    /// Fills `probe` exactly once (GetPlan).
+    std::once_flag probe_once;
   };
 
   /// The cached trie for `rel` under `level_positions`, building (or
@@ -92,21 +130,24 @@ class EvalContext {
   /// can coincide in generation, and serving it a "hit" would silently
   /// return a trie over different tuples. Hit/miss counters are bumped both
   /// on the context (lifetime totals) and in `stats` (per-call) when
-  /// non-null. The reference stays valid until Clear(), context
-  /// destruction, or a later GetTrie for the same (relation, layout) after
-  /// the relation mutated -- the rebuild replaces the entry in place, so do
-  /// not hold the reference across relation mutations.
-  const TrieIndex& GetTrie(const Relation& rel,
-                           const std::vector<std::vector<int>>& level_positions,
-                           EvalStats* stats);
+  /// non-null.
+  ///
+  /// The returned trie is immutable and stays alive for as long as the
+  /// caller holds the pointer, even if the entry is concurrently (or
+  /// later) rebuilt after a relation mutation -- the rebuild swaps the
+  /// entry's shared_ptr, it never touches the old index.
+  std::shared_ptr<const TrieIndex> GetTrie(
+      const Relation& rel, const std::vector<std::vector<int>>& level_positions,
+      EvalStats* stats);
 
   /// The cached plan for `query`'s shape, running ProbeLowWidthStructure on
   /// first use (a plan miss; the probe's TreewidthExact run, if any, lands
-  /// in `stats->treewidth_probe_runs`). Warm calls are pure map lookups:
-  /// zero graph builds, zero treewidth probes. The returned reference stays
-  /// valid until Clear() or context destruction; only its skip state
-  /// (reduction_clean / clean_generations) may be updated in place by the
-  /// hybrid executor.
+  /// in `stats->treewidth_probe_runs` of whichever caller executed it).
+  /// Warm calls are a keyed map lookup under a short lock: zero graph
+  /// builds, zero treewidth probes. The returned reference stays valid
+  /// until Clear() or context destruction; only its skip state
+  /// (reduction_clean / clean_generations, under skip_mu) may be updated in
+  /// place by the hybrid executor.
   CachedPlan& GetPlan(const Query& query, EvalStats* stats);
 
   /// True iff `rel` is the attached database's relation of that name (the
@@ -118,36 +159,55 @@ class EvalContext {
   const Database& database() const { return *db_; }
 
   /// Lifetime totals across every evaluation run through this context.
-  std::size_t hits() const { return hits_; }
-  std::size_t misses() const { return misses_; }
-  std::size_t plan_hits() const { return plan_hits_; }
-  std::size_t plan_misses() const { return plan_misses_; }
+  std::size_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::size_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  std::size_t plan_hits() const {
+    return plan_hits_.load(std::memory_order_relaxed);
+  }
+  std::size_t plan_misses() const {
+    return plan_misses_.load(std::memory_order_relaxed);
+  }
 
   /// Number of distinct (relation, layout) tries currently cached.
-  std::size_t size() const { return cache_.size(); }
+  std::size_t size() const;
   /// Number of distinct query shapes currently cached in the plan tier.
-  std::size_t plan_size() const { return plans_.size(); }
+  std::size_t plan_size() const;
 
-  /// Drops every cached trie and plan (counters are kept).
-  void Clear() {
-    cache_.clear();
-    plans_.clear();
-  }
+  /// Drops every cached trie and plan (counters are kept). Requires
+  /// exclusive access: no concurrent evaluation may be running, and plan
+  /// references obtained earlier are invalidated.
+  void Clear();
 
  private:
   using Key = std::pair<std::string, std::vector<std::vector<int>>>;
   struct Entry {
-    std::uint64_t generation;
-    TrieIndex trie;
+    std::uint64_t generation = 0;
+    std::shared_ptr<const TrieIndex> trie;
   };
 
+  /// Lock striping: keys hash onto a fixed set of independently locked
+  /// buckets, so concurrent lookups of different relations (or layouts)
+  /// proceed without contention. 16 shards is plenty for the handful of
+  /// atoms per query; the stripe count only bounds *lock* parallelism, not
+  /// entry capacity.
+  static constexpr std::size_t kNumShards = 16;
+  struct Shard {
+    mutable std::mutex mu;
+    std::map<Key, Entry> entries;
+  };
+
+  Shard& ShardFor(const Key& key);
+
   const Database* db_;
-  std::map<Key, Entry> cache_;
+  Shard shards_[kNumShards];
+  mutable std::mutex plan_mu_;  // guards plans_ map structure, not entries
   std::map<std::string, CachedPlan> plans_;
-  std::size_t hits_ = 0;
-  std::size_t misses_ = 0;
-  std::size_t plan_hits_ = 0;
-  std::size_t plan_misses_ = 0;
+  std::atomic<std::size_t> hits_{0};
+  std::atomic<std::size_t> misses_{0};
+  std::atomic<std::size_t> plan_hits_{0};
+  std::atomic<std::size_t> plan_misses_{0};
 };
 
 }  // namespace cqbounds

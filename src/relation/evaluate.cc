@@ -1,8 +1,11 @@
 #include "relation/evaluate.h"
 
 #include <algorithm>
+#include <atomic>
 #include <deque>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <set>
 #include <unordered_map>
 #include <unordered_set>
@@ -12,6 +15,7 @@
 #include "graph/treewidth_bb.h"
 #include "relation/trie_index.h"
 #include "relation/tuple.h"
+#include "util/thread_pool.h"
 
 namespace cqbounds {
 
@@ -222,6 +226,112 @@ struct GenericJoinSearch {
   }
 };
 
+/// Enumerates the depth-0 leapfrog matches of `search` -- the values on
+/// which every atom participating at depth 0 agrees within its root range
+/// -- without descending. The same intersection the serial search's first
+/// level runs, reified into a work list the parallel executor partitions.
+/// Seeks are charged to `search.stats`.
+std::vector<Value> CollectDepth0Matches(const GenericJoinSearch& search) {
+  std::vector<Value> matches;
+  const std::vector<int>& atoms = search.atoms_at[0];
+  std::vector<std::size_t> cursor(atoms.size());
+  for (std::size_t k = 0; k < atoms.size(); ++k) {
+    const TrieIndex::Range root = search.range_stack[atoms[k]][0];
+    cursor[k] = root.begin;
+    if (root.empty()) return matches;
+  }
+  Value target = search.tries[atoms[0]]->ValueAt(0, cursor[0]);
+  while (true) {
+    bool aligned = true;
+    for (std::size_t k = 0; k < atoms.size(); ++k) {
+      const int a = atoms[k];
+      const TrieIndex::Range r{cursor[k], search.range_stack[a][0].end};
+      const std::size_t pos = search.tries[a]->SeekGE(0, r, target);
+      ++search.stats->intersection_seeks;
+      if (pos >= r.end) return matches;
+      cursor[k] = pos;
+      const Value found = search.tries[a]->ValueAt(0, pos);
+      if (found != target) {
+        target = found;
+        aligned = false;
+        break;
+      }
+    }
+    if (!aligned) continue;
+    matches.push_back(target);
+    if (++cursor[0] >= search.range_stack[atoms[0]][0].end) return matches;
+    target = search.tries[atoms[0]]->ValueAt(0, cursor[0]);
+  }
+}
+
+/// The parallel executor: partitions the depth-0 matches of `proto` across
+/// `pool`'s workers plus the calling thread. Each thread claims matches
+/// dynamically (skewed subtree costs self-balance), binds the claimed value
+/// and descends with a private copy of the search state -- per-depth
+/// scratch, range stacks, assignment and output are all thread-local by
+/// construction, so the only shared mutable state is the claim counter.
+/// Outputs and per-depth counters are merged at the end; the merged
+/// counters equal a serial run's, so the AGM-envelope accounting is
+/// unchanged. Returns false (leaving `proto` and `local` untouched beyond
+/// the depth-0 seeks) when there are fewer than two matches to split --
+/// the caller then runs the serial search over the already-known matches'
+/// level, which re-seeks but stays correct.
+bool RunPartitionedDepth0(const GenericJoinSearch& proto, ThreadPool* pool,
+                          Relation* output, EvalStats* local) {
+  const std::vector<Value> matches = CollectDepth0Matches(proto);
+  if (matches.size() < 2) return false;
+  const std::size_t workers = std::min<std::size_t>(
+      static_cast<std::size_t>(pool->num_workers()) + 1, matches.size());
+  const std::vector<int>& order = proto.order;
+
+  std::atomic<std::size_t> next{0};
+  std::vector<Relation> outputs(workers,
+                                Relation(output->name(), output->arity()));
+  std::vector<EvalStats> worker_stats(workers);
+  pool->ParallelFor(workers, [&](std::size_t w) {
+    GenericJoinSearch ws(&outputs[w], &worker_stats[w], order);
+    ws.tries = proto.tries;
+    ws.atoms_at = proto.atoms_at;
+    ws.range_stack = proto.range_stack;  // root ranges only at this point
+    ws.assignment = proto.assignment;
+    ws.head_vars = proto.head_vars;
+    ws.last_head_depth = proto.last_head_depth;
+    ws.cursor_scratch = proto.cursor_scratch;
+    ws.level_scratch = proto.level_scratch;
+    worker_stats[w].intermediate_sizes.assign(order.size(), 0);
+    const std::vector<int>& atoms0 = ws.atoms_at[0];
+    for (std::size_t i = next.fetch_add(1); i < matches.size();
+         i = next.fetch_add(1)) {
+      const Value v = matches[i];
+      ws.assignment[order[0]] = v;
+      for (int a : atoms0) {
+        // Re-locate the match in this atom's root range (galloping, so
+        // O(log) per atom -- the only duplicated work of the fan-out).
+        const std::size_t pos = ws.tries[a]->SeekGE(0, ws.range_stack[a][0], v);
+        ++ws.stats->intersection_seeks;
+        ws.range_stack[a].push_back(ws.tries[a]->ChildRange(0, pos));
+      }
+      ws.Run(1);
+      for (int a : atoms0) ws.range_stack[a].pop_back();
+    }
+  });
+
+  local->intermediate_sizes[0] += matches.size();
+  for (std::size_t w = 0; w < workers; ++w) {
+    const EvalStats& s = worker_stats[w];
+    for (std::size_t d = 1; d < s.intermediate_sizes.size(); ++d) {
+      local->intermediate_sizes[d] += s.intermediate_sizes[d];
+    }
+    local->intersection_seeks += s.intersection_seeks;
+    local->projection_subtrees_skipped += s.projection_subtrees_skipped;
+    // Set semantics dedups head tuples that distinct depth-0 subtrees both
+    // derived (possible whenever the head projects order[0] away).
+    for (const Tuple& t : outputs[w].tuples()) output->Insert(t);
+  }
+  local->parallel_workers = workers;
+  return true;
+}
+
 /// A borrowed filtered view of one atom's relation: the tuples that
 /// survived the semi-join reduction, by pointer into the relation's own
 /// storage. Handing these straight to trie construction keeps the
@@ -234,10 +344,14 @@ using TupleView = std::vector<const Tuple*>;
 /// non-null; overridden atoms always get transient tries built from the
 /// view (their contents are call-specific), while untouched atoms go
 /// through `ctx` when provided. Fills `local` (assumed zeroed); the caller
-/// owns publishing it to the user-facing stats pointer.
+/// owns publishing it to the user-facing stats pointer. A non-null `pool`
+/// with workers runs the search partitioned over the depth-0 matches (see
+/// RunPartitionedDepth0); a null pool, a worker-less pool, a variable-free
+/// head (where the serial early exit beats any fan-out) or fewer than two
+/// depth-0 matches all fall back to the serial search.
 Result<Relation> GenericJoinImpl(const Query& query, const Database& db,
                                  const std::vector<int>& variable_order,
-                                 EvalContext* ctx,
+                                 EvalContext* ctx, ThreadPool* pool,
                                  const std::vector<const TupleView*>* overrides,
                                  EvalStats* local) {
   CQB_RETURN_NOT_OK(ValidateGenericJoinInputs(query, variable_order));
@@ -272,8 +386,12 @@ Result<Relation> GenericJoinImpl(const Query& query, const Database& db,
   }
 
   // Transient tries (no context, or semi-join-filtered views) live here;
-  // deque keeps the pointers handed to the search stable.
+  // deque keeps the pointers handed to the search stable. Context-served
+  // tries are pinned by shared_ptr for the duration of the search: a
+  // concurrent evaluation rebuilding the cache entry (after an interleaved
+  // mutation elsewhere) swaps the entry, never the pinned index.
   std::deque<TrieIndex> owned;
+  std::vector<std::shared_ptr<const TrieIndex>> pinned;
   bool empty_atom = false;
   for (std::size_t i = 0; i < query.atoms().size() && !empty_atom; ++i) {
     AtomLayout layout = LayoutForAtom(query.atoms()[i], rank);
@@ -289,7 +407,8 @@ Result<Relation> GenericJoinImpl(const Query& query, const Database& db,
       local->indexed_tuples += trie->num_tuples();
     } else if (ctx != nullptr) {
       const std::size_t misses_before = local->trie_cache_misses;
-      trie = &ctx->GetTrie(*rels[i], layout.level_positions, local);
+      pinned.push_back(ctx->GetTrie(*rels[i], layout.level_positions, local));
+      trie = pinned.back().get();
       if (local->trie_cache_misses != misses_before) {
         local->indexed_tuples += trie->num_tuples();
       }
@@ -314,7 +433,16 @@ Result<Relation> GenericJoinImpl(const Query& query, const Database& db,
       search.cursor_scratch[d].resize(search.atoms_at[d].size());
       search.level_scratch[d].resize(search.atoms_at[d].size());
     }
-    search.Run(0);
+    // Parallel only with workers to hand work to, and only for heads with
+    // at least one variable: a boolean (variable-free) head is decided by
+    // the first witness, which the serial early exit finds without visiting
+    // the rest of the space -- fanning out would do strictly more work.
+    const bool parallel = pool != nullptr && pool->num_workers() > 0 &&
+                          search.last_head_depth >= 0 &&
+                          !search.atoms_at[0].empty();
+    if (!parallel || !RunPartitionedDepth0(search, pool, &output, local)) {
+      search.Run(0);
+    }
   } else if (query.atoms().empty()) {
     output.Insert(Tuple{});  // empty body: the single empty substitution
   }
@@ -567,11 +695,12 @@ LowWidthProbe ProbeLowWidthStructure(const Query& query) {
 
 Result<Relation> EvaluateGenericJoin(const Query& query, const Database& db,
                                      const std::vector<int>& variable_order,
-                                     EvalContext* ctx, EvalStats* stats) {
+                                     EvalContext* ctx, ThreadPool* pool,
+                                     EvalStats* stats) {
   if (stats != nullptr) *stats = EvalStats{};
   CQB_RETURN_NOT_OK(CheckContextDatabase(ctx, db));
   EvalStats local;
-  auto result = GenericJoinImpl(query, db, variable_order, ctx,
+  auto result = GenericJoinImpl(query, db, variable_order, ctx, pool,
                                 /*overrides=*/nullptr, &local);
   if (result.ok() && stats != nullptr) *stats = std::move(local);
   return result;
@@ -579,15 +708,21 @@ Result<Relation> EvaluateGenericJoin(const Query& query, const Database& db,
 
 Result<Relation> EvaluateGenericJoin(const Query& query, const Database& db,
                                      const std::vector<int>& variable_order,
-                                     EvalStats* stats) {
-  return EvaluateGenericJoin(query, db, variable_order, /*ctx=*/nullptr,
+                                     EvalContext* ctx, EvalStats* stats) {
+  return EvaluateGenericJoin(query, db, variable_order, ctx, /*pool=*/nullptr,
                              stats);
 }
 
+Result<Relation> EvaluateGenericJoin(const Query& query, const Database& db,
+                                     const std::vector<int>& variable_order,
+                                     EvalStats* stats) {
+  return EvaluateGenericJoin(query, db, variable_order, /*ctx=*/nullptr,
+                             /*pool=*/nullptr, stats);
+}
+
 Result<Relation> EvaluateHybridYannakakis(const Query& query,
-                                          const Database& db,
-                                          EvalContext* ctx,
-                                          EvalStats* stats) {
+                                          const Database& db, EvalContext* ctx,
+                                          ThreadPool* pool, EvalStats* stats) {
   if (stats != nullptr) *stats = EvalStats{};
   CQB_RETURN_NOT_OK(CheckContextDatabase(ctx, db));
 
@@ -633,15 +768,20 @@ Result<Relation> EvaluateHybridYannakakis(const Query& query,
     // Semi-join skip: a previous pass under this cached plan dropped
     // nothing, and no atom relation generation moved since -- re-running
     // the pass would provably drop nothing again, so skip it (and its
-    // survivor scans) outright.
+    // survivor scans) outright. Read under the plan's skip mutex: another
+    // thread evaluating the same shape may be publishing its pass outcome
+    // concurrently.
     bool skip = false;
-    if (plan != nullptr && plan->reduction_clean &&
-        plan->clean_generations.size() == rels.size()) {
-      skip = true;
-      for (std::size_t i = 0; i < rels.size(); ++i) {
-        if (rels[i]->generation() != plan->clean_generations[i]) {
-          skip = false;
-          break;
+    if (plan != nullptr) {
+      std::lock_guard<std::mutex> lock(plan->skip_mu);
+      if (plan->reduction_clean &&
+          plan->clean_generations.size() == rels.size()) {
+        skip = true;
+        for (std::size_t i = 0; i < rels.size(); ++i) {
+          if (rels[i]->generation() != plan->clean_generations[i]) {
+            skip = false;
+            break;
+          }
         }
       }
     }
@@ -663,7 +803,11 @@ Result<Relation> EvaluateHybridYannakakis(const Query& query,
       if (plan != nullptr) {
         // Only a completed pass that dropped nothing arms the skip; any
         // other outcome (drops, or an abandoned pass) forces the next run
-        // to reduce again.
+        // to reduce again. Published under the skip mutex so a concurrent
+        // evaluation of the same shape reads a consistent
+        // (reduction_clean, clean_generations) pair, never a half-written
+        // one.
+        std::lock_guard<std::mutex> lock(plan->skip_mu);
         plan->reduction_clean =
             reduction.ran && local.semijoin_dropped_tuples == 0;
         plan->clean_generations.clear();
@@ -679,11 +823,17 @@ Result<Relation> EvaluateHybridYannakakis(const Query& query,
     order = DefaultGenericJoinOrder(query);
   }
 
-  auto result = GenericJoinImpl(query, db, order, ctx,
+  auto result = GenericJoinImpl(query, db, order, ctx, pool,
                                 probe->low_width ? &overrides : nullptr,
                                 &local);
   if (result.ok() && stats != nullptr) *stats = std::move(local);
   return result;
+}
+
+Result<Relation> EvaluateHybridYannakakis(const Query& query,
+                                          const Database& db, EvalContext* ctx,
+                                          EvalStats* stats) {
+  return EvaluateHybridYannakakis(query, db, ctx, /*pool=*/nullptr, stats);
 }
 
 const char* PlanKindName(PlanKind kind) {
@@ -742,13 +892,13 @@ std::vector<int> DefaultGenericJoinOrder(const Query& query) {
 
 Result<Relation> EvaluateQuery(const Query& query, const Database& db,
                                PlanKind kind, EvalContext* ctx,
-                               EvalStats* stats) {
+                               ThreadPool* pool, EvalStats* stats) {
   if (kind == PlanKind::kGenericJoin) {
     return EvaluateGenericJoin(query, db, DefaultGenericJoinOrder(query), ctx,
-                               stats);
+                               pool, stats);
   }
   if (kind == PlanKind::kHybridYannakakis) {
-    return EvaluateHybridYannakakis(query, db, ctx, stats);
+    return EvaluateHybridYannakakis(query, db, ctx, pool, stats);
   }
 
   // Binary-join plans: `ctx` is accepted for interface uniformity but the
@@ -911,8 +1061,15 @@ Result<Relation> EvaluateQuery(const Query& query, const Database& db,
 }
 
 Result<Relation> EvaluateQuery(const Query& query, const Database& db,
+                               PlanKind kind, EvalContext* ctx,
+                               EvalStats* stats) {
+  return EvaluateQuery(query, db, kind, ctx, /*pool=*/nullptr, stats);
+}
+
+Result<Relation> EvaluateQuery(const Query& query, const Database& db,
                                PlanKind kind, EvalStats* stats) {
-  return EvaluateQuery(query, db, kind, /*ctx=*/nullptr, stats);
+  return EvaluateQuery(query, db, kind, /*ctx=*/nullptr, /*pool=*/nullptr,
+                       stats);
 }
 
 Relation EquiJoin(const Relation& left, const Relation& right,

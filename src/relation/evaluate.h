@@ -13,6 +13,8 @@
 
 namespace cqbounds {
 
+class ThreadPool;  // util/thread_pool.h
+
 /// How intermediate results are managed during conjunctive query evaluation.
 enum class PlanKind {
   /// Left-deep hash joins keeping every bound variable until the end: the
@@ -125,6 +127,11 @@ struct EvalStats {
   /// soon as one completion is found instead of enumerating (and deduping
   /// away) every other witness.
   std::size_t projection_subtrees_skipped = 0;
+  /// Generic join: number of threads (pool workers plus the calling
+  /// thread) that executed the partitioned depth-0 search, or 0 when the
+  /// evaluation ran single-threaded (no pool, no workers, too few depth-0
+  /// bindings to split, or a plan that never reaches the trie executor).
+  std::size_t parallel_workers = 0;
 };
 
 /// Evaluates `query` over `db`, producing the head relation Q(D) with set
@@ -151,6 +158,14 @@ Result<Relation> EvaluateQuery(const Query& query, const Database& db,
                                PlanKind kind, EvalContext* ctx,
                                EvalStats* stats);
 
+/// As above, additionally fanning the trie-based plans' enumeration out
+/// over `pool` (may be null for serial execution; see EvaluateGenericJoin's
+/// pool overload for the partitioning scheme and its limits). The
+/// binary-join plans ignore the pool.
+Result<Relation> EvaluateQuery(const Query& query, const Database& db,
+                               PlanKind kind, EvalContext* ctx,
+                               ThreadPool* pool, EvalStats* stats);
+
 /// The worst-case-optimal executor: builds one TrieIndex per atom keyed by
 /// `variable_order` (which must enumerate every body variable exactly once)
 /// and binds variables in that order with leapfrog intersections. Any order
@@ -167,6 +182,26 @@ Result<Relation> EvaluateGenericJoin(const Query& query, const Database& db,
 Result<Relation> EvaluateGenericJoin(const Query& query, const Database& db,
                                      const std::vector<int>& variable_order,
                                      EvalContext* ctx, EvalStats* stats);
+
+/// As above, parallelized over `pool` (util/thread_pool.h) by partitioning
+/// the depth-0 leapfrog intersection: the matches of the first variable in
+/// `variable_order` are enumerated once (cheap -- one trie level), then
+/// claimed dynamically by the pool's workers plus the calling thread, each
+/// descending its claimed subtrees with private scratch and a private
+/// output relation; outputs and stats are merged (set semantics dedups
+/// overlapping head tuples) when every subtree finishes. Every worker's
+/// per-depth binding counts still sum to the serial run's, so the AGM
+/// envelope guarantee is unchanged -- as are results, exactly.
+///
+/// Falls back to the serial search when `pool` is null or has no workers,
+/// when there are fewer than two depth-0 matches to split, or when the head
+/// is variable-free (a pure existence check, where the serial early exit
+/// stops at the first witness and parallel fan-out would only waste work).
+/// EvalStats::parallel_workers reports the fan-out actually used.
+Result<Relation> EvaluateGenericJoin(const Query& query, const Database& db,
+                                     const std::vector<int>& variable_order,
+                                     EvalContext* ctx, ThreadPool* pool,
+                                     EvalStats* stats);
 
 /// The kHybridYannakakis executor. Probes the query's
 /// variable-intersection graph with the certified exact treewidth engine
@@ -192,6 +227,14 @@ Result<Relation> EvaluateHybridYannakakis(const Query& query,
                                           const Database& db,
                                           EvalContext* ctx = nullptr,
                                           EvalStats* stats = nullptr);
+
+/// As above with the enumeration phase fanned out over `pool` (the
+/// semi-join reduction pass itself stays serial -- it is a linear scan the
+/// skip state usually elides anyway). Safe for concurrent callers sharing
+/// one `ctx`: the plan entry's skip state is mutex-guarded.
+Result<Relation> EvaluateHybridYannakakis(const Query& query,
+                                          const Database& db, EvalContext* ctx,
+                                          ThreadPool* pool, EvalStats* stats);
 
 /// A dependency-light default variable order: greedy by atom-degree
 /// (variables constrained by more atoms first), extending connected-first so

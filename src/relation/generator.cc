@@ -9,6 +9,9 @@ void FillRandomRelation(Database* db, const std::string& name, int arity,
                         std::size_t count, std::int64_t domain_size,
                         Rng* rng) {
   Relation* rel = db->AddRelation(name, arity);
+  // Generators own their naming scheme, so an arity conflict here is a
+  // caller bug, not recoverable input.
+  CQB_CHECK(rel != nullptr && "arity conflict with an existing relation");
   Tuple t(arity);
   for (std::size_t i = 0; i < count; ++i) {
     for (int j = 0; j < arity; ++j) {

@@ -1,9 +1,109 @@
 #include "relation/text_io.h"
 
+#include <cctype>
 #include <sstream>
 #include <vector>
 
 namespace cqbounds {
+
+namespace {
+
+/// Characters that would corrupt the line-oriented format if written
+/// verbatim inside a token: the tokenizer's separators (whitespace), the
+/// comment introducer, the escape character itself, and control characters
+/// (which survive a write but make the file hostile to every other tool).
+bool NeedsEscape(char c) {
+  const unsigned char u = static_cast<unsigned char>(c);
+  return c == '%' || c == '#' || std::isspace(u) || std::iscntrl(u);
+}
+
+/// Percent-encodes `spelling` so it survives as one whitespace-delimited
+/// token: unsafe bytes become %XX (uppercase hex), and the empty spelling
+/// -- which would otherwise vanish between separators -- becomes the bare
+/// token "%". Safe spellings pass through unchanged, so files of ordinary
+/// integer values look exactly as before.
+std::string EscapeToken(const std::string& spelling) {
+  if (spelling.empty()) return "%";
+  static const char kHex[] = "0123456789ABCDEF";
+  std::string out;
+  out.reserve(spelling.size());
+  for (char c : spelling) {
+    if (NeedsEscape(c)) {
+      const unsigned char u = static_cast<unsigned char>(c);
+      out += '%';
+      out += kHex[u >> 4];
+      out += kHex[u & 0xF];
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+int HexDigit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  return -1;
+}
+
+/// Inverse of EscapeToken. A malformed escape (stray '%' not followed by
+/// two hex digits) is a parse error, not silently passed through -- a file
+/// containing one was not produced by WriteDatabaseText and guessing at
+/// its intent would corrupt the value space silently.
+Result<std::string> UnescapeToken(const std::string& token, int line_number) {
+  if (token == "%") return std::string();
+  std::string out;
+  out.reserve(token.size());
+  for (std::size_t i = 0; i < token.size(); ++i) {
+    if (token[i] != '%') {
+      out += token[i];
+      continue;
+    }
+    if (i + 2 >= token.size()) {
+      return Status::ParseError("line " + std::to_string(line_number) +
+                                ": truncated %XX escape in token '" + token +
+                                "'");
+    }
+    const int hi = HexDigit(token[i + 1]);
+    const int lo = HexDigit(token[i + 2]);
+    if (hi < 0 || lo < 0) {
+      return Status::ParseError("line " + std::to_string(line_number) +
+                                ": invalid %XX escape in token '" + token +
+                                "'");
+    }
+    out += static_cast<char>((hi << 4) | lo);
+    i += 2;
+  }
+  return out;
+}
+
+/// Relation names are schema identifiers, not data: they appear unescaped
+/// in both the declaration line and every tuple line, so a name the
+/// tokenizer would split (whitespace), comment away ('#'), mis-decode
+/// ('%'), drop (empty) or mistake for the declaration keyword cannot be
+/// represented in the format at all. Rejecting it at write time turns a
+/// silent corrupt-on-write into a recoverable error.
+Status CheckWritableRelationName(const std::string& name) {
+  if (name.empty()) {
+    return Status::FailedPrecondition(
+        "cannot write relation with empty name");
+  }
+  if (name == "relation") {
+    return Status::FailedPrecondition(
+        "cannot write relation named 'relation' (the declaration keyword)");
+  }
+  for (char c : name) {
+    if (NeedsEscape(c)) {
+      return Status::FailedPrecondition(
+          "cannot write relation name '" + name +
+          "': contains whitespace, '#', '%' or control characters");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
 
 Status ReadDatabaseText(std::istream& in, Database* db) {
   std::string line;
@@ -22,13 +122,11 @@ Status ReadDatabaseText(std::istream& in, Database* db) {
         return Status::ParseError("line " + std::to_string(line_number) +
                                   ": expected 'relation NAME ARITY'");
       }
-      const Relation* existing = db->Find(name);
-      if (existing != nullptr && existing->arity() != arity) {
+      if (db->AddRelation(name, arity) == nullptr) {
         return Status::ParseError("line " + std::to_string(line_number) +
                                   ": relation '" + name +
                                   "' re-declared with different arity");
       }
-      db->AddRelation(name, arity);
       continue;
     }
     Relation* rel = db->FindMutable(first);
@@ -40,7 +138,9 @@ Status ReadDatabaseText(std::istream& in, Database* db) {
     Tuple t;
     std::string token;
     while (tokens >> token) {
-      t.push_back(db->value_pool()->Intern(token));
+      std::string spelling;
+      CQB_ASSIGN_OR_RETURN(spelling, UnescapeToken(token, line_number));
+      t.push_back(db->value_pool()->Intern(spelling));
     }
     if (static_cast<int>(t.size()) != rel->arity()) {
       return Status::ParseError(
@@ -58,20 +158,34 @@ Status ReadDatabaseTextFromString(const std::string& text, Database* db) {
   return ReadDatabaseText(in, db);
 }
 
-void WriteDatabaseText(const Database& db, std::ostream& out) {
+Status WriteDatabaseText(const Database& db, std::ostream& out) {
+  const ValuePool& pool = db.value_pool();
+  const Value pool_size = static_cast<Value>(pool.size());
   for (const auto& [name, rel] : db.relations()) {
+    CQB_RETURN_NOT_OK(CheckWritableRelationName(name));
     out << "relation " << name << " " << rel.arity() << "\n";
     for (const Tuple& t : rel.tuples()) {
       out << name;
-      for (Value v : t) out << " " << db.value_pool().Spelling(v);
+      for (Value v : t) {
+        if (v < 0 || v >= pool_size) {
+          // Spelling() would render the "?<id>" fallback, which reads back
+          // as a *different* value -- the silent round-trip corruption this
+          // error replaces.
+          return Status::FailedPrecondition(
+              "relation '" + name + "' holds value id " + std::to_string(v) +
+              " that was never interned in the database's pool");
+        }
+        out << " " << EscapeToken(pool.Spelling(v));
+      }
       out << "\n";
     }
   }
+  return Status::OK();
 }
 
-std::string WriteDatabaseTextToString(const Database& db) {
+Result<std::string> WriteDatabaseTextToString(const Database& db) {
   std::ostringstream out;
-  WriteDatabaseText(db, out);
+  CQB_RETURN_NOT_OK(WriteDatabaseText(db, out));
   return out.str();
 }
 

@@ -1,0 +1,72 @@
+#include "util/thread_pool.h"
+
+namespace cqbounds {
+
+ThreadPool::ThreadPool(int num_workers) {
+  if (num_workers < 0) num_workers = 0;
+  workers_.reserve(static_cast<std::size_t>(num_workers));
+  for (int i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::DrainBatch(std::unique_lock<std::mutex>& lock) {
+  // Claim-one-run-one: the shared counter is the scheduler, so uneven task
+  // costs balance without any static partitioning. The claimed call runs
+  // outside the lock.
+  while (fn_ != nullptr && next_ < total_) {
+    const std::size_t index = next_++;
+    ++in_flight_;
+    const std::function<void(std::size_t)>* fn = fn_;
+    lock.unlock();
+    (*fn)(index);
+    lock.lock();
+    --in_flight_;
+  }
+  if (next_ >= total_ && in_flight_ == 0) done_cv_.notify_all();
+}
+
+void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    work_cv_.wait(lock,
+                  [this] { return stop_ || (fn_ != nullptr && next_ < total_); });
+    if (stop_) return;
+    DrainBatch(lock);
+  }
+}
+
+void ThreadPool::ParallelFor(std::size_t num_tasks,
+                             const std::function<void(std::size_t)>& fn) {
+  if (num_tasks == 0) return;
+  if (workers_.empty()) {
+    // No workers: plain inline execution, no synchronization at all.
+    for (std::size_t i = 0; i < num_tasks; ++i) fn(i);
+    return;
+  }
+  // One batch at a time; a second concurrent caller queues here.
+  std::lock_guard<std::mutex> caller_lock(caller_mu_);
+  std::unique_lock<std::mutex> lock(mu_);
+  fn_ = &fn;
+  total_ = num_tasks;
+  next_ = 0;
+  in_flight_ = 0;
+  work_cv_.notify_all();
+  // The caller is a full participant: it drains alongside the workers, so
+  // even a pool whose workers are briefly busy waking up makes progress.
+  DrainBatch(lock);
+  done_cv_.wait(lock, [this] { return next_ >= total_ && in_flight_ == 0; });
+  fn_ = nullptr;
+  total_ = 0;
+}
+
+}  // namespace cqbounds

@@ -1,0 +1,76 @@
+#ifndef CQBOUNDS_UTIL_THREAD_POOL_H_
+#define CQBOUNDS_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cqbounds {
+
+/// A small fixed-size worker pool for data-parallel fan-out, in the style of
+/// a chess engine's persistent search-thread set: workers are spawned once
+/// and sleep on a condition variable between batches, so dispatching a batch
+/// costs a notify, not N thread creations. The parallel generic-join
+/// executor (relation/evaluate.h) uses it to partition the depth-0 leapfrog
+/// intersection range across workers; bench E13 measures the scaling.
+///
+/// Scheduling is dynamic: tasks are claimed one at a time from a shared
+/// counter, so uneven task costs (e.g. skewed join subtrees) balance
+/// automatically. The calling thread participates in every batch, so a pool
+/// with W workers runs batches at parallelism W+1 -- and a pool constructed
+/// with 0 workers degrades to plain inline execution, which keeps
+/// "ThreadPool* == nullptr or empty" a valid serial configuration.
+///
+/// Thread-safety contract: ParallelFor may be called from any thread;
+/// concurrent calls are serialized (one batch runs at a time). Tasks must
+/// not call ParallelFor on their own pool (the batch would self-deadlock on
+/// the caller lock only if every worker did so; it is simply unsupported)
+/// and must not throw -- the library reports errors through Status, never
+/// exceptions.
+class ThreadPool {
+ public:
+  /// Spawns `num_workers` persistent workers (clamped below at 0).
+  explicit ThreadPool(int num_workers);
+
+  /// Wakes and joins every worker. Must not race an active ParallelFor.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  /// Runs fn(0), ..., fn(num_tasks - 1), each exactly once, across the
+  /// workers and the calling thread; returns once every call has finished.
+  /// Task order across threads is unspecified; fn must be safe to invoke
+  /// concurrently with itself on distinct indices.
+  void ParallelFor(std::size_t num_tasks,
+                   const std::function<void(std::size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+  /// Claims and runs tasks of the current batch until none remain. Expects
+  /// `lock` held on mu_; returns with it held.
+  void DrainBatch(std::unique_lock<std::mutex>& lock);
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // workers: a batch is available
+  std::condition_variable done_cv_;  // caller: the batch completed
+  const std::function<void(std::size_t)>* fn_ = nullptr;  // null = no batch
+  std::size_t total_ = 0;      // tasks in the current batch
+  std::size_t next_ = 0;       // next unclaimed task index
+  std::size_t in_flight_ = 0;  // claimed but unfinished tasks
+  bool stop_ = false;
+
+  std::mutex caller_mu_;  // serializes concurrent ParallelFor callers
+};
+
+}  // namespace cqbounds
+
+#endif  // CQBOUNDS_UTIL_THREAD_POOL_H_

@@ -121,7 +121,7 @@ TEST(EdgeCaseTest, EmptyDatabaseBoundsHoldTrivially) {
   auto result = EvaluateQuery(*q, db, PlanKind::kJoinProject);
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result->size(), 0u);
-  EXPECT_EQ(db.RMax(*q), 0u);
+  EXPECT_EQ(db.RMax(*q).ValueOrDie(), 0u);
 }
 
 TEST(EdgeCaseTest, WorstCaseDatabaseWithMOne) {

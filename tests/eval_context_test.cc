@@ -153,8 +153,9 @@ TEST(EvalContextTest, GetTrieEnforcesRelationIdentityNotNameEquality) {
 
   // Warm the cache with the legitimate relation; the foreign same-named,
   // same-generation relation must not be served that entry.
-  const TrieIndex& trie = ctx.GetTrie(*mine, {{0}, {1}}, nullptr);
-  EXPECT_EQ(trie.num_tuples(), 2u);
+  const std::shared_ptr<const TrieIndex> trie =
+      ctx.GetTrie(*mine, {{0}, {1}}, nullptr);
+  EXPECT_EQ(trie->num_tuples(), 2u);
 #if defined(GTEST_HAS_DEATH_TEST) && GTEST_HAS_DEATH_TEST
   EXPECT_DEATH(ctx.GetTrie(*foreign, {{0}, {1}}, nullptr),
                "does not belong");

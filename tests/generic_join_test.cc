@@ -190,7 +190,7 @@ TEST(GenericJoinTest, IntermediatesStayWithinAgmEnvelopeOnAdversary) {
     t->Insert({0, i});
     u->Insert({i, 0});
   }
-  const BigInt rmax(static_cast<std::int64_t>(db.RMax(*q)));
+  const BigInt rmax(static_cast<std::int64_t>(db.RMax(*q).ValueOrDie()));
   const Rational envelope = FullJoinCoverExponent(*q);
 
   EvalStats generic_stats;
@@ -223,7 +223,7 @@ TEST(GenericJoinTest, IntermediatesStayWithinAgmEnvelopeOnWorstCaseDbs) {
   for (std::int64_t m : {4, 8, 16}) {
     auto db = BuildWorstCaseDatabase(*q, bound->witness, m);
     ASSERT_TRUE(db.ok());
-    const BigInt rmax(static_cast<std::int64_t>(db->RMax(*q)));
+    const BigInt rmax(static_cast<std::int64_t>(db->RMax(*q).ValueOrDie()));
 
     EvalStats generic_stats, naive_stats;
     auto generic = EvaluateQuery(*q, *db, PlanKind::kGenericJoin,
@@ -252,7 +252,7 @@ TEST(GenericJoinTest, NaiveExceedsEnvelopeOnStarTriangleGenericJoinCannot) {
   auto q = ParseQuery("T(X,Y,Z) :- E(X,Y), E(Y,Z), E(Z,X).");
   ASSERT_TRUE(q.ok());
   Database db = StarTriangleDatabase(60);
-  const BigInt rmax(static_cast<std::int64_t>(db.RMax(*q)));
+  const BigInt rmax(static_cast<std::int64_t>(db.RMax(*q).ValueOrDie()));
   const Rational envelope = FullJoinCoverExponent(*q);
   EXPECT_EQ(envelope, Rational(3, 2));
 
@@ -303,7 +303,7 @@ TEST(GenericJoinTest, RandomizedFourPlanCrossValidationWithEnvelope) {
     ExpectSameRelation(*naive, *generic, q.ToString());
     ExpectSameRelation(*naive, *hybrid, q.ToString());
 
-    const std::size_t rmax_size = db.RMax(q);
+    const std::size_t rmax_size = db.RMax(q).ValueOrDie();
     if (rmax_size > 0) {
       const BigInt rmax(static_cast<std::int64_t>(rmax_size));
       const Rational envelope = FullJoinCoverExponent(q);

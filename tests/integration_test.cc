@@ -42,7 +42,7 @@ TEST(IntegrationTest, Example21FullPipeline) {
   auto result = EvaluateQuery(*q, db, PlanKind::kNaive);
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result->size(), static_cast<std::size_t>(n * n));
-  BigInt rmax(static_cast<std::int64_t>(db.RMax(*q)));
+  BigInt rmax(static_cast<std::int64_t>(db.RMax(*q).ValueOrDie()));
   EXPECT_TRUE(SatisfiesSizeBound(
       BigInt(static_cast<std::int64_t>(result->size())), rmax,
       bound->exponent));
@@ -100,7 +100,7 @@ TEST(IntegrationTest, MethodsAgreeAcrossQueryZoo) {
     ASSERT_TRUE(result.ok());
     EXPECT_TRUE(SatisfiesSizeBound(
         BigInt(static_cast<std::int64_t>(result->size())),
-        BigInt(static_cast<std::int64_t>(db.RMax(*q))), c->value))
+        BigInt(static_cast<std::int64_t>(db.RMax(*q).ValueOrDie())), c->value))
         << text;
   }
 }
@@ -118,7 +118,7 @@ TEST(IntegrationTest, JoinProjectPlanEnvelope) {
   EvalStats stats;
   auto result = EvaluateQuery(*q, *db, PlanKind::kJoinProject, &stats);
   ASSERT_TRUE(result.ok());
-  BigInt rmax(static_cast<std::int64_t>(db->RMax(*q)));
+  BigInt rmax(static_cast<std::int64_t>(db->RMax(*q).ValueOrDie()));
   // Intermediates may exceed |Q(D)| but not rmax^{C+1} (Cor 4.8's budget).
   EXPECT_TRUE(SatisfiesSizeBound(
       BigInt(static_cast<std::int64_t>(stats.max_intermediate)), rmax,

@@ -143,8 +143,8 @@ TEST_P(PlanCacheInterleavedMutationTest, FourPlansStayCorrectAcrossMutation) {
         // Envelope compliance for the trie-based plans, mutation or not.
         if ((kind == PlanKind::kGenericJoin ||
              kind == PlanKind::kHybridYannakakis) &&
-            db.RMax(q) > 0) {
-          const BigInt rmax(static_cast<std::int64_t>(db.RMax(q)));
+            db.RMax(q).ValueOrDie() > 0) {
+          const BigInt rmax(static_cast<std::int64_t>(db.RMax(q).ValueOrDie()));
           EXPECT_TRUE(SatisfiesSizeBound(
               BigInt(static_cast<std::int64_t>(stats.max_intermediate)),
               rmax, FullJoinCoverExponent(q)))

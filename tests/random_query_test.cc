@@ -77,7 +77,7 @@ TEST_P(GrandPropertyTest, BoundsAndChaseHoldOnRandomInstances) {
     auto result = EvaluateQuery(q, db, PlanKind::kJoinProject);
     ASSERT_TRUE(result.ok());
     BigInt actual(static_cast<std::int64_t>(result->size()));
-    BigInt rmax(static_cast<std::int64_t>(db.RMax(q)));
+    BigInt rmax(static_cast<std::int64_t>(db.RMax(q).ValueOrDie()));
     EXPECT_TRUE(SatisfiesSizeBound(actual, rmax, bound->exponent))
         << q.ToString() << " |Q(D)|=" << actual << " rmax=" << rmax
         << " C=" << bound->exponent;

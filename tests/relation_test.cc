@@ -58,8 +58,41 @@ TEST(DatabaseTest, RMaxOverQueryRelations) {
   for (int i = 0; i < 9; ++i) s->Insert({i});
   auto q = ParseQuery("Q(X) :- R(X).");
   ASSERT_TRUE(q.ok());
-  EXPECT_EQ(db.RMax(*q), 5u);  // S is not referenced by the query
+  EXPECT_EQ(db.RMax(*q).ValueOrDie(), 5u);  // S is not referenced by the query
   EXPECT_EQ(db.MaxRelationSize(), 9u);
+}
+
+TEST(DatabaseTest, RMaxDistinguishesMissingFromEmpty) {
+  Database db;
+  db.AddRelation("R", 1);  // present but empty
+  auto q = ParseQuery("Q(X) :- R(X).");
+  ASSERT_TRUE(q.ok());
+  // Present-but-empty is a genuine rmax of 0 ...
+  auto empty = db.RMax(*q);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(*empty, 0u);
+  // ... but a missing body relation is an error, not a silent 0: a size
+  // bound computed against the wrong database must not read as legitimate.
+  auto missing_q = ParseQuery("Q(X) :- R(X), Nope(X).");
+  ASSERT_TRUE(missing_q.ok());
+  auto missing = db.RMax(*missing_q);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+TEST(DatabaseTest, AddRelationArityConflictIsRecoverable) {
+  Database db;
+  Relation* r = db.AddRelation("R", 2);
+  ASSERT_NE(r, nullptr);
+  r->Insert({1, 2});
+  // Re-declaring with a different arity reports the conflict by returning
+  // null -- no abort -- and leaves the existing relation untouched.
+  EXPECT_EQ(db.AddRelation("R", 3), nullptr);
+  ASSERT_NE(db.Find("R"), nullptr);
+  EXPECT_EQ(db.Find("R")->arity(), 2);
+  EXPECT_EQ(db.Find("R")->size(), 1u);
+  // Same-arity re-declaration still fetches the existing relation.
+  EXPECT_EQ(db.AddRelation("R", 2), r);
 }
 
 TEST(DatabaseTest, CheckFdsReportsViolation) {
@@ -225,7 +258,7 @@ TEST(GeneratorTest, RandomDatabaseSatisfiesFds) {
     opts.domain_size = 6;
     Database db = RandomDatabase(*q, opts);
     EXPECT_TRUE(db.CheckFds(*q).ok()) << "seed " << seed;
-    EXPECT_GT(db.RMax(*q), 0u);
+    EXPECT_GT(db.RMax(*q).ValueOrDie(), 0u);
   }
 }
 

@@ -153,7 +153,7 @@ TEST_P(SizeBoundPropertyTest, BoundHoldsOnRandomDatabases) {
     auto result = EvaluateQuery(*q, db, PlanKind::kNaive);
     ASSERT_TRUE(result.ok());
     BigInt actual(static_cast<std::int64_t>(result->size()));
-    BigInt rmax(static_cast<std::int64_t>(db.RMax(*q)));
+    BigInt rmax(static_cast<std::int64_t>(db.RMax(*q).ValueOrDie()));
     EXPECT_TRUE(SatisfiesSizeBound(actual, rmax, bound->exponent))
         << text << ": |Q(D)|=" << actual << " rmax=" << rmax
         << " C=" << bound->exponent;
@@ -190,7 +190,7 @@ TEST_P(TightnessTest, WitnessDatabasesReachTheBound) {
         << text;
     // The bound is met with equality in the exponent:
     // |Q(D)|^denominator == (M^q)^numerator where q*C = head colors.
-    BigInt rmax(static_cast<std::int64_t>(db->RMax(chased)));
+    BigInt rmax(static_cast<std::int64_t>(db->RMax(chased).ValueOrDie()));
     BigInt rep(static_cast<std::int64_t>(chased.Rep()));
     // rmax <= rep * M^{max atom colors}: verify the paper's inequality.
     int max_atom_colors = 0;

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "cq/parser.h"
 #include "relation/evaluate.h"
 #include "relation/text_io.h"
@@ -50,11 +53,88 @@ TEST(TextIoTest, RoundTrip) {
   ASSERT_TRUE(ReadDatabaseTextFromString(
                   "relation E 2\nE 1 2\nE 2 3\nE 3 1\n", &db)
                   .ok());
-  std::string rendered = WriteDatabaseTextToString(db);
+  auto rendered = WriteDatabaseTextToString(db);
+  ASSERT_TRUE(rendered.ok()) << rendered.status();
   Database again;
-  ASSERT_TRUE(ReadDatabaseTextFromString(rendered, &again).ok());
-  EXPECT_EQ(WriteDatabaseTextToString(again), rendered);
+  ASSERT_TRUE(ReadDatabaseTextFromString(*rendered, &again).ok());
+  auto rendered_again = WriteDatabaseTextToString(again);
+  ASSERT_TRUE(rendered_again.ok()) << rendered_again.status();
+  EXPECT_EQ(*rendered_again, *rendered);
   EXPECT_EQ(again.Find("E")->size(), 3u);
+}
+
+TEST(TextIoTest, HostileSpellingsRoundTrip) {
+  // Spellings containing the format's own separators and special
+  // characters: whitespace (would split into two tokens), '#' (everything
+  // after it is stripped as a comment), '%' (the escape character), the
+  // empty string (would vanish between separators), and a spelling that
+  // *looks* like an escape. All must come back byte-exact.
+  const std::vector<std::string> hostile = {
+      "a b",  "with\ttab", "trail#comment", "50%", "%41", "", "new\nline",
+  };
+  Database db;
+  Relation* r = db.AddRelation("R", 2);
+  for (std::size_t i = 0; i < hostile.size(); ++i) {
+    r->Insert({db.value_pool()->Intern(hostile[i]),
+               db.value_pool()->Intern("plain" + std::to_string(i))});
+  }
+  auto rendered = WriteDatabaseTextToString(db);
+  ASSERT_TRUE(rendered.ok()) << rendered.status();
+
+  Database again;
+  ASSERT_TRUE(ReadDatabaseTextFromString(*rendered, &again).ok());
+  const Relation* rr = again.Find("R");
+  ASSERT_NE(rr, nullptr);
+  ASSERT_EQ(rr->size(), hostile.size());
+  // Every hostile spelling must exist in the reloaded pool with identical
+  // bytes, paired with its original partner.
+  for (std::size_t i = 0; i < hostile.size(); ++i) {
+    const Tuple& t = rr->tuples()[i];
+    EXPECT_EQ(again.value_pool()->Spelling(t[0]), hostile[i]) << i;
+    EXPECT_EQ(again.value_pool()->Spelling(t[1]), "plain" + std::to_string(i));
+  }
+  // And a second render is byte-identical (the escaping is canonical).
+  auto rendered_again = WriteDatabaseTextToString(again);
+  ASSERT_TRUE(rendered_again.ok()) << rendered_again.status();
+  EXPECT_EQ(*rendered_again, *rendered);
+}
+
+TEST(TextIoTest, WriteRejectsUninternedValueIds) {
+  Database db;
+  Relation* r = db.AddRelation("R", 1);
+  // A value id minted outside the database's pool: Spelling() would render
+  // the "?<id>" fallback, which reads back as a different value.
+  r->Insert({Value{42}});
+  auto rendered = WriteDatabaseTextToString(db);
+  ASSERT_FALSE(rendered.ok());
+  EXPECT_EQ(rendered.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(TextIoTest, WriteRejectsUnrepresentableRelationNames) {
+  // Relation names appear unescaped in the format, so these can never be
+  // read back as written: whitespace splits the token, '#' comments out
+  // the rest of the line, and "relation" is the declaration keyword.
+  for (const std::string& name :
+       {std::string("has space"), std::string("has#hash"), std::string(""),
+        std::string("relation")}) {
+    Database db;
+    db.AddRelation(name, 1);
+    auto rendered = WriteDatabaseTextToString(db);
+    ASSERT_FALSE(rendered.ok()) << "name '" << name << "' accepted";
+    EXPECT_EQ(rendered.status().code(), StatusCode::kFailedPrecondition);
+  }
+}
+
+TEST(TextIoTest, ReadRejectsMalformedEscapes) {
+  for (const std::string& text :
+       {std::string("relation R 1\nR %4\n"),     // truncated escape
+        std::string("relation R 1\nR %zz\n"),    // non-hex digits
+        std::string("relation R 1\nR a%\n")}) {  // trailing stray '%'
+    Database db;
+    EXPECT_EQ(ReadDatabaseTextFromString(text, &db).code(),
+              StatusCode::kParseError)
+        << text;
+  }
 }
 
 TEST(TextIoTest, LoadedDatabaseIsQueryable) {
