@@ -56,13 +56,25 @@ std::shared_ptr<const TrieIndex> EvalContext::GetTrie(
   Key key{rel.name(), level_positions};
   Shard& shard = ShardFor(key);
   const std::uint64_t generation = rel.generation();
+  std::shared_ptr<const TrieIndex> patch_base;
+  std::uint64_t patch_base_generation = 0;
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     auto it = shard.entries.find(key);
-    if (it != shard.entries.end() && it->second.generation == generation) {
-      hits_.fetch_add(1, std::memory_order_relaxed);
-      if (stats != nullptr) ++stats->trie_cache_hits;
-      return it->second.trie;
+    if (it != shard.entries.end()) {
+      if (it->second.generation == generation) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        if (stats != nullptr) ++stats->trie_cache_hits;
+        return it->second.trie;
+      }
+      // Stale entry whose relation only appended since the cached build:
+      // snapshot it as the patch base. The appended tuples are exactly the
+      // tail of rel.tuples() past the snapshot -- stable because appends
+      // never reorder the prefix and mutations never overlap evaluations.
+      if (rel.AppendsOnlySince(it->second.generation)) {
+        patch_base = it->second.trie;
+        patch_base_generation = it->second.generation;
+      }
     }
   }
   // Build outside the stripe lock: a slow cold build must not block other
@@ -72,7 +84,28 @@ std::shared_ptr<const TrieIndex> EvalContext::GetTrie(
   // wins and the loser's trie lives on via its own shared_ptr.
   misses_.fetch_add(1, std::memory_order_relaxed);
   if (stats != nullptr) ++stats->trie_cache_misses;
-  auto trie = std::make_shared<const TrieIndex>(rel, level_positions);
+  std::shared_ptr<const TrieIndex> trie;
+  if (patch_base != nullptr) {
+    const std::size_t appended =
+        static_cast<std::size_t>(generation - patch_base_generation);
+    const std::vector<Tuple>& tuples = rel.tuples();
+    std::vector<const Tuple*> delta;
+    delta.reserve(appended);
+    for (std::size_t i = tuples.size() - appended; i < tuples.size(); ++i) {
+      delta.push_back(&tuples[i]);
+    }
+    patches_.fetch_add(1, std::memory_order_relaxed);
+    if (stats != nullptr) {
+      ++stats->trie_patches;
+      stats->delta_tuples_processed += appended;
+    }
+    trie = std::make_shared<const TrieIndex>(*patch_base, delta,
+                                             level_positions);
+  } else {
+    rebuilds_.fetch_add(1, std::memory_order_relaxed);
+    if (stats != nullptr) ++stats->trie_rebuilds;
+    trie = std::make_shared<const TrieIndex>(rel, level_positions);
+  }
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     Entry& entry = shard.entries[std::move(key)];

@@ -8,6 +8,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -62,12 +63,17 @@ struct LowWidthProbe {
 ///     entirely when nothing changed since.
 ///
 /// Invalidation: trie entries snapshot Relation::generation() at build time
-/// and are rebuilt (counted as a miss) when the relation mutated since.
-/// Plan entries depend only on the query shape and never go stale from data
-/// mutations -- only their semi-join skip state is generation-checked per
-/// use. The context holds a pointer to its Database, whose relations live
-/// in a std::map, so cached references stay stable across insertions of new
-/// relations.
+/// and are refreshed (counted as a miss) when the relation mutated since.
+/// The refresh is delta-aware: when every mutation since the snapshot was an
+/// append (Relation::AppendsOnlySince), the stale trie is *patched* -- the
+/// sorted delta is merged into the cached trie's key stream, O(base copy +
+/// k log k) instead of a from-scratch O(n log n) sort (EvalStats::
+/// trie_patches); a structural mutation (Remove/Clear) forces the full
+/// rebuild (EvalStats::trie_rebuilds). Plan entries depend only on the
+/// query shape and never go stale from data mutations -- only their
+/// semi-join state is generation-checked per use. The context holds a
+/// pointer to its Database, whose relations live in a std::map, so cached
+/// references stay stable across insertions of new relations.
 ///
 /// ## Concurrency
 ///
@@ -101,30 +107,68 @@ class EvalContext {
  public:
   explicit EvalContext(const Database& db) : db_(&db) {}
 
+  /// Cached outcome of one semi-join reduction pass under a plan: the
+  /// survivor views (per-atom survivor tries for atoms that lost tuples),
+  /// the per-step semi-join key sets (the delta pass's cache), and the
+  /// generation vector that keys it all. Maintained by
+  /// EvaluateHybridYannakakis; every field is guarded by CachedPlan's
+  /// `skip_mu`.
+  struct SemijoinState {
+    /// Atom i's relation generation observed when this state was computed
+    /// -- the survivor-view cache key. A run whose generation vector
+    /// matches reuses the survivor views outright (skipping the pass); a
+    /// partial bump invalidates (delta pass or full re-pass).
+    std::vector<std::uint64_t> generations;
+    /// Per atom: true iff every tuple of its relation survived the pass.
+    /// All-true means the pass was *clean* -- the only state an incremental
+    /// delta pass may extend (with drops on record, an append could revive
+    /// a previously dangling tuple, so a mutated dirty state forces a full
+    /// re-pass).
+    std::vector<bool> all_survive;
+    /// Per atom with !all_survive[i]: the survivor trie (the zero-copy
+    /// filtered view, already keyed by the plan's layout for that atom);
+    /// null where all_survive[i]. Immutable once published -- reuse hands
+    /// out copies of the shared_ptr.
+    std::vector<std::shared_ptr<const TrieIndex>> survivor_tries;
+    /// Per schedule step (the deterministic up+down filter order derived
+    /// from the decomposition): the source atom's semi-join key set as of
+    /// this state. Populated only while clean -- it is exactly what the
+    /// delta pass needs to filter k appended tuples in O(k) instead of
+    /// re-scanning the database.
+    std::vector<std::unordered_set<Tuple, TupleHash>> step_keys;
+
+    bool clean() const {
+      for (bool s : all_survive) {
+        if (!s) return false;
+      }
+      return true;
+    }
+  };
+
   /// One plan-tier entry. `probe` is filled exactly once (concurrent
   /// GetPlan calls for one shape run one probe, the rest wait) and is
-  /// immutable afterwards; the skip state is maintained by
+  /// immutable afterwards; the semi-join state is maintained by
   /// EvaluateHybridYannakakis after each reduction pass and must only be
   /// touched with `skip_mu` held.
   struct CachedPlan {
     LowWidthProbe probe;
-    /// True when the last completed reduction pass under this plan dropped
-    /// nothing; `clean_generations[i]` then holds atom i's relation
-    /// generation observed at that pass. A later run whose generations all
-    /// match can skip the pass outright -- it would provably drop nothing
-    /// again. Any generation bump (or a pass that dropped tuples) forces a
-    /// re-reduce. Guarded by `skip_mu`.
-    bool reduction_clean = false;
-    std::vector<std::uint64_t> clean_generations;
-    /// Guards the skip state above against concurrent hybrid evaluations
-    /// of the same shape.
+    /// Last completed reduction pass's outcome, or null before the first
+    /// pass. Guarded by `skip_mu`; the hybrid executor holds `skip_mu`
+    /// across a (delta or full) pass, so concurrent post-mutation runs of
+    /// one shape serialize the pass and late arrivals reuse the fresh
+    /// state instead of duplicating it.
+    std::unique_ptr<SemijoinState> semijoin;
+    /// Guards `semijoin` against concurrent hybrid evaluations of the same
+    /// shape.
     std::mutex skip_mu;
     /// Fills `probe` exactly once (GetPlan).
     std::once_flag probe_once;
   };
 
   /// The cached trie for `rel` under `level_positions`, building (or
-  /// rebuilding, if `rel` mutated since) on demand. `rel` must belong to
+  /// refreshing, if `rel` mutated since -- a delta patch when the mutations
+  /// were appends-only, a full rebuild otherwise) on demand. `rel` must
+  /// belong to
   /// the attached database -- checked by identity, not by name, and
   /// enforced with CQB_CHECK: a same-named relation from another database
   /// can coincide in generation, and serving it a "hit" would silently
@@ -169,6 +213,15 @@ class EvalContext {
   std::size_t plan_misses() const {
     return plan_misses_.load(std::memory_order_relaxed);
   }
+  /// Of the lifetime misses: how many were served by patching a stale
+  /// cached trie (appends-only delta merge) vs. rebuilding from scratch.
+  /// patches() + rebuilds() == misses() for this tier.
+  std::size_t patches() const {
+    return patches_.load(std::memory_order_relaxed);
+  }
+  std::size_t rebuilds() const {
+    return rebuilds_.load(std::memory_order_relaxed);
+  }
 
   /// Number of distinct (relation, layout) tries currently cached.
   std::size_t size() const;
@@ -206,6 +259,8 @@ class EvalContext {
   std::map<std::string, CachedPlan> plans_;
   std::atomic<std::size_t> hits_{0};
   std::atomic<std::size_t> misses_{0};
+  std::atomic<std::size_t> patches_{0};
+  std::atomic<std::size_t> rebuilds_{0};
   std::atomic<std::size_t> plan_hits_{0};
   std::atomic<std::size_t> plan_misses_{0};
 };

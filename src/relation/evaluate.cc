@@ -338,11 +338,16 @@ bool RunPartitionedDepth0(const GenericJoinSearch& proto, ThreadPool* pool,
 /// reduction zero-copy -- no reduced Relation is ever materialized.
 using TupleView = std::vector<const Tuple*>;
 
+/// Per-atom trie overrides for the hybrid plan: atom i enumerates over
+/// `overrides[i]` (its semi-join survivor view, freshly built or served
+/// from the plan's survivor-view cache) instead of its full-relation trie
+/// when non-null. The hybrid charges the build/reuse counters itself, so
+/// the engine treats an override as ready-made.
+using TrieOverrides = std::vector<std::shared_ptr<const TrieIndex>>;
+
 /// The shared generic-join engine behind EvaluateGenericJoin and the hybrid
-/// plan. `overrides`, when non-null, replaces atom i's relation with the
-/// filtered view `(*overrides)[i]` (the hybrid's semi-join survivors) if
-/// non-null; overridden atoms always get transient tries built from the
-/// view (their contents are call-specific), while untouched atoms go
+/// plan. `overrides`, when non-null, replaces atom i's trie with
+/// `(*overrides)[i]` if non-null (see TrieOverrides); untouched atoms go
 /// through `ctx` when provided. Fills `local` (assumed zeroed); the caller
 /// owns publishing it to the user-facing stats pointer. A non-null `pool`
 /// with workers runs the search partitioned over the depth-0 matches (see
@@ -352,7 +357,7 @@ using TupleView = std::vector<const Tuple*>;
 Result<Relation> GenericJoinImpl(const Query& query, const Database& db,
                                  const std::vector<int>& variable_order,
                                  EvalContext* ctx, ThreadPool* pool,
-                                 const std::vector<const TupleView*>* overrides,
+                                 const TrieOverrides* overrides,
                                  EvalStats* local) {
   CQB_RETURN_NOT_OK(ValidateGenericJoinInputs(query, variable_order));
 
@@ -395,16 +400,12 @@ Result<Relation> GenericJoinImpl(const Query& query, const Database& db,
   bool empty_atom = false;
   for (std::size_t i = 0; i < query.atoms().size() && !empty_atom; ++i) {
     AtomLayout layout = LayoutForAtom(query.atoms()[i], rank);
-    const TupleView* view =
-        overrides != nullptr ? (*overrides)[i] : nullptr;
     const TrieIndex* trie;
-    if (view != nullptr) {
-      // Reduced atom: a transient trie straight from the borrowed survivor
-      // pointers -- no Relation copy in between.
-      ++local->trie_cache_misses;
-      owned.emplace_back(*view, layout.level_positions);
-      trie = &owned.back();
-      local->indexed_tuples += trie->num_tuples();
+    if (overrides != nullptr && (*overrides)[i] != nullptr) {
+      // Reduced atom: the survivor trie the hybrid built (or reused from
+      // the plan's survivor-view cache); its counters were charged there.
+      pinned.push_back((*overrides)[i]);
+      trie = pinned.back().get();
     } else if (ctx != nullptr) {
       const std::size_t misses_before = local->trie_cache_misses;
       pinned.push_back(ctx->GetTrie(*rels[i], layout.level_positions, local));
@@ -458,114 +459,72 @@ Result<Relation> GenericJoinImpl(const Query& query, const Database& db,
 // --- Yannakakis semi-join reduction over the certified decomposition ------
 
 /// Per-atom state of the semi-join reduction: the atom's distinct variables
-/// (with one representative tuple position each), its surviving tuples
-/// (borrowed from the relation -- stable for the call, so the common
-/// nothing-dropped case copies no tuple at all), and the decomposition bag
-/// the atom was assigned to.
-struct AtomSurvivors {
+/// (with every tuple position each occupies), the decomposition bag the
+/// atom was assigned to, and its surviving tuples (borrowed from the
+/// relation -- stable for the call, so the common nothing-dropped case
+/// copies no tuple at all).
+struct ReductionAtom {
   std::vector<int> vars;     // distinct variable ids, sorted
-  std::vector<int> var_pos;  // a tuple position carrying each var
-  std::vector<const Tuple*> tuples;  // surviving full-arity tuples
-  std::size_t initial = 0;   // survivor count before any semi-join
+  std::vector<int> var_pos;  // a representative tuple position per var
+  /// Every tuple position each var occupies (parallel to `vars`); repeats
+  /// are the intra-atom equality filters.
+  std::vector<std::vector<int>> var_positions;
   int bag = -1;              // owning bag index, -1 for variable-free atoms
   int depth = 0;             // BFS depth of `bag` in the bag tree
+  std::vector<const Tuple*> tuples;  // surviving full-arity tuples
+  std::size_t initial = 0;   // survivor count before any semi-join
 };
 
-AtomSurvivors MakeSurvivors(const Atom& atom, const Relation& rel) {
+/// The cheap (tuple-free) part of survivor construction: variable layout
+/// only, so the delta pass can build the filter schedule without scanning
+/// any relation.
+ReductionAtom MakeReductionAtom(const Atom& atom) {
   std::map<int, std::vector<int>> positions;  // var -> tuple positions
   for (std::size_t p = 0; p < atom.vars.size(); ++p) {
     positions[atom.vars[p]].push_back(static_cast<int>(p));
   }
-  AtomSurvivors s;
-  for (const auto& [v, ps] : positions) {
-    s.vars.push_back(v);
-    s.var_pos.push_back(ps.front());
+  ReductionAtom a;
+  for (auto& [v, ps] : positions) {
+    a.vars.push_back(v);
+    a.var_pos.push_back(ps.front());
+    a.var_positions.push_back(std::move(ps));
   }
-  // Intra-atom repeated variables filter here, exactly as the trie build
-  // would -- the reduction must not "drop" tuples the enumeration never
-  // sees anyway.
-  for (const Tuple& t : rel.tuples()) {
-    bool consistent = true;
-    for (const auto& [v, ps] : positions) {
-      for (std::size_t i = 1; i < ps.size(); ++i) {
-        if (t[ps[i]] != t[ps[0]]) {
-          consistent = false;
-          break;
-        }
-      }
-      if (!consistent) break;
-    }
-    if (consistent) s.tuples.push_back(&t);
-  }
-  s.initial = s.tuples.size();
-  return s;
+  return a;
 }
 
-/// Semi-joins `target` against `source` on their shared variables: keeps
-/// only target tuples whose shared-variable projection occurs in `source`.
-/// A no-op when the atoms share no variable.
-void SemijoinFilter(const AtomSurvivors& source, AtomSurvivors* target) {
-  std::vector<int> src_pos, tgt_pos;  // positions of the shared vars
-  for (std::size_t i = 0, j = 0;
-       i < source.vars.size() && j < target->vars.size();) {
-    if (source.vars[i] < target->vars[j]) {
-      ++i;
-    } else if (source.vars[i] > target->vars[j]) {
-      ++j;
-    } else {
-      src_pos.push_back(source.var_pos[i++]);
-      tgt_pos.push_back(target->var_pos[j++]);
+/// Intra-atom repeated variables filter here, exactly as the trie build
+/// would -- the reduction must not "drop" tuples the enumeration never
+/// sees anyway.
+bool SelfConsistent(const ReductionAtom& a, const Tuple& t) {
+  for (const std::vector<int>& ps : a.var_positions) {
+    for (std::size_t i = 1; i < ps.size(); ++i) {
+      if (t[ps[i]] != t[ps[0]]) return false;
     }
   }
-  if (src_pos.empty() || target->tuples.empty()) return;
-
-  std::unordered_set<Tuple, TupleHash> keys;
-  Tuple key(src_pos.size());
-  for (const Tuple* t : source.tuples) {
-    for (std::size_t i = 0; i < src_pos.size(); ++i) {
-      key[i] = (*t)[src_pos[i]];
-    }
-    keys.insert(key);
-  }
-  std::vector<const Tuple*> kept;
-  kept.reserve(target->tuples.size());
-  for (const Tuple* t : target->tuples) {
-    for (std::size_t i = 0; i < tgt_pos.size(); ++i) {
-      key[i] = (*t)[tgt_pos[i]];
-    }
-    if (keys.count(key)) kept.push_back(t);
-  }
-  target->tuples = std::move(kept);
+  return true;
 }
 
-/// Outcome of one semi-join reduction pass. `atoms[i].tuples` owns the
-/// survivor pointer views the enumeration borrows, so the result must
-/// outlive the GenericJoinImpl call it feeds.
-struct ReductionResult {
-  /// True iff the pass completed. False when there was nothing to reduce
-  /// or when a bag assignment failed against an uncertified decomposition
-  /// -- previously that abandonment was silent and indistinguishable from
-  /// a clean pass.
-  bool ran = false;
-  std::vector<AtomSurvivors> atoms;
-};
+/// Appends the self-consistent tuples of tuples[first..] to `out`, by
+/// pointer. The full pass collects from 0; the delta pass collects only the
+/// appended tail.
+void CollectSelfConsistent(const ReductionAtom& a,
+                           const std::vector<Tuple>& tuples, std::size_t first,
+                           std::vector<const Tuple*>* out) {
+  for (std::size_t i = first; i < tuples.size(); ++i) {
+    if (SelfConsistent(a, tuples[i])) out->push_back(&tuples[i]);
+  }
+}
 
-/// The Yannakakis-style reduction pass: assigns every atom to a bag of the
-/// certified decomposition (its distinct variables form a clique of the
-/// variable-intersection graph, so a containing bag exists), then runs
-/// semi-joins between variable-sharing atoms up the bag tree (deepest bags
-/// first) and back down. Survivors are borrowed tuple pointers -- the pass
-/// only ever *filters* base relations, materializes no join and copies no
-/// tuple, so no intermediate of the pass can exceed any single relation's
-/// size and the nothing-dropped case allocates nothing beyond the pointer
-/// vectors.
-ReductionResult SemijoinReduce(const Query& query,
-                               const std::vector<const Relation*>& rels,
-                               const TreeDecomposition& td,
-                               const std::vector<int>& dense) {
-  ReductionResult result;
-  const std::size_t m = query.atoms().size();
-  if (m == 0 || td.bags.empty()) return result;
+/// Assigns every atom to a bag of the certified decomposition (its distinct
+/// variables form a clique of the variable-intersection graph, so a
+/// containing bag exists) and records BFS bag depths. Returns false when
+/// there is nothing to reduce or a bag assignment fails against an
+/// uncertified decomposition -- the caller must then abandon the pass
+/// *visibly* (stats and the plan tier's semi-join state must not mistake
+/// the abandonment for a clean reduction).
+bool AssignBags(const TreeDecomposition& td, const std::vector<int>& dense,
+                std::vector<ReductionAtom>* atoms) {
+  if (atoms->empty() || td.bags.empty()) return false;
 
   // Bag tree BFS from bag 0 (DecompositionFromOrdering chains components,
   // so the tree is connected): depth orders the up/down passes.
@@ -586,60 +545,126 @@ ReductionResult SemijoinReduce(const Query& query,
     }
   }
 
-  std::vector<AtomSurvivors>& atoms = result.atoms;
-  atoms.resize(m);
-  for (std::size_t i = 0; i < m; ++i) {
-    atoms[i] = MakeSurvivors(query.atoms()[i], *rels[i]);
-    if (atoms[i].vars.empty()) continue;  // nullary guard: nothing to share
+  for (ReductionAtom& a : *atoms) {
+    if (a.vars.empty()) continue;  // nullary guard: nothing to share
     std::vector<int> dense_vars;
-    dense_vars.reserve(atoms[i].vars.size());
-    for (int v : atoms[i].vars) dense_vars.push_back(dense[v]);
+    dense_vars.reserve(a.vars.size());
+    for (int v : a.vars) dense_vars.push_back(dense[v]);
     std::sort(dense_vars.begin(), dense_vars.end());
-    atoms[i].bag = td.FindBagContaining(dense_vars);
-    if (atoms[i].bag < 0) {
-      // Uncertified bag assignment: abandon the pass *visibly* (ran stays
-      // false, so stats and the plan tier's skip state cannot mistake this
-      // for a clean reduction).
-      atoms.clear();
-      return result;
-    }
-    atoms[i].depth = depth[atoms[i].bag];
+    a.bag = td.FindBagContaining(dense_vars);
+    if (a.bag < 0) return false;
+    a.depth = depth[a.bag];
   }
+  return true;
+}
 
-  // Up pass: atoms in deepest bags first, each filtering every
-  // variable-sharing atom at the same or smaller depth; then the mirrored
-  // down pass. Semi-joins only remove tuples that cannot extend to a match
-  // of the partner atom, so any schedule is sound; this tree-guided one is
-  // a full reducer when sharing atoms sit in adjacent bags (chains, trees
-  // -- the alpha-acyclic shape Yannakakis 1981 targets).
+/// One semi-join of the reduction schedule: filter atom `target`'s
+/// survivors to those whose shared-variable projection occurs among atom
+/// `source`'s survivors.
+struct FilterStep {
+  std::size_t source = 0;
+  std::size_t target = 0;
+  std::vector<int> src_pos;  // source tuple positions of the shared vars
+  std::vector<int> tgt_pos;  // target tuple positions of the shared vars
+};
+
+/// The deterministic semi-join schedule of one plan: atoms in deepest bags
+/// first, each filtering every variable-sharing atom at the same or smaller
+/// depth (the up pass), then the mirrored strictly-downward pass
+/// (equal-depth pairs were already filtered in both directions going up, so
+/// repeating them would only rebuild the same hash sets for a guaranteed
+/// no-op). Semi-joins only remove tuples that cannot extend to a match of
+/// the partner atom, so any schedule is sound; this tree-guided one is a
+/// full reducer when sharing atoms sit in adjacent bags (chains, trees --
+/// the alpha-acyclic shape Yannakakis 1981 targets). Pairs sharing no
+/// variable are omitted (provable no-ops). Depends only on the plan (query
+/// shape + certified decomposition), never on data, which is what lets the
+/// delta pass cache one key set per step and replay the schedule over just
+/// the appended tuples.
+std::vector<FilterStep> BuildFilterSchedule(
+    const std::vector<ReductionAtom>& atoms) {
   std::vector<std::size_t> up_order;
-  for (std::size_t i = 0; i < m; ++i) {
+  for (std::size_t i = 0; i < atoms.size(); ++i) {
     if (atoms[i].bag >= 0) up_order.push_back(i);
   }
   std::stable_sort(up_order.begin(), up_order.end(),
                    [&atoms](std::size_t a, std::size_t b) {
                      return atoms[a].depth > atoms[b].depth;
                    });
+  std::vector<FilterStep> steps;
+  auto add_step = [&atoms, &steps](std::size_t src, std::size_t tgt) {
+    FilterStep step;
+    step.source = src;
+    step.target = tgt;
+    const ReductionAtom& s = atoms[src];
+    const ReductionAtom& t = atoms[tgt];
+    for (std::size_t i = 0, j = 0;
+         i < s.vars.size() && j < t.vars.size();) {
+      if (s.vars[i] < t.vars[j]) {
+        ++i;
+      } else if (s.vars[i] > t.vars[j]) {
+        ++j;
+      } else {
+        step.src_pos.push_back(s.var_pos[i++]);
+        step.tgt_pos.push_back(t.var_pos[j++]);
+      }
+    }
+    if (!step.src_pos.empty()) steps.push_back(std::move(step));
+  };
   for (std::size_t a : up_order) {
     for (std::size_t b : up_order) {
-      if (a != b && atoms[b].depth <= atoms[a].depth) {
-        SemijoinFilter(atoms[a], &atoms[b]);
-      }
+      if (a != b && atoms[b].depth <= atoms[a].depth) add_step(a, b);
     }
   }
-  // Strictly downward: equal-depth pairs were already filtered in both
-  // directions by the up pass, so repeating them here would only rebuild
-  // the same hash sets for a guaranteed no-op.
   for (auto it = up_order.rbegin(); it != up_order.rend(); ++it) {
     for (std::size_t b : up_order) {
-      if (*it != b && atoms[b].depth > atoms[*it].depth) {
-        SemijoinFilter(atoms[*it], &atoms[b]);
-      }
+      if (*it != b && atoms[b].depth > atoms[*it].depth) add_step(*it, b);
     }
   }
+  return steps;
+}
 
-  result.ran = true;
-  return result;
+/// Executes the full reduction pass over `atoms` (whose survivor vectors
+/// must hold every self-consistent tuple). When `captured` is non-null it
+/// receives, per step, the source atom's semi-join key set as of that step
+/// -- exactly the state the incremental delta pass needs later, so the key
+/// sets the pass builds anyway are persisted instead of discarded (the
+/// only extra cost over the capture-free pass is keeping them alive, plus
+/// building them even for steps whose target is currently empty).
+void RunFullPass(const std::vector<FilterStep>& steps,
+                 std::vector<ReductionAtom>* atoms,
+                 std::vector<std::unordered_set<Tuple, TupleHash>>* captured) {
+  if (captured != nullptr) {
+    captured->clear();
+    captured->resize(steps.size());
+  }
+  for (std::size_t s = 0; s < steps.size(); ++s) {
+    const FilterStep& step = steps[s];
+    ReductionAtom& source = (*atoms)[step.source];
+    ReductionAtom& target = (*atoms)[step.target];
+    if (captured == nullptr && target.tuples.empty()) continue;
+
+    std::unordered_set<Tuple, TupleHash> local_keys;
+    std::unordered_set<Tuple, TupleHash>& keys =
+        captured != nullptr ? (*captured)[s] : local_keys;
+    Tuple key(step.src_pos.size());
+    for (const Tuple* t : source.tuples) {
+      for (std::size_t i = 0; i < step.src_pos.size(); ++i) {
+        key[i] = (*t)[step.src_pos[i]];
+      }
+      keys.insert(key);
+    }
+    if (target.tuples.empty()) continue;
+    std::vector<const Tuple*> kept;
+    kept.reserve(target.tuples.size());
+    for (const Tuple* t : target.tuples) {
+      for (std::size_t i = 0; i < step.tgt_pos.size(); ++i) {
+        key[i] = (*t)[step.tgt_pos[i]];
+      }
+      if (keys.count(key)) kept.push_back(t);
+    }
+    target.tuples = std::move(kept);
+  }
 }
 
 /// Variable-intersection graph of `query` (the Gaifman graph of the
@@ -757,66 +782,213 @@ Result<Relation> EvaluateHybridYannakakis(const Query& query,
   }
 
   std::vector<int> order;
-  std::vector<const TupleView*> overrides(query.atoms().size(), nullptr);
-  ReductionResult reduction;  // owns the survivor views until enumeration ends
+  TrieOverrides overrides(query.atoms().size());
   if (probe->low_width) {
     // The certified reverse elimination order (the same order
     // ChooseGenericJoinOrder's tree path picks), with the atoms
     // pre-filtered through the certified decomposition.
     order = probe->order;
+    const std::size_t m = query.atoms().size();
 
-    // Semi-join skip: a previous pass under this cached plan dropped
-    // nothing, and no atom relation generation moved since -- re-running
-    // the pass would provably drop nothing again, so skip it (and its
-    // survivor scans) outright. Read under the plan's skip mutex: another
-    // thread evaluating the same shape may be publishing its pass outcome
-    // concurrently.
-    bool skip = false;
+    // Survivor tries must use the same layout the enumeration derives from
+    // the binding order, or the override would not line up with the
+    // leapfrog's levels.
+    std::vector<int> rank(query.num_variables(), -1);
+    for (std::size_t d = 0; d < order.size(); ++d) {
+      rank[order[d]] = static_cast<int>(d);
+    }
+    auto build_survivor_trie = [&query, &rank,
+                                &local](std::size_t i, const TupleView& view) {
+      AtomLayout layout = LayoutForAtom(query.atoms()[i], rank);
+      ++local.trie_cache_misses;
+      auto trie =
+          std::make_shared<const TrieIndex>(view, layout.level_positions);
+      local.indexed_tuples += trie->num_tuples();
+      return trie;
+    };
+
+    std::vector<ReductionAtom> atoms;
+    atoms.reserve(m);
+    for (const Atom& atom : query.atoms()) {
+      atoms.push_back(MakeReductionAtom(atom));
+    }
+
     if (plan != nullptr) {
-      std::lock_guard<std::mutex> lock(plan->skip_mu);
-      if (plan->reduction_clean &&
-          plan->clean_generations.size() == rels.size()) {
-        skip = true;
-        for (std::size_t i = 0; i < rels.size(); ++i) {
-          if (rels[i]->generation() != plan->clean_generations[i]) {
-            skip = false;
+      // Delta-aware path. The whole decision (reuse / delta / full) and
+      // any pass run under the plan's mutex: concurrent post-mutation
+      // evaluations of one shape serialize the pass, and the late arrivals
+      // then find matching generations and reuse the fresh survivor views
+      // instead of duplicating the work. Mutations themselves never
+      // overlap evaluations (the context's readers-xor-writer contract),
+      // so the generation vector cannot move underneath the pass.
+      std::unique_lock<std::mutex> lock(plan->skip_mu);
+      EvalContext::SemijoinState* state = plan->semijoin.get();
+      bool gens_match =
+          state != nullptr && state->generations.size() == m;
+      if (gens_match) {
+        for (std::size_t i = 0; i < m; ++i) {
+          if (rels[i]->generation() != state->generations[i]) {
+            gens_match = false;
             break;
           }
         }
       }
-    }
-    if (skip) {
-      local.semijoin_pass_skipped = true;
-    } else {
-      reduction =
-          SemijoinReduce(query, rels, probe->tw.decomposition, probe->dense);
-      local.semijoin_pass_ran = reduction.ran;
-      if (reduction.ran) {
-        for (std::size_t i = 0; i < reduction.atoms.size(); ++i) {
-          const AtomSurvivors& s = reduction.atoms[i];
-          const std::size_t dropped = s.initial - s.tuples.size();
-          if (dropped == 0) continue;  // cached full-relation trie stays usable
-          local.semijoin_dropped_tuples += dropped;
-          overrides[i] = &s.tuples;
-        }
-      }
-      if (plan != nullptr) {
-        // Only a completed pass that dropped nothing arms the skip; any
-        // other outcome (drops, or an abandoned pass) forces the next run
-        // to reduce again. Published under the skip mutex so a concurrent
-        // evaluation of the same shape reads a consistent
-        // (reduction_clean, clean_generations) pair, never a half-written
-        // one.
-        std::lock_guard<std::mutex> lock(plan->skip_mu);
-        plan->reduction_clean =
-            reduction.ran && local.semijoin_dropped_tuples == 0;
-        plan->clean_generations.clear();
-        if (plan->reduction_clean) {
-          plan->clean_generations.reserve(rels.size());
-          for (const Relation* rel : rels) {
-            plan->clean_generations.push_back(rel->generation());
+      if (gens_match) {
+        // Survivor-view cache hit: the generation vector matches the
+        // state's key, so the previous pass's outcome -- clean or not --
+        // is still exact. Atoms that lost tuples reuse their cached
+        // survivor tries; the rest go through the trie tier as usual.
+        local.semijoin_pass_skipped = true;
+        for (std::size_t i = 0; i < m; ++i) {
+          if (state->survivor_tries[i] != nullptr) {
+            overrides[i] = state->survivor_tries[i];
+            ++local.survivor_view_hits;
           }
         }
+      } else if (!AssignBags(probe->tw.decomposition, probe->dense, &atoms)) {
+        // Uncertified bag assignment: abandon the pass visibly (ran stays
+        // false) and drop any cached state rather than serving views that
+        // no schedule can maintain.
+        plan->semijoin.reset();
+      } else {
+        const std::vector<FilterStep> schedule = BuildFilterSchedule(atoms);
+        // The delta pass extends a *clean* cached state (every tuple of
+        // every atom survived) whose relations only appended since: all
+        // previously-present tuples provably survive again -- appends only
+        // ever grow semi-join key sets, so by induction along the schedule
+        // no filter can newly reject a tuple it previously kept -- and
+        // only the appended tuples need filtering, against the cached
+        // per-step key sets brought up to date in schedule order. That is
+        // O(delta . index work), with survivor sets (and therefore
+        // enumeration counters) identical to a from-scratch pass. A dirty
+        // state that mutated cannot be extended incrementally (an append
+        // could revive a previously dropped tuple), so it re-runs in full.
+        bool delta_ok = state != nullptr && state->clean() &&
+                        state->generations.size() == m &&
+                        state->step_keys.size() == schedule.size();
+        if (delta_ok) {
+          for (std::size_t i = 0; i < m; ++i) {
+            if (!rels[i]->AppendsOnlySince(state->generations[i])) {
+              delta_ok = false;
+              break;
+            }
+          }
+        }
+        if (delta_ok) {
+          std::vector<TupleView> delta(m);
+          std::vector<std::size_t> candidates(m, 0);
+          for (std::size_t i = 0; i < m; ++i) {
+            const std::size_t appended = static_cast<std::size_t>(
+                rels[i]->generation() - state->generations[i]);
+            const std::vector<Tuple>& tuples = rels[i]->tuples();
+            CollectSelfConsistent(atoms[i], tuples, tuples.size() - appended,
+                                  &delta[i]);
+            candidates[i] = delta[i].size();
+            local.delta_tuples_processed += appended;
+          }
+          Tuple key;
+          for (std::size_t s = 0; s < schedule.size(); ++s) {
+            const FilterStep& step = schedule[s];
+            std::unordered_set<Tuple, TupleHash>& keys = state->step_keys[s];
+            key.assign(step.src_pos.size(), 0);
+            for (const Tuple* t : delta[step.source]) {
+              for (std::size_t i = 0; i < step.src_pos.size(); ++i) {
+                key[i] = (*t)[step.src_pos[i]];
+              }
+              keys.insert(key);
+            }
+            if (delta[step.target].empty()) continue;
+            TupleView kept;
+            kept.reserve(delta[step.target].size());
+            for (const Tuple* t : delta[step.target]) {
+              for (std::size_t i = 0; i < step.tgt_pos.size(); ++i) {
+                key[i] = (*t)[step.tgt_pos[i]];
+              }
+              if (keys.count(key)) kept.push_back(t);
+            }
+            delta[step.target] = std::move(kept);
+          }
+          local.semijoin_pass_ran = true;
+          bool dirty = false;
+          for (std::size_t i = 0; i < m; ++i) {
+            const std::size_t appended = static_cast<std::size_t>(
+                rels[i]->generation() - state->generations[i]);
+            state->generations[i] = rels[i]->generation();
+            const std::size_t dropped = candidates[i] - delta[i].size();
+            if (dropped == 0) continue;
+            local.semijoin_dropped_tuples += dropped;
+            dirty = true;
+            // The atom's survivors are every previously-present tuple (all
+            // survive: the state was clean) plus the delta survivors; the
+            // trie constructor re-applies the self-consistency filter to
+            // the old prefix.
+            const std::vector<Tuple>& tuples = rels[i]->tuples();
+            TupleView view;
+            view.reserve(tuples.size());
+            for (std::size_t j = 0; j < tuples.size() - appended; ++j) {
+              view.push_back(&tuples[j]);
+            }
+            view.insert(view.end(), delta[i].begin(), delta[i].end());
+            state->all_survive[i] = false;
+            state->survivor_tries[i] = build_survivor_trie(i, view);
+            overrides[i] = state->survivor_tries[i];
+          }
+          if (dirty) state->step_keys.clear();
+        } else {
+          // Full pass: collect every atom's survivors and run the
+          // schedule, capturing the per-step key sets into a fresh state
+          // (the sets the pass builds anyway, persisted for the next
+          // delta).
+          for (std::size_t i = 0; i < m; ++i) {
+            atoms[i].tuples.reserve(rels[i]->size());
+            CollectSelfConsistent(atoms[i], rels[i]->tuples(), 0,
+                                  &atoms[i].tuples);
+            atoms[i].initial = atoms[i].tuples.size();
+          }
+          auto fresh = std::make_unique<EvalContext::SemijoinState>();
+          RunFullPass(schedule, &atoms, &fresh->step_keys);
+          local.semijoin_pass_ran = true;
+          fresh->generations.reserve(m);
+          for (const Relation* rel : rels) {
+            fresh->generations.push_back(rel->generation());
+          }
+          fresh->all_survive.assign(m, true);
+          fresh->survivor_tries.assign(m, nullptr);
+          bool dirty = false;
+          for (std::size_t i = 0; i < m; ++i) {
+            const std::size_t dropped =
+                atoms[i].initial - atoms[i].tuples.size();
+            if (dropped == 0) continue;  // full-relation trie stays usable
+            local.semijoin_dropped_tuples += dropped;
+            fresh->all_survive[i] = false;
+            fresh->survivor_tries[i] = build_survivor_trie(i, atoms[i].tuples);
+            overrides[i] = fresh->survivor_tries[i];
+            dirty = true;
+          }
+          // A dirty state still serves the survivor-view cache (reuse on
+          // matching generations) but cannot be delta-extended; its key
+          // sets would go stale the moment a dropped tuple revived.
+          if (dirty) fresh->step_keys.clear();
+          plan->semijoin = std::move(fresh);
+        }
+      }
+    } else if (AssignBags(probe->tw.decomposition, probe->dense, &atoms)) {
+      // No context: the transient pass, exactly the cold path minus the
+      // capture and the published state.
+      for (std::size_t i = 0; i < m; ++i) {
+        atoms[i].tuples.reserve(rels[i]->size());
+        CollectSelfConsistent(atoms[i], rels[i]->tuples(), 0,
+                              &atoms[i].tuples);
+        atoms[i].initial = atoms[i].tuples.size();
+      }
+      const std::vector<FilterStep> schedule = BuildFilterSchedule(atoms);
+      RunFullPass(schedule, &atoms, nullptr);
+      local.semijoin_pass_ran = true;
+      for (std::size_t i = 0; i < m; ++i) {
+        const std::size_t dropped = atoms[i].initial - atoms[i].tuples.size();
+        if (dropped == 0) continue;
+        local.semijoin_dropped_tuples += dropped;
+        overrides[i] = build_survivor_trie(i, atoms[i].tuples);
       }
     }
   } else {

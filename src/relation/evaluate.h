@@ -116,11 +116,35 @@ struct EvalStats {
   /// abandoned it -- previously that abandonment was silent and the stats
   /// read as if the hybrid had engaged.
   bool semijoin_pass_ran = false;
-  /// Hybrid plan only: true iff the pass was skipped because a previous
-  /// pass under the same cached plan dropped nothing and every atom
-  /// relation generation is unchanged since -- re-running it would
-  /// provably drop nothing again.
+  /// Hybrid plan only: true iff the pass was skipped because the cached
+  /// semi-join state's generation vector matches every atom relation's
+  /// current generation -- the previous pass's outcome (clean or not) is
+  /// still exact, so its survivor views are reused outright
+  /// (survivor_view_hits counts the atoms that reused a cached survivor
+  /// trie).
   bool semijoin_pass_skipped = false;
+  /// Trie tier: cache misses served by *patching* a cached trie -- the
+  /// relation only appended tuples since the cached build, so the new trie
+  /// was produced by merging the sorted delta into the cached key stream
+  /// instead of sorting the whole relation. Every patch also counts in
+  /// trie_cache_misses (a patched trie is still a rebuilt object).
+  std::size_t trie_patches = 0;
+  /// Trie tier: cache misses (and no-context transient builds) that ran the
+  /// full from-scratch relation sort -- cold entries, or stale entries whose
+  /// relation saw a structural mutation (Remove/Clear) since the cached
+  /// build. trie_patches + trie_rebuilds <= trie_cache_misses: survivor-view
+  /// tries built by the hybrid's reduction pass count as misses only.
+  std::size_t trie_rebuilds = 0;
+  /// Hybrid plan only: atoms whose enumeration reused the cached semi-join
+  /// survivor view (survivor trie) from a previous pass under the same
+  /// plan, keyed by the atom relations' generation vector -- no re-filter,
+  /// no survivor-trie rebuild.
+  std::size_t survivor_view_hits = 0;
+  /// Appended tuples routed through a delta path this call: tuples merged
+  /// into patched tries plus delta candidates filtered by the incremental
+  /// semi-join pass (the "k" in the O(k . index work) cost of a small
+  /// insert).
+  std::size_t delta_tuples_processed = 0;
   /// Generic join: sibling scans truncated by the projection-aware early
   /// exit -- once the bound prefix covers every head variable, a single
   /// witness of the remaining variables suffices, so the search returns as
@@ -215,14 +239,20 @@ Result<Relation> EvaluateGenericJoin(const Query& query, const Database& db,
 /// elimination order. Otherwise it is exactly EvaluateGenericJoin over
 /// DefaultGenericJoinOrder. The reduction is zero-copy: atoms that lost
 /// tuples hand a borrowed filtered view of their survivors straight to
-/// trie construction (no reduced Relation is ever materialized), and with
-/// `ctx` attached the pass itself is skipped when a previous pass under
-/// the same plan dropped nothing and no relation generation moved since
-/// (EvalStats::semijoin_pass_skipped). Atoms untouched by the reduction
-/// still use `ctx`-cached tries; reduced atoms get transient tries
-/// (counted as misses). A fully warm run on unchanged generations
-/// therefore performs zero TreewidthExact calls, zero semi-joins, zero
-/// trie builds, and zero tuple copies.
+/// trie construction (no reduced Relation is ever materialized). With
+/// `ctx` attached the pass is delta-maintained (docs/EVALUATION.md "Delta
+/// maintenance"): the plan caches the last pass's outcome keyed by the
+/// atom relations' generation vector, so a run on matching generations
+/// skips the pass and reuses the cached survivor views outright
+/// (EvalStats::semijoin_pass_skipped / survivor_view_hits), and a run
+/// after appends-only mutations of a clean state filters just the
+/// appended tuples against cached per-step key sets
+/// (EvalStats::delta_tuples_processed) instead of re-scanning the
+/// database. Atoms untouched by the reduction still use `ctx`-cached
+/// tries; freshly built survivor tries are counted as misses. A fully
+/// warm run on unchanged generations therefore performs zero
+/// TreewidthExact calls, zero semi-joins, zero trie builds, and zero
+/// tuple copies.
 Result<Relation> EvaluateHybridYannakakis(const Query& query,
                                           const Database& db,
                                           EvalContext* ctx = nullptr,

@@ -1,5 +1,6 @@
 #include "relation/relation.h"
 
+#include <algorithm>
 #include <map>
 #include <set>
 
@@ -11,6 +12,25 @@ bool Relation::Insert(const Tuple& t) {
   tuples_.push_back(t);
   ++generation_;
   return true;
+}
+
+bool Relation::Remove(const Tuple& t) {
+  CQB_CHECK(static_cast<int>(t.size()) == arity_);
+  if (index_.erase(t) == 0) return false;
+  auto it = std::find(tuples_.begin(), tuples_.end(), t);
+  CQB_CHECK(it != tuples_.end());
+  tuples_.erase(it);
+  ++generation_;
+  append_floor_ = generation_;
+  return true;
+}
+
+void Relation::Clear() {
+  if (tuples_.empty()) return;
+  tuples_.clear();
+  index_.clear();
+  ++generation_;
+  append_floor_ = generation_;
 }
 
 Relation Relation::Project(const std::vector<int>& positions,

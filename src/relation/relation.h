@@ -27,15 +27,37 @@ class Relation {
   std::size_t size() const { return tuples_.size(); }
   bool empty() const { return tuples_.empty(); }
 
-  /// Mutation counter: bumped every time a tuple is actually inserted (a
-  /// duplicate Insert leaves it unchanged). Index caches (EvalContext in
-  /// eval_context.h) snapshot it at build time and rebuild when it moves --
-  /// generation-based invalidation instead of content hashing.
+  /// Mutation counter: bumped every time the instance actually changes (a
+  /// duplicate Insert or a Remove of an absent tuple leaves it unchanged).
+  /// Index caches (EvalContext in eval_context.h) snapshot it at build time
+  /// and refresh when it moves -- generation-based invalidation instead of
+  /// content hashing.
   std::uint64_t generation() const { return generation_; }
+
+  /// Delta journal: true iff every change between generation `gen` and now
+  /// was an append. In that case the tuples appended since `gen` are exactly
+  /// the last `generation() - gen` elements of tuples() (appends never
+  /// reorder the stable prefix), so a reader holding a snapshot taken at
+  /// `gen` can patch its index from that suffix instead of rebuilding.
+  /// Remove/Clear advance the append floor, so any structural mutation since
+  /// `gen` makes this false and forces the full-rebuild path.
+  bool AppendsOnlySince(std::uint64_t gen) const {
+    return gen >= append_floor_ && gen <= generation_;
+  }
 
   /// Inserts `t` if not present; returns true if inserted. Aborts if the
   /// arity does not match (a programming error, not a data error).
   bool Insert(const Tuple& t);
+
+  /// Removes `t` if present; returns true if removed. Preserves the order of
+  /// the remaining tuples. A removal is a structural mutation: it bumps the
+  /// generation AND the append floor, so delta consumers fall back to a full
+  /// rebuild (AppendsOnlySince() goes false for older snapshots).
+  bool Remove(const Tuple& t);
+
+  /// Drops every tuple. Bumps the generation and the append floor unless the
+  /// relation was already empty.
+  void Clear();
 
   bool Contains(const Tuple& t) const { return index_.count(t) > 0; }
 
@@ -60,6 +82,9 @@ class Relation {
   std::vector<Tuple> tuples_;
   std::unordered_set<Tuple, TupleHash> index_;
   std::uint64_t generation_ = 0;
+  // Generation value as of the last structural (non-append) mutation; a
+  // snapshot generation >= this floor saw the current tuple prefix intact.
+  std::uint64_t append_floor_ = 0;
 };
 
 }  // namespace cqbounds

@@ -21,17 +21,22 @@ bool TrieIndex::ExtractKey(const Tuple& t,
 void TrieIndex::BuildFromKeys(std::vector<Tuple>* keys, int depth) {
   std::sort(keys->begin(), keys->end());
   keys->erase(std::unique(keys->begin(), keys->end()), keys->end());
-  num_tuples_ = keys->size();
+  BuildFromSortedKeys(*keys, depth);
+}
+
+void TrieIndex::BuildFromSortedKeys(const std::vector<Tuple>& keys,
+                                    int depth) {
+  num_tuples_ = keys.size();
 
   // One scan over the sorted keys builds every level: key i opens new nodes
   // at all levels past its common prefix with key i-1. A node's first-child
   // offset is recorded at creation (the next level's current size); the
   // trailing sentinel closes the last node of each level.
   levels_.resize(depth);
-  for (std::size_t i = 0; i < keys->size(); ++i) {
+  for (std::size_t i = 0; i < keys.size(); ++i) {
     int split = 0;
     if (i > 0) {
-      while (split < depth && (*keys)[i][split] == (*keys)[i - 1][split]) {
+      while (split < depth && keys[i][split] == keys[i - 1][split]) {
         ++split;
       }
     }
@@ -39,11 +44,42 @@ void TrieIndex::BuildFromKeys(std::vector<Tuple>* keys, int depth) {
       if (l + 1 < depth) {
         levels_[l].child_begin.push_back(levels_[l + 1].values.size());
       }
-      levels_[l].values.push_back((*keys)[i][l]);
+      levels_[l].values.push_back(keys[i][l]);
     }
   }
   for (int l = 0; l + 1 < depth; ++l) {
     levels_[l].child_begin.push_back(levels_[l + 1].values.size());
+  }
+}
+
+void TrieIndex::EnumerateKeys(std::vector<Tuple>* out) const {
+  const int depth = num_levels();
+  if (depth == 0 || levels_[0].values.empty()) return;
+  // Iterative DFS over the flat levels. stack[l] is the current node index
+  // at level l; advancing past a node's sibling range pops back to level
+  // l-1. Nodes within a sibling range are sorted and sibling ranges follow
+  // parent order, so the walk emits keys in lexicographic order.
+  std::vector<std::size_t> stack(static_cast<std::size_t>(depth));
+  std::vector<Range> ranges(static_cast<std::size_t>(depth));
+  Tuple key(static_cast<std::size_t>(depth));
+  ranges[0] = RootRange();
+  stack[0] = 0;
+  int l = 0;
+  while (l >= 0) {
+    if (stack[l] >= ranges[l].end) {
+      --l;
+      if (l >= 0) ++stack[l];
+      continue;
+    }
+    key[l] = levels_[l].values[stack[l]];
+    if (l + 1 < depth) {
+      ranges[l + 1] = ChildRange(l, stack[l]);
+      stack[l + 1] = ranges[l + 1].begin;
+      ++l;
+    } else {
+      out->push_back(key);
+      ++stack[l];
+    }
   }
 }
 
@@ -81,6 +117,53 @@ TrieIndex::TrieIndex(const std::vector<const Tuple*>& tuples,
     if (ExtractKey(*t, level_positions, &key)) keys.push_back(key);
   }
   BuildFromKeys(&keys, depth);
+}
+
+TrieIndex::TrieIndex(const TrieIndex& base,
+                     const std::vector<const Tuple*>& appended,
+                     const std::vector<std::vector<int>>& level_positions) {
+  const int depth = static_cast<int>(level_positions.size());
+  CQB_CHECK(base.num_levels() == depth);
+  if (depth == 0) {
+    num_tuples_ = (base.num_tuples_ != 0 || !appended.empty()) ? 1 : 0;
+    return;
+  }
+
+  // Delta keys: extract, sort, dedup -- O(k log k) for k appended tuples.
+  std::vector<Tuple> delta;
+  delta.reserve(appended.size());
+  Tuple key(static_cast<std::size_t>(depth));
+  for (const Tuple* t : appended) {
+    if (ExtractKey(*t, level_positions, &key)) delta.push_back(key);
+  }
+  std::sort(delta.begin(), delta.end());
+  delta.erase(std::unique(delta.begin(), delta.end()), delta.end());
+
+  // Base keys come out of the DFS already sorted and deduplicated; a single
+  // merge (dropping delta keys already present) yields the combined sorted
+  // key stream without ever comparison-sorting the base.
+  std::vector<Tuple> base_keys;
+  base_keys.reserve(base.num_tuples_);
+  base.EnumerateKeys(&base_keys);
+
+  std::vector<Tuple> merged;
+  merged.reserve(base_keys.size() + delta.size());
+  std::size_t bi = 0;
+  std::size_t di = 0;
+  while (bi < base_keys.size() && di < delta.size()) {
+    if (base_keys[bi] < delta[di]) {
+      merged.push_back(std::move(base_keys[bi++]));
+    } else if (delta[di] < base_keys[bi]) {
+      merged.push_back(std::move(delta[di++]));
+    } else {
+      merged.push_back(std::move(base_keys[bi++]));
+      ++di;  // Duplicate of an existing key: set semantics, no growth.
+    }
+  }
+  while (bi < base_keys.size()) merged.push_back(std::move(base_keys[bi++]));
+  while (di < delta.size()) merged.push_back(std::move(delta[di++]));
+
+  BuildFromSortedKeys(merged, depth);
 }
 
 std::size_t TrieIndex::SeekGE(int level, Range r, Value v) const {

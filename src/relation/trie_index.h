@@ -54,6 +54,19 @@ class TrieIndex {
   TrieIndex(const std::vector<const Tuple*>& tuples,
             const std::vector<std::vector<int>>& level_positions);
 
+  /// Patch constructor: builds the trie for `base`'s key set plus the keys of
+  /// `appended` (extracted with the same `level_positions` layout `base` was
+  /// built with). `base` is never modified -- the patched trie is a fresh
+  /// object, so readers holding shared_ptrs to `base` are unaffected (the
+  /// EvalContext concurrency contract). Cost is O(base + k log k) copies for
+  /// k appended tuples: the base's keys are enumerated already sorted
+  /// (a DFS over its flat levels) and merged with the sorted delta in one
+  /// pass, skipping the O(n log n) comparison sort a from-scratch build pays.
+  /// Set semantics hold across the merge: a delta key already present in
+  /// `base` does not grow the trie.
+  TrieIndex(const TrieIndex& base, const std::vector<const Tuple*>& appended,
+            const std::vector<std::vector<int>>& level_positions);
+
   /// Number of key levels (the atom's distinct-variable count).
   int num_levels() const { return static_cast<int>(levels_.size()); }
 
@@ -98,9 +111,19 @@ class TrieIndex {
                          const std::vector<std::vector<int>>& level_positions,
                          Tuple* key);
 
-  /// Sorts and dedups `keys`, then builds the per-level arrays. Shared tail
-  /// of both constructors; `keys` is consumed.
+  /// Sorts and dedups `keys`, then builds the per-level arrays via
+  /// BuildFromSortedKeys. Shared tail of the from-scratch constructors;
+  /// `keys` is consumed.
   void BuildFromKeys(std::vector<Tuple>* keys, int depth);
+
+  /// Builds the per-level arrays from an already sorted, deduplicated key
+  /// sequence (the single-scan core of BuildFromKeys, exposed so the patch
+  /// constructor's merge can feed it directly).
+  void BuildFromSortedKeys(const std::vector<Tuple>& keys, int depth);
+
+  /// Appends every key tuple of this trie, in lexicographic order, to `out`
+  /// (an iterative DFS over the flat levels -- no comparisons, no sort).
+  void EnumerateKeys(std::vector<Tuple>* out) const;
 
   std::vector<Level> levels_;
   std::size_t num_tuples_ = 0;

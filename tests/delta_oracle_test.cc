@@ -1,0 +1,387 @@
+// Perft-style oracle for incremental (delta) evaluation: a long-lived
+// EvalContext accumulates patched tries, cached plans, and semi-join
+// survivor state across randomized mutation scripts, and after *every*
+// mutation step, every plan evaluated through it must be byte-identical --
+// output set and the result-shaped counters (output_size, intermediate
+// profile, and, whenever a pass actually ran, semijoin_dropped_tuples) --
+// to an evaluation through a freshly constructed from-scratch context.
+// The mutation vocabulary (append / bulk-append / remove / clear) comes
+// from tests/mutation_harness.h, shared with plan_cache_test.cc; like a
+// chess engine's perft, a divergence pinpoints the exact seed + round +
+// ops that broke the incremental bookkeeping.
+//
+// On top of exactness the suite asserts the delta machinery's reason to
+// exist: on an appends-only script a warm context never rebuilds a trie
+// from scratch (trie_rebuilds == 0 after warmup -- every refresh is a
+// patch), and deterministic degenerate cases cover duplicate appends (set
+// semantics make them free), appends to an initially empty relation,
+// depth-0 (nullary) patches, and partial generation-vector bumps
+// invalidating survivor-view reuse. DeltaOracleConcurrencyTest alternates
+// writer phases with parallel reader phases (the readers-xor-writer
+// contract) and rides the TSan CI leg.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cq/parser.h"
+#include "cq/random_query.h"
+#include "relation/eval_context.h"
+#include "relation/evaluate.h"
+#include "relation/generator.h"
+#include "mutation_harness.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace cqbounds {
+namespace {
+
+using testutil::ApplyMutation;
+using testutil::ExpectSameRelation;
+using testutil::kAllPlans;
+using testutil::MutationOp;
+using testutil::RandomMutationOp;
+using testutil::ScriptTrace;
+
+/// Asserts the warm (delta-maintained) run matches the from-scratch run on
+/// everything a caller can observe about the *result*: the tuple set and
+/// the data-dependent counters. Cache-shaped counters (hits, misses,
+/// patches, survivor_view_hits) legitimately differ between a warm and a
+/// cold context and are checked by invariant instead.
+void ExpectSameOutcome(const Relation& want, const EvalStats& want_stats,
+                       const Relation& got, const EvalStats& got_stats,
+                       const std::string& context) {
+  ExpectSameRelation(want, got, context);
+  EXPECT_EQ(got_stats.output_size, want_stats.output_size) << context;
+  EXPECT_EQ(got_stats.max_intermediate, want_stats.max_intermediate)
+      << context;
+  EXPECT_EQ(got_stats.total_intermediate, want_stats.total_intermediate)
+      << context;
+  EXPECT_EQ(got_stats.intermediate_sizes, want_stats.intermediate_sizes)
+      << context;
+  // A delta pass extends a clean state, whose previously-present tuples all
+  // survive a from-scratch pass too -- so when the warm run actually ran a
+  // pass (delta or full), it must report the same drop count the cold run
+  // computed from nothing.
+  if (got_stats.semijoin_pass_ran) {
+    EXPECT_EQ(got_stats.semijoin_dropped_tuples,
+              want_stats.semijoin_dropped_tuples)
+        << context;
+  }
+  // Counter taxonomy invariants (docs/EVALUATION.md): every patch and every
+  // rebuild is a miss (survivor-trie builds are misses only), and a cold
+  // context can never have patched.
+  EXPECT_LE(got_stats.trie_patches + got_stats.trie_rebuilds,
+            got_stats.trie_cache_misses)
+      << context;
+  EXPECT_EQ(want_stats.trie_patches, 0u) << context;
+}
+
+// --- The randomized oracle -------------------------------------------------
+
+class DeltaOracleTest : public ::testing::TestWithParam<int> {};
+
+// 2 trials x 125 rounds x 4 plans = 1000 mutation/evaluation
+// interleavings per seed, every one cross-checked against a from-scratch
+// context. Every ~16th round evaluates the four plans *concurrently*
+// through the shared warm context (distinct EvalStats per thread, as the
+// contract requires) before the serial cross-check.
+TEST_P(DeltaOracleTest, MutationScriptsMatchFromScratchOracle) {
+  const std::uint64_t seed = GetParam() * 7919 + 17;
+  Rng rng(seed);
+  ThreadPool pool(3);
+  for (int trial = 0; trial < 2; ++trial) {
+    RandomQueryOptions options;
+    options.num_variables = 2 + static_cast<int>(rng.NextBelow(4));
+    options.num_atoms = 2 + static_cast<int>(rng.NextBelow(3));
+    options.max_arity = 2;
+    options.random_projection = true;
+    Query q = RandomQuery(options, &rng);
+    RandomDatabaseOptions opts;
+    opts.seed = rng.Next();
+    opts.tuples_per_relation = 10;
+    opts.domain_size = 4;
+    Database db = RandomDatabase(q, opts);
+    EvalContext delta_ctx(db);
+
+    std::set<std::string> body_rels;
+    for (const Atom& atom : q.atoms()) body_rels.insert(atom.relation);
+
+    // True once any remove/clear actually changed a relation: the rebuild
+    // freedom assertion below only holds on appends-only history.
+    bool structural_seen = false;
+
+    for (int round = 0; round < 125; ++round) {
+      std::vector<MutationOp> round_ops;
+      if (round > 0) {
+        for (const std::string& name : body_rels) {
+          if (rng.NextBelow(4) == 0) continue;
+          Relation* rel = db.FindMutable(name);
+          ASSERT_NE(rel, nullptr);
+          round_ops.push_back(RandomMutationOp(*rel, opts.domain_size,
+                                               /*allow_structural=*/true,
+                                               &rng));
+          const MutationOp& op = round_ops.back();
+          const bool changed = ApplyMutation(op, &db);
+          if (changed && (op.kind == MutationOp::Kind::kRemove ||
+                          op.kind == MutationOp::Kind::kClear)) {
+            structural_seen = true;
+          }
+        }
+      }
+      SCOPED_TRACE(ScriptTrace(seed, round, round_ops));
+      SCOPED_TRACE("query " + q.ToString());
+
+      // Warm evaluations through the long-lived context, concurrently on
+      // every ~16th round (readers only -- the mutations above finished).
+      std::vector<std::optional<Result<Relation>>> got(4);
+      std::vector<EvalStats> got_stats(4);
+      if (round % 16 == 15) {
+        pool.ParallelFor(4, [&](std::size_t i) {
+          got[i] = EvaluateQuery(q, db, kAllPlans[i], &delta_ctx,
+                                 /*pool=*/nullptr, &got_stats[i]);
+        });
+      } else {
+        for (std::size_t i = 0; i < 4; ++i) {
+          got[i] = EvaluateQuery(q, db, kAllPlans[i], &delta_ctx,
+                                 /*pool=*/nullptr, &got_stats[i]);
+        }
+      }
+
+      for (std::size_t i = 0; i < 4; ++i) {
+        const PlanKind kind = kAllPlans[i];
+        const std::string tag = std::string("plan ") + PlanKindName(kind);
+        ASSERT_TRUE(got[i].has_value() && got[i]->ok()) << tag;
+
+        // The from-scratch oracle: a cold context rebuilt from nothing.
+        EvalContext fresh_ctx(db);
+        EvalStats want_stats;
+        auto want =
+            EvaluateQuery(q, db, kind, &fresh_ctx, /*pool=*/nullptr,
+                          &want_stats);
+        ASSERT_TRUE(want.ok()) << tag;
+        ExpectSameOutcome(*want, want_stats, *got[i].value(), got_stats[i],
+                          tag);
+
+        // The delta guarantee: once every layout is cached (round 0 warms
+        // the plan), an appends-only history never forces a from-scratch
+        // trie rebuild -- every refresh is a patch. Asserted for the
+        // generic join only: the hybrid's survivor-trie overrides bypass
+        // the trie tier, so an atom that dropped tuples in an earlier
+        // round may legitimately cold-build its cache entry later.
+        if (round > 0 && !structural_seen && kind == PlanKind::kGenericJoin) {
+          EXPECT_EQ(got_stats[i].trie_rebuilds, 0u) << tag;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeltaOracleTest, ::testing::Range(1, 9));
+
+// --- Deterministic degenerate cases ----------------------------------------
+
+TEST(DeltaDegenerateTest, DuplicateAppendIsFreeUnderSetSemantics) {
+  auto q = ParseQuery("Q(X,Z) :- R(X,Y), S(Y,Z).");
+  ASSERT_TRUE(q.ok());
+  Database db;
+  Relation* r = db.AddRelation("R", 2);
+  Relation* s = db.AddRelation("S", 2);
+  for (int i = 0; i < 4; ++i) {
+    r->Insert({i, i + 1});
+    s->Insert({i + 1, i + 2});
+  }
+  EvalContext ctx(db);
+  EvalStats stats;
+  auto before = EvaluateQuery(*q, db, PlanKind::kGenericJoin, &ctx, &stats);
+  ASSERT_TRUE(before.ok());
+  ASSERT_GT(stats.trie_cache_misses, 0u);
+
+  // Set semantics: re-inserting an existing tuple is a no-op that must not
+  // move the generation -- the cached tries stay exact, no patch happens.
+  MutationOp dup;
+  dup.kind = MutationOp::Kind::kAppend;
+  dup.relation = "R";
+  dup.tuples.push_back({0, 1});
+  EXPECT_FALSE(ApplyMutation(dup, &db));
+
+  auto after = EvaluateQuery(*q, db, PlanKind::kGenericJoin, &ctx, &stats);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(stats.trie_cache_misses, 0u);
+  EXPECT_EQ(stats.trie_patches, 0u);
+  EXPECT_EQ(stats.trie_rebuilds, 0u);
+  EXPECT_EQ(stats.delta_tuples_processed, 0u);
+  ExpectSameRelation(*before, *after, "duplicate append changed the result");
+}
+
+TEST(DeltaDegenerateTest, AppendToEmptyRelationPatchesFromEmptyBase) {
+  auto q = ParseQuery("Q(X,Z) :- R(X,Y), S(Y,Z).");
+  ASSERT_TRUE(q.ok());
+  Database db;
+  Relation* r = db.AddRelation("R", 2);
+  Relation* s = db.AddRelation("S", 2);
+  s->Insert({1, 2});
+  EvalContext ctx(db);
+  EvalStats stats;
+  // Cold run over the empty R caches an empty trie for it -- and only for
+  // it: an empty atom short-circuits the remaining trie builds, so S stays
+  // uncached.
+  auto empty = EvaluateQuery(*q, db, PlanKind::kGenericJoin, &ctx, &stats);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty->size(), 0u);
+  EXPECT_EQ(stats.trie_rebuilds, 1u);
+
+  // The first-ever tuple arrives as a delta against the empty base: R is
+  // patched, never rebuilt; the one rebuild is S's first-ever (cold) build.
+  ASSERT_TRUE(r->Insert({0, 1}));
+  auto grown = EvaluateQuery(*q, db, PlanKind::kGenericJoin, &ctx, &stats);
+  ASSERT_TRUE(grown.ok());
+  EXPECT_EQ(grown->size(), 1u);
+  EXPECT_TRUE(grown->Contains({0, 2}));
+  EXPECT_EQ(stats.trie_patches, 1u);
+  EXPECT_EQ(stats.trie_rebuilds, 1u);
+  EXPECT_GE(stats.delta_tuples_processed, 1u);
+}
+
+TEST(DeltaDegenerateTest, NullaryAtomPatchFlipsTheBooleanGuard) {
+  // G() is a depth-0 trie: its patch carries no keys, only the empty/
+  // non-empty bit. Appending the empty tuple must flip the guard through
+  // the patch path, not a rebuild.
+  Query q;
+  const int x = q.InternVariable("X");
+  q.SetHead("Q", {x});
+  q.AddAtom("R", {x});
+  q.AddAtom("G", {});
+  ASSERT_TRUE(q.Validate().ok());
+  Database db;
+  Relation* r = db.AddRelation("R", 1);
+  Relation* g = db.AddRelation("G", 0);
+  r->Insert({7});
+  EvalContext ctx(db);
+  EvalStats stats;
+  auto gated = EvaluateQuery(q, db, PlanKind::kGenericJoin, &ctx, &stats);
+  ASSERT_TRUE(gated.ok());
+  EXPECT_EQ(gated->size(), 0u);
+
+  ASSERT_TRUE(g->Insert({}));
+  auto open = EvaluateQuery(q, db, PlanKind::kGenericJoin, &ctx, &stats);
+  ASSERT_TRUE(open.ok());
+  EXPECT_EQ(open->size(), 1u);
+  EXPECT_TRUE(open->Contains({7}));
+  EXPECT_GE(stats.trie_patches, 1u);
+  EXPECT_EQ(stats.trie_rebuilds, 0u);
+}
+
+TEST(DeltaDegenerateTest, PartialGenerationBumpInvalidatesSurvivorViews) {
+  // A dirty survivor-view state (R holds a dangling tuple) keyed by the
+  // generation vector: bumping only S must invalidate the reuse -- a
+  // partial match is no match -- and, because the state is dirty, force a
+  // full re-pass rather than a delta extension.
+  auto q = ParseQuery("Q(X,Z) :- R(X,Y), S(Y,Z).");
+  ASSERT_TRUE(q.ok());
+  Database db;
+  Relation* r = db.AddRelation("R", 2);
+  Relation* s = db.AddRelation("S", 2);
+  r->Insert({1, 2});
+  r->Insert({8, 9});  // dangling: no S tuple starts with 9
+  s->Insert({2, 3});
+  EvalContext ctx(db);
+
+  EvalStats stats;
+  auto first = EvaluateQuery(*q, db, PlanKind::kHybridYannakakis, &ctx,
+                             &stats);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(stats.semijoin_pass_ran);
+  ASSERT_EQ(stats.semijoin_dropped_tuples, 1u);
+
+  // Unchanged generation vector: survivor views are reused outright.
+  auto reused = EvaluateQuery(*q, db, PlanKind::kHybridYannakakis, &ctx,
+                              &stats);
+  ASSERT_TRUE(reused.ok());
+  EXPECT_TRUE(stats.semijoin_pass_skipped);
+  EXPECT_GE(stats.survivor_view_hits, 1u);
+
+  // Partial bump: S moves, R does not. The cached state is dirty, so no
+  // delta extension is allowed either -- the pass re-runs in full and
+  // re-counts the (still dangling) drop.
+  ASSERT_TRUE(s->Insert({9, 4}));
+  auto bumped = EvaluateQuery(*q, db, PlanKind::kHybridYannakakis, &ctx,
+                              &stats);
+  ASSERT_TRUE(bumped.ok());
+  EXPECT_FALSE(stats.semijoin_pass_skipped);
+  EXPECT_TRUE(stats.semijoin_pass_ran);
+  EXPECT_EQ(stats.survivor_view_hits, 0u);
+  // The append revived the previously dangling (8,9): nothing drops now.
+  EXPECT_EQ(stats.semijoin_dropped_tuples, 0u);
+  EXPECT_TRUE(bumped->Contains({8, 4}));
+
+  auto oracle = EvaluateQuery(*q, db, PlanKind::kNaive);
+  ASSERT_TRUE(oracle.ok());
+  ExpectSameRelation(*oracle, *bumped, "partial bump result");
+}
+
+// --- Concurrency: readers-xor-writer phases under TSan ---------------------
+
+// Alternates a writer phase (mutations, including the structural ops) with
+// a reader phase fanning the trie-based plans out across threads that
+// share the warm context -- the window where a stale entry is patched, a
+// survivor view rebuilt under skip_mu, and late arrivals reuse it. The CI
+// ThreadSanitizer job runs this suite by name.
+TEST(DeltaOracleConcurrencyTest, MutateBetweenParallelEvaluationPhases) {
+  const std::uint64_t seed = 0x5eedu;
+  Rng rng(seed);
+  auto q = ParseQuery("Q(X,Z) :- R(X,Y), S(Y,Z), T(Z,W).");
+  ASSERT_TRUE(q.ok());
+  Database db;
+  for (const char* name : {"R", "S", "T"}) {
+    Relation* rel = db.AddRelation(name, 2);
+    for (int i = 0; i < 12; ++i) {
+      rel->Insert({static_cast<Value>(rng.NextBelow(5)),
+                   static_cast<Value>(rng.NextBelow(5))});
+    }
+  }
+  EvalContext ctx(db);
+  ThreadPool pool(3);
+  constexpr PlanKind kTriePlans[] = {PlanKind::kGenericJoin,
+                                     PlanKind::kHybridYannakakis};
+
+  for (int phase = 0; phase < 12; ++phase) {
+    // Writer phase: exclusive by construction (no evaluation in flight).
+    std::vector<MutationOp> ops;
+    if (phase > 0) {
+      for (const char* name : {"R", "S", "T"}) {
+        Relation* rel = db.FindMutable(name);
+        ops.push_back(RandomMutationOp(*rel, 5, /*allow_structural=*/true,
+                                       &rng));
+        ApplyMutation(ops.back(), &db);
+      }
+    }
+    SCOPED_TRACE(ScriptTrace(seed, phase, ops));
+
+    auto oracle = EvaluateQuery(*q, db, PlanKind::kNaive);
+    ASSERT_TRUE(oracle.ok());
+
+    // Reader phase: 6 concurrent evaluations (3 per trie-based plan) race
+    // the same stale entries; each thread gets its own EvalStats.
+    std::vector<std::optional<Result<Relation>>> results(6);
+    std::vector<EvalStats> stats(6);
+    pool.ParallelFor(6, [&](std::size_t i) {
+      results[i] = EvaluateQuery(*q, db, kTriePlans[i % 2], &ctx,
+                                 /*pool=*/nullptr, &stats[i]);
+    });
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      ASSERT_TRUE(results[i].has_value() && results[i]->ok())
+          << "phase " << phase << " slot " << i;
+      ExpectSameRelation(*oracle, results[i]->ValueOrDie(),
+                         "phase " + std::to_string(phase) + " slot " +
+                             std::to_string(i));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cqbounds

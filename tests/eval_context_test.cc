@@ -370,8 +370,10 @@ TEST(PlanCacheTest, GenerationBumpForcesReReduceButNeverReProbes) {
   ASSERT_TRUE(s.semijoin_pass_ran);
 
   // A dangling tuple bumps R's generation: the cached plan survives (the
-  // probe depends only on the query shape), but the armed semi-join skip
-  // must not -- the pass re-runs and drops the new tuple.
+  // probe depends only on the query shape), but the cached survivor views
+  // must not be served as-is -- the pass re-runs (as an appends-only delta
+  // over the clean previous pass: one appended candidate filtered against
+  // the cached per-step key sets) and drops the new tuple.
   db.FindMutable("R")->Insert({42, 99999});
   EvalStats mutated;
   auto after = EvaluateQuery(*q, db, PlanKind::kHybridYannakakis, &ctx,
@@ -382,17 +384,23 @@ TEST(PlanCacheTest, GenerationBumpForcesReReduceButNeverReProbes) {
   EXPECT_FALSE(mutated.semijoin_pass_skipped);
   EXPECT_TRUE(mutated.semijoin_pass_ran);
   EXPECT_EQ(mutated.semijoin_dropped_tuples, 1u);
+  EXPECT_GE(mutated.delta_tuples_processed, 1u);
+  EXPECT_EQ(mutated.survivor_view_hits, 0u);
   ExpectSameRelation(*before, *after, "dangling tuple changes nothing");
 
-  // That pass dropped tuples, so the skip stays disarmed: warm runs on the
-  // dirty database keep re-reducing (they would re-drop the dangler).
+  // That pass dropped the dangler, but its outcome is cached keyed by the
+  // generation vector: warm runs on the unchanged-dirty database reuse the
+  // cached survivor view of R instead of re-reducing (they would only
+  // re-drop the same tuple).
   EvalStats again;
-  ASSERT_TRUE(
-      EvaluateQuery(*q, db, PlanKind::kHybridYannakakis, &ctx, &again).ok());
-  EXPECT_FALSE(again.semijoin_pass_skipped);
-  EXPECT_TRUE(again.semijoin_pass_ran);
-  EXPECT_EQ(again.semijoin_dropped_tuples, 1u);
+  auto warm = EvaluateQuery(*q, db, PlanKind::kHybridYannakakis, &ctx, &again);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(again.semijoin_pass_skipped);
+  EXPECT_FALSE(again.semijoin_pass_ran);
+  EXPECT_EQ(again.semijoin_dropped_tuples, 0u);
+  EXPECT_EQ(again.survivor_view_hits, 1u);
   EXPECT_EQ(again.treewidth_probe_runs, 0u);
+  ExpectSameRelation(*before, *warm, "survivor-view reuse changes nothing");
 }
 
 TEST(PlanCacheTest, PlannerAndExecutorShareTheCachedProbe) {
@@ -536,7 +544,13 @@ TEST(EvalStatsResetTest, ErrorPathsClearReusedStats) {
     ASSERT_FALSE(stats.intermediate_sizes.empty()) << PlanKindName(kind);
 
     // Second call errors (missing relation): the reused stats must not
-    // leak the previous run's counters.
+    // leak the previous run's counters. The delta counters are seeded with
+    // garbage first -- a successful context-free run leaves them zero, so
+    // without the seeding a missing reset would be invisible.
+    stats.trie_patches = 99;
+    stats.trie_rebuilds = 99;
+    stats.survivor_view_hits = 99;
+    stats.delta_tuples_processed = 99;
     auto bad = ParseQuery("Q(X,Z) :- R(X,Y), Missing(Y,Z).");
     ASSERT_TRUE(bad.ok());
     EXPECT_FALSE(EvaluateQuery(*bad, db, kind, &stats).ok())
@@ -546,6 +560,10 @@ TEST(EvalStatsResetTest, ErrorPathsClearReusedStats) {
     EXPECT_EQ(stats.total_intermediate, 0u) << PlanKindName(kind);
     EXPECT_EQ(stats.indexed_tuples, 0u) << PlanKindName(kind);
     EXPECT_EQ(stats.intersection_seeks, 0u) << PlanKindName(kind);
+    EXPECT_EQ(stats.trie_patches, 0u) << PlanKindName(kind);
+    EXPECT_EQ(stats.trie_rebuilds, 0u) << PlanKindName(kind);
+    EXPECT_EQ(stats.survivor_view_hits, 0u) << PlanKindName(kind);
+    EXPECT_EQ(stats.delta_tuples_processed, 0u) << PlanKindName(kind);
     EXPECT_TRUE(stats.intermediate_sizes.empty()) << PlanKindName(kind);
   }
 
@@ -557,8 +575,12 @@ TEST(EvalStatsResetTest, ErrorPathsClearReusedStats) {
   ASSERT_GT(stats.output_size, 0u);
   std::vector<int> bad_order = DefaultGenericJoinOrder(*q);
   bad_order.pop_back();
+  stats.trie_patches = 99;
+  stats.delta_tuples_processed = 99;
   EXPECT_FALSE(EvaluateGenericJoin(*q, db, bad_order, &stats).ok());
   EXPECT_EQ(stats.output_size, 0u);
+  EXPECT_EQ(stats.trie_patches, 0u);
+  EXPECT_EQ(stats.delta_tuples_processed, 0u);
   EXPECT_TRUE(stats.intermediate_sizes.empty());
 }
 

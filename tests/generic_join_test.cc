@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <functional>
 #include <set>
 
 #include "core/color_number.h"
@@ -64,6 +65,83 @@ TEST(TrieIndexTest, ColumnPermutationAndRepeatedVariableFilter) {
   EXPECT_EQ(trie.ValueAt(0, 1), 5);
   EXPECT_EQ(trie.ValueAt(1, trie.ChildRange(0, 0).begin), 1);  // X under Y=2
   EXPECT_EQ(trie.ValueAt(1, trie.ChildRange(0, 1).begin), 4);  // X under Y=5
+}
+
+/// Every root-to-leaf key of `trie` in lexicographic (level) order, for
+/// comparing a patched trie against a from-scratch build.
+std::vector<Tuple> AllKeys(const TrieIndex& trie) {
+  std::vector<Tuple> keys;
+  if (trie.num_levels() == 0) return keys;
+  Tuple key(trie.num_levels());
+  std::function<void(int, TrieIndex::Range)> walk =
+      [&](int level, TrieIndex::Range range) {
+        for (std::size_t i = range.begin; i < range.end; ++i) {
+          key[level] = trie.ValueAt(level, i);
+          if (level + 1 == trie.num_levels()) {
+            keys.push_back(key);
+          } else {
+            walk(level + 1, trie.ChildRange(level, i));
+          }
+        }
+      };
+  walk(0, trie.RootRange());
+  return keys;
+}
+
+TEST(TrieIndexTest, PatchMatchesFromScratchRebuild) {
+  Relation r("R", 2);
+  for (Value v : {5, 1, 9, 3}) r.Insert({v, v * 10});
+  TrieIndex base(r, {{0}, {1}});
+
+  // Appends interleave with existing keys on both levels.
+  r.Insert({2, 20});
+  r.Insert({9, 5});   // new child under an existing level-0 value
+  r.Insert({11, 1});  // past the old maximum
+  const std::vector<Tuple>& tuples = r.tuples();
+  std::vector<const Tuple*> appended = {&tuples[4], &tuples[5], &tuples[6]};
+
+  TrieIndex patched(base, appended, {{0}, {1}});
+  TrieIndex scratch(r, {{0}, {1}});
+  EXPECT_EQ(patched.num_tuples(), scratch.num_tuples());
+  EXPECT_EQ(AllKeys(patched), AllKeys(scratch));
+  // The base is untouched (patching builds a fresh object).
+  EXPECT_EQ(base.num_tuples(), 4u);
+}
+
+TEST(TrieIndexTest, PatchIsSetSemanticAndFiltersSelfInconsistent) {
+  // Layout for R(X, Y, X): level 0 reads column 1, level 1 requires
+  // columns {0, 2} to agree.
+  Relation r("R", 3);
+  r.Insert({1, 2, 1});
+  r.Insert({4, 5, 4});
+  TrieIndex base(r, {{1}, {0, 2}});
+  ASSERT_EQ(base.num_tuples(), 2u);
+
+  // The delta repeats a base key, adds one genuinely new key, and carries a
+  // self-inconsistent tuple: the patch must grow by exactly one.
+  Tuple dup{1, 2, 1};
+  Tuple fresh{6, 7, 6};
+  Tuple inconsistent{8, 9, 1};
+  std::vector<const Tuple*> appended = {&dup, &fresh, &inconsistent};
+  TrieIndex patched(base, appended, {{1}, {0, 2}});
+  EXPECT_EQ(patched.num_tuples(), 3u);
+  EXPECT_EQ(AllKeys(patched),
+            (std::vector<Tuple>{{2, 1}, {5, 4}, {7, 6}}));
+}
+
+TEST(TrieIndexTest, PatchOnNullaryTrieFlipsEmptiness) {
+  Relation g("G", 0);
+  TrieIndex base(g, {});
+  EXPECT_EQ(base.num_levels(), 0);
+  EXPECT_EQ(base.num_tuples(), 0u);
+
+  // An empty delta keeps the guard closed; the empty tuple opens it.
+  TrieIndex still_empty(base, {}, {});
+  EXPECT_EQ(still_empty.num_tuples(), 0u);
+  Tuple empty_tuple{};
+  std::vector<const Tuple*> appended = {&empty_tuple};
+  TrieIndex open(base, appended, {});
+  EXPECT_EQ(open.num_tuples(), 1u);
 }
 
 TEST(TrieIndexTest, SeekGallopsWithinRange) {

@@ -2,17 +2,22 @@
 // interleaved mutation: relations mutate *between* warm evaluations, and
 // every plan must keep matching the naive oracle while the cached plan
 // keeps serving probe-free runs. The deterministic plan-tier unit tests
-// live in eval_context_test.cc; this suite hammers the invalidation
-// invariants the cache's correctness rests on:
+// live in eval_context_test.cc and the delta-maintenance oracle in
+// delta_oracle_test.cc; this suite hammers the invalidation invariants the
+// cache's correctness rests on:
 //
 //  - the plan entry itself never goes stale (it depends only on the query
 //    shape), so warm runs perform zero TreewidthExact calls even across
 //    mutations;
 //  - the semi-join skip is sound: the pass may only be skipped when *no*
 //    body relation generation moved since the last hybrid evaluation (a
-//    generation bump forces a re-reduce);
+//    generation bump forces a delta pass or a re-reduce);
 //  - the trie-based plans' intermediates stay within the AGM envelope
 //    rmax^{rho*(full join)} on every (mutated) instance.
+//
+// The mutation vocabulary (appends, bulk appends, removes, clears) and the
+// oracle comparison come from tests/mutation_harness.h, shared with
+// delta_oracle_test.cc.
 
 #include <gtest/gtest.h>
 
@@ -21,42 +26,27 @@
 #include <string>
 #include <vector>
 
-#include "core/color_number.h"
-#include "core/size_bounds.h"
 #include "cq/random_query.h"
 #include "relation/eval_context.h"
 #include "relation/evaluate.h"
 #include "relation/generator.h"
+#include "mutation_harness.h"
 #include "util/rng.h"
 
 namespace cqbounds {
 namespace {
 
-void ExpectSameRelation(const Relation& a, const Relation& b,
-                        const std::string& context) {
-  ASSERT_EQ(a.size(), b.size()) << context;
-  for (const Tuple& t : a.tuples()) {
-    EXPECT_TRUE(b.Contains(t)) << context;
-  }
-}
-
-/// rho*(full join): the fractional edge cover number of `query` with every
-/// body variable promoted into the head -- the AGM envelope exponent.
-Rational FullJoinCoverExponent(const Query& query) {
-  auto cover = FractionalEdgeCoverWeights(query, /*cover_all_body_vars=*/true);
-  CQB_CHECK(cover.ok());
-  return cover->value;
-}
-
-constexpr PlanKind kAllPlans[] = {PlanKind::kNaive, PlanKind::kJoinProject,
-                                  PlanKind::kGenericJoin,
-                                  PlanKind::kHybridYannakakis};
+using testutil::ExpectSameRelation;
+using testutil::FullJoinCoverExponent;
+using testutil::kAllPlans;
+using testutil::MutationOp;
 
 class PlanCacheInterleavedMutationTest
     : public ::testing::TestWithParam<int> {};
 
 TEST_P(PlanCacheInterleavedMutationTest, FourPlansStayCorrectAcrossMutation) {
-  Rng rng(GetParam() * 104729 + 31);
+  const std::uint64_t seed = GetParam() * 104729 + 31;
+  Rng rng(seed);
   for (int trial = 0; trial < 4; ++trial) {
     RandomQueryOptions options;
     options.num_variables = 2 + static_cast<int>(rng.NextBelow(4));
@@ -81,24 +71,24 @@ TEST_P(PlanCacheInterleavedMutationTest, FourPlansStayCorrectAcrossMutation) {
     bool mutated_since_last_hybrid = false;
 
     for (int round = 0; round < 4; ++round) {
+      std::vector<MutationOp> round_ops;
       if (round > 0) {
-        // Mutate between warm evaluations: a few random tuples into a
-        // couple of body relations (values inside the active domain so the
-        // join results actually change).
+        // Mutate between warm evaluations: random ops against a couple of
+        // body relations (values inside the active domain so the join
+        // results actually change), including the structural removes and
+        // clears that force trie rebuilds and full re-reductions.
         for (const std::string& name : body_rels) {
           if (rng.NextBelow(2) == 0) continue;
           Relation* rel = db.FindMutable(name);
           ASSERT_NE(rel, nullptr);
-          const int inserts = 1 + static_cast<int>(rng.NextBelow(3));
-          for (int i = 0; i < inserts; ++i) {
-            Tuple t(rel->arity());
-            for (int p = 0; p < rel->arity(); ++p) {
-              t[p] = static_cast<Value>(rng.NextBelow(opts.domain_size));
-            }
-            if (rel->Insert(t)) mutated_since_last_hybrid = true;
+          round_ops.push_back(testutil::RandomMutationOp(
+              *rel, opts.domain_size, /*allow_structural=*/true, &rng));
+          if (testutil::ApplyMutation(round_ops.back(), &db)) {
+            mutated_since_last_hybrid = true;
           }
         }
       }
+      SCOPED_TRACE(testutil::ScriptTrace(seed, round, round_ops));
 
       const std::string tag =
           q.ToString() + " round " + std::to_string(round);

@@ -19,6 +19,76 @@ TEST(RelationTest, InsertDeduplicates) {
   EXPECT_FALSE(r.Contains({3, 3}));
 }
 
+TEST(RelationTest, RemoveErasesAndPreservesInsertionOrder) {
+  Relation r("R", 2);
+  r.Insert({1, 2});
+  r.Insert({3, 4});
+  r.Insert({5, 6});
+  EXPECT_FALSE(r.Remove({7, 8}));  // absent: no-op
+  EXPECT_TRUE(r.Remove({3, 4}));
+  EXPECT_FALSE(r.Remove({3, 4}));  // already gone
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_FALSE(r.Contains({3, 4}));
+  // Remaining tuples keep their relative (insertion) order -- the delta
+  // journal's appended-suffix convention depends on a stable prefix.
+  EXPECT_EQ(r.tuples()[0], (Tuple{1, 2}));
+  EXPECT_EQ(r.tuples()[1], (Tuple{5, 6}));
+}
+
+TEST(RelationTest, GenerationAndAppendFloorTrackMutations) {
+  Relation r("R", 2);
+  EXPECT_EQ(r.generation(), 0u);
+  EXPECT_TRUE(r.AppendsOnlySince(0));
+
+  // Appends (and only actual inserts) bump the generation; the whole
+  // history so far is appends-only from any observed generation.
+  r.Insert({1, 2});
+  r.Insert({3, 4});
+  EXPECT_FALSE(r.Insert({1, 2}));  // duplicate: generation must not move
+  EXPECT_EQ(r.generation(), 2u);
+  EXPECT_TRUE(r.AppendsOnlySince(0));
+  EXPECT_TRUE(r.AppendsOnlySince(1));
+  EXPECT_TRUE(r.AppendsOnlySince(2));
+  // A future generation is never appends-only reachable.
+  EXPECT_FALSE(r.AppendsOnlySince(3));
+
+  // A structural mutation raises the append floor: snapshots older than it
+  // can no longer be patched, the current generation still can.
+  EXPECT_TRUE(r.Remove({1, 2}));
+  EXPECT_EQ(r.generation(), 3u);
+  EXPECT_FALSE(r.AppendsOnlySince(0));
+  EXPECT_FALSE(r.AppendsOnlySince(2));
+  EXPECT_TRUE(r.AppendsOnlySince(3));
+  r.Insert({5, 6});
+  EXPECT_TRUE(r.AppendsOnlySince(3));
+  EXPECT_TRUE(r.AppendsOnlySince(4));
+
+  // Failed structural mutations are no-ops on both counters.
+  EXPECT_FALSE(r.Remove({9, 9}));
+  EXPECT_EQ(r.generation(), 4u);
+  EXPECT_TRUE(r.AppendsOnlySince(3));
+}
+
+TEST(RelationTest, ClearBumpsGenerationUnlessAlreadyEmpty) {
+  Relation r("R", 1);
+  r.Clear();  // empty: no observable change, no bump
+  EXPECT_EQ(r.generation(), 0u);
+  EXPECT_TRUE(r.AppendsOnlySince(0));
+
+  r.Insert({1});
+  r.Insert({2});
+  r.Clear();
+  EXPECT_EQ(r.size(), 0u);
+  EXPECT_EQ(r.generation(), 3u);
+  EXPECT_FALSE(r.Contains({1}));
+  EXPECT_FALSE(r.AppendsOnlySince(2));
+  EXPECT_TRUE(r.AppendsOnlySince(3));
+  // Post-clear inserts are appends again from the cleared state on.
+  r.Insert({3});
+  EXPECT_TRUE(r.AppendsOnlySince(3));
+  EXPECT_FALSE(r.AppendsOnlySince(0));
+}
+
 TEST(RelationTest, ProjectWithRepeats) {
   Relation r("R", 2);
   r.Insert({1, 2});

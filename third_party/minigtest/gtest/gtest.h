@@ -5,7 +5,8 @@
 //   ::testing::Range / ::testing::Values / ::testing::ValuesIn,
 //   EXPECT_/ASSERT_{EQ,NE,LT,LE,GT,GE,TRUE,FALSE}, EXPECT_NEAR,
 //   EXPECT_DOUBLE_EQ, ADD_FAILURE, FAIL, SUCCEED, all with `<<` message
-//   streaming, plus --gtest_filter, --gtest_list_tests (in the exact
+//   streaming, SCOPED_TRACE (thread-local, annotates failures in scope),
+//   plus --gtest_filter, --gtest_list_tests (in the exact
 //   format CMake's `gtest_discover_tests` parses) and a non-zero process
 //   exit code when any test fails.
 //
@@ -118,6 +119,14 @@ inline RunState& GetRunState() {
   return state;
 }
 
+// Active SCOPED_TRACE entries of the current thread, innermost last.
+// Thread-local like the real gtest's: a failure on a pool worker reports
+// that worker's traces, not the spawning thread's.
+inline std::vector<std::string>& GetScopedTraces() {
+  static thread_local std::vector<std::string> traces;
+  return traces;
+}
+
 class AssertHelper {
  public:
   AssertHelper(bool fatal, const char* file, int line, std::string message)
@@ -130,6 +139,13 @@ class AssertHelper {
     std::cout << file_ << ":" << line_ << ": Failure\n" << message_;
     const std::string extra = user_message.GetString();
     if (!extra.empty()) std::cout << "\n" << extra;
+    const std::vector<std::string>& traces = GetScopedTraces();
+    if (!traces.empty()) {
+      std::cout << "\nGoogle Test trace:";
+      for (auto it = traces.rbegin(); it != traces.rend(); ++it) {
+        std::cout << "\n" << *it;
+      }
+    }
     std::cout << "\n" << std::flush;
     (void)fatal_;  // Fatality is handled by the `return` in the macro itself.
   }
@@ -142,6 +158,21 @@ class AssertHelper {
 };
 
 }  // namespace internal
+
+// RAII body of SCOPED_TRACE: pushes "file:line: message" for the current
+// thread; every failure reported while it is in scope appends the stack.
+class ScopedTrace {
+ public:
+  template <typename T>
+  ScopedTrace(const char* file, int line, const T& message) {
+    Message m;
+    m << file << ":" << line << ": " << message;
+    internal::GetScopedTraces().push_back(m.GetString());
+  }
+  ~ScopedTrace() { internal::GetScopedTraces().pop_back(); }
+  ScopedTrace(const ScopedTrace&) = delete;
+  ScopedTrace& operator=(const ScopedTrace&) = delete;
+};
 
 // ---------------------------------------------------------------------------
 // Test base classes.
@@ -698,6 +729,12 @@ inline int RUN_ALL_TESTS() { return ::testing::internal::RunAllTests(); }
       ::testing::internal::CmpHelperNear(#a, #b, #eps, a, b, eps))
 #define ASSERT_DOUBLE_EQ(a, b) \
   MINIGTEST_FATAL_(::testing::internal::CmpHelperDoubleEQ(#a, #b, a, b))
+
+#define MINIGTEST_CONCAT_IMPL_(a, b) a##b
+#define MINIGTEST_CONCAT_(a, b) MINIGTEST_CONCAT_IMPL_(a, b)
+#define SCOPED_TRACE(message)                          \
+  const ::testing::ScopedTrace MINIGTEST_CONCAT_(      \
+      minigtest_scoped_trace_, __LINE__)(__FILE__, __LINE__, (message))
 
 #define ADD_FAILURE() \
   MINIGTEST_NONFATAL_(::testing::AssertionFailure() << "Failed")
