@@ -3,9 +3,11 @@
 #
 # Usage:
 #   scripts/check.sh                 # default build dir ./build
+#   scripts/check.sh --lint          # run scripts/lint/cqb_lint.py first
 #   BUILD_DIR=out scripts/check.sh   # custom build dir
 #   CXX=clang++ scripts/check.sh     # custom compiler
 #   scripts/check.sh -DCQBOUNDS_FORCE_BUNDLED_GTEST=ON   # extra cmake args
+#   scripts/check.sh -DCQBOUNDS_SANITIZE=address,undefined  # sanitizer leg
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -13,6 +15,30 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${BUILD_DIR:-build}"
 JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
 
-cmake -B "$BUILD_DIR" -S . "$@"
+RUN_LINT=0
+CMAKE_ARGS=()
+for arg in "$@"; do
+  case "$arg" in
+    --lint) RUN_LINT=1 ;;
+    *) CMAKE_ARGS+=("$arg") ;;
+  esac
+done
+
+if [[ "$RUN_LINT" == 1 ]]; then
+  # Fail fast: the lint needs no build, so run it (self-test first, so a
+  # broken rule can't silently wave the tree through) before spending
+  # minutes compiling.
+  python3 scripts/lint/cqb_lint.py --self-test
+  python3 scripts/lint/cqb_lint.py
+fi
+
+# Sanitizer runtime defaults (no-ops for uninstrumented binaries): a report
+# must fail the run, with symbolized stacks. Callers can still override by
+# exporting their own values. Mirrors what CI's sanitizer jobs set.
+export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
+
+cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
 cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"

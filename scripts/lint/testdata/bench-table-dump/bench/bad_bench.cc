@@ -1,0 +1,9 @@
+// A table that is filled but never printed: invisible in the run AND in
+// the --json dump bench_diff.py regresses against.
+#include "bench_util.h"
+
+int main() {
+  bench::Table dead({"case", "value"});  // LINT-EXPECT: bench-table-dump
+  dead.AddRow({"triangle", "42"});
+  return 0;
+}

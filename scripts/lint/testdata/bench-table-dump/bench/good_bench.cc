@@ -1,0 +1,23 @@
+// Good twin: every constructed table reaches Print(); pointer-taking
+// helpers fill a caller-owned table and are not declarations.
+#include "bench_util.h"
+
+namespace {
+
+void FillRows(bench::Table* table) {
+  table->AddRow({"path", "7"});
+}
+
+}  // namespace
+
+int main() {
+  bench::Table summary({"case", "value"});
+  FillRows(&summary);
+  summary.Print();
+
+  bench::Table wide(
+      {"case", "value", "ratio"});  // wrapped header list
+  wide.AddRow({"grid", "9", "1.0"});
+  wide.Print();
+  return 0;
+}

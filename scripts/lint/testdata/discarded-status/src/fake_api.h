@@ -1,0 +1,23 @@
+// Declarations the rule harvests: anything in src/ returning Status or
+// Result<T> lands in the banned-bare-call name set.
+#ifndef CQBOUNDS_FAKE_API_H_
+#define CQBOUNDS_FAKE_API_H_
+
+#include <string>
+
+#include "util/status.h"
+
+namespace cqbounds {
+
+Status SaveThing(int x);
+Result<int> LoadThing(const std::string& name);
+
+class ThingStore {
+ public:
+  Status Flush();
+  void Reset();  // void: bare Reset() calls must NOT be flagged
+};
+
+}  // namespace cqbounds
+
+#endif  // CQBOUNDS_FAKE_API_H_

@@ -1,0 +1,27 @@
+// Exercises every way a Status/Result call can appear as a statement.
+#include "fake_api.h"
+#include "util/status.h"
+
+namespace cqbounds {
+
+Status UseEverything(ThingStore& store) {
+  SaveThing(1);  // LINT-EXPECT: discarded-status
+  store.Flush();  // LINT-EXPECT: discarded-status
+  LoadThing("x");  // LINT-EXPECT: discarded-status
+
+  // All of these consume the value and must stay clean:
+  (void)SaveThing(2);  // deliberately ignored, spelled out
+  Status s = SaveThing(3);
+  if (!s.ok()) return s;
+  CQB_RETURN_NOT_OK(SaveThing(4));
+  CQB_RETURN_NOT_OK(
+      SaveThing(5));  // continuation line, not a statement start
+  Status wrapped =
+      SaveThing(6);  // ditto
+  if (SaveThing(7).ok()) {
+    store.Reset();  // void-returning: not in the harvested name set
+  }
+  return SaveThing(8);
+}
+
+}  // namespace cqbounds

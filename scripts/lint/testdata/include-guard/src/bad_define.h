@@ -1,0 +1,10 @@
+// Mismatched #define: the guard never actually defines itself, so the
+// header is include-once in name only.
+#ifndef CQBOUNDS_BAD_DEFINE_H_
+#define CQBOUNDS_BAD_DEFINE_TYPO_H_  // LINT-EXPECT: include-guard
+
+namespace cqbounds {
+inline int BadDefine() { return 4; }
+}  // namespace cqbounds
+
+#endif  // CQBOUNDS_BAD_DEFINE_H_

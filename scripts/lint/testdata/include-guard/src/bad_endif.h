@@ -1,0 +1,8 @@
+#ifndef CQBOUNDS_BAD_ENDIF_H_
+#define CQBOUNDS_BAD_ENDIF_H_
+
+namespace cqbounds {
+inline int BadEndif() { return 5; }
+}  // namespace cqbounds
+
+#endif  // CQBOUNDS_WRONG_COMMENT_H_     LINT-EXPECT: include-guard

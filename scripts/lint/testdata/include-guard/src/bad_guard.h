@@ -1,0 +1,9 @@
+// Stale guard copied from another file: must be CQBOUNDS_BAD_GUARD_H_.
+#ifndef CQBOUNDS_OTHER_FILE_H_  // LINT-EXPECT: include-guard
+#define CQBOUNDS_OTHER_FILE_H_
+
+namespace cqbounds {
+inline int BadGuard() { return 2; }
+}  // namespace cqbounds
+
+#endif  // CQBOUNDS_OTHER_FILE_H_

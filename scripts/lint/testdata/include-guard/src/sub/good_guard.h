@@ -1,0 +1,9 @@
+// Good twin: guard derived from the path with the leading src/ stripped.
+#ifndef CQBOUNDS_SUB_GOOD_GUARD_H_
+#define CQBOUNDS_SUB_GOOD_GUARD_H_
+
+namespace cqbounds {
+inline int GoodGuard() { return 1; }
+}  // namespace cqbounds
+
+#endif  // CQBOUNDS_SUB_GOOD_GUARD_H_

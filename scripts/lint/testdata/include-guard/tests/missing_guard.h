@@ -1,0 +1,6 @@
+// LINT-EXPECT: include-guard
+#pragma once
+
+namespace cqbounds {
+inline int MissingGuard() { return 3; }
+}  // namespace cqbounds

@@ -1,0 +1,28 @@
+// In scope: includes the annotation header, so the std primitives below
+// are holes in the analysis and the unannotated Mutex guards nothing.
+#ifndef CQBOUNDS_BAD_STD_MUTEX_H_
+#define CQBOUNDS_BAD_STD_MUTEX_H_
+
+#include <mutex>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace cqbounds {
+
+class BadStdMutex {
+ public:
+  void Touch() {
+    std::lock_guard<std::mutex> lock(raw_mu_);  // LINT-EXPECT: naked-mutex
+    ++count_;
+  }
+
+ private:
+  std::mutex raw_mu_;  // LINT-EXPECT: naked-mutex
+  Mutex orphan_mu_;  // LINT-EXPECT: naked-mutex
+  int count_ = 0;
+};
+
+}  // namespace cqbounds
+
+#endif  // CQBOUNDS_BAD_STD_MUTEX_H_

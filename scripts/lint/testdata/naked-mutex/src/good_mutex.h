@@ -1,0 +1,29 @@
+// Good twin: annotated Mutex guarding a member, and a std::once_flag,
+// which is exempt (call_once-filled state is immutable afterwards and
+// needs no capability).
+#ifndef CQBOUNDS_GOOD_MUTEX_H_
+#define CQBOUNDS_GOOD_MUTEX_H_
+
+#include <mutex>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace cqbounds {
+
+class GoodMutex {
+ public:
+  void Touch() {
+    MutexLock lock(mu_);
+    ++count_;
+  }
+
+ private:
+  mutable Mutex mu_;
+  int count_ CQB_GUARDED_BY(mu_) = 0;
+  std::once_flag init_once_;
+};
+
+}  // namespace cqbounds
+
+#endif  // CQBOUNDS_GOOD_MUTEX_H_

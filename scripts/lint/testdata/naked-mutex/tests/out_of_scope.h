@@ -1,0 +1,20 @@
+// NOT in scope: includes neither the Mutex wrapper nor the annotation
+// header (naming either path here would itself trigger the textual scope
+// check) and uses no annotation, so a std::mutex is plain portable C++ the
+// rule must stay quiet about -- it polices the annotated boundary, not the
+// whole tree.
+#ifndef CQBOUNDS_TESTS_OUT_OF_SCOPE_H_
+#define CQBOUNDS_TESTS_OUT_OF_SCOPE_H_
+
+#include <mutex>
+
+namespace cqbounds {
+
+struct OutOfScope {
+  std::mutex mu;
+  int count = 0;
+};
+
+}  // namespace cqbounds
+
+#endif  // CQBOUNDS_TESTS_OUT_OF_SCOPE_H_

@@ -1,0 +1,47 @@
+// Exercises the stats-reset-on-error contract: an error return taken
+// before `*stats = EvalStats{}` leaves the caller holding the previous
+// evaluation's counters.
+#include "relation/evaluate.h"
+#include "util/status.h"
+
+namespace cqbounds {
+namespace {
+
+Status Validate(int arity) {
+  if (arity < 0) return Status::InvalidArgument("negative arity");
+  return Status::OK();
+}
+
+}  // namespace
+
+Status BadEvaluate(int arity, EvalStats* stats) {  // LINT-EXPECT: stats-reset-on-error
+  CQB_RETURN_NOT_OK(Validate(arity));  // error exit before the clear
+  if (stats != nullptr) *stats = EvalStats{};
+  return Status::OK();
+}
+
+Status NeverClears(int arity, EvalStats* stats) {  // LINT-EXPECT: stats-reset-on-error
+  if (arity == 0) return Status::InvalidArgument("empty");
+  CQB_RETURN_NOT_OK(Validate(arity));
+  return Status::OK();
+}
+
+Status GoodEvaluate(int arity, EvalStats* stats) {
+  if (stats != nullptr) *stats = EvalStats{};
+  CQB_RETURN_NOT_OK(Validate(arity));
+  return Status::OK();
+}
+
+Status GoodForwarder(int arity, EvalStats* stats) {
+  return GoodEvaluate(arity, stats);
+}
+
+// Out of scope by the naming convention: internal helpers taking a
+// differently-named EvalStats (the caller already cleared it).
+Status InternalImpl(int arity, EvalStats* local) {
+  CQB_RETURN_NOT_OK(Validate(arity));
+  (void)local;
+  return Status::OK();
+}
+
+}  // namespace cqbounds

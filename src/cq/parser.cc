@@ -12,7 +12,7 @@ class Parser {
  public:
   explicit Parser(const std::string& text) : text_(text) {}
 
-  Result<Query> Run() {
+  Result<Query> ParseAll() {
     Query query;
     CQB_RETURN_NOT_OK(ParseRule(&query));
     SkipSpace();
@@ -185,7 +185,7 @@ class Parser {
 }  // namespace
 
 Result<Query> ParseQuery(const std::string& text) {
-  return Parser(text).Run();
+  return Parser(text).ParseAll();
 }
 
 }  // namespace cqbounds

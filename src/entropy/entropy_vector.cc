@@ -46,7 +46,7 @@ double EntropyVector::MaxShannonViolation() const {
 
 double MarginalEntropyBits(const Relation& rel,
                            const std::vector<int>& positions) {
-  if (rel.size() == 0) return 0.0;
+  if (rel.empty()) return 0.0;
   std::map<Tuple, std::size_t> counts;
   Tuple key(positions.size());
   for (const Tuple& t : rel.tuples()) {

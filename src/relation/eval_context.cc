@@ -59,7 +59,7 @@ std::shared_ptr<const TrieIndex> EvalContext::GetTrie(
   std::shared_ptr<const TrieIndex> patch_base;
   std::uint64_t patch_base_generation = 0;
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     auto it = shard.entries.find(key);
     if (it != shard.entries.end()) {
       if (it->second.generation == generation) {
@@ -107,7 +107,7 @@ std::shared_ptr<const TrieIndex> EvalContext::GetTrie(
     trie = std::make_shared<const TrieIndex>(rel, level_positions);
   }
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     Entry& entry = shard.entries[std::move(key)];
     entry.generation = generation;
     entry.trie = trie;
@@ -121,7 +121,7 @@ EvalContext::CachedPlan& EvalContext::GetPlan(const Query& query,
   CachedPlan* plan;
   bool inserted;
   {
-    std::lock_guard<std::mutex> lock(plan_mu_);
+    MutexLock lock(plan_mu_);
     auto [it, is_new] = plans_.try_emplace(std::move(key));
     plan = &it->second;
     inserted = is_new;
@@ -150,23 +150,23 @@ EvalContext::CachedPlan& EvalContext::GetPlan(const Query& query,
 std::size_t EvalContext::size() const {
   std::size_t total = 0;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     total += shard.entries.size();
   }
   return total;
 }
 
 std::size_t EvalContext::plan_size() const {
-  std::lock_guard<std::mutex> lock(plan_mu_);
+  MutexLock lock(plan_mu_);
   return plans_.size();
 }
 
 void EvalContext::Clear() {
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     shard.entries.clear();
   }
-  std::lock_guard<std::mutex> lock(plan_mu_);
+  MutexLock lock(plan_mu_);
   plans_.clear();
 }
 

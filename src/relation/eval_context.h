@@ -16,6 +16,8 @@
 #include "graph/treewidth_bb.h"
 #include "relation/database.h"
 #include "relation/trie_index.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace cqbounds {
 
@@ -103,6 +105,13 @@ struct LowWidthProbe {
 /// references), and an EvalStats object must not be shared between
 /// concurrently evaluating threads. Interleaving is fine: mutate, then run
 /// any number of parallel evaluations, then mutate again.
+///
+/// The intra-context part of this contract is machine-checked: every
+/// mutex-guarded member carries a CQB_GUARDED_BY annotation
+/// (util/thread_annotations.h), so a Clang build with
+/// -DCQBOUNDS_THREAD_SAFETY=ON fails to compile any access to `entries`,
+/// `plans_`, or a plan's `semijoin` state outside its lock. See
+/// docs/STATIC_ANALYSIS.md.
 class EvalContext {
  public:
   explicit EvalContext(const Database& db) : db_(&db) {}
@@ -153,15 +162,18 @@ class EvalContext {
   struct CachedPlan {
     LowWidthProbe probe;
     /// Last completed reduction pass's outcome, or null before the first
-    /// pass. Guarded by `skip_mu`; the hybrid executor holds `skip_mu`
-    /// across a (delta or full) pass, so concurrent post-mutation runs of
-    /// one shape serialize the pass and late arrivals reuse the fresh
-    /// state instead of duplicating it.
-    std::unique_ptr<SemijoinState> semijoin;
+    /// pass. Guarded by `skip_mu` (pointer and pointee -- the analysis
+    /// rejects both unlocked reseats and unlocked dereferences); the hybrid
+    /// executor holds `skip_mu` across a (delta or full) pass, so
+    /// concurrent post-mutation runs of one shape serialize the pass and
+    /// late arrivals reuse the fresh state instead of duplicating it.
+    std::unique_ptr<SemijoinState> semijoin CQB_GUARDED_BY(skip_mu)
+        CQB_PT_GUARDED_BY(skip_mu);
     /// Guards `semijoin` against concurrent hybrid evaluations of the same
     /// shape.
-    std::mutex skip_mu;
-    /// Fills `probe` exactly once (GetPlan).
+    Mutex skip_mu;
+    /// Fills `probe` exactly once (GetPlan); `probe` is immutable
+    /// afterwards, which is why it needs no capability of its own.
     std::once_flag probe_once;
   };
 
@@ -247,16 +259,19 @@ class EvalContext {
   /// entry capacity.
   static constexpr std::size_t kNumShards = 16;
   struct Shard {
-    mutable std::mutex mu;
-    std::map<Key, Entry> entries;
+    mutable Mutex mu;
+    std::map<Key, Entry> entries CQB_GUARDED_BY(mu);
   };
 
   Shard& ShardFor(const Key& key);
 
   const Database* db_;
   Shard shards_[kNumShards];
-  mutable std::mutex plan_mu_;  // guards plans_ map structure, not entries
-  std::map<std::string, CachedPlan> plans_;
+  /// Guards the plans_ *map structure* (insertions, Clear), never the
+  /// entries behind it: GetPlan hands out stable CachedPlan references
+  /// whose mutable state has its own per-plan capability (skip_mu).
+  mutable Mutex plan_mu_;
+  std::map<std::string, CachedPlan> plans_ CQB_GUARDED_BY(plan_mu_);
   std::atomic<std::size_t> hits_{0};
   std::atomic<std::size_t> misses_{0};
   std::atomic<std::size_t> patches_{0};

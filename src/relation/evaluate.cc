@@ -5,7 +5,6 @@
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <unordered_map>
 #include <unordered_set>
@@ -15,6 +14,7 @@
 #include "graph/treewidth_bb.h"
 #include "relation/trie_index.h"
 #include "relation/tuple.h"
+#include "util/mutex.h"
 #include "util/thread_pool.h"
 
 namespace cqbounds {
@@ -821,7 +821,7 @@ Result<Relation> EvaluateHybridYannakakis(const Query& query,
       // instead of duplicating the work. Mutations themselves never
       // overlap evaluations (the context's readers-xor-writer contract),
       // so the generation vector cannot move underneath the pass.
-      std::unique_lock<std::mutex> lock(plan->skip_mu);
+      MutexLock lock(plan->skip_mu);
       EvalContext::SemijoinState* state = plan->semijoin.get();
       bool gens_match =
           state != nullptr && state->generations.size() == m;

@@ -14,6 +14,21 @@ namespace cqbounds {
 /// A named, set-semantics relation instance: a deduplicated bag of tuples of
 /// fixed arity. Insertion order of first occurrences is preserved so that
 /// iteration (and thus every algorithm built on it) is deterministic.
+///
+/// ## Concurrency contract (externally synchronized)
+///
+/// Relation is deliberately lock-free and carries **no capability**: the
+/// readers-xor-writer discipline is owned by the caller (EvalContext's
+/// documented contract -- mutations never overlap evaluations; any number
+/// of concurrent readers between mutations). The delta journal below
+/// (generation_ / append_floor_) is what makes that contract auditable by
+/// its consumers: every cached artifact snapshots generation() at build
+/// time and revalidates against it, so a violated contract surfaces as a
+/// TSan race in CI, never as silently stale data. The machine-checked
+/// (Clang -Wthread-safety, docs/STATIC_ANALYSIS.md) annotations live at
+/// the synchronization boundary -- relation/eval_context.h and
+/// util/thread_pool.h -- because a guard annotation here would claim a
+/// lock this class intentionally does not have.
 class Relation {
  public:
   Relation() : name_("R"), arity_(0) {}
@@ -84,6 +99,9 @@ class Relation {
   std::uint64_t generation_ = 0;
   // Generation value as of the last structural (non-append) mutation; a
   // snapshot generation >= this floor saw the current tuple prefix intact.
+  // Both journal integers are written only under the caller-owned writer
+  // phase (see the class comment) -- they are read concurrently by cached
+  // readers, which is safe precisely because writes never overlap reads.
   std::uint64_t append_floor_ = 0;
 };
 

@@ -46,7 +46,13 @@ inline const char* StatusCodeName(StatusCode code) {
 /// Lightweight success/error value. The library does not throw exceptions on
 /// expected failure paths; functions that can fail return `Status` or
 /// `Result<T>`.
-class Status {
+///
+/// [[nodiscard]]: silently dropping a returned Status is how partial writes
+/// and swallowed parse errors ship, so the compiler flags every ignored
+/// return (and the `discarded-status` rule of scripts/lint/cqb_lint.py
+/// backstops builds that run without warnings). An intentionally discarded
+/// status must say so with an explicit `(void)` cast and a comment.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -113,8 +119,9 @@ inline std::ostream& operator<<(std::ostream& os, const Status& s) {
 /// Either a value of type `T` or an error `Status`. Modeled after
 /// `arrow::Result`: checked access via `ok()`, value access via
 /// `ValueOrDie()` / `operator*` (aborts if holding an error).
+/// [[nodiscard]] for the same reason as Status.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from value: allows `return value;` in Result-returning funcs.
   Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)

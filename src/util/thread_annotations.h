@@ -1,0 +1,85 @@
+#ifndef CQBOUNDS_UTIL_THREAD_ANNOTATIONS_H_
+#define CQBOUNDS_UTIL_THREAD_ANNOTATIONS_H_
+
+/// Macros for Clang's thread-safety analysis (-Wthread-safety), the
+/// compile-time checker of the repo's locking discipline: which mutex guards
+/// which member, which functions must (or must not) be called with a lock
+/// held. Under any other compiler -- and under Clang when the attribute is
+/// unavailable -- every macro expands to nothing, so annotated code builds
+/// everywhere while a Clang build with -DCQBOUNDS_THREAD_SAFETY=ON turns the
+/// documented concurrency contracts of eval_context.h, thread_pool.h and the
+/// hybrid executor into hard compile errors. Conventions, the negative-compile
+/// repro and the suppression policy live in docs/STATIC_ANALYSIS.md.
+///
+/// The analysis only understands lock functions that themselves carry
+/// acquire/release attributes; libstdc++'s std::mutex / std::lock_guard do
+/// not, so annotated code locks through util/mutex.h (cqbounds::Mutex /
+/// MutexLock / CondVar) instead of the raw std primitives -- enforced by the
+/// `naked-mutex` rule of scripts/lint/cqb_lint.py.
+
+#if defined(__clang__) && (!defined(SWIG))
+#define CQB_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define CQB_THREAD_ANNOTATION_(x)  // no-op off Clang
+#endif
+
+/// Declares a class to be a capability (a lockable): `class
+/// CQB_CAPABILITY("mutex") Mutex { ... };`.
+#define CQB_CAPABILITY(x) CQB_THREAD_ANNOTATION_(capability(x))
+
+/// Declares an RAII class that acquires a capability in its constructor and
+/// releases it in its destructor (MutexLock).
+#define CQB_SCOPED_CAPABILITY CQB_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Declares that a data member is protected by the given capability: reads
+/// require the capability held (shared or exclusive), writes require it held
+/// exclusively.
+#define CQB_GUARDED_BY(x) CQB_THREAD_ANNOTATION_(guarded_by(x))
+
+/// As CQB_GUARDED_BY for pointer members: the pointed-to data (not the
+/// pointer itself) is protected by the capability.
+#define CQB_PT_GUARDED_BY(x) CQB_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Declares a required lock ordering between capabilities.
+#define CQB_ACQUIRED_BEFORE(...) \
+  CQB_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define CQB_ACQUIRED_AFTER(...) \
+  CQB_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+/// Declares that the caller must hold the given capabilities (exclusively /
+/// shared) when calling the function, which neither acquires nor releases
+/// them.
+#define CQB_REQUIRES(...) \
+  CQB_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define CQB_REQUIRES_SHARED(...) \
+  CQB_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/// Declares that the function acquires the given capabilities (held on
+/// return, must not be held on entry) / releases them (vice versa).
+#define CQB_ACQUIRE(...) \
+  CQB_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define CQB_ACQUIRE_SHARED(...) \
+  CQB_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+#define CQB_RELEASE(...) \
+  CQB_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define CQB_RELEASE_SHARED(...) \
+  CQB_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+
+/// Declares a function that acquires the capability iff it returns the given
+/// boolean value.
+#define CQB_TRY_ACQUIRE(...) \
+  CQB_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// Declares that the caller must NOT hold the given capabilities (the
+/// function acquires them itself, or a deadlock would result).
+#define CQB_EXCLUDES(...) CQB_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Declares that the function returns a reference to the given capability.
+#define CQB_RETURN_CAPABILITY(x) CQB_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Every use must be
+/// justified by a comment and is subject to review (docs/STATIC_ANALYSIS.md).
+#define CQB_NO_THREAD_SAFETY_ANALYSIS \
+  CQB_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // CQBOUNDS_UTIL_THREAD_ANNOTATIONS_H_

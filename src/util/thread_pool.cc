@@ -12,36 +12,39 @@ ThreadPool::ThreadPool(int num_workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& w : workers_) w.join();
 }
 
-void ThreadPool::DrainBatch(std::unique_lock<std::mutex>& lock) {
+void ThreadPool::DrainBatch() {
   // Claim-one-run-one: the shared counter is the scheduler, so uneven task
   // costs balance without any static partitioning. The claimed call runs
-  // outside the lock.
+  // outside the lock (hand-over-hand, which is why this uses explicit
+  // Lock/Unlock instead of a scope the analysis could check for us -- the
+  // REQUIRES(mu_) contract still makes Clang verify the re-acquisition).
   while (fn_ != nullptr && next_ < total_) {
     const std::size_t index = next_++;
     ++in_flight_;
     const std::function<void(std::size_t)>* fn = fn_;
-    lock.unlock();
+    mu_.Unlock();
     (*fn)(index);
-    lock.lock();
+    mu_.Lock();
     --in_flight_;
   }
-  if (next_ >= total_ && in_flight_ == 0) done_cv_.notify_all();
+  if (next_ >= total_ && in_flight_ == 0) done_cv_.NotifyAll();
 }
 
 void ThreadPool::WorkerLoop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   while (true) {
-    work_cv_.wait(lock,
-                  [this] { return stop_ || (fn_ != nullptr && next_ < total_); });
+    while (!stop_ && !(fn_ != nullptr && next_ < total_)) {
+      work_cv_.Wait(mu_);
+    }
     if (stop_) return;
-    DrainBatch(lock);
+    DrainBatch();
   }
 }
 
@@ -54,17 +57,17 @@ void ThreadPool::ParallelFor(std::size_t num_tasks,
     return;
   }
   // One batch at a time; a second concurrent caller queues here.
-  std::lock_guard<std::mutex> caller_lock(caller_mu_);
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock caller_lock(caller_mu_);
+  MutexLock lock(mu_);
   fn_ = &fn;
   total_ = num_tasks;
   next_ = 0;
   in_flight_ = 0;
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   // The caller is a full participant: it drains alongside the workers, so
   // even a pool whose workers are briefly busy waking up makes progress.
-  DrainBatch(lock);
-  done_cv_.wait(lock, [this] { return next_ >= total_ && in_flight_ == 0; });
+  DrainBatch();
+  while (!(next_ >= total_ && in_flight_ == 0)) done_cv_.Wait(mu_);
   fn_ = nullptr;
   total_ = 0;
 }

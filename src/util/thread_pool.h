@@ -1,13 +1,14 @@
 #ifndef CQBOUNDS_UTIL_THREAD_POOL_H_
 #define CQBOUNDS_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace cqbounds {
 
@@ -25,12 +26,14 @@ namespace cqbounds {
 /// with 0 workers degrades to plain inline execution, which keeps
 /// "ThreadPool* == nullptr or empty" a valid serial configuration.
 ///
-/// Thread-safety contract: ParallelFor may be called from any thread;
-/// concurrent calls are serialized (one batch runs at a time). Tasks must
-/// not call ParallelFor on their own pool (the batch would self-deadlock on
-/// the caller lock only if every worker did so; it is simply unsupported)
-/// and must not throw -- the library reports errors through Status, never
-/// exceptions.
+/// Thread-safety contract -- machine-checked under Clang's thread-safety
+/// analysis (-DCQBOUNDS_THREAD_SAFETY=ON; see util/thread_annotations.h and
+/// docs/STATIC_ANALYSIS.md): every batch field is CQB_GUARDED_BY(mu_), and
+/// `caller_mu_` serializes concurrent ParallelFor callers (one batch runs at
+/// a time) while guarding no data itself. Tasks must not call ParallelFor on
+/// their own pool (the batch would self-deadlock on the caller lock only if
+/// every worker did so; it is simply unsupported) and must not throw -- the
+/// library reports errors through Status, never exceptions.
 class ThreadPool {
  public:
   /// Spawns `num_workers` persistent workers (clamped below at 0).
@@ -49,26 +52,31 @@ class ThreadPool {
   /// Task order across threads is unspecified; fn must be safe to invoke
   /// concurrently with itself on distinct indices.
   void ParallelFor(std::size_t num_tasks,
-                   const std::function<void(std::size_t)>& fn);
+                   const std::function<void(std::size_t)>& fn)
+      CQB_EXCLUDES(caller_mu_, mu_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() CQB_EXCLUDES(mu_);
   /// Claims and runs tasks of the current batch until none remain. Expects
-  /// `lock` held on mu_; returns with it held.
-  void DrainBatch(std::unique_lock<std::mutex>& lock);
+  /// mu_ held; drops it around each task invocation and returns with it
+  /// held.
+  void DrainBatch() CQB_REQUIRES(mu_);
 
   std::vector<std::thread> workers_;
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;  // workers: a batch is available
-  std::condition_variable done_cv_;  // caller: the batch completed
-  const std::function<void(std::size_t)>* fn_ = nullptr;  // null = no batch
-  std::size_t total_ = 0;      // tasks in the current batch
-  std::size_t next_ = 0;       // next unclaimed task index
-  std::size_t in_flight_ = 0;  // claimed but unfinished tasks
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar work_cv_;  // workers: a batch is available
+  CondVar done_cv_;  // caller: the batch completed
+  /// Null when no batch is active.
+  const std::function<void(std::size_t)>* fn_ CQB_GUARDED_BY(mu_) = nullptr;
+  std::size_t total_ CQB_GUARDED_BY(mu_) = 0;      // tasks in current batch
+  std::size_t next_ CQB_GUARDED_BY(mu_) = 0;       // next unclaimed index
+  std::size_t in_flight_ CQB_GUARDED_BY(mu_) = 0;  // claimed, unfinished
+  bool stop_ CQB_GUARDED_BY(mu_) = false;
 
-  std::mutex caller_mu_;  // serializes concurrent ParallelFor callers
+  /// Serializes concurrent ParallelFor callers. Guards no member (the batch
+  /// state belongs to mu_); always acquired before mu_.
+  Mutex caller_mu_ CQB_ACQUIRED_BEFORE(mu_);
 };
 
 }  // namespace cqbounds

@@ -142,7 +142,7 @@ inline MutationOp RandomMutationOp(const Relation& rel, std::uint64_t domain,
     for (std::uint64_t i = 0; i < n; ++i) {
       op.tuples.push_back(RandomTuple(rel.arity(), domain, rng));
     }
-  } else if (roll < 11 && rel.size() > 0) {
+  } else if (roll < 11 && !rel.empty()) {
     op.kind = MutationOp::Kind::kRemove;
     op.tuples.push_back(rel.tuples()[rng->NextBelow(rel.size())]);
   } else {

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Negative-compile test for the Clang thread-safety annotations.
+
+Verifies the acceptance property of -DCQBOUNDS_THREAD_SAFETY=ON end to end:
+
+  1. guarded_by_ok.cc (same guarded accesses, lock held) compiles cleanly
+     -- proving the toolchain, include path, and flags are sane, so
+  2. guarded_by_violation.cc (lock not held) failing to compile, with a
+     thread-safety diagnostic on stderr, means the CQB_GUARDED_BY
+     annotations are actually enforced -- not that the fixture is broken.
+
+Run by ctest as ThreadSafetyNegativeCompile when the configured compiler is
+Clang (tests/CMakeLists.txt); standalone:
+
+  python3 tests/negative_compile/check_thread_safety.py \
+      --compiler clang++ --include src --fixtures tests/negative_compile
+
+Exit 0 on pass, 1 on any failure (with a diagnosis on stderr).
+"""
+
+import argparse
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+FLAGS = [
+    "-std=c++17",
+    "-fsyntax-only",
+    "-Wthread-safety",
+    "-Werror=thread-safety-analysis",
+]
+
+
+def compile_one(compiler, include_dir, source):
+    cmd = [compiler, *FLAGS, "-I", str(include_dir), str(source)]
+    proc = subprocess.run(
+        cmd, stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True
+    )
+    return proc.returncode, proc.stderr, cmd
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--compiler", required=True, help="clang++ to test with")
+    parser.add_argument(
+        "--include", required=True, help="repo src/ dir (for relation/..., util/...)"
+    )
+    parser.add_argument(
+        "--fixtures",
+        default=str(pathlib.Path(__file__).parent),
+        help="directory holding guarded_by_ok.cc / guarded_by_violation.cc",
+    )
+    args = parser.parse_args()
+
+    fixtures = pathlib.Path(args.fixtures)
+    good = fixtures / "guarded_by_ok.cc"
+    bad = fixtures / "guarded_by_violation.cc"
+    for f in (good, bad):
+        if not f.is_file():
+            print(f"FAIL: fixture not found: {f}", file=sys.stderr)
+            return 1
+
+    rc, stderr, cmd = compile_one(args.compiler, args.include, good)
+    if rc != 0:
+        print(
+            "FAIL: the good twin did not compile -- the fixture setup is "
+            "broken (wrong include path / flags / compiler?), so the "
+            "negative test below would prove nothing.\n"
+            f"  command: {' '.join(cmd)}\n{stderr}",
+            file=sys.stderr,
+        )
+        return 1
+
+    rc, stderr, cmd = compile_one(args.compiler, args.include, bad)
+    if rc == 0:
+        print(
+            "FAIL: guarded_by_violation.cc COMPILED. The CQB_GUARDED_BY "
+            "annotations on CachedPlan::semijoin no longer reject an "
+            "unlocked access; the thread-safety contract has been "
+            "weakened.\n"
+            f"  command: {' '.join(cmd)}",
+            file=sys.stderr,
+        )
+        return 1
+    if "thread-safety" not in stderr:
+        print(
+            "FAIL: guarded_by_violation.cc failed to compile, but not with "
+            "a thread-safety diagnostic -- the fixture has an unrelated "
+            "error and the annotations were never exercised.\n"
+            f"  command: {' '.join(cmd)}\n{stderr}",
+            file=sys.stderr,
+        )
+        return 1
+
+    print("PASS: unlocked semijoin access rejected, locked twin accepted")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,19 @@
+// Positive twin of guarded_by_violation.cc: the same semijoin-state
+// accesses, but under MutexLock -- MUST compile cleanly under
+// -Wthread-safety -Werror=thread-safety-analysis. Its job is to prove the
+// negative test fails for the right reason (the missing lock), not because
+// of an include path, flag, or unrelated compile error.
+#include <cstddef>
+
+#include "relation/eval_context.h"
+#include "util/mutex.h"
+
+namespace cqbounds {
+
+std::size_t TouchSemijoinWithLock(EvalContext::CachedPlan& plan) {
+  MutexLock lock(plan.skip_mu);
+  if (plan.semijoin == nullptr) return 0;
+  return plan.semijoin->generations.size();
+}
+
+}  // namespace cqbounds

@@ -1,0 +1,26 @@
+// Negative-compile fixture: MUST FAIL to compile under Clang with
+// -Wthread-safety -Werror=thread-safety-analysis (the flags added by
+// -DCQBOUNDS_THREAD_SAFETY=ON).
+//
+// CachedPlan::semijoin is CQB_GUARDED_BY(skip_mu) and
+// CQB_PT_GUARDED_BY(skip_mu) (relation/eval_context.h): both the pointer
+// read and the dereference below happen without holding skip_mu, exactly
+// the bug class the annotation exists to reject. If this file ever starts
+// compiling, the guard annotations have been weakened -- see
+// docs/STATIC_ANALYSIS.md and tests/negative_compile/check_thread_safety.py.
+//
+// The good twin (guarded_by_ok.cc) performs the same accesses under
+// MutexLock and must compile; the pair keeps the test honest in both
+// directions.
+#include <cstddef>
+
+#include "relation/eval_context.h"
+
+namespace cqbounds {
+
+std::size_t TouchSemijoinWithoutLock(EvalContext::CachedPlan& plan) {
+  if (plan.semijoin == nullptr) return 0;
+  return plan.semijoin->generations.size();
+}
+
+}  // namespace cqbounds

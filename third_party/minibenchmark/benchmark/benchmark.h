@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -202,18 +203,18 @@ class Benchmark {
   double min_time_override_ = 0;
 };
 
-inline std::vector<Benchmark*>& GetRegistry() {
-  static std::vector<Benchmark*> registry;
+inline std::vector<std::unique_ptr<Benchmark>>& GetRegistry() {
+  static std::vector<std::unique_ptr<Benchmark>> registry;
   return registry;
 }
 
 inline Benchmark* RegisterBenchmarkInternal(const char* name,
                                             Benchmark::Function fn) {
-  // Leaked intentionally: registrations live for the whole process, exactly
-  // like Google Benchmark's own registry.
-  Benchmark* b = new Benchmark(name, fn);
-  GetRegistry().push_back(b);
-  return b;
+  // The registry owns the registration (freed at exit): Google Benchmark
+  // leaks its own registry, but that trips LeakSanitizer in the ASan CI
+  // leg, where every bench binary runs with detect_leaks=1.
+  GetRegistry().push_back(std::make_unique<Benchmark>(name, fn));
+  return GetRegistry().back().get();
 }
 
 }  // namespace internal
@@ -243,7 +244,7 @@ inline void Initialize(int* argc, char** argv) {
 inline void RunSpecifiedBenchmarks() {
   std::printf("%-40s %15s %25s\n", "Benchmark", "Time", "Iterations");
   std::printf("%s\n", std::string(82, '-').c_str());
-  for (const internal::Benchmark* b : internal::GetRegistry()) b->Run();
+  for (const auto& b : internal::GetRegistry()) b->Run();
 }
 
 inline void Shutdown() {}
