@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """cqb_lint: repo-specific static checks for cqbounds.
 
-Five rule classes, each encoding an invariant the general-purpose toolchain
+Six rule classes, each encoding an invariant the general-purpose toolchain
 cannot see (run `--explain <rule>` for the full rationale and the fix):
 
   include-guard       header guards spell CQBOUNDS_<PATH>_H_ exactly
@@ -12,6 +12,8 @@ cannot see (run `--explain <rule>` for the full rationale and the fix):
                       it before any error return can leave it stale
   bench-table-dump    every bench::Table a bench builds is Print()ed (and
                       therefore lands in the --json dump)
+  raw-row-access      library code outside src/relation/ reads rows through
+                      ColumnStore, never the materializing tuples() accessor
 
 Stdlib-only and offline by design: it must run in the bare CI lint job and
 in the network-less dev container. Regex-grade parsing, not a compiler --
@@ -494,12 +496,60 @@ of the experiment), or delete the dead table."""
                         "scripts/bench_diff.py checks")
 
 
+class RawRowAccessRule(Rule):
+    NAME = "raw-row-access"
+    SUMMARY = ("library code outside src/relation/ must read rows through "
+               "ColumnStore, not the materializing tuples() accessor")
+    EXPLAIN = """\
+Since the columnar rewrite (relation/column_store.h) there is no row vector
+behind Relation::tuples(): the accessor *materializes*, decoding the whole
+relation into a fresh vector<Tuple> at O(size * arity) cost on every call,
+and the returned vector is a temporary -- so the once-idiomatic
+`const Tuple& t = rel.tuples()[i]` now binds a reference into an object
+that is destroyed at the end of the statement, and a stored `const Tuple*`
+dangles immediately. Both compile clean and corrupt silently.
+
+Inside src/relation/ the storage module may touch its own representation
+(and tuples() itself lives there). Everywhere else in src/ the contract is
+columns: per-cell reads via store().ValueAt()/CodeAt(), whole rows via
+CopyRow()/Row(), filtered row sets as row-id RowViews, row identity as a
+std::size_t row id -- never a Tuple pointer. tuples() stays available to
+tests and tooling, where an O(n) copy per assertion is deliberate
+simplicity, not a hot path.
+
+The rule flags, in src/**/*.{h,cc} outside src/relation/: any call spelled
+`.tuples(` / `->tuples(` and any mention of the old `tuples_` member.
+Identifiers that merely contain the substring (num_tuples(),
+delta_tuples_processed, tuples_per_relation) do not match.
+
+Fix: read through the relation's store() -- or, for code that genuinely
+needs mutable row objects (rare; see core/elimination_transform.cc's
+widening rounds), materialize explicitly with store().Row(row) so the copy
+is visible at the call site."""
+
+    ACCESS = re.compile(r"(?:\.|->)\s*tuples\s*\(|\btuples_\b")
+
+    def check(self, files):
+        for lf in files:
+            if (not lf.relpath.startswith("src/")
+                    or lf.relpath.startswith("src/relation/")):
+                continue
+            for m in self.ACCESS.finditer(lf.code):
+                yield self.finding(
+                    lf, lf.line_of(m.start()),
+                    "raw row access outside src/relation/: tuples() "
+                    "materializes a temporary (references into it dangle) "
+                    "-- read columns via store() "
+                    "(ValueAt/CopyRow/Row/RowView) instead")
+
+
 RULES = [
     IncludeGuardRule(),
     NakedMutexRule(),
     DiscardedStatusRule(),
     StatsResetRule(),
     BenchTableDumpRule(),
+    RawRowAccessRule(),
 ]
 
 

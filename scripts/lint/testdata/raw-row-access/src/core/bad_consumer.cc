@@ -1,0 +1,23 @@
+// Library code outside src/relation/ touching raw rows: every access here
+// is a materializing decode, and the reference/pointer forms dangle.
+#include "relation/relation.h"
+
+namespace cqbounds {
+
+int CountRows(const Relation& rel) {
+  int n = 0;
+  for (const Tuple& t : rel.tuples()) {  // LINT-EXPECT: raw-row-access
+    n += static_cast<int>(t.size());
+  }
+  return n;
+}
+
+const Tuple* FirstRow(const Relation* rel) {
+  return &rel->tuples()[0];  // LINT-EXPECT: raw-row-access
+}
+
+struct Shadow {
+  std::vector<Tuple> tuples_;  // LINT-EXPECT: raw-row-access
+};
+
+}  // namespace cqbounds

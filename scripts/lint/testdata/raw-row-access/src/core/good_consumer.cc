@@ -1,0 +1,29 @@
+// Good twin: column reads through store(), row ids instead of pointers,
+// and identifiers that merely contain the substring do not match.
+#include "relation/relation.h"
+#include "relation/trie_index.h"
+
+namespace cqbounds {
+
+Value FirstCell(const Relation& rel) {
+  return rel.store().ValueAt(0, 0);
+}
+
+std::size_t IndexSize(const TrieIndex& trie) {
+  return trie.num_tuples();  // num_tuples() is not tuples()
+}
+
+struct Stats {
+  std::size_t delta_tuples_processed = 0;  // contains "tuples_", no match
+  std::size_t tuples_per_relation = 0;
+};
+
+std::vector<std::size_t> MatchingRows(const Relation& rel, Value v) {
+  std::vector<std::size_t> rows;
+  for (std::size_t row = 0; row < rel.store().size(); ++row) {
+    if (rel.store().ValueAt(row, 0) == v) rows.push_back(row);
+  }
+  return rows;
+}
+
+}  // namespace cqbounds

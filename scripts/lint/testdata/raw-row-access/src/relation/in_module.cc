@@ -1,0 +1,20 @@
+// The storage module itself may touch its own representation: tuples()'s
+// definition and in-module row plumbing live here, out of the rule's scope.
+#include "relation/relation.h"
+
+namespace cqbounds {
+
+std::vector<Tuple> Relation::tuples() const {
+  std::vector<Tuple> out;
+  out.reserve(store_.size());
+  for (std::size_t row = 0; row < store_.size(); ++row) {
+    out.push_back(store_.Row(row));
+  }
+  return out;
+}
+
+std::size_t CopyAll(const Relation& rel) {
+  return rel.tuples().size();
+}
+
+}  // namespace cqbounds

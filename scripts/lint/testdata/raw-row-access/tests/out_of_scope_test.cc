@@ -1,0 +1,11 @@
+// Tests and tooling keep the compat accessor: an O(n) copy per assertion
+// is deliberate simplicity, not a hot path. Out of the rule's scope.
+#include "relation/relation.h"
+
+namespace cqbounds {
+
+bool SameFirstTuple(const Relation& a, const Relation& b) {
+  return a.tuples()[0] == b.tuples()[0];
+}
+
+}  // namespace cqbounds

@@ -53,8 +53,10 @@ Result<EliminationTransformResult> EliminateSimpleFdsWithDatabase(
       int var_y = atom.vars[fd.rhs];
       if (var_x == var_y) continue;
       ValueMap& map = maps[{var_x, var_y}];
-      for (const Tuple& t : rel->tuples()) {
-        map.emplace(t[fd.lhs[0]], t[fd.rhs]);
+      const ColumnStore& store = rel->store();
+      for (std::size_t row = 0; row < store.size(); ++row) {
+        map.emplace(store.ValueAt(row, fd.lhs[0]),
+                    store.ValueAt(row, fd.rhs));
       }
     }
   }
@@ -70,7 +72,15 @@ Result<EliminationTransformResult> EliminateSimpleFdsWithDatabase(
       return Status::NotFound("relation '" + atom.relation +
                               "' missing from database");
     }
-    atom_tuples.push_back(rel->tuples());
+    // Materialize working copies: the rounds below widen each tuple in
+    // place (push_back of determined partners), so this stage genuinely
+    // needs mutable row objects, not column views.
+    std::vector<Tuple> tuples;
+    tuples.reserve(rel->size());
+    for (std::size_t row = 0; row < rel->store().size(); ++row) {
+      tuples.push_back(rel->store().Row(row));
+    }
+    atom_tuples.push_back(std::move(tuples));
   }
 
   EliminationTransformResult out;
@@ -136,7 +146,7 @@ Result<EliminationTransformResult> EliminateSimpleFdsWithDatabase(
         "E" + std::to_string(a) + "_" + query.atoms()[a - 1].relation;
     Relation* rel = out.db.AddRelation(
         name, static_cast<int>(atom_vars[a].size()));
-    for (const Tuple& t : atom_tuples[a]) rel->Insert(t);
+    rel->InsertBatch(atom_tuples[a]);
     out.query.AddAtom(name, std::move(vars));
   }
   CQB_RETURN_NOT_OK(out.query.Validate());

@@ -142,22 +142,25 @@ Result<Relation> ExecuteJoinPlan(const Query& query, const JoinPlan& plan,
         new_pos.emplace_back(static_cast<int>(p), var);
       }
     }
-    std::unordered_map<Tuple, std::vector<const Tuple*>, TupleHash> index;
-    for (const Tuple& t : rel->tuples()) {
+    // Index row ids, not tuple pointers: rows are read back through the
+    // column store, which stays untouched for the step's lifetime.
+    const ColumnStore& store = rel->store();
+    std::unordered_map<Tuple, std::vector<std::size_t>, TupleHash> index;
+    for (std::size_t row = 0; row < store.size(); ++row) {
       bool ok = true;
       Tuple key;
       for (const auto& [pos, ref] : join_pos) {
         if (ref < 0) {
-          if (t[pos] != t[-1 - ref]) {
+          if (store.ValueAt(row, pos) != store.ValueAt(row, -1 - ref)) {
             ok = false;
             break;
           }
         } else {
-          key.push_back(t[pos]);
+          key.push_back(store.ValueAt(row, pos));
         }
       }
       if (ok) {
-        index[key].push_back(&t);
+        index[key].push_back(row);
         ++local.indexed_tuples;
       }
     }
@@ -175,11 +178,11 @@ Result<Relation> ExecuteJoinPlan(const Query& query, const JoinPlan& plan,
       }
       auto it = index.find(key);
       if (it == index.end()) continue;
-      for (const Tuple* match : it->second) {
+      for (std::size_t match : it->second) {
         Tuple extended = binding;
         for (const auto& [pos, var] : new_pos) {
           (void)var;
-          extended.push_back((*match)[pos]);
+          extended.push_back(store.ValueAt(match, pos));
         }
         joined.push_back(std::move(extended));
       }

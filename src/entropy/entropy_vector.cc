@@ -47,11 +47,12 @@ double EntropyVector::MaxShannonViolation() const {
 double MarginalEntropyBits(const Relation& rel,
                            const std::vector<int>& positions) {
   if (rel.empty()) return 0.0;
+  const ColumnStore& store = rel.store();
   std::map<Tuple, std::size_t> counts;
   Tuple key(positions.size());
-  for (const Tuple& t : rel.tuples()) {
+  for (std::size_t row = 0; row < store.size(); ++row) {
     for (std::size_t i = 0; i < positions.size(); ++i) {
-      key[i] = t[positions[i]];
+      key[i] = store.ValueAt(row, positions[i]);
     }
     ++counts[key];
   }

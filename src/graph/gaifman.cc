@@ -14,11 +14,13 @@ void AddRelation(const Relation& rel, GaifmanGraph* out) {
     out->graph.EnsureVertices(id + 1);
     return id;
   };
-  for (const Tuple& t : rel.tuples()) {
-    for (std::size_t i = 0; i < t.size(); ++i) {
-      int u = vertex_of(t[i]);
-      for (std::size_t j = i + 1; j < t.size(); ++j) {
-        int v = vertex_of(t[j]);
+  const ColumnStore& store = rel.store();
+  const int arity = rel.arity();
+  for (std::size_t row = 0; row < store.size(); ++row) {
+    for (int i = 0; i < arity; ++i) {
+      int u = vertex_of(store.ValueAt(row, i));
+      for (int j = i + 1; j < arity; ++j) {
+        int v = vertex_of(store.ValueAt(row, j));
         if (u != v) out->graph.AddEdge(u, v);
       }
     }

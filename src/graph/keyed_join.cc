@@ -13,11 +13,13 @@ Result<TreeDecomposition> KeyedJoinDecomposition(
   if (a < 0 || a >= r.arity() || b < 0 || b >= s.arity()) {
     return Status::InvalidArgument("join position out of range");
   }
+  const ColumnStore& rs = r.store();
+  const ColumnStore& ss = s.store();
   // Check that b is a key of S.
   {
     std::set<Value> seen;
-    for (const Tuple& u : s.tuples()) {
-      if (!seen.insert(u[b]).second) {
+    for (std::size_t row = 0; row < ss.size(); ++row) {
+      if (!seen.insert(ss.ValueAt(row, b)).second) {
         return Status::FailedPrecondition(
             "join attribute is not a key of the right relation");
       }
@@ -27,11 +29,12 @@ Result<TreeDecomposition> KeyedJoinDecomposition(
 
   TreeDecomposition td = input;
 
-  auto vertices_of_tuple = [&gaifman](const Tuple& t) {
+  auto vertices_of_row = [&gaifman](const ColumnStore& store,
+                                    std::size_t row) {
     std::vector<int> vs;
-    vs.reserve(t.size());
-    for (Value v : t) {
-      auto it = gaifman.value_to_vertex.find(v);
+    vs.reserve(store.arity());
+    for (int c = 0; c < store.arity(); ++c) {
+      auto it = gaifman.value_to_vertex.find(store.ValueAt(row, c));
       CQB_CHECK(it != gaifman.value_to_vertex.end());
       vs.push_back(it->second);
     }
@@ -40,28 +43,33 @@ Result<TreeDecomposition> KeyedJoinDecomposition(
     return vs;
   };
 
-  // Key index over S.
-  std::map<Value, const Tuple*> s_by_key;
-  for (const Tuple& u : s.tuples()) s_by_key.emplace(u[b], &u);
+  // Key index over S: join value -> row id (row ids stay valid because the
+  // store is not mutated while we walk R).
+  std::map<Value, std::size_t> s_by_key;
+  for (std::size_t row = 0; row < ss.size(); ++row) {
+    s_by_key.emplace(ss.ValueAt(row, b), row);
+  }
 
-  for (const Tuple& t : r.tuples()) {
-    auto it = s_by_key.find(t[a]);
+  for (std::size_t trow = 0; trow < rs.size(); ++trow) {
+    auto it = s_by_key.find(rs.ValueAt(trow, a));
     if (it == s_by_key.end()) continue;
-    const Tuple& u = *it->second;
+    const std::size_t urow = it->second;
     // Find bags holding all values of t and of u. They exist because each
     // tuple's values form a clique in the Gaifman graph and `input` is a
     // valid decomposition of it.
-    std::vector<int> t_vertices = vertices_of_tuple(t);
-    std::vector<int> u_vertices = vertices_of_tuple(u);
+    std::vector<int> t_vertices = vertices_of_row(rs, trow);
+    std::vector<int> u_vertices = vertices_of_row(ss, urow);
     int bag_t = td.FindBagContaining(t_vertices);
     int bag_u = td.FindBagContaining(u_vertices);
     CQB_CHECK(bag_t >= 0 && bag_u >= 0);
     // W: values of u other than the join value u[b].
+    const Value join_value = ss.ValueAt(urow, b);
     std::vector<int> w;
-    for (std::size_t pos = 0; pos < u.size(); ++pos) {
-      if (static_cast<int>(pos) == b) continue;
-      if (u[pos] == u[b]) continue;
-      auto vit = gaifman.value_to_vertex.find(u[pos]);
+    for (int pos = 0; pos < s.arity(); ++pos) {
+      if (pos == b) continue;
+      const Value v = ss.ValueAt(urow, pos);
+      if (v == join_value) continue;
+      auto vit = gaifman.value_to_vertex.find(v);
       CQB_CHECK(vit != gaifman.value_to_vertex.end());
       w.push_back(vit->second);
     }
@@ -83,14 +91,22 @@ Result<TreeDecomposition> CertifiedKeyedJoinDecomposition(
 Graph AugmentedJoinGraph(const Relation& r, int a, const Relation& s, int b,
                          const GaifmanGraph& gaifman) {
   Graph g = gaifman.graph;
-  std::map<Value, const Tuple*> s_by_key;
-  for (const Tuple& u : s.tuples()) s_by_key.emplace(u[b], &u);
-  for (const Tuple& t : r.tuples()) {
-    auto it = s_by_key.find(t[a]);
+  const ColumnStore& rs = r.store();
+  const ColumnStore& ss = s.store();
+  std::map<Value, std::size_t> s_by_key;
+  for (std::size_t row = 0; row < ss.size(); ++row) {
+    s_by_key.emplace(ss.ValueAt(row, b), row);
+  }
+  for (std::size_t trow = 0; trow < rs.size(); ++trow) {
+    auto it = s_by_key.find(rs.ValueAt(trow, a));
     if (it == s_by_key.end()) continue;
     std::set<int> combined;
-    for (Value v : t) combined.insert(gaifman.value_to_vertex.at(v));
-    for (Value v : *it->second) combined.insert(gaifman.value_to_vertex.at(v));
+    for (int c = 0; c < r.arity(); ++c) {
+      combined.insert(gaifman.value_to_vertex.at(rs.ValueAt(trow, c)));
+    }
+    for (int c = 0; c < s.arity(); ++c) {
+      combined.insert(gaifman.value_to_vertex.at(ss.ValueAt(it->second, c)));
+    }
     for (auto i = combined.begin(); i != combined.end(); ++i) {
       auto j = i;
       for (++j; j != combined.end(); ++j) g.AddEdge(*i, *j);

@@ -1,0 +1,263 @@
+#include "relation/column_store.h"
+
+#include <algorithm>
+
+namespace cqbounds {
+
+std::uint32_t ValueDictionary::Intern(Value v) {
+  auto [it, inserted] =
+      codes_.emplace(v, static_cast<std::uint32_t>(values_.size()));
+  if (inserted) {
+    CQB_CHECK(values_.size() < kNoCode);
+    values_.push_back(v);
+  }
+  return it->second;
+}
+
+ColumnStore::ColumnStore(int arity) : arity_(arity) {
+  CQB_CHECK(arity >= 0);
+  columns_.resize(static_cast<std::size_t>(arity));
+  scratch_.resize(static_cast<std::size_t>(arity));
+}
+
+void ColumnStore::CopyRow(std::size_t row, Tuple* out) const {
+  out->resize(static_cast<std::size_t>(arity_));
+  for (int c = 0; c < arity_; ++c) (*out)[static_cast<std::size_t>(c)] = ValueAt(row, c);
+}
+
+Tuple ColumnStore::Row(std::size_t row) const {
+  Tuple t;
+  CopyRow(row, &t);
+  return t;
+}
+
+std::uint64_t ColumnStore::HashCodes(const std::uint32_t* codes) const {
+  // FNV-1a over the code words. Codes are dense and per-store, so hashing
+  // codes is equivalent to hashing the decoded values.
+  std::uint64_t h = 1469598103934665603ull;
+  for (int c = 0; c < arity_; ++c) {
+    h ^= codes[c];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+bool ColumnStore::RowEqualsCodes(std::size_t row,
+                                 const std::uint32_t* codes) const {
+  for (int c = 0; c < arity_; ++c) {
+    if (columns_[static_cast<std::size_t>(c)][row] != codes[c]) return false;
+  }
+  return true;
+}
+
+std::size_t ColumnStore::ProbeSlot(const std::uint32_t* codes) const {
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t slot = static_cast<std::size_t>(HashCodes(codes)) & mask;
+  while (slots_[slot] != kEmptySlot &&
+         !RowEqualsCodes(slots_[slot], codes)) {
+    slot = (slot + 1) & mask;
+  }
+  return slot;
+}
+
+void ColumnStore::EnsureSlotCapacity(std::size_t upcoming_rows) {
+  // Keep load factor under 1/2; power-of-two table for mask probing.
+  std::size_t want = 16;
+  while (want < upcoming_rows * 2) want <<= 1;
+  if (want <= slots_.size()) return;
+  ReindexInto(want);
+}
+
+void ColumnStore::RehashAll() {
+  std::size_t want = 16;
+  while (want < rows_ * 2) want <<= 1;
+  ReindexInto(want);
+}
+
+void ColumnStore::ReindexInto(std::size_t capacity) {
+  slots_.assign(capacity, kEmptySlot);
+  const std::size_t mask = slots_.size() - 1;
+  std::vector<std::uint32_t> codes(static_cast<std::size_t>(arity_));
+  for (std::size_t row = 0; row < rows_; ++row) {
+    for (int c = 0; c < arity_; ++c) {
+      codes[static_cast<std::size_t>(c)] = CodeAt(row, c);
+    }
+    // Rows are already distinct: probe straight to the first free slot.
+    std::size_t slot = static_cast<std::size_t>(HashCodes(codes.data())) & mask;
+    while (slots_[slot] != kEmptySlot) slot = (slot + 1) & mask;
+    slots_[slot] = static_cast<std::uint32_t>(row);
+  }
+}
+
+bool ColumnStore::AppendCodedRow(const std::uint32_t* codes) {
+  EnsureSlotCapacity(rows_ + 1);
+  const std::size_t slot = ProbeSlot(codes);
+  if (slots_[slot] != kEmptySlot) return false;
+  CQB_CHECK(rows_ < kEmptySlot);
+  slots_[slot] = static_cast<std::uint32_t>(rows_);
+  for (int c = 0; c < arity_; ++c) {
+    columns_[static_cast<std::size_t>(c)].push_back(codes[c]);
+  }
+  ++rows_;
+  return true;
+}
+
+void ColumnStore::RecordAppend(std::size_t first_row, std::size_t added,
+                               bool seal) {
+  if (added == 0) return;
+  // Single appends coalesce into the trailing segment -- unless it was
+  // sealed by a batch, whose boundary must survive later appends.
+  if (!seal && !trailing_sealed_ && !segments_.empty() &&
+      segments_.back().end == first_row) {
+    segments_.back().end = first_row + added;
+    return;
+  }
+  segments_.push_back(Segment{first_row, first_row + added});
+  trailing_sealed_ = seal;
+}
+
+bool ColumnStore::Contains(const Tuple& t) const {
+  CQB_CHECK(static_cast<int>(t.size()) == arity_);
+  if (rows_ == 0) return false;
+  std::vector<std::uint32_t> codes(static_cast<std::size_t>(arity_));
+  for (int c = 0; c < arity_; ++c) {
+    const std::uint32_t code = dict_.CodeOf(t[static_cast<std::size_t>(c)]);
+    if (code == ValueDictionary::kNoCode) return false;
+    codes[static_cast<std::size_t>(c)] = code;
+  }
+  const std::size_t slot = ProbeSlot(codes.data());
+  return slots_[slot] != kEmptySlot;
+}
+
+bool ColumnStore::Append(const Tuple& t) {
+  CQB_CHECK(static_cast<int>(t.size()) == arity_);
+  for (int c = 0; c < arity_; ++c) {
+    scratch_[static_cast<std::size_t>(c)] =
+        dict_.Intern(t[static_cast<std::size_t>(c)]);
+  }
+  const std::size_t first = rows_;
+  if (!AppendCodedRow(scratch_.data())) return false;
+  RecordAppend(first, 1, /*seal=*/false);
+  return true;
+}
+
+std::size_t ColumnStore::AppendBatch(const std::vector<Tuple>& batch) {
+  EnsureSlotCapacity(rows_ + batch.size());
+  const std::size_t first = rows_;
+  std::size_t added = 0;
+  for (const Tuple& t : batch) {
+    CQB_CHECK(static_cast<int>(t.size()) == arity_);
+    for (int c = 0; c < arity_; ++c) {
+      scratch_[static_cast<std::size_t>(c)] =
+          dict_.Intern(t[static_cast<std::size_t>(c)]);
+    }
+    if (AppendCodedRow(scratch_.data())) ++added;
+  }
+  RecordAppend(first, added, /*seal=*/true);
+  return added;
+}
+
+std::size_t ColumnStore::AppendFlat(const std::vector<Value>& flat,
+                                    std::size_t num_rows) {
+  CQB_CHECK(flat.size() ==
+            num_rows * static_cast<std::size_t>(arity_ == 0 ? 0 : arity_));
+  EnsureSlotCapacity(rows_ + num_rows);
+  for (int c = 0; c < arity_; ++c) {
+    columns_[static_cast<std::size_t>(c)].reserve(rows_ + num_rows);
+  }
+  const std::size_t first = rows_;
+  std::size_t added = 0;
+  const std::size_t width = static_cast<std::size_t>(arity_);
+  for (std::size_t r = 0; r < num_rows; ++r) {
+    for (std::size_t c = 0; c < width; ++c) {
+      scratch_[c] = dict_.Intern(flat[r * width + c]);
+    }
+    if (AppendCodedRow(scratch_.data())) ++added;
+  }
+  RecordAppend(first, added, /*seal=*/true);
+  return added;
+}
+
+std::size_t ColumnStore::AppendFrom(const ColumnStore& other) {
+  CQB_CHECK(other.arity_ == arity_);
+  EnsureSlotCapacity(rows_ + other.rows_);
+  const std::size_t first = rows_;
+  std::size_t added = 0;
+  for (std::size_t row = 0; row < other.rows_; ++row) {
+    for (int c = 0; c < arity_; ++c) {
+      scratch_[static_cast<std::size_t>(c)] =
+          dict_.Intern(other.ValueAt(row, c));
+    }
+    if (AppendCodedRow(scratch_.data())) ++added;
+  }
+  RecordAppend(first, added, /*seal=*/true);
+  return added;
+}
+
+bool ColumnStore::Erase(const Tuple& t) {
+  CQB_CHECK(static_cast<int>(t.size()) == arity_);
+  if (rows_ == 0) return false;
+  for (int c = 0; c < arity_; ++c) {
+    const std::uint32_t code = dict_.CodeOf(t[static_cast<std::size_t>(c)]);
+    if (code == ValueDictionary::kNoCode) return false;
+    scratch_[static_cast<std::size_t>(c)] = code;
+  }
+  const std::size_t slot = ProbeSlot(scratch_.data());
+  if (slots_[slot] == kEmptySlot) return false;
+  const std::size_t row = slots_[slot];
+  for (int c = 0; c < arity_; ++c) {
+    std::vector<std::uint32_t>& col = columns_[static_cast<std::size_t>(c)];
+    col.erase(col.begin() + static_cast<std::ptrdiff_t>(row));
+  }
+  --rows_;
+  // Every row id past the erased row shifted down: rebuild the index and
+  // collapse the journal to one base segment (this is a structural
+  // mutation -- delta consumers fall back to full rebuilds anyway).
+  RehashAll();
+  segments_.clear();
+  if (rows_ != 0) segments_.push_back(Segment{0, rows_});
+  trailing_sealed_ = false;
+  return true;
+}
+
+void ColumnStore::Clear() {
+  for (auto& col : columns_) col.clear();
+  rows_ = 0;
+  slots_.clear();
+  segments_.clear();
+  trailing_sealed_ = false;
+}
+
+ColumnStats ColumnStore::Stats(int col) const {
+  CQB_CHECK(col >= 0 && col < arity_);
+  ColumnStats stats;
+  if (rows_ == 0) return stats;
+  const std::vector<std::uint32_t>& codes =
+      columns_[static_cast<std::size_t>(col)];
+  std::vector<bool> seen(dict_.size(), false);
+  stats.min = dict_.ValueOf(codes[0]);
+  stats.max = stats.min;
+  for (const std::uint32_t code : codes) {
+    if (!seen[code]) {
+      seen[code] = true;
+      ++stats.distinct;
+      const Value v = dict_.ValueOf(code);
+      stats.min = std::min(stats.min, v);
+      stats.max = std::max(stats.max, v);
+    }
+  }
+  return stats;
+}
+
+RowView RowView::Tail(const ColumnStore& store, std::size_t first,
+                      std::size_t count) {
+  CQB_CHECK(first + count <= store.size());
+  RowView view(&store);
+  view.rows.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    view.rows.push_back(static_cast<std::uint32_t>(first + i));
+  }
+  return view;
+}
+
+}  // namespace cqbounds

@@ -1,0 +1,193 @@
+#ifndef CQBOUNDS_RELATION_COLUMN_STORE_H_
+#define CQBOUNDS_RELATION_COLUMN_STORE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "relation/tuple.h"
+#include "util/status.h"
+
+namespace cqbounds {
+
+/// Per-column summary over the live rows: value bounds and distinct count.
+/// Computed on demand (one column scan); undefined fields are zero when the
+/// store is empty.
+struct ColumnStats {
+  Value min = 0;
+  Value max = 0;
+  std::size_t distinct = 0;
+};
+
+/// Per-store dictionary mapping arbitrary 64-bit Values to dense uint32_t
+/// codes in first-seen order. One dictionary is shared by all columns of a
+/// ColumnStore so that intra-tuple equality (repeated query variables such
+/// as R(X,X)) reduces to code equality across columns.
+class ValueDictionary {
+ public:
+  /// Sentinel returned by CodeOf for values never interned. Doubles as the
+  /// hard capacity limit: a store holds fewer than 2^32 - 1 distinct values.
+  static constexpr std::uint32_t kNoCode = 0xFFFFFFFFu;
+
+  /// Code for `v`, minting the next dense code on first sight.
+  std::uint32_t Intern(Value v);
+
+  /// Code for `v`, or kNoCode if `v` was never interned.
+  std::uint32_t CodeOf(Value v) const {
+    auto it = codes_.find(v);
+    return it == codes_.end() ? kNoCode : it->second;
+  }
+
+  Value ValueOf(std::uint32_t code) const { return values_[code]; }
+  std::size_t size() const { return values_.size(); }
+
+ private:
+  std::vector<Value> values_;
+  std::unordered_map<Value, std::uint32_t> codes_;
+};
+
+/// Dictionary-encoded columnar tuple storage with set semantics: `arity`
+/// contiguous uint32_t code columns plus an open-addressing hash index over
+/// row ids (no per-row heap nodes, no shadow tuple copies). Row order is
+/// first-insertion order; appends only ever extend the columns, so row ids
+/// are stable across appends and a row-id suffix is a well-defined delta.
+///
+/// Rows are grouped into *segments*: segment 0 is the base (the rows present
+/// as of the last structural mutation) and every bulk append seals one new
+/// segment; single-row appends extend the trailing append segment. The
+/// segment list is the columnar form of Relation's append journal -- a
+/// reader holding a row-count watermark finds everything appended since as
+/// the suffix [watermark, size()).
+///
+/// Same concurrency contract as Relation (externally synchronized:
+/// readers-xor-writer, owned by EvalContext's documented discipline). All
+/// const methods are pure reads -- there is no lazily-mutated cache state --
+/// so any number of concurrent readers are safe between mutations.
+class ColumnStore {
+ public:
+  /// One contiguous run of rows appended together: [begin, end).
+  struct Segment {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+  };
+
+  explicit ColumnStore(int arity);
+
+  int arity() const { return arity_; }
+  std::size_t size() const { return rows_; }
+  bool empty() const { return rows_ == 0; }
+
+  /// The code column for position `col` (size() entries, contiguous).
+  const std::vector<std::uint32_t>& column(int col) const {
+    CQB_CHECK(col >= 0 && col < arity_);
+    return columns_[static_cast<std::size_t>(col)];
+  }
+
+  std::uint32_t CodeAt(std::size_t row, int col) const {
+    return columns_[static_cast<std::size_t>(col)][row];
+  }
+
+  Value ValueAt(std::size_t row, int col) const {
+    return dict_.ValueOf(CodeAt(row, col));
+  }
+
+  /// Decodes row `row` into `*out` (resized to arity()).
+  void CopyRow(std::size_t row, Tuple* out) const;
+  Tuple Row(std::size_t row) const;
+
+  bool Contains(const Tuple& t) const;
+
+  /// Appends `t` unless already present; returns true iff a row was added.
+  /// Extends the trailing append segment.
+  bool Append(const Tuple& t);
+
+  /// Bulk appends with one dedup pass (each candidate is a single probe of
+  /// the row index -- no per-tuple node allocation). Returns the number of
+  /// rows actually added; seals them as one new segment when nonzero.
+  std::size_t AppendBatch(const std::vector<Tuple>& batch);
+
+  /// As AppendBatch over row-major flat values: `flat` holds
+  /// `num_rows * arity()` values (empty for nullary stores).
+  std::size_t AppendFlat(const std::vector<Value>& flat, std::size_t num_rows);
+
+  /// As AppendBatch reading straight from another store's columns.
+  std::size_t AppendFrom(const ColumnStore& other);
+
+  /// Removes `t` if present (O(size * arity): columns are compacted and the
+  /// row index rebuilt). Structural: collapses the segment list to one base
+  /// segment. Returns true iff a row was removed.
+  bool Erase(const Tuple& t);
+
+  /// Drops all rows (structural). The dictionary survives: codes are never
+  /// recycled, so a long-lived store's dictionary is append-only.
+  void Clear();
+
+  const ValueDictionary& dict() const { return dict_; }
+
+  /// Live segments, in row order, partitioning [0, size()).
+  const std::vector<Segment>& segments() const { return segments_; }
+
+  /// min/max/distinct over column `col`, computed by one scan. Pure read.
+  ColumnStats Stats(int col) const;
+
+ private:
+  static constexpr std::uint32_t kEmptySlot = 0xFFFFFFFFu;
+
+  std::uint64_t HashCodes(const std::uint32_t* codes) const;
+  bool RowEqualsCodes(std::size_t row, const std::uint32_t* codes) const;
+  /// Slot holding the row equal to `codes`, or the empty slot where it
+  /// would be inserted. Requires a non-empty slot table.
+  std::size_t ProbeSlot(const std::uint32_t* codes) const;
+  /// Grows the slot table (and rehashes) so `upcoming_rows` fit under the
+  /// target load factor.
+  void EnsureSlotCapacity(std::size_t upcoming_rows);
+  void RehashAll();
+  /// Rebuilds the slot table at `capacity` (a power of two) from the live
+  /// rows.
+  void ReindexInto(std::size_t capacity);
+  /// Probes and appends one coded row; true iff it was new. Does not touch
+  /// segments (callers manage segment boundaries).
+  bool AppendCodedRow(const std::uint32_t* codes);
+  /// Extends the trailing append segment by `added` rows, or opens a new
+  /// one at `first_row` when `seal` asks for a fresh segment boundary.
+  void RecordAppend(std::size_t first_row, std::size_t added, bool seal);
+
+  int arity_;
+  ValueDictionary dict_;
+  std::vector<std::vector<std::uint32_t>> columns_;
+  std::size_t rows_ = 0;
+  /// Open-addressing row index: slot -> row id, kEmptySlot when free.
+  std::vector<std::uint32_t> slots_;
+  std::vector<Segment> segments_;
+  /// True when the trailing segment was sealed by a bulk append: its
+  /// boundary is a journal fact, so later single appends open a new segment
+  /// instead of growing it.
+  bool trailing_sealed_ = false;
+  /// Scratch code buffer for probe/append paths (non-const methods only).
+  std::vector<std::uint32_t> scratch_;
+};
+
+/// A borrowed, ordered list of row ids into one ColumnStore -- the columnar
+/// replacement for the old `vector<const Tuple*>` filtered views (semi-join
+/// survivors, append-window deltas). Nothing is copied: consumers read key
+/// columns straight out of the store. The store must outlive the view.
+struct RowView {
+  const ColumnStore* store = nullptr;
+  std::vector<std::uint32_t> rows;
+
+  RowView() = default;
+  explicit RowView(const ColumnStore* s) : store(s) {}
+
+  std::size_t size() const { return rows.size(); }
+  bool empty() const { return rows.empty(); }
+
+  /// The contiguous suffix [first, first + count) of `store` -- the shape of
+  /// an append window.
+  static RowView Tail(const ColumnStore& store, std::size_t first,
+                      std::size_t count);
+};
+
+}  // namespace cqbounds
+
+#endif  // CQBOUNDS_RELATION_COLUMN_STORE_H_

@@ -68,9 +68,10 @@ std::shared_ptr<const TrieIndex> EvalContext::GetTrie(
         return it->second.trie;
       }
       // Stale entry whose relation only appended since the cached build:
-      // snapshot it as the patch base. The appended tuples are exactly the
-      // tail of rel.tuples() past the snapshot -- stable because appends
-      // never reorder the prefix and mutations never overlap evaluations.
+      // snapshot it as the patch base. The appended rows are exactly the
+      // column segment past the snapshot's watermark -- stable because
+      // appends never reorder the row prefix and mutations never overlap
+      // evaluations.
       if (rel.AppendsOnlySince(it->second.generation)) {
         patch_base = it->second.trie;
         patch_base_generation = it->second.generation;
@@ -86,18 +87,14 @@ std::shared_ptr<const TrieIndex> EvalContext::GetTrie(
   if (stats != nullptr) ++stats->trie_cache_misses;
   std::shared_ptr<const TrieIndex> trie;
   if (patch_base != nullptr) {
-    const std::size_t appended =
-        static_cast<std::size_t>(generation - patch_base_generation);
-    const std::vector<Tuple>& tuples = rel.tuples();
-    std::vector<const Tuple*> delta;
-    delta.reserve(appended);
-    for (std::size_t i = tuples.size() - appended; i < tuples.size(); ++i) {
-      delta.push_back(&tuples[i]);
-    }
+    const Relation::AppendWindow window =
+        rel.AppendedRowsSince(patch_base_generation);
+    const RowView delta =
+        RowView::Tail(rel.store(), window.first_row, window.count);
     patches_.fetch_add(1, std::memory_order_relaxed);
     if (stats != nullptr) {
       ++stats->trie_patches;
-      stats->delta_tuples_processed += appended;
+      stats->delta_tuples_processed += window.count;
     }
     trie = std::make_shared<const TrieIndex>(*patch_base, delta,
                                              level_positions);

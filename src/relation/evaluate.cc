@@ -12,6 +12,7 @@
 #include "graph/graph.h"
 #include "graph/tree_decomposition.h"
 #include "graph/treewidth_bb.h"
+#include "relation/column_store.h"
 #include "relation/trie_index.h"
 #include "relation/tuple.h"
 #include "util/mutex.h"
@@ -325,18 +326,14 @@ bool RunPartitionedDepth0(const GenericJoinSearch& proto, ThreadPool* pool,
     local->intersection_seeks += s.intersection_seeks;
     local->projection_subtrees_skipped += s.projection_subtrees_skipped;
     // Set semantics dedups head tuples that distinct depth-0 subtrees both
-    // derived (possible whenever the head projects order[0] away).
-    for (const Tuple& t : outputs[w].tuples()) output->Insert(t);
+    // derived (possible whenever the head projects order[0] away). The
+    // merge reads the worker's columns directly -- one batch append per
+    // worker, no per-tuple materialization.
+    output->InsertFrom(outputs[w]);
   }
   local->parallel_workers = workers;
   return true;
 }
-
-/// A borrowed filtered view of one atom's relation: the tuples that
-/// survived the semi-join reduction, by pointer into the relation's own
-/// storage. Handing these straight to trie construction keeps the
-/// reduction zero-copy -- no reduced Relation is ever materialized.
-using TupleView = std::vector<const Tuple*>;
 
 /// Per-atom trie overrides for the hybrid plan: atom i enumerates over
 /// `overrides[i]` (its semi-join survivor view, freshly built or served
@@ -460,9 +457,9 @@ Result<Relation> GenericJoinImpl(const Query& query, const Database& db,
 
 /// Per-atom state of the semi-join reduction: the atom's distinct variables
 /// (with every tuple position each occupies), the decomposition bag the
-/// atom was assigned to, and its surviving tuples (borrowed from the
-/// relation -- stable for the call, so the common nothing-dropped case
-/// copies no tuple at all).
+/// atom was assigned to, and its surviving rows (ids into the relation's
+/// own ColumnStore -- stable for the call, so the common nothing-dropped
+/// case copies no tuple at all).
 struct ReductionAtom {
   std::vector<int> vars;     // distinct variable ids, sorted
   std::vector<int> var_pos;  // a representative tuple position per var
@@ -471,7 +468,8 @@ struct ReductionAtom {
   std::vector<std::vector<int>> var_positions;
   int bag = -1;              // owning bag index, -1 for variable-free atoms
   int depth = 0;             // BFS depth of `bag` in the bag tree
-  std::vector<const Tuple*> tuples;  // surviving full-arity tuples
+  const ColumnStore* store = nullptr;  // backing store of the rows below
+  std::vector<std::uint32_t> rows;     // surviving row ids
   std::size_t initial = 0;   // survivor count before any semi-join
 };
 
@@ -494,24 +492,29 @@ ReductionAtom MakeReductionAtom(const Atom& atom) {
 
 /// Intra-atom repeated variables filter here, exactly as the trie build
 /// would -- the reduction must not "drop" tuples the enumeration never
-/// sees anyway.
-bool SelfConsistent(const ReductionAtom& a, const Tuple& t) {
+/// sees anyway. Code comparison: one dictionary per store, so code equality
+/// is value equality.
+bool SelfConsistent(const ReductionAtom& a, const ColumnStore& store,
+                    std::size_t row) {
   for (const std::vector<int>& ps : a.var_positions) {
+    const std::uint32_t code = store.CodeAt(row, ps[0]);
     for (std::size_t i = 1; i < ps.size(); ++i) {
-      if (t[ps[i]] != t[ps[0]]) return false;
+      if (store.CodeAt(row, ps[i]) != code) return false;
     }
   }
   return true;
 }
 
-/// Appends the self-consistent tuples of tuples[first..] to `out`, by
-/// pointer. The full pass collects from 0; the delta pass collects only the
-/// appended tail.
-void CollectSelfConsistent(const ReductionAtom& a,
-                           const std::vector<Tuple>& tuples, std::size_t first,
-                           std::vector<const Tuple*>* out) {
-  for (std::size_t i = first; i < tuples.size(); ++i) {
-    if (SelfConsistent(a, tuples[i])) out->push_back(&tuples[i]);
+/// Appends the self-consistent row ids of rows [first, store.size()) to
+/// `out`. The full pass collects from 0; the delta pass collects only the
+/// appended window.
+void CollectSelfConsistent(const ReductionAtom& a, const ColumnStore& store,
+                           std::size_t first,
+                           std::vector<std::uint32_t>* out) {
+  for (std::size_t row = first; row < store.size(); ++row) {
+    if (SelfConsistent(a, store, row)) {
+      out->push_back(static_cast<std::uint32_t>(row));
+    }
   }
 }
 
@@ -624,13 +627,15 @@ std::vector<FilterStep> BuildFilterSchedule(
   return steps;
 }
 
-/// Executes the full reduction pass over `atoms` (whose survivor vectors
-/// must hold every self-consistent tuple). When `captured` is non-null it
-/// receives, per step, the source atom's semi-join key set as of that step
-/// -- exactly the state the incremental delta pass needs later, so the key
-/// sets the pass builds anyway are persisted instead of discarded (the
-/// only extra cost over the capture-free pass is keeping them alive, plus
-/// building them even for steps whose target is currently empty).
+/// Executes the full reduction pass over `atoms` (whose survivor row lists
+/// must hold every self-consistent row, with `store` set). When `captured`
+/// is non-null it receives, per step, the source atom's semi-join key set
+/// as of that step -- exactly the state the incremental delta pass needs
+/// later, so the key sets the pass builds anyway are persisted instead of
+/// discarded (the only extra cost over the capture-free pass is keeping
+/// them alive, plus building them even for steps whose target is currently
+/// empty). Keys are decoded values, not codes: source and target live in
+/// different stores, so only values compare across atoms.
 void RunFullPass(const std::vector<FilterStep>& steps,
                  std::vector<ReductionAtom>* atoms,
                  std::vector<std::unordered_set<Tuple, TupleHash>>* captured) {
@@ -642,28 +647,28 @@ void RunFullPass(const std::vector<FilterStep>& steps,
     const FilterStep& step = steps[s];
     ReductionAtom& source = (*atoms)[step.source];
     ReductionAtom& target = (*atoms)[step.target];
-    if (captured == nullptr && target.tuples.empty()) continue;
+    if (captured == nullptr && target.rows.empty()) continue;
 
     std::unordered_set<Tuple, TupleHash> local_keys;
     std::unordered_set<Tuple, TupleHash>& keys =
         captured != nullptr ? (*captured)[s] : local_keys;
     Tuple key(step.src_pos.size());
-    for (const Tuple* t : source.tuples) {
+    for (const std::uint32_t row : source.rows) {
       for (std::size_t i = 0; i < step.src_pos.size(); ++i) {
-        key[i] = (*t)[step.src_pos[i]];
+        key[i] = source.store->ValueAt(row, step.src_pos[i]);
       }
       keys.insert(key);
     }
-    if (target.tuples.empty()) continue;
-    std::vector<const Tuple*> kept;
-    kept.reserve(target.tuples.size());
-    for (const Tuple* t : target.tuples) {
+    if (target.rows.empty()) continue;
+    std::vector<std::uint32_t> kept;
+    kept.reserve(target.rows.size());
+    for (const std::uint32_t row : target.rows) {
       for (std::size_t i = 0; i < step.tgt_pos.size(); ++i) {
-        key[i] = (*t)[step.tgt_pos[i]];
+        key[i] = target.store->ValueAt(row, step.tgt_pos[i]);
       }
-      if (keys.count(key)) kept.push_back(t);
+      if (keys.count(key)) kept.push_back(row);
     }
-    target.tuples = std::move(kept);
+    target.rows = std::move(kept);
   }
 }
 
@@ -798,7 +803,7 @@ Result<Relation> EvaluateHybridYannakakis(const Query& query,
       rank[order[d]] = static_cast<int>(d);
     }
     auto build_survivor_trie = [&query, &rank,
-                                &local](std::size_t i, const TupleView& view) {
+                                &local](std::size_t i, const RowView& view) {
       AtomLayout layout = LayoutForAtom(query.atoms()[i], rank);
       ++local.trie_cache_misses;
       auto trie =
@@ -875,60 +880,62 @@ Result<Relation> EvaluateHybridYannakakis(const Query& query,
           }
         }
         if (delta_ok) {
-          std::vector<TupleView> delta(m);
+          std::vector<std::vector<std::uint32_t>> delta(m);
+          std::vector<Relation::AppendWindow> windows(m);
           std::vector<std::size_t> candidates(m, 0);
           for (std::size_t i = 0; i < m; ++i) {
-            const std::size_t appended = static_cast<std::size_t>(
-                rels[i]->generation() - state->generations[i]);
-            const std::vector<Tuple>& tuples = rels[i]->tuples();
-            CollectSelfConsistent(atoms[i], tuples, tuples.size() - appended,
-                                  &delta[i]);
+            // The appended rows are the column segment past the snapshot's
+            // watermark -- the journal's row window, not a tuple-vector
+            // tail.
+            windows[i] = rels[i]->AppendedRowsSince(state->generations[i]);
+            CollectSelfConsistent(atoms[i], rels[i]->store(),
+                                  windows[i].first_row, &delta[i]);
             candidates[i] = delta[i].size();
-            local.delta_tuples_processed += appended;
+            local.delta_tuples_processed += windows[i].count;
           }
           Tuple key;
           for (std::size_t s = 0; s < schedule.size(); ++s) {
             const FilterStep& step = schedule[s];
             std::unordered_set<Tuple, TupleHash>& keys = state->step_keys[s];
+            const ColumnStore& src_store = rels[step.source]->store();
+            const ColumnStore& tgt_store = rels[step.target]->store();
             key.assign(step.src_pos.size(), 0);
-            for (const Tuple* t : delta[step.source]) {
+            for (const std::uint32_t row : delta[step.source]) {
               for (std::size_t i = 0; i < step.src_pos.size(); ++i) {
-                key[i] = (*t)[step.src_pos[i]];
+                key[i] = src_store.ValueAt(row, step.src_pos[i]);
               }
               keys.insert(key);
             }
             if (delta[step.target].empty()) continue;
-            TupleView kept;
+            std::vector<std::uint32_t> kept;
             kept.reserve(delta[step.target].size());
-            for (const Tuple* t : delta[step.target]) {
+            for (const std::uint32_t row : delta[step.target]) {
               for (std::size_t i = 0; i < step.tgt_pos.size(); ++i) {
-                key[i] = (*t)[step.tgt_pos[i]];
+                key[i] = tgt_store.ValueAt(row, step.tgt_pos[i]);
               }
-              if (keys.count(key)) kept.push_back(t);
+              if (keys.count(key)) kept.push_back(row);
             }
             delta[step.target] = std::move(kept);
           }
           local.semijoin_pass_ran = true;
           bool dirty = false;
           for (std::size_t i = 0; i < m; ++i) {
-            const std::size_t appended = static_cast<std::size_t>(
-                rels[i]->generation() - state->generations[i]);
             state->generations[i] = rels[i]->generation();
             const std::size_t dropped = candidates[i] - delta[i].size();
             if (dropped == 0) continue;
             local.semijoin_dropped_tuples += dropped;
             dirty = true;
-            // The atom's survivors are every previously-present tuple (all
+            // The atom's survivors are every previously-present row (all
             // survive: the state was clean) plus the delta survivors; the
             // trie constructor re-applies the self-consistency filter to
             // the old prefix.
-            const std::vector<Tuple>& tuples = rels[i]->tuples();
-            TupleView view;
-            view.reserve(tuples.size());
-            for (std::size_t j = 0; j < tuples.size() - appended; ++j) {
-              view.push_back(&tuples[j]);
+            RowView view(&rels[i]->store());
+            view.rows.reserve(windows[i].first_row + delta[i].size());
+            for (std::size_t j = 0; j < windows[i].first_row; ++j) {
+              view.rows.push_back(static_cast<std::uint32_t>(j));
             }
-            view.insert(view.end(), delta[i].begin(), delta[i].end());
+            view.rows.insert(view.rows.end(), delta[i].begin(),
+                             delta[i].end());
             state->all_survive[i] = false;
             state->survivor_tries[i] = build_survivor_trie(i, view);
             overrides[i] = state->survivor_tries[i];
@@ -940,10 +947,11 @@ Result<Relation> EvaluateHybridYannakakis(const Query& query,
           // (the sets the pass builds anyway, persisted for the next
           // delta).
           for (std::size_t i = 0; i < m; ++i) {
-            atoms[i].tuples.reserve(rels[i]->size());
-            CollectSelfConsistent(atoms[i], rels[i]->tuples(), 0,
-                                  &atoms[i].tuples);
-            atoms[i].initial = atoms[i].tuples.size();
+            atoms[i].store = &rels[i]->store();
+            atoms[i].rows.reserve(rels[i]->size());
+            CollectSelfConsistent(atoms[i], rels[i]->store(), 0,
+                                  &atoms[i].rows);
+            atoms[i].initial = atoms[i].rows.size();
           }
           auto fresh = std::make_unique<EvalContext::SemijoinState>();
           RunFullPass(schedule, &atoms, &fresh->step_keys);
@@ -957,11 +965,13 @@ Result<Relation> EvaluateHybridYannakakis(const Query& query,
           bool dirty = false;
           for (std::size_t i = 0; i < m; ++i) {
             const std::size_t dropped =
-                atoms[i].initial - atoms[i].tuples.size();
+                atoms[i].initial - atoms[i].rows.size();
             if (dropped == 0) continue;  // full-relation trie stays usable
             local.semijoin_dropped_tuples += dropped;
             fresh->all_survive[i] = false;
-            fresh->survivor_tries[i] = build_survivor_trie(i, atoms[i].tuples);
+            RowView view(atoms[i].store);
+            view.rows = std::move(atoms[i].rows);
+            fresh->survivor_tries[i] = build_survivor_trie(i, view);
             overrides[i] = fresh->survivor_tries[i];
             dirty = true;
           }
@@ -976,19 +986,22 @@ Result<Relation> EvaluateHybridYannakakis(const Query& query,
       // No context: the transient pass, exactly the cold path minus the
       // capture and the published state.
       for (std::size_t i = 0; i < m; ++i) {
-        atoms[i].tuples.reserve(rels[i]->size());
-        CollectSelfConsistent(atoms[i], rels[i]->tuples(), 0,
-                              &atoms[i].tuples);
-        atoms[i].initial = atoms[i].tuples.size();
+        atoms[i].store = &rels[i]->store();
+        atoms[i].rows.reserve(rels[i]->size());
+        CollectSelfConsistent(atoms[i], rels[i]->store(), 0,
+                              &atoms[i].rows);
+        atoms[i].initial = atoms[i].rows.size();
       }
       const std::vector<FilterStep> schedule = BuildFilterSchedule(atoms);
       RunFullPass(schedule, &atoms, nullptr);
       local.semijoin_pass_ran = true;
       for (std::size_t i = 0; i < m; ++i) {
-        const std::size_t dropped = atoms[i].initial - atoms[i].tuples.size();
+        const std::size_t dropped = atoms[i].initial - atoms[i].rows.size();
         if (dropped == 0) continue;
         local.semijoin_dropped_tuples += dropped;
-        overrides[i] = build_survivor_trie(i, atoms[i].tuples);
+        RowView view(atoms[i].store);
+        view.rows = std::move(atoms[i].rows);
+        overrides[i] = build_survivor_trie(i, view);
       }
     }
   } else {
@@ -1121,25 +1134,29 @@ Result<Relation> EvaluateQuery(const Query& query, const Database& db,
       }
     }
 
-    // Index the relation on the join-key values. Tuples violating intra-atom
-    // repeated-variable equality are skipped.
-    std::unordered_map<Tuple, std::vector<const Tuple*>, TupleHash> index;
-    for (const Tuple& t : rel->tuples()) {
+    // Index the relation on the join-key values, reading the key columns
+    // straight from the store (row ids, not tuple pointers -- nothing is
+    // materialized). Rows violating intra-atom repeated-variable equality
+    // are skipped; the equality check compares dictionary codes.
+    const ColumnStore& store = rel->store();
+    std::unordered_map<Tuple, std::vector<std::uint32_t>, TupleHash> index;
+    Tuple ikey;
+    for (std::size_t row = 0; row < store.size(); ++row) {
       bool self_consistent = true;
-      Tuple key;
+      ikey.clear();
       for (const auto& [pos, ref] : join_pos) {
         if (ref < 0) {
-          int first_pos = -1 - ref;
-          if (t[pos] != t[first_pos]) {
+          const int first_pos = -1 - ref;
+          if (store.CodeAt(row, pos) != store.CodeAt(row, first_pos)) {
             self_consistent = false;
             break;
           }
         } else {
-          key.push_back(t[pos]);
+          ikey.push_back(store.ValueAt(row, pos));
         }
       }
       if (self_consistent) {
-        index[key].push_back(&t);
+        index[ikey].push_back(static_cast<std::uint32_t>(row));
         ++local.indexed_tuples;
       }
     }
@@ -1160,11 +1177,11 @@ Result<Relation> EvaluateQuery(const Query& query, const Database& db,
       }
       auto it = index.find(key);
       if (it == index.end()) continue;
-      for (const Tuple* match : it->second) {
+      for (const std::uint32_t row : it->second) {
         Tuple extended = binding;
         for (const auto& [pos, var] : new_pos) {
           (void)var;
-          extended.push_back((*match)[pos]);
+          extended.push_back(store.ValueAt(row, pos));
         }
         next.push_back(std::move(extended));
       }
@@ -1255,29 +1272,32 @@ Relation EquiJoin(const Relation& left, const Relation& right,
     CQB_CHECK(rp >= 0 && rp < right.arity());
   }
   Relation out(result_name, left.arity() + right.arity());
-  // Index the right side on its join key.
-  std::unordered_map<Tuple, std::vector<const Tuple*>, TupleHash> index;
-  for (const Tuple& t : right.tuples()) {
-    Tuple key;
-    key.reserve(pairs.size());
-    for (const auto& [lp, rp] : pairs) {
-      (void)lp;
-      key.push_back(t[rp]);
+  // Index the right side on its join key, by row id into its store.
+  const ColumnStore& ls = left.store();
+  const ColumnStore& rs = right.store();
+  std::unordered_map<Tuple, std::vector<std::uint32_t>, TupleHash> index;
+  Tuple key(pairs.size());
+  for (std::size_t row = 0; row < rs.size(); ++row) {
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      key[i] = rs.ValueAt(row, pairs[i].second);
     }
-    index[key].push_back(&t);
+    index[key].push_back(static_cast<std::uint32_t>(row));
   }
-  for (const Tuple& t : left.tuples()) {
-    Tuple key;
-    key.reserve(pairs.size());
-    for (const auto& [lp, rp] : pairs) {
-      (void)rp;
-      key.push_back(t[lp]);
+  Tuple joined(static_cast<std::size_t>(out.arity()));
+  for (std::size_t lrow = 0; lrow < ls.size(); ++lrow) {
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      key[i] = ls.ValueAt(lrow, pairs[i].first);
     }
     auto it = index.find(key);
     if (it == index.end()) continue;
-    for (const Tuple* match : it->second) {
-      Tuple joined = t;
-      joined.insert(joined.end(), match->begin(), match->end());
+    for (const std::uint32_t rrow : it->second) {
+      for (int c = 0; c < left.arity(); ++c) {
+        joined[static_cast<std::size_t>(c)] = ls.ValueAt(lrow, c);
+      }
+      for (int c = 0; c < right.arity(); ++c) {
+        joined[static_cast<std::size_t>(left.arity() + c)] =
+            rs.ValueAt(rrow, c);
+      }
       out.Insert(joined);
     }
   }

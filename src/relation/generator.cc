@@ -12,14 +12,18 @@ void FillRandomRelation(Database* db, const std::string& name, int arity,
   // Generators own their naming scheme, so an arity conflict here is a
   // caller bug, not recoverable input.
   CQB_CHECK(rel != nullptr && "arity conflict with an existing relation");
-  Tuple t(arity);
+  // Bulk path: draw into one flat row-major buffer (same rng draw order as
+  // a per-tuple loop, so seeds reproduce the same instance), then a single
+  // batch insert with one dedup pass and one journal bump.
+  std::vector<Value> flat;
+  flat.reserve(count * static_cast<std::size_t>(arity));
   for (std::size_t i = 0; i < count; ++i) {
     for (int j = 0; j < arity; ++j) {
-      t[j] = static_cast<Value>(
-          rng->NextBelow(static_cast<std::uint64_t>(domain_size)));
+      flat.push_back(static_cast<Value>(
+          rng->NextBelow(static_cast<std::uint64_t>(domain_size))));
     }
-    rel->Insert(t);
   }
+  rel->InsertFlat(flat, count);
 }
 
 Database RandomDatabase(const Query& query,
@@ -43,22 +47,29 @@ Database RandomDatabase(const Query& query,
     for (const FunctionalDependency& fd : query.fds()) {
       Relation* rel = db.FindMutable(fd.relation);
       if (rel == nullptr) continue;
+      const ColumnStore& store = rel->store();
       std::map<Tuple, Value> canonical;
-      Relation repaired(rel->name(), rel->arity());
+      std::vector<Value> repaired_flat;
+      repaired_flat.reserve(rel->size() * static_cast<std::size_t>(rel->arity()));
       bool rewrote = false;
-      for (const Tuple& t : rel->tuples()) {
-        Tuple key;
-        key.reserve(fd.lhs.size());
-        for (int pos : fd.lhs) key.push_back(t[pos]);
-        auto [it, inserted] = canonical.emplace(std::move(key), t[fd.rhs]);
-        Tuple fixed = t;
-        if (!inserted && fixed[fd.rhs] != it->second) {
-          fixed[fd.rhs] = it->second;
-          rewrote = true;
+      Tuple key(fd.lhs.size());
+      for (std::size_t row = 0; row < store.size(); ++row) {
+        for (std::size_t i = 0; i < fd.lhs.size(); ++i) {
+          key[i] = store.ValueAt(row, fd.lhs[i]);
         }
-        repaired.Insert(fixed);
+        auto [it, inserted] = canonical.emplace(key, store.ValueAt(row, fd.rhs));
+        for (int c = 0; c < rel->arity(); ++c) {
+          Value v = store.ValueAt(row, c);
+          if (c == fd.rhs && !inserted && v != it->second) {
+            v = it->second;
+            rewrote = true;
+          }
+          repaired_flat.push_back(v);
+        }
       }
       if (rewrote) {
+        Relation repaired(rel->name(), rel->arity());
+        repaired.InsertFlat(repaired_flat, rel->size());
         *rel = std::move(repaired);
         changed = true;
       }

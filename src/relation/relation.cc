@@ -7,71 +7,110 @@
 namespace cqbounds {
 
 bool Relation::Insert(const Tuple& t) {
-  CQB_CHECK(static_cast<int>(t.size()) == arity_);
-  if (!index_.insert(t).second) return false;
-  tuples_.push_back(t);
+  CQB_CHECK(static_cast<int>(t.size()) == arity());
+  if (!store_.Append(t)) return false;
   ++generation_;
   return true;
 }
 
+std::size_t Relation::InsertBatch(const std::vector<Tuple>& batch) {
+  const std::size_t added = store_.AppendBatch(batch);
+  generation_ += added;
+  return added;
+}
+
+std::size_t Relation::InsertFlat(const std::vector<Value>& flat_values,
+                                 std::size_t num_rows) {
+  const std::size_t added = store_.AppendFlat(flat_values, num_rows);
+  generation_ += added;
+  return added;
+}
+
+std::size_t Relation::InsertFrom(const Relation& other) {
+  const std::size_t added = store_.AppendFrom(other.store_);
+  generation_ += added;
+  return added;
+}
+
 bool Relation::Remove(const Tuple& t) {
-  CQB_CHECK(static_cast<int>(t.size()) == arity_);
-  if (index_.erase(t) == 0) return false;
-  auto it = std::find(tuples_.begin(), tuples_.end(), t);
-  CQB_CHECK(it != tuples_.end());
-  tuples_.erase(it);
+  CQB_CHECK(static_cast<int>(t.size()) == arity());
+  if (!store_.Erase(t)) return false;
   ++generation_;
   append_floor_ = generation_;
   return true;
 }
 
 void Relation::Clear() {
-  if (tuples_.empty()) return;
-  tuples_.clear();
-  index_.clear();
+  if (store_.empty()) return;
+  store_.Clear();
   ++generation_;
   append_floor_ = generation_;
 }
 
-Relation Relation::Project(const std::vector<int>& positions,
-                           const std::string& result_name) const {
-  Relation out(result_name, static_cast<int>(positions.size()));
-  Tuple projected(positions.size());
-  for (const Tuple& t : tuples_) {
-    for (std::size_t i = 0; i < positions.size(); ++i) {
-      CQB_CHECK(positions[i] >= 0 && positions[i] < arity_);
-      projected[i] = t[positions[i]];
-    }
-    out.Insert(projected);
+std::vector<Tuple> Relation::tuples() const {
+  std::vector<Tuple> out(store_.size());
+  for (std::size_t row = 0; row < store_.size(); ++row) {
+    store_.CopyRow(row, &out[row]);
   }
   return out;
 }
 
+Relation Relation::Project(const std::vector<int>& positions,
+                           const std::string& result_name) const {
+  for (int pos : positions) CQB_CHECK(pos >= 0 && pos < arity());
+  Relation out(result_name, static_cast<int>(positions.size()));
+  std::vector<Value> flat;
+  flat.reserve(size() * positions.size());
+  for (std::size_t row = 0; row < store_.size(); ++row) {
+    for (int pos : positions) flat.push_back(store_.ValueAt(row, pos));
+  }
+  out.InsertFlat(flat, size());
+  return out;
+}
+
 std::vector<Value> Relation::ColumnValues(int pos) const {
-  CQB_CHECK(pos >= 0 && pos < arity_);
-  std::set<Value> values;
-  for (const Tuple& t : tuples_) values.insert(t[pos]);
-  return std::vector<Value>(values.begin(), values.end());
+  CQB_CHECK(pos >= 0 && pos < arity());
+  // Distinct codes via a dictionary-sized seen bitmap, then one sort of the
+  // decoded values -- no per-row tree or hash nodes.
+  std::vector<bool> seen(store_.dict().size(), false);
+  std::vector<Value> values;
+  for (const std::uint32_t code : store_.column(pos)) {
+    if (!seen[code]) {
+      seen[code] = true;
+      values.push_back(store_.dict().ValueOf(code));
+    }
+  }
+  std::sort(values.begin(), values.end());
+  return values;
 }
 
 std::vector<Value> Relation::ActiveDomain() const {
-  std::set<Value> values;
-  for (const Tuple& t : tuples_) values.insert(t.begin(), t.end());
-  return std::vector<Value>(values.begin(), values.end());
+  std::vector<bool> seen(store_.dict().size(), false);
+  std::vector<Value> values;
+  for (int c = 0; c < arity(); ++c) {
+    for (const std::uint32_t code : store_.column(c)) {
+      if (!seen[code]) {
+        seen[code] = true;
+        values.push_back(store_.dict().ValueOf(code));
+      }
+    }
+  }
+  std::sort(values.begin(), values.end());
+  return values;
 }
 
 bool Relation::SatisfiesFd(const std::vector<int>& lhs, int rhs) const {
+  for (int pos : lhs) CQB_CHECK(pos >= 0 && pos < arity());
+  CQB_CHECK(rhs >= 0 && rhs < arity());
   std::map<Tuple, Value> seen;
-  for (const Tuple& t : tuples_) {
-    Tuple key;
-    key.reserve(lhs.size());
-    for (int pos : lhs) {
-      CQB_CHECK(pos >= 0 && pos < arity_);
-      key.push_back(t[pos]);
+  Tuple key(lhs.size());
+  for (std::size_t row = 0; row < store_.size(); ++row) {
+    for (std::size_t i = 0; i < lhs.size(); ++i) {
+      key[i] = store_.ValueAt(row, lhs[i]);
     }
-    CQB_CHECK(rhs >= 0 && rhs < arity_);
-    auto [it, inserted] = seen.emplace(std::move(key), t[rhs]);
-    if (!inserted && it->second != t[rhs]) return false;
+    const Value dependent = store_.ValueAt(row, rhs);
+    auto [it, inserted] = seen.emplace(key, dependent);
+    if (!inserted && it->second != dependent) return false;
   }
   return true;
 }

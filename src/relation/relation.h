@@ -3,17 +3,19 @@
 
 #include <cstdint>
 #include <string>
-#include <unordered_set>
 #include <vector>
 
+#include "relation/column_store.h"
 #include "relation/tuple.h"
 #include "util/status.h"
 
 namespace cqbounds {
 
 /// A named, set-semantics relation instance: a deduplicated bag of tuples of
-/// fixed arity. Insertion order of first occurrences is preserved so that
-/// iteration (and thus every algorithm built on it) is deterministic.
+/// fixed arity, stored dictionary-encoded in contiguous uint32_t columns
+/// (relation/column_store.h). Insertion order of first occurrences is
+/// preserved so that iteration (and thus every algorithm built on it) is
+/// deterministic, and row ids are stable across appends.
 ///
 /// ## Concurrency contract (externally synchronized)
 ///
@@ -31,38 +33,68 @@ namespace cqbounds {
 /// lock this class intentionally does not have.
 class Relation {
  public:
-  Relation() : name_("R"), arity_(0) {}
+  Relation() : name_("R"), store_(0) {}
   Relation(std::string name, int arity)
-      : name_(std::move(name)), arity_(arity) {
+      : name_(std::move(name)), store_(arity) {
     CQB_CHECK(arity >= 0);
   }
 
   const std::string& name() const { return name_; }
-  int arity() const { return arity_; }
-  std::size_t size() const { return tuples_.size(); }
-  bool empty() const { return tuples_.empty(); }
+  int arity() const { return store_.arity(); }
+  std::size_t size() const { return store_.size(); }
+  bool empty() const { return store_.empty(); }
 
-  /// Mutation counter: bumped every time the instance actually changes (a
-  /// duplicate Insert or a Remove of an absent tuple leaves it unchanged).
-  /// Index caches (EvalContext in eval_context.h) snapshot it at build time
-  /// and refresh when it moves -- generation-based invalidation instead of
-  /// content hashing.
+  /// Mutation counter: advanced by the number of rows an operation actually
+  /// changed (a duplicate Insert or a Remove of an absent tuple leaves it
+  /// unchanged; a batch insert of k fresh rows advances it by k in one
+  /// journal update). Index caches (EvalContext in eval_context.h) snapshot
+  /// it at build time and refresh when it moves -- generation-based
+  /// invalidation instead of content hashing.
   std::uint64_t generation() const { return generation_; }
 
   /// Delta journal: true iff every change between generation `gen` and now
-  /// was an append. In that case the tuples appended since `gen` are exactly
-  /// the last `generation() - gen` elements of tuples() (appends never
-  /// reorder the stable prefix), so a reader holding a snapshot taken at
-  /// `gen` can patch its index from that suffix instead of rebuilding.
+  /// was an append. Appends never reorder the stable row prefix, so a
+  /// reader holding a snapshot taken at `gen` can patch its index from the
+  /// appended row window (AppendedRowsSince) instead of rebuilding.
   /// Remove/Clear advance the append floor, so any structural mutation since
   /// `gen` makes this false and forces the full-rebuild path.
   bool AppendsOnlySince(std::uint64_t gen) const {
     return gen >= append_floor_ && gen <= generation_;
   }
 
+  /// The column-segment watermark for a snapshot taken at `gen`: rows
+  /// [first_row, first_row + count) are exactly the rows appended since.
+  /// Within an append-only window the generation advances one per appended
+  /// row, so the watermark row is size() - (generation() - gen); the rows
+  /// behind it are the snapshot's stable segment, untouched since `gen`.
+  /// Requires AppendsOnlySince(gen) (checked).
+  struct AppendWindow {
+    std::size_t first_row = 0;
+    std::size_t count = 0;
+  };
+  AppendWindow AppendedRowsSince(std::uint64_t gen) const {
+    CQB_CHECK(AppendsOnlySince(gen));
+    const std::size_t appended = static_cast<std::size_t>(generation_ - gen);
+    CQB_CHECK(appended <= store_.size());
+    return AppendWindow{store_.size() - appended, appended};
+  }
+
   /// Inserts `t` if not present; returns true if inserted. Aborts if the
   /// arity does not match (a programming error, not a data error).
   bool Insert(const Tuple& t);
+
+  /// Bulk insert with a single dedup pass and one journal bump (the
+  /// generation advances by the number of rows actually added, sealed as
+  /// one column segment). Returns that count.
+  std::size_t InsertBatch(const std::vector<Tuple>& batch);
+
+  /// As InsertBatch over row-major flat values (`num_rows * arity()`
+  /// entries) -- the bulk-ingestion path: no per-tuple Tuple allocation.
+  std::size_t InsertFlat(const std::vector<Value>& flat_values,
+                         std::size_t num_rows);
+
+  /// As InsertBatch reading straight from another relation's columns.
+  std::size_t InsertFrom(const Relation& other);
 
   /// Removes `t` if present; returns true if removed. Preserves the order of
   /// the remaining tuples. A removal is a structural mutation: it bumps the
@@ -74,9 +106,20 @@ class Relation {
   /// relation was already empty.
   void Clear();
 
-  bool Contains(const Tuple& t) const { return index_.count(t) > 0; }
+  bool Contains(const Tuple& t) const { return store_.Contains(t); }
 
-  const std::vector<Tuple>& tuples() const { return tuples_; }
+  /// Materializes every tuple, in row order. This is a compatibility and
+  /// test/tooling accessor -- an O(size * arity) decode on every call, NOT a
+  /// view into storage. Library code outside src/relation/ must read columns
+  /// through store() instead (enforced by the raw-row-access lint rule).
+  std::vector<Tuple> tuples() const;
+
+  /// The underlying dictionary-encoded columns: the read path for
+  /// evaluation, index builds, and IO.
+  const ColumnStore& store() const { return store_; }
+
+  /// Per-column min/max/distinct summary (one column scan).
+  ColumnStats Stats(int col) const { return store_.Stats(col); }
 
   /// Projection onto `positions` (0-based, may repeat), with set semantics.
   Relation Project(const std::vector<int>& positions,
@@ -93,12 +136,10 @@ class Relation {
 
  private:
   std::string name_;
-  int arity_;
-  std::vector<Tuple> tuples_;
-  std::unordered_set<Tuple, TupleHash> index_;
+  ColumnStore store_;
   std::uint64_t generation_ = 0;
   // Generation value as of the last structural (non-append) mutation; a
-  // snapshot generation >= this floor saw the current tuple prefix intact.
+  // snapshot generation >= this floor saw the current row prefix intact.
   // Both journal integers are written only under the caller-owned writer
   // phase (see the class comment) -- they are read concurrently by cached
   // readers, which is safe precisely because writes never overlap reads.

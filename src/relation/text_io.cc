@@ -1,6 +1,7 @@
 #include "relation/text_io.h"
 
 #include <cctype>
+#include <map>
 #include <sstream>
 #include <vector>
 
@@ -106,6 +107,20 @@ Status CheckWritableRelationName(const std::string& name) {
 }  // namespace
 
 Status ReadDatabaseText(std::istream& in, Database* db) {
+  // Bulk ingestion: tuple lines are parsed into per-relation flat column
+  // builders (row-major values, one vector per relation) and flushed in one
+  // InsertFlat batch per relation at end of input -- a single dedup pass
+  // over the appended block instead of a per-tuple hash insert. Arity and
+  // escape errors still carry their line numbers (checked during the
+  // parse); on error nothing is flushed.
+  struct PendingRows {
+    Relation* rel = nullptr;
+    std::vector<Value> flat;
+    std::size_t rows = 0;
+  };
+  std::vector<PendingRows> pending;  // in first-tuple-seen relation order
+  std::map<Relation*, std::size_t> pending_index;
+
   std::string line;
   int line_number = 0;
   while (std::getline(in, line)) {
@@ -135,20 +150,30 @@ Status ReadDatabaseText(std::istream& in, Database* db) {
                                 ": tuple for undeclared relation '" + first +
                                 "'");
     }
-    Tuple t;
+    auto [it, inserted] = pending_index.emplace(rel, pending.size());
+    if (inserted) {
+      pending.emplace_back();
+      pending.back().rel = rel;
+    }
+    PendingRows& rows = pending[it->second];
     std::string token;
+    std::size_t width = 0;
     while (tokens >> token) {
       std::string spelling;
       CQB_ASSIGN_OR_RETURN(spelling, UnescapeToken(token, line_number));
-      t.push_back(db->value_pool()->Intern(spelling));
+      rows.flat.push_back(db->value_pool()->Intern(spelling));
+      ++width;
     }
-    if (static_cast<int>(t.size()) != rel->arity()) {
+    if (static_cast<int>(width) != rel->arity()) {
       return Status::ParseError(
           "line " + std::to_string(line_number) + ": tuple of arity " +
-          std::to_string(t.size()) + " for relation '" + first +
-          "' of arity " + std::to_string(rel->arity()));
+          std::to_string(width) + " for relation '" + first + "' of arity " +
+          std::to_string(rel->arity()));
     }
-    rel->Insert(t);
+    ++rows.rows;
+  }
+  for (PendingRows& rows : pending) {
+    rows.rel->InsertFlat(rows.flat, rows.rows);
   }
   return Status::OK();
 }
@@ -164,9 +189,11 @@ Status WriteDatabaseText(const Database& db, std::ostream& out) {
   for (const auto& [name, rel] : db.relations()) {
     CQB_RETURN_NOT_OK(CheckWritableRelationName(name));
     out << "relation " << name << " " << rel.arity() << "\n";
-    for (const Tuple& t : rel.tuples()) {
+    const ColumnStore& store = rel.store();
+    for (std::size_t row = 0; row < store.size(); ++row) {
       out << name;
-      for (Value v : t) {
+      for (int c = 0; c < rel.arity(); ++c) {
+        const Value v = store.ValueAt(row, c);
         if (v < 0 || v >= pool_size) {
           // Spelling() would render the "?<id>" fallback, which reads back
           // as a *different* value -- the silent round-trip corruption this

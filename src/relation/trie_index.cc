@@ -1,50 +1,182 @@
 #include "relation/trie_index.h"
 
 #include <algorithm>
+#include <array>
+#include <atomic>
 
 namespace cqbounds {
 
-bool TrieIndex::ExtractKey(const Tuple& t,
-                           const std::vector<std::vector<int>>& level_positions,
-                           Tuple* key) {
-  const int depth = static_cast<int>(level_positions.size());
+namespace {
+
+std::atomic<std::uint64_t> g_radix_builds{0};
+std::atomic<std::uint64_t> g_merge_builds{0};
+std::atomic<std::uint64_t> g_tuple_materializations{0};
+
+/// Maps a signed Value onto uint64 preserving order: flipping the sign bit
+/// makes unsigned byte-wise comparison agree with signed comparison.
+inline std::uint64_t BiasValue(Value v) {
+  return static_cast<std::uint64_t>(v) ^ (1ull << 63);
+}
+
+inline Value UnbiasKey(std::uint64_t k) {
+  return static_cast<Value>(k ^ (1ull << 63));
+}
+
+/// Lexicographic compare of two packed keys of `depth` words.
+inline int CompareKeys(const std::uint64_t* a, const std::uint64_t* b,
+                       int depth) {
   for (int l = 0; l < depth; ++l) {
-    const std::vector<int>& positions = level_positions[l];
-    (*key)[l] = t[positions.front()];
-    for (std::size_t p = 1; p < positions.size(); ++p) {
-      if (t[positions[p]] != (*key)[l]) return false;
+    if (a[l] < b[l]) return -1;
+    if (a[l] > b[l]) return 1;
+  }
+  return 0;
+}
+
+/// Stable LSD radix sort of the row permutation `idx` by the packed keys
+/// (lexicographic across levels, most significant level last in pass
+/// order). Each pass is an 8-bit counting sort; per level, passes above the
+/// highest byte where that level's min and max keys differ are skipped --
+/// every key in [min, max] shares that byte prefix -- so narrow-domain
+/// levels cost one or two passes, not eight.
+void RadixSortIndices(const std::vector<std::uint64_t>& keys, std::size_t m,
+                      int depth, const std::vector<std::uint64_t>& key_min,
+                      const std::vector<std::uint64_t>& key_max,
+                      std::vector<std::uint32_t>* idx) {
+  std::vector<std::uint32_t> tmp(m);
+  std::array<std::size_t, 256> count;
+  for (int l = depth - 1; l >= 0; --l) {
+    const std::uint64_t lo = key_min[static_cast<std::size_t>(l)];
+    const std::uint64_t hi = key_max[static_cast<std::size_t>(l)];
+    if (lo == hi) continue;  // Constant column: already in order.
+    int top = 7;
+    while (((lo >> (8 * top)) & 0xFF) == ((hi >> (8 * top)) & 0xFF)) --top;
+    for (int b = 0; b <= top; ++b) {
+      const int shift = 8 * b;
+      count.fill(0);
+      for (std::size_t i = 0; i < m; ++i) {
+        const std::uint64_t k =
+            keys[static_cast<std::size_t>((*idx)[i]) * depth +
+                 static_cast<std::size_t>(l)];
+        ++count[(k >> shift) & 0xFF];
+      }
+      std::size_t sum = 0;
+      for (std::size_t j = 0; j < 256; ++j) {
+        const std::size_t c = count[j];
+        count[j] = sum;
+        sum += c;
+      }
+      for (std::size_t i = 0; i < m; ++i) {
+        const std::uint32_t row = (*idx)[i];
+        const std::uint64_t k = keys[static_cast<std::size_t>(row) * depth +
+                                     static_cast<std::size_t>(l)];
+        tmp[count[(k >> shift) & 0xFF]++] = row;
+      }
+      idx->swap(tmp);
     }
   }
-  return true;
 }
 
-void TrieIndex::BuildFromKeys(std::vector<Tuple>* keys, int depth) {
-  std::sort(keys->begin(), keys->end());
-  keys->erase(std::unique(keys->begin(), keys->end()), keys->end());
-  BuildFromSortedKeys(*keys, depth);
+}  // namespace
+
+TrieBuildStats GetTrieBuildStats() {
+  TrieBuildStats stats;
+  stats.radix_builds = g_radix_builds.load(std::memory_order_relaxed);
+  stats.merge_builds = g_merge_builds.load(std::memory_order_relaxed);
+  stats.tuple_materializations =
+      g_tuple_materializations.load(std::memory_order_relaxed);
+  return stats;
 }
 
-void TrieIndex::BuildFromSortedKeys(const std::vector<Tuple>& keys,
-                                    int depth) {
-  num_tuples_ = keys.size();
+std::size_t TrieIndex::ExtractKeys(
+    const ColumnStore& store, const std::vector<std::uint32_t>* rows,
+    const std::vector<std::vector<int>>& level_positions,
+    std::vector<std::uint64_t>* keys, std::vector<std::uint64_t>* key_min,
+    std::vector<std::uint64_t>* key_max) {
+  const int depth = static_cast<int>(level_positions.size());
+  const std::size_t n = rows != nullptr ? rows->size() : store.size();
+  keys->reserve(keys->size() + n * static_cast<std::size_t>(depth));
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t row = rows != nullptr ? (*rows)[i] : i;
+    const std::size_t mark = keys->size();
+    bool consistent = true;
+    for (int l = 0; l < depth && consistent; ++l) {
+      const std::vector<int>& positions = level_positions[l];
+      const std::uint32_t code = store.CodeAt(row, positions.front());
+      for (std::size_t p = 1; p < positions.size(); ++p) {
+        // One dictionary per store: code equality is value equality.
+        if (store.CodeAt(row, positions[p]) != code) {
+          consistent = false;
+          break;
+        }
+      }
+      if (consistent) {
+        keys->push_back(BiasValue(store.dict().ValueOf(code)));
+      }
+    }
+    if (!consistent) {
+      keys->resize(mark);
+      continue;
+    }
+    for (int l = 0; l < depth; ++l) {
+      const std::uint64_t k = (*keys)[mark + static_cast<std::size_t>(l)];
+      std::uint64_t& lo = (*key_min)[static_cast<std::size_t>(l)];
+      std::uint64_t& hi = (*key_max)[static_cast<std::size_t>(l)];
+      if (kept == 0 || k < lo) lo = k;
+      if (kept == 0 || k > hi) hi = k;
+    }
+    ++kept;
+  }
+  return kept;
+}
+
+void TrieIndex::BuildFromFlatKeys(const std::vector<std::uint64_t>& keys,
+                                  std::size_t m, int depth,
+                                  const std::vector<std::uint64_t>& key_min,
+                                  const std::vector<std::uint64_t>& key_max) {
+  std::vector<std::uint32_t> idx(m);
+  for (std::size_t i = 0; i < m; ++i) idx[i] = static_cast<std::uint32_t>(i);
+  RadixSortIndices(keys, m, depth, key_min, key_max, &idx);
+
+  // Write out the sorted, deduplicated key stream once, then build the
+  // levels from it in one scan.
+  std::vector<std::uint64_t> sorted;
+  sorted.reserve(m * static_cast<std::size_t>(depth));
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::uint64_t* key =
+        keys.data() + static_cast<std::size_t>(idx[i]) * depth;
+    if (kept > 0 &&
+        CompareKeys(sorted.data() + (kept - 1) * depth, key, depth) == 0) {
+      continue;
+    }
+    sorted.insert(sorted.end(), key, key + depth);
+    ++kept;
+  }
+  BuildFromSortedFlat(sorted, kept, depth);
+}
+
+void TrieIndex::BuildFromSortedFlat(const std::vector<std::uint64_t>& keys,
+                                    std::size_t m, int depth) {
+  num_tuples_ = m;
 
   // One scan over the sorted keys builds every level: key i opens new nodes
   // at all levels past its common prefix with key i-1. A node's first-child
   // offset is recorded at creation (the next level's current size); the
   // trailing sentinel closes the last node of each level.
-  levels_.resize(depth);
-  for (std::size_t i = 0; i < keys.size(); ++i) {
+  levels_.resize(static_cast<std::size_t>(depth));
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::uint64_t* key = keys.data() + i * depth;
     int split = 0;
     if (i > 0) {
-      while (split < depth && keys[i][split] == keys[i - 1][split]) {
-        ++split;
-      }
+      const std::uint64_t* prev = key - depth;
+      while (split < depth && key[split] == prev[split]) ++split;
     }
     for (int l = split; l < depth; ++l) {
       if (l + 1 < depth) {
         levels_[l].child_begin.push_back(levels_[l + 1].values.size());
       }
-      levels_[l].values.push_back(keys[i][l]);
+      levels_[l].values.push_back(UnbiasKey(key[l]));
     }
   }
   for (int l = 0; l + 1 < depth; ++l) {
@@ -52,7 +184,7 @@ void TrieIndex::BuildFromSortedKeys(const std::vector<Tuple>& keys,
   }
 }
 
-void TrieIndex::EnumerateKeys(std::vector<Tuple>* out) const {
+void TrieIndex::EnumerateFlatKeys(std::vector<std::uint64_t>* out) const {
   const int depth = num_levels();
   if (depth == 0 || levels_[0].values.empty()) return;
   // Iterative DFS over the flat levels. stack[l] is the current node index
@@ -61,7 +193,7 @@ void TrieIndex::EnumerateKeys(std::vector<Tuple>* out) const {
   // parent order, so the walk emits keys in lexicographic order.
   std::vector<std::size_t> stack(static_cast<std::size_t>(depth));
   std::vector<Range> ranges(static_cast<std::size_t>(depth));
-  Tuple key(static_cast<std::size_t>(depth));
+  std::vector<std::uint64_t> key(static_cast<std::size_t>(depth));
   ranges[0] = RootRange();
   stack[0] = 0;
   int l = 0;
@@ -71,13 +203,13 @@ void TrieIndex::EnumerateKeys(std::vector<Tuple>* out) const {
       if (l >= 0) ++stack[l];
       continue;
     }
-    key[l] = levels_[l].values[stack[l]];
+    key[l] = BiasValue(levels_[l].values[stack[l]]);
     if (l + 1 < depth) {
       ranges[l + 1] = ChildRange(l, stack[l]);
       stack[l + 1] = ranges[l + 1].begin;
       ++l;
     } else {
-      out->push_back(key);
+      out->insert(out->end(), key.begin(), key.end());
       ++stack[l];
     }
   }
@@ -85,6 +217,7 @@ void TrieIndex::EnumerateKeys(std::vector<Tuple>* out) const {
 
 TrieIndex::TrieIndex(const Relation& rel,
                      const std::vector<std::vector<int>>& level_positions) {
+  g_radix_builds.fetch_add(1, std::memory_order_relaxed);
   const int depth = static_cast<int>(level_positions.size());
   if (depth == 0) {
     // Zero key variables: the trie only records whether any tuple survives
@@ -92,78 +225,107 @@ TrieIndex::TrieIndex(const Relation& rel,
     num_tuples_ = rel.empty() ? 0 : 1;
     return;
   }
-
-  // Extract the key tuple of every self-consistent tuple.
-  std::vector<Tuple> keys;
-  keys.reserve(rel.size());
-  Tuple key(depth);
-  for (const Tuple& t : rel.tuples()) {
-    if (ExtractKey(t, level_positions, &key)) keys.push_back(key);
-  }
-  BuildFromKeys(&keys, depth);
+  std::vector<std::uint64_t> keys;
+  std::vector<std::uint64_t> key_min(static_cast<std::size_t>(depth));
+  std::vector<std::uint64_t> key_max(static_cast<std::size_t>(depth));
+  const std::size_t m = ExtractKeys(rel.store(), nullptr, level_positions,
+                                    &keys, &key_min, &key_max);
+  BuildFromFlatKeys(keys, m, depth, key_min, key_max);
 }
 
-TrieIndex::TrieIndex(const std::vector<const Tuple*>& tuples,
+TrieIndex::TrieIndex(const RowView& view,
                      const std::vector<std::vector<int>>& level_positions) {
+  g_radix_builds.fetch_add(1, std::memory_order_relaxed);
   const int depth = static_cast<int>(level_positions.size());
   if (depth == 0) {
-    num_tuples_ = tuples.empty() ? 0 : 1;
+    num_tuples_ = view.empty() ? 0 : 1;
     return;
   }
-  std::vector<Tuple> keys;
-  keys.reserve(tuples.size());
-  Tuple key(depth);
-  for (const Tuple* t : tuples) {
-    if (ExtractKey(*t, level_positions, &key)) keys.push_back(key);
-  }
-  BuildFromKeys(&keys, depth);
+  CQB_CHECK(view.store != nullptr);
+  std::vector<std::uint64_t> keys;
+  std::vector<std::uint64_t> key_min(static_cast<std::size_t>(depth));
+  std::vector<std::uint64_t> key_max(static_cast<std::size_t>(depth));
+  const std::size_t m = ExtractKeys(*view.store, &view.rows, level_positions,
+                                    &keys, &key_min, &key_max);
+  BuildFromFlatKeys(keys, m, depth, key_min, key_max);
 }
 
-TrieIndex::TrieIndex(const TrieIndex& base,
-                     const std::vector<const Tuple*>& appended,
+TrieIndex::TrieIndex(const TrieIndex& base, const RowView& appended,
                      const std::vector<std::vector<int>>& level_positions) {
+  g_merge_builds.fetch_add(1, std::memory_order_relaxed);
   const int depth = static_cast<int>(level_positions.size());
   CQB_CHECK(base.num_levels() == depth);
   if (depth == 0) {
     num_tuples_ = (base.num_tuples_ != 0 || !appended.empty()) ? 1 : 0;
     return;
   }
+  CQB_CHECK(appended.store != nullptr);
 
-  // Delta keys: extract, sort, dedup -- O(k log k) for k appended tuples.
-  std::vector<Tuple> delta;
-  delta.reserve(appended.size());
-  Tuple key(static_cast<std::size_t>(depth));
-  for (const Tuple* t : appended) {
-    if (ExtractKey(*t, level_positions, &key)) delta.push_back(key);
+  // Delta keys: extract, radix-sort, dedup -- O(k log k) worst case for k
+  // appended rows, all on packed words.
+  std::vector<std::uint64_t> keys;
+  std::vector<std::uint64_t> key_min(static_cast<std::size_t>(depth));
+  std::vector<std::uint64_t> key_max(static_cast<std::size_t>(depth));
+  const std::size_t m = ExtractKeys(*appended.store, &appended.rows,
+                                    level_positions, &keys, &key_min,
+                                    &key_max);
+  std::vector<std::uint32_t> idx(m);
+  for (std::size_t i = 0; i < m; ++i) idx[i] = static_cast<std::uint32_t>(i);
+  RadixSortIndices(keys, m, depth, key_min, key_max, &idx);
+  std::vector<std::uint64_t> delta;
+  delta.reserve(m * static_cast<std::size_t>(depth));
+  std::size_t dk = 0;
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::uint64_t* key =
+        keys.data() + static_cast<std::size_t>(idx[i]) * depth;
+    if (dk > 0 &&
+        CompareKeys(delta.data() + (dk - 1) * depth, key, depth) == 0) {
+      continue;
+    }
+    delta.insert(delta.end(), key, key + depth);
+    ++dk;
   }
-  std::sort(delta.begin(), delta.end());
-  delta.erase(std::unique(delta.begin(), delta.end()), delta.end());
 
   // Base keys come out of the DFS already sorted and deduplicated; a single
   // merge (dropping delta keys already present) yields the combined sorted
-  // key stream without ever comparison-sorting the base.
-  std::vector<Tuple> base_keys;
-  base_keys.reserve(base.num_tuples_);
-  base.EnumerateKeys(&base_keys);
+  // key stream without ever re-sorting the base.
+  std::vector<std::uint64_t> base_keys;
+  base_keys.reserve(base.num_tuples_ * static_cast<std::size_t>(depth));
+  base.EnumerateFlatKeys(&base_keys);
+  const std::size_t bk = base_keys.size() / static_cast<std::size_t>(depth);
 
-  std::vector<Tuple> merged;
+  std::vector<std::uint64_t> merged;
   merged.reserve(base_keys.size() + delta.size());
   std::size_t bi = 0;
   std::size_t di = 0;
-  while (bi < base_keys.size() && di < delta.size()) {
-    if (base_keys[bi] < delta[di]) {
-      merged.push_back(std::move(base_keys[bi++]));
-    } else if (delta[di] < base_keys[bi]) {
-      merged.push_back(std::move(delta[di++]));
+  std::size_t mk = 0;
+  while (bi < bk && di < dk) {
+    const std::uint64_t* b = base_keys.data() + bi * depth;
+    const std::uint64_t* d = delta.data() + di * depth;
+    const int cmp = CompareKeys(b, d, depth);
+    if (cmp < 0) {
+      merged.insert(merged.end(), b, b + depth);
+      ++bi;
+    } else if (cmp > 0) {
+      merged.insert(merged.end(), d, d + depth);
+      ++di;
     } else {
-      merged.push_back(std::move(base_keys[bi++]));
+      merged.insert(merged.end(), b, b + depth);
+      ++bi;
       ++di;  // Duplicate of an existing key: set semantics, no growth.
     }
+    ++mk;
   }
-  while (bi < base_keys.size()) merged.push_back(std::move(base_keys[bi++]));
-  while (di < delta.size()) merged.push_back(std::move(delta[di++]));
+  for (; bi < bk; ++bi, ++mk) {
+    const std::uint64_t* b = base_keys.data() + bi * depth;
+    merged.insert(merged.end(), b, b + depth);
+  }
+  for (; di < dk; ++di, ++mk) {
+    const std::uint64_t* d = delta.data() + di * depth;
+    merged.insert(merged.end(), d, d + depth);
+  }
 
-  BuildFromSortedKeys(merged, depth);
+  BuildFromSortedFlat(merged, mk, depth);
 }
 
 std::size_t TrieIndex::SeekGE(int level, Range r, Value v) const {

@@ -2,12 +2,29 @@
 #define CQBOUNDS_RELATION_TRIE_INDEX_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
+#include "relation/column_store.h"
 #include "relation/relation.h"
 #include "relation/tuple.h"
 
 namespace cqbounds {
+
+/// Monotonic process-wide counters over TrieIndex construction, readable by
+/// benches and tests. `radix_builds` counts from-scratch builds (Relation and
+/// RowView constructors), `merge_builds` counts patch-constructor merges.
+/// `tuple_materializations` is a tripwire: it counts per-tuple heap `Tuple`
+/// objects created during trie construction, which is zero by design on the
+/// columnar radix and merge paths -- bench_e15_columnar_scale asserts it
+/// stays zero, so any future build path that regresses to materializing
+/// row-major tuples must bump it and will trip the bench.
+struct TrieBuildStats {
+  std::uint64_t radix_builds = 0;
+  std::uint64_t merge_builds = 0;
+  std::uint64_t tuple_materializations = 0;
+};
+TrieBuildStats GetTrieBuildStats();
 
 /// A sorted-column trie over one relation instance, the per-atom index of
 /// the worst-case-optimal generic-join executor (EvaluateGenericJoin).
@@ -20,9 +37,12 @@ namespace cqbounds {
 /// by the caller to follow one global variable order shared by every atom of
 /// the query; see docs/EVALUATION.md.
 ///
-/// Storage is three flat vectors per level (value, first-child offset), not
-/// pointer-chased nodes: construction is sort + single scan, and iteration
-/// is cache-friendly array walking.
+/// Storage is flat vectors per level (value, first-child offset), not
+/// pointer-chased nodes. Construction reads key columns straight out of the
+/// relation's ColumnStore into a packed flat key buffer, LSD-radix-sorts a
+/// row permutation over it, and builds every level in one scan of the sorted
+/// stream -- no comparison sort, and no per-tuple Tuple materialization
+/// (see TrieBuildStats::tuple_materializations).
 class TrieIndex {
  public:
   /// A contiguous run of sibling nodes at one level: indices [begin, end).
@@ -44,27 +64,27 @@ class TrieIndex {
   TrieIndex(const Relation& rel,
             const std::vector<std::vector<int>>& level_positions);
 
-  /// As above over a borrowed filtered view: `tuples` holds pointers into
-  /// some relation's tuple storage (e.g. the survivors of a semi-join
-  /// reduction pass). Nothing is copied out of the view -- the trie only
-  /// extracts the key columns -- so building from a filtered view costs the
-  /// same as building from a relation of that size, with no intermediate
-  /// Relation materialization. The pointed-to tuples need only outlive the
-  /// constructor.
-  TrieIndex(const std::vector<const Tuple*>& tuples,
+  /// As above over a borrowed filtered view: `view` names rows of some
+  /// ColumnStore (e.g. the survivors of a semi-join reduction pass).
+  /// Nothing is copied out of the store beyond the key columns, so building
+  /// from a filtered view costs the same as building from a relation of
+  /// that size, with no intermediate Relation materialization. The store
+  /// need only outlive the constructor.
+  TrieIndex(const RowView& view,
             const std::vector<std::vector<int>>& level_positions);
 
   /// Patch constructor: builds the trie for `base`'s key set plus the keys of
-  /// `appended` (extracted with the same `level_positions` layout `base` was
-  /// built with). `base` is never modified -- the patched trie is a fresh
-  /// object, so readers holding shared_ptrs to `base` are unaffected (the
-  /// EvalContext concurrency contract). Cost is O(base + k log k) copies for
-  /// k appended tuples: the base's keys are enumerated already sorted
-  /// (a DFS over its flat levels) and merged with the sorted delta in one
-  /// pass, skipping the O(n log n) comparison sort a from-scratch build pays.
+  /// the rows in `appended` (extracted with the same `level_positions` layout
+  /// `base` was built with -- typically the append window of the base's
+  /// relation, but any store-backed view works). `base` is never modified --
+  /// the patched trie is a fresh object, so readers holding shared_ptrs to
+  /// `base` are unaffected (the EvalContext concurrency contract). Cost is
+  /// O(base + k log k) for k appended rows: the base's keys are enumerated
+  /// already sorted (a DFS over its flat levels) and merged with the sorted
+  /// delta in one pass, skipping the full sort a from-scratch build pays.
   /// Set semantics hold across the merge: a delta key already present in
   /// `base` does not grow the trie.
-  TrieIndex(const TrieIndex& base, const std::vector<const Tuple*>& appended,
+  TrieIndex(const TrieIndex& base, const RowView& appended,
             const std::vector<std::vector<int>>& level_positions);
 
   /// Number of key levels (the atom's distinct-variable count).
@@ -105,25 +125,34 @@ class TrieIndex {
     std::vector<std::size_t> child_begin;
   };
 
-  /// Extracts `t`'s key into `key` (sized to the level count); false if the
-  /// tuple violates an intra-level equality filter.
-  static bool ExtractKey(const Tuple& t,
-                         const std::vector<std::vector<int>>& level_positions,
-                         Tuple* key);
+  /// Packed key extraction: appends the sign-biased key words of every
+  /// self-consistent row of `rows` (or all rows when `rows` is null) to
+  /// `*keys`, depth words per kept row, and widens `*key_max` per level.
+  /// Returns the kept-row count.
+  static std::size_t ExtractKeys(
+      const ColumnStore& store, const std::vector<std::uint32_t>* rows,
+      const std::vector<std::vector<int>>& level_positions,
+      std::vector<std::uint64_t>* keys, std::vector<std::uint64_t>* key_min,
+      std::vector<std::uint64_t>* key_max);
 
-  /// Sorts and dedups `keys`, then builds the per-level arrays via
-  /// BuildFromSortedKeys. Shared tail of the from-scratch constructors;
-  /// `keys` is consumed.
-  void BuildFromKeys(std::vector<Tuple>* keys, int depth);
+  /// Radix-sorts + dedups the packed `keys` (m rows of depth words), then
+  /// builds the per-level arrays via BuildFromSortedFlat. Shared tail of the
+  /// from-scratch constructors.
+  void BuildFromFlatKeys(const std::vector<std::uint64_t>& keys,
+                         std::size_t m, int depth,
+                         const std::vector<std::uint64_t>& key_min,
+                         const std::vector<std::uint64_t>& key_max);
 
-  /// Builds the per-level arrays from an already sorted, deduplicated key
-  /// sequence (the single-scan core of BuildFromKeys, exposed so the patch
+  /// Builds the per-level arrays from an already sorted, deduplicated packed
+  /// key stream of m rows (the single-scan core, exposed so the patch
   /// constructor's merge can feed it directly).
-  void BuildFromSortedKeys(const std::vector<Tuple>& keys, int depth);
+  void BuildFromSortedFlat(const std::vector<std::uint64_t>& keys,
+                           std::size_t m, int depth);
 
-  /// Appends every key tuple of this trie, in lexicographic order, to `out`
-  /// (an iterative DFS over the flat levels -- no comparisons, no sort).
-  void EnumerateKeys(std::vector<Tuple>* out) const;
+  /// Appends every key of this trie, packed and sign-biased, in
+  /// lexicographic order (an iterative DFS over the flat levels -- no
+  /// comparisons, no sort, no Tuple objects).
+  void EnumerateFlatKeys(std::vector<std::uint64_t>* out) const;
 
   std::vector<Level> levels_;
   std::size_t num_tuples_ = 0;

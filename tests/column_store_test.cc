@@ -1,0 +1,321 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <set>
+#include <vector>
+
+#include "relation/column_store.h"
+#include "relation/relation.h"
+#include "relation/trie_index.h"
+#include "util/rng.h"
+
+namespace cqbounds {
+namespace {
+
+// --- ValueDictionary -------------------------------------------------------
+
+TEST(ValueDictionaryTest, InternsInFirstSeenOrderAndRoundTrips) {
+  ValueDictionary dict;
+  EXPECT_EQ(dict.size(), 0u);
+  EXPECT_EQ(dict.CodeOf(42), ValueDictionary::kNoCode);
+
+  EXPECT_EQ(dict.Intern(42), 0u);
+  EXPECT_EQ(dict.Intern(-7), 1u);
+  EXPECT_EQ(dict.Intern(42), 0u);  // idempotent
+  EXPECT_EQ(dict.Intern(0), 2u);
+  EXPECT_EQ(dict.size(), 3u);
+
+  EXPECT_EQ(dict.CodeOf(-7), 1u);
+  EXPECT_EQ(dict.ValueOf(0), 42);
+  EXPECT_EQ(dict.ValueOf(1), -7);
+  EXPECT_EQ(dict.ValueOf(2), 0);
+}
+
+// --- ColumnStore round trips ----------------------------------------------
+
+TEST(ColumnStoreTest, AppendContainsAndDecodeAcrossArities) {
+  for (int arity : {1, 2, 3, 5}) {
+    ColumnStore store(arity);
+    EXPECT_TRUE(store.empty());
+    std::vector<Tuple> rows;
+    for (Value base : {10, -3, 999}) {
+      Tuple t(arity);
+      for (int c = 0; c < arity; ++c) t[c] = base + c;
+      rows.push_back(t);
+      EXPECT_TRUE(store.Append(t)) << "arity " << arity;
+      EXPECT_FALSE(store.Append(t)) << "duplicate must be rejected";
+    }
+    ASSERT_EQ(store.size(), rows.size()) << "arity " << arity;
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      EXPECT_EQ(store.Row(r), rows[r]);
+      EXPECT_TRUE(store.Contains(rows[r]));
+      for (int c = 0; c < arity; ++c) {
+        EXPECT_EQ(store.ValueAt(r, c), rows[r][c]);
+      }
+    }
+    Tuple absent(arity, Value{123456});
+    EXPECT_FALSE(store.Contains(absent));
+    // Columns are contiguous and exactly size() long.
+    for (int c = 0; c < arity; ++c) {
+      EXPECT_EQ(store.column(c).size(), store.size());
+    }
+  }
+}
+
+TEST(ColumnStoreTest, NullaryStoreHoldsAtMostTheEmptyTuple) {
+  ColumnStore store(0);
+  EXPECT_FALSE(store.Contains(Tuple{}));
+  EXPECT_TRUE(store.Append(Tuple{}));
+  EXPECT_FALSE(store.Append(Tuple{}));  // set semantics on zero columns
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_TRUE(store.Contains(Tuple{}));
+  EXPECT_EQ(store.Row(0), Tuple{});
+  EXPECT_TRUE(store.Erase(Tuple{}));
+  EXPECT_TRUE(store.empty());
+}
+
+TEST(ColumnStoreTest, SharedDictionaryMakesRepeatedValuesCodeEqual) {
+  // One dictionary per store: the same value in different columns gets the
+  // same code, so intra-tuple equality (R(X,X)) is code equality.
+  ColumnStore store(3);
+  store.Append({7, 7, 9});
+  store.Append({9, 7, 7});
+  EXPECT_EQ(store.CodeAt(0, 0), store.CodeAt(0, 1));
+  EXPECT_EQ(store.CodeAt(0, 0), store.CodeAt(1, 1));
+  EXPECT_EQ(store.CodeAt(0, 2), store.CodeAt(1, 0));
+  EXPECT_NE(store.CodeAt(0, 0), store.CodeAt(0, 2));
+  EXPECT_EQ(store.dict().size(), 2u);  // only {7, 9} were ever interned
+}
+
+TEST(ColumnStoreTest, BatchAppendDedupsWithinAndAgainstExisting) {
+  ColumnStore store(2);
+  store.Append({1, 2});
+  const std::size_t added = store.AppendBatch(
+      {{1, 2}, {3, 4}, {3, 4}, {5, 6}, {1, 2}});
+  EXPECT_EQ(added, 2u);
+  ASSERT_EQ(store.size(), 3u);
+  EXPECT_EQ(store.Row(0), (Tuple{1, 2}));
+  EXPECT_EQ(store.Row(1), (Tuple{3, 4}));  // first-occurrence order kept
+  EXPECT_EQ(store.Row(2), (Tuple{5, 6}));
+}
+
+TEST(ColumnStoreTest, FlatAppendMatchesTupleAppend) {
+  ColumnStore flat(2);
+  ColumnStore slow(2);
+  const std::vector<Value> values = {1, 2, 3, 4, 1, 2, 5, 6};
+  EXPECT_EQ(flat.AppendFlat(values, 4), 3u);
+  for (std::size_t r = 0; r < 4; ++r) {
+    slow.Append({values[2 * r], values[2 * r + 1]});
+  }
+  ASSERT_EQ(flat.size(), slow.size());
+  for (std::size_t r = 0; r < flat.size(); ++r) {
+    EXPECT_EQ(flat.Row(r), slow.Row(r));
+  }
+}
+
+TEST(ColumnStoreTest, AppendFromCrossesDictionaries) {
+  // The source's codes mean nothing to the target: AppendFrom must copy by
+  // value, re-interning into the target's own dictionary.
+  ColumnStore source(2);
+  source.Append({100, 200});
+  source.Append({300, 100});
+  ColumnStore target(2);
+  target.Append({999, 100});  // pre-seeds a different code assignment
+  EXPECT_EQ(target.AppendFrom(source), 2u);
+  ASSERT_EQ(target.size(), 3u);
+  EXPECT_EQ(target.Row(1), (Tuple{100, 200}));
+  EXPECT_EQ(target.Row(2), (Tuple{300, 100}));
+}
+
+TEST(ColumnStoreTest, EraseCompactsPreservingOrder) {
+  ColumnStore store(2);
+  for (Value v : {1, 2, 3, 4, 5}) store.Append({v, v * 10});
+  EXPECT_FALSE(store.Erase({9, 90}));
+  EXPECT_TRUE(store.Erase({3, 30}));
+  ASSERT_EQ(store.size(), 4u);
+  EXPECT_EQ(store.Row(0), (Tuple{1, 10}));
+  EXPECT_EQ(store.Row(1), (Tuple{2, 20}));
+  EXPECT_EQ(store.Row(2), (Tuple{4, 40}));
+  EXPECT_EQ(store.Row(3), (Tuple{5, 50}));
+  // The row index survives the compaction: membership and dedup still work.
+  EXPECT_FALSE(store.Contains({3, 30}));
+  EXPECT_TRUE(store.Contains({5, 50}));
+  EXPECT_FALSE(store.Append({4, 40}));
+  EXPECT_TRUE(store.Append({3, 30}));  // re-insertable after erase
+}
+
+TEST(ColumnStoreTest, SegmentsJournalAppendsAndCollapseOnMutation) {
+  ColumnStore store(1);
+  store.Append({1});
+  store.Append({2});
+  ASSERT_EQ(store.segments().size(), 1u);  // single appends coalesce
+  EXPECT_EQ(store.segments()[0].begin, 0u);
+  EXPECT_EQ(store.segments()[0].end, 2u);
+
+  store.AppendBatch({{3}, {4}});  // a batch seals its own segment
+  ASSERT_EQ(store.segments().size(), 2u);
+  EXPECT_EQ(store.segments()[1].begin, 2u);
+  EXPECT_EQ(store.segments()[1].end, 4u);
+
+  store.Append({5});  // opens a fresh trailing append segment
+  ASSERT_EQ(store.segments().size(), 3u);
+  EXPECT_EQ(store.segments()[2].begin, 4u);
+  EXPECT_EQ(store.segments()[2].end, 5u);
+
+  store.Erase({1});  // structural: back to one base segment
+  ASSERT_EQ(store.segments().size(), 1u);
+  EXPECT_EQ(store.segments()[0].begin, 0u);
+  EXPECT_EQ(store.segments()[0].end, 4u);
+
+  store.Clear();
+  EXPECT_TRUE(store.segments().empty());
+}
+
+TEST(ColumnStoreTest, StatsComputeMinMaxDistinctPerColumn) {
+  ColumnStore store(2);
+  store.Append({5, -1});
+  store.Append({-3, -1});
+  store.Append({5, 7});
+  ColumnStats c0 = store.Stats(0);
+  EXPECT_EQ(c0.min, -3);
+  EXPECT_EQ(c0.max, 5);
+  EXPECT_EQ(c0.distinct, 2u);
+  ColumnStats c1 = store.Stats(1);
+  EXPECT_EQ(c1.min, -1);
+  EXPECT_EQ(c1.max, 7);
+  EXPECT_EQ(c1.distinct, 2u);
+
+  ColumnStore empty(1);
+  ColumnStats none = empty.Stats(0);
+  EXPECT_EQ(none.distinct, 0u);
+}
+
+TEST(RowViewTest, TailNamesTheAppendSuffix) {
+  ColumnStore store(1);
+  for (Value v : {10, 11, 12, 13}) store.Append({v});
+  RowView tail = RowView::Tail(store, 2, 2);
+  EXPECT_EQ(tail.store, &store);
+  ASSERT_EQ(tail.size(), 2u);
+  EXPECT_EQ(tail.rows[0], 2u);
+  EXPECT_EQ(tail.rows[1], 3u);
+  EXPECT_TRUE(RowView::Tail(store, 4, 0).empty());
+}
+
+// --- Relation journal over the columnar store ------------------------------
+
+TEST(RelationJournalTest, BatchInsertAdvancesGenerationByRowsAdded) {
+  Relation r("R", 2);
+  EXPECT_EQ(r.generation(), 0u);
+  r.Insert({1, 2});
+  EXPECT_EQ(r.generation(), 1u);
+  r.Insert({1, 2});  // duplicate: no change
+  EXPECT_EQ(r.generation(), 1u);
+
+  const std::uint64_t snapshot = r.generation();
+  EXPECT_EQ(r.InsertBatch({{1, 2}, {3, 4}, {5, 6}, {3, 4}}), 2u);
+  EXPECT_EQ(r.generation(), snapshot + 2);
+
+  // The append window is exactly the batch's fresh rows.
+  ASSERT_TRUE(r.AppendsOnlySince(snapshot));
+  Relation::AppendWindow window = r.AppendedRowsSince(snapshot);
+  EXPECT_EQ(window.first_row, 1u);
+  EXPECT_EQ(window.count, 2u);
+  EXPECT_EQ(r.store().Row(window.first_row), (Tuple{3, 4}));
+
+  // A structural mutation closes the append-only window.
+  r.Remove({1, 2});
+  EXPECT_FALSE(r.AppendsOnlySince(snapshot));
+  EXPECT_TRUE(r.AppendsOnlySince(r.generation()));
+  EXPECT_EQ(r.AppendedRowsSince(r.generation()).count, 0u);
+}
+
+TEST(RelationJournalTest, FlatAndFromInsertsMatchTupleInserts) {
+  Relation flat("F", 2);
+  EXPECT_EQ(flat.InsertFlat({1, 2, 3, 4, 1, 2}, 3), 2u);
+  EXPECT_EQ(flat.generation(), 2u);
+
+  Relation from("G", 2);
+  from.Insert({3, 4});
+  EXPECT_EQ(from.InsertFrom(flat), 1u);  // {3,4} already present
+  ASSERT_EQ(from.size(), 2u);
+  EXPECT_EQ(from.store().Row(1), (Tuple{1, 2}));
+}
+
+TEST(RelationJournalTest, MaterializingAccessorMatchesStoreRows) {
+  Relation r("R", 2);
+  r.InsertBatch({{2, 1}, {4, 3}});
+  const std::vector<Tuple> tuples = r.tuples();  // by value: a fresh decode
+  ASSERT_EQ(tuples.size(), r.size());
+  for (std::size_t row = 0; row < r.size(); ++row) {
+    EXPECT_EQ(tuples[row], r.store().Row(row));
+  }
+}
+
+// --- Radix trie builds vs a comparison-sort reference ----------------------
+
+/// Every root-to-leaf key of `trie` in lexicographic (level) order.
+std::vector<Tuple> AllKeys(const TrieIndex& trie) {
+  std::vector<Tuple> keys;
+  if (trie.num_levels() == 0) return keys;
+  Tuple key(trie.num_levels());
+  std::function<void(int, TrieIndex::Range)> walk =
+      [&](int level, TrieIndex::Range range) {
+        for (std::size_t i = range.begin; i < range.end; ++i) {
+          key[level] = trie.ValueAt(level, i);
+          if (level + 1 == trie.num_levels()) {
+            keys.push_back(key);
+          } else {
+            walk(level + 1, trie.ChildRange(level, i));
+          }
+        }
+      };
+  walk(0, trie.RootRange());
+  return keys;
+}
+
+TEST(RadixTrieBuildTest, MatchesSortedSetReferenceOnRandomRelations) {
+  Rng rng(20260808);
+  // Mixed-sign values force the sign-biased key packing to prove itself:
+  // unsigned byte order must still sort negatives before positives.
+  for (int round = 0; round < 20; ++round) {
+    const int arity = 1 + static_cast<int>(rng.NextBelow(3));
+    Relation r("R", arity);
+    const std::size_t n = rng.NextBelow(60);
+    for (std::size_t i = 0; i < n; ++i) {
+      Tuple t(arity);
+      for (int c = 0; c < arity; ++c) t[c] = rng.NextInRange(-50, 50);
+      r.Insert(t);
+    }
+    // Identity layout: one level per column.
+    std::vector<std::vector<int>> layout;
+    for (int c = 0; c < arity; ++c) layout.push_back({c});
+    TrieIndex trie(r, layout);
+
+    std::set<Tuple> reference;
+    for (std::size_t row = 0; row < r.store().size(); ++row) {
+      reference.insert(r.store().Row(row));
+    }
+    EXPECT_EQ(AllKeys(trie),
+              std::vector<Tuple>(reference.begin(), reference.end()))
+        << "round " << round << " arity " << arity;
+  }
+}
+
+TEST(RadixTrieBuildTest, CountsBuildsAndNeverMaterializesTuples) {
+  const TrieBuildStats before = GetTrieBuildStats();
+  Relation r("R", 2);
+  r.InsertBatch({{1, 2}, {3, 4}, {5, 6}});
+  TrieIndex scratch(r, {{0}, {1}});
+  r.Insert({7, 8});
+  TrieIndex patched(scratch, RowView::Tail(r.store(), 3, 1), {{0}, {1}});
+  const TrieBuildStats after = GetTrieBuildStats();
+  EXPECT_EQ(after.radix_builds, before.radix_builds + 1);
+  EXPECT_EQ(after.merge_builds, before.merge_builds + 1);
+  // The tripwire: columnar builds create no per-tuple Tuple objects.
+  EXPECT_EQ(after.tuple_materializations, before.tuple_materializations);
+  EXPECT_EQ(patched.num_tuples(), 4u);
+}
+
+}  // namespace
+}  // namespace cqbounds

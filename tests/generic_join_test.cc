@@ -93,12 +93,12 @@ TEST(TrieIndexTest, PatchMatchesFromScratchRebuild) {
   for (Value v : {5, 1, 9, 3}) r.Insert({v, v * 10});
   TrieIndex base(r, {{0}, {1}});
 
-  // Appends interleave with existing keys on both levels.
+  // Appends interleave with existing keys on both levels. The delta is the
+  // column segment past the snapshot's watermark: rows [4, 7).
   r.Insert({2, 20});
   r.Insert({9, 5});   // new child under an existing level-0 value
   r.Insert({11, 1});  // past the old maximum
-  const std::vector<Tuple>& tuples = r.tuples();
-  std::vector<const Tuple*> appended = {&tuples[4], &tuples[5], &tuples[6]};
+  const RowView appended = RowView::Tail(r.store(), 4, 3);
 
   TrieIndex patched(base, appended, {{0}, {1}});
   TrieIndex scratch(r, {{0}, {1}});
@@ -118,12 +118,13 @@ TEST(TrieIndexTest, PatchIsSetSemanticAndFiltersSelfInconsistent) {
   ASSERT_EQ(base.num_tuples(), 2u);
 
   // The delta repeats a base key, adds one genuinely new key, and carries a
-  // self-inconsistent tuple: the patch must grow by exactly one.
-  Tuple dup{1, 2, 1};
-  Tuple fresh{6, 7, 6};
-  Tuple inconsistent{8, 9, 1};
-  std::vector<const Tuple*> appended = {&dup, &fresh, &inconsistent};
-  TrieIndex patched(base, appended, {{1}, {0, 2}});
+  // self-inconsistent tuple: the patch must grow by exactly one. A scratch
+  // relation stands in for the appended column segment.
+  Relation d("D", 3);
+  d.Insert({1, 2, 1});  // repeats a base key
+  d.Insert({6, 7, 6});  // genuinely new
+  d.Insert({8, 9, 1});  // self-inconsistent under {0, 2}: filtered
+  TrieIndex patched(base, RowView::Tail(d.store(), 0, 3), {{1}, {0, 2}});
   EXPECT_EQ(patched.num_tuples(), 3u);
   EXPECT_EQ(AllKeys(patched),
             (std::vector<Tuple>{{2, 1}, {5, 4}, {7, 6}}));
@@ -136,11 +137,11 @@ TEST(TrieIndexTest, PatchOnNullaryTrieFlipsEmptiness) {
   EXPECT_EQ(base.num_tuples(), 0u);
 
   // An empty delta keeps the guard closed; the empty tuple opens it.
-  TrieIndex still_empty(base, {}, {});
+  TrieIndex still_empty(base, RowView::Tail(g.store(), 0, 0), {});
   EXPECT_EQ(still_empty.num_tuples(), 0u);
-  Tuple empty_tuple{};
-  std::vector<const Tuple*> appended = {&empty_tuple};
-  TrieIndex open(base, appended, {});
+  Relation d("D", 0);
+  d.Insert({});
+  TrieIndex open(base, RowView::Tail(d.store(), 0, 1), {});
   EXPECT_EQ(open.num_tuples(), 1u);
 }
 

@@ -89,7 +89,7 @@ TEST(TextIoTest, HostileSpellingsRoundTrip) {
   // Every hostile spelling must exist in the reloaded pool with identical
   // bytes, paired with its original partner.
   for (std::size_t i = 0; i < hostile.size(); ++i) {
-    const Tuple& t = rr->tuples()[i];
+    const Tuple t = rr->store().Row(i);
     EXPECT_EQ(again.value_pool()->Spelling(t[0]), hostile[i]) << i;
     EXPECT_EQ(again.value_pool()->Spelling(t[1]), "plain" + std::to_string(i));
   }
