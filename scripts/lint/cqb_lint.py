@@ -499,7 +499,8 @@ of the experiment), or delete the dead table."""
 class RawRowAccessRule(Rule):
     NAME = "raw-row-access"
     SUMMARY = ("library code outside src/relation/ must read rows through "
-               "ColumnStore, not the materializing tuples() accessor")
+               "ColumnStore, not the materializing tuples() accessor or "
+               "the store's tombstone internals (dead_/dead_count_)")
     EXPLAIN = """\
 Since the columnar rewrite (relation/column_store.h) there is no row vector
 behind Relation::tuples(): the accessor *materializes*, decoding the whole
@@ -517,17 +518,27 @@ std::size_t row id -- never a Tuple pointer. tuples() stays available to
 tests and tooling, where an O(n) copy per assertion is deliberate
 simplicity, not a hot path.
 
+Since the tombstone-deletion rewrite the same fence covers the store's
+liveness representation: `dead_` (the lazy tombstone bitmap) and
+`dead_count_` are private bookkeeping whose meaning shifts at every
+deferred compaction -- code keying off them would silently break when the
+store compacts under it. Liveness is part of the public column contract:
+per-row via store().IsLive(row), in aggregate via store().live_size() vs
+store().size() (physical).
+
 The rule flags, in src/**/*.{h,cc} outside src/relation/: any call spelled
-`.tuples(` / `->tuples(` and any mention of the old `tuples_` member.
-Identifiers that merely contain the substring (num_tuples(),
-delta_tuples_processed, tuples_per_relation) do not match.
+`.tuples(` / `->tuples(`, any mention of the old `tuples_` member, and any
+mention of the tombstone members `dead_` / `dead_count_`. Identifiers that
+merely contain the substrings (num_tuples(), delta_tuples_processed,
+tuples_per_relation, dead_ends) do not match.
 
 Fix: read through the relation's store() -- or, for code that genuinely
 needs mutable row objects (rare; see core/elimination_transform.cc's
 widening rounds), materialize explicitly with store().Row(row) so the copy
-is visible at the call site."""
+is visible at the call site. For liveness, use IsLive()/live_size()."""
 
-    ACCESS = re.compile(r"(?:\.|->)\s*tuples\s*\(|\btuples_\b")
+    ACCESS = re.compile(
+        r"(?:\.|->)\s*tuples\s*\(|\btuples_\b|\bdead_\b|\bdead_count_\b")
 
     def check(self, files):
         for lf in files:
@@ -535,12 +546,19 @@ is visible at the call site."""
                     or lf.relpath.startswith("src/relation/")):
                 continue
             for m in self.ACCESS.finditer(lf.code):
-                yield self.finding(
-                    lf, lf.line_of(m.start()),
-                    "raw row access outside src/relation/: tuples() "
-                    "materializes a temporary (references into it dangle) "
-                    "-- read columns via store() "
-                    "(ValueAt/CopyRow/Row/RowView) instead")
+                if "dead" in m.group(0):
+                    message = (
+                        "tombstone internals outside src/relation/: "
+                        "dead_/dead_count_ are the store's private liveness "
+                        "bookkeeping (reset by deferred compaction) -- use "
+                        "store().IsLive(row) / live_size() instead")
+                else:
+                    message = (
+                        "raw row access outside src/relation/: tuples() "
+                        "materializes a temporary (references into it "
+                        "dangle) -- read columns via store() "
+                        "(ValueAt/CopyRow/Row/RowView) instead")
+                yield self.finding(lf, lf.line_of(m.start()), message)
 
 
 RULES = [

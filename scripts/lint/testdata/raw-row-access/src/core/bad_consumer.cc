@@ -20,4 +20,13 @@ struct Shadow {
   std::vector<Tuple> tuples_;  // LINT-EXPECT: raw-row-access
 };
 
+std::size_t DeadRows(const Relation& rel) {
+  // Tombstone internals are private to the store; compaction resets them.
+  return rel.store().dead_count_;  // LINT-EXPECT: raw-row-access
+}
+
+struct LivenessShadow {
+  std::vector<bool> dead_;  // LINT-EXPECT: raw-row-access
+};
+
 }  // namespace cqbounds

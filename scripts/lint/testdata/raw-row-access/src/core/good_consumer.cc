@@ -16,7 +16,17 @@ std::size_t IndexSize(const TrieIndex& trie) {
 struct Stats {
   std::size_t delta_tuples_processed = 0;  // contains "tuples_", no match
   std::size_t tuples_per_relation = 0;
+  std::size_t dead_ends = 0;               // contains "dead_", no match
 };
+
+std::size_t LiveRows(const Relation& rel) {
+  // Liveness through the public contract, not the tombstone bitmap.
+  std::size_t live = 0;
+  for (std::size_t row = 0; row < rel.store().size(); ++row) {
+    if (rel.store().IsLive(row)) ++live;
+  }
+  return live == rel.store().live_size() ? live : 0;
+}
 
 std::vector<std::size_t> MatchingRows(const Relation& rel, Value v) {
   std::vector<std::size_t> rows;

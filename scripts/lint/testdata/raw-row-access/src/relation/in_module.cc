@@ -17,4 +17,9 @@ std::size_t CopyAll(const Relation& rel) {
   return rel.tuples().size();
 }
 
+struct StoreDetail {
+  std::vector<bool> dead_;  // the module owns its tombstone bitmap
+  std::size_t dead_count_ = 0;
+};
+
 }  // namespace cqbounds

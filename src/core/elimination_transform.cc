@@ -55,6 +55,7 @@ Result<EliminationTransformResult> EliminateSimpleFdsWithDatabase(
       ValueMap& map = maps[{var_x, var_y}];
       const ColumnStore& store = rel->store();
       for (std::size_t row = 0; row < store.size(); ++row) {
+        if (!store.IsLive(row)) continue;
         map.emplace(store.ValueAt(row, fd.lhs[0]),
                     store.ValueAt(row, fd.rhs));
       }
@@ -78,6 +79,7 @@ Result<EliminationTransformResult> EliminateSimpleFdsWithDatabase(
     std::vector<Tuple> tuples;
     tuples.reserve(rel->size());
     for (std::size_t row = 0; row < rel->store().size(); ++row) {
+      if (!rel->store().IsLive(row)) continue;
       tuples.push_back(rel->store().Row(row));
     }
     atom_tuples.push_back(std::move(tuples));

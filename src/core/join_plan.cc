@@ -147,6 +147,7 @@ Result<Relation> ExecuteJoinPlan(const Query& query, const JoinPlan& plan,
     const ColumnStore& store = rel->store();
     std::unordered_map<Tuple, std::vector<std::size_t>, TupleHash> index;
     for (std::size_t row = 0; row < store.size(); ++row) {
+      if (!store.IsLive(row)) continue;
       bool ok = true;
       Tuple key;
       for (const auto& [pos, ref] : join_pos) {

@@ -51,6 +51,7 @@ double MarginalEntropyBits(const Relation& rel,
   std::map<Tuple, std::size_t> counts;
   Tuple key(positions.size());
   for (std::size_t row = 0; row < store.size(); ++row) {
+    if (!store.IsLive(row)) continue;
     for (std::size_t i = 0; i < positions.size(); ++i) {
       key[i] = store.ValueAt(row, positions[i]);
     }

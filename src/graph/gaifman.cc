@@ -17,6 +17,7 @@ void AddRelation(const Relation& rel, GaifmanGraph* out) {
   const ColumnStore& store = rel.store();
   const int arity = rel.arity();
   for (std::size_t row = 0; row < store.size(); ++row) {
+    if (!store.IsLive(row)) continue;
     for (int i = 0; i < arity; ++i) {
       int u = vertex_of(store.ValueAt(row, i));
       for (int j = i + 1; j < arity; ++j) {

@@ -19,6 +19,7 @@ Result<TreeDecomposition> KeyedJoinDecomposition(
   {
     std::set<Value> seen;
     for (std::size_t row = 0; row < ss.size(); ++row) {
+      if (!ss.IsLive(row)) continue;
       if (!seen.insert(ss.ValueAt(row, b)).second) {
         return Status::FailedPrecondition(
             "join attribute is not a key of the right relation");
@@ -47,10 +48,12 @@ Result<TreeDecomposition> KeyedJoinDecomposition(
   // store is not mutated while we walk R).
   std::map<Value, std::size_t> s_by_key;
   for (std::size_t row = 0; row < ss.size(); ++row) {
+    if (!ss.IsLive(row)) continue;
     s_by_key.emplace(ss.ValueAt(row, b), row);
   }
 
   for (std::size_t trow = 0; trow < rs.size(); ++trow) {
+    if (!rs.IsLive(trow)) continue;
     auto it = s_by_key.find(rs.ValueAt(trow, a));
     if (it == s_by_key.end()) continue;
     const std::size_t urow = it->second;
@@ -95,9 +98,11 @@ Graph AugmentedJoinGraph(const Relation& r, int a, const Relation& s, int b,
   const ColumnStore& ss = s.store();
   std::map<Value, std::size_t> s_by_key;
   for (std::size_t row = 0; row < ss.size(); ++row) {
+    if (!ss.IsLive(row)) continue;
     s_by_key.emplace(ss.ValueAt(row, b), row);
   }
   for (std::size_t trow = 0; trow < rs.size(); ++trow) {
+    if (!rs.IsLive(trow)) continue;
     auto it = s_by_key.find(rs.ValueAt(trow, a));
     if (it == s_by_key.end()) continue;
     std::set<int> combined;

@@ -79,10 +79,15 @@ void ColumnStore::ReindexInto(std::size_t capacity) {
   const std::size_t mask = slots_.size() - 1;
   std::vector<std::uint32_t> codes(static_cast<std::size_t>(arity_));
   for (std::size_t row = 0; row < rows_; ++row) {
+    // Tombstoned rows are unindexed: a rehash would otherwise leave two
+    // slots matching one code-set, and a later probe could stop at the
+    // dead one and report a live tuple absent.
+    if (!IsLive(row)) continue;
     for (int c = 0; c < arity_; ++c) {
       codes[static_cast<std::size_t>(c)] = CodeAt(row, c);
     }
-    // Rows are already distinct: probe straight to the first free slot.
+    // Live rows are already distinct: probe straight to the first free
+    // slot.
     std::size_t slot = static_cast<std::size_t>(HashCodes(codes.data())) & mask;
     while (slots_[slot] != kEmptySlot) slot = (slot + 1) & mask;
     slots_[slot] = static_cast<std::uint32_t>(row);
@@ -92,12 +97,18 @@ void ColumnStore::ReindexInto(std::size_t capacity) {
 bool ColumnStore::AppendCodedRow(const std::uint32_t* codes) {
   EnsureSlotCapacity(rows_ + 1);
   const std::size_t slot = ProbeSlot(codes);
-  if (slots_[slot] != kEmptySlot) return false;
+  const bool over_dead =
+      slots_[slot] != kEmptySlot && !IsLive(slots_[slot]);
+  if (slots_[slot] != kEmptySlot && !over_dead) return false;
   CQB_CHECK(rows_ < kEmptySlot);
+  // Re-appending a tombstoned tuple mints a NEW physical row (ids never
+  // resurrect, so journaled removals stay valid) and re-points the dead
+  // row's slot at it, keeping one indexed slot per code-set.
   slots_[slot] = static_cast<std::uint32_t>(rows_);
   for (int c = 0; c < arity_; ++c) {
     columns_[static_cast<std::size_t>(c)].push_back(codes[c]);
   }
+  if (!dead_.empty()) dead_.push_back(false);
   ++rows_;
   return true;
 }
@@ -126,7 +137,7 @@ bool ColumnStore::Contains(const Tuple& t) const {
     codes[static_cast<std::size_t>(c)] = code;
   }
   const std::size_t slot = ProbeSlot(codes.data());
-  return slots_[slot] != kEmptySlot;
+  return slots_[slot] != kEmptySlot && IsLive(slots_[slot]);
 }
 
 bool ColumnStore::Append(const Tuple& t) {
@@ -180,10 +191,11 @@ std::size_t ColumnStore::AppendFlat(const std::vector<Value>& flat,
 
 std::size_t ColumnStore::AppendFrom(const ColumnStore& other) {
   CQB_CHECK(other.arity_ == arity_);
-  EnsureSlotCapacity(rows_ + other.rows_);
+  EnsureSlotCapacity(rows_ + other.live_size());
   const std::size_t first = rows_;
   std::size_t added = 0;
   for (std::size_t row = 0; row < other.rows_; ++row) {
+    if (!other.IsLive(row)) continue;
     for (int c = 0; c < arity_; ++c) {
       scratch_[static_cast<std::size_t>(c)] =
           dict_.Intern(other.ValueAt(row, c));
@@ -194,35 +206,65 @@ std::size_t ColumnStore::AppendFrom(const ColumnStore& other) {
   return added;
 }
 
-bool ColumnStore::Erase(const Tuple& t) {
+ColumnStore::EraseResult ColumnStore::Erase(const Tuple& t,
+                                            std::uint32_t* removed_row) {
   CQB_CHECK(static_cast<int>(t.size()) == arity_);
-  if (rows_ == 0) return false;
+  if (live_size() == 0) return EraseResult::kNotFound;
   for (int c = 0; c < arity_; ++c) {
     const std::uint32_t code = dict_.CodeOf(t[static_cast<std::size_t>(c)]);
-    if (code == ValueDictionary::kNoCode) return false;
+    if (code == ValueDictionary::kNoCode) return EraseResult::kNotFound;
     scratch_[static_cast<std::size_t>(c)] = code;
   }
   const std::size_t slot = ProbeSlot(scratch_.data());
-  if (slots_[slot] == kEmptySlot) return false;
-  const std::size_t row = slots_[slot];
-  for (int c = 0; c < arity_; ++c) {
-    std::vector<std::uint32_t>& col = columns_[static_cast<std::size_t>(c)];
-    col.erase(col.begin() + static_cast<std::ptrdiff_t>(row));
+  if (slots_[slot] == kEmptySlot || !IsLive(slots_[slot])) {
+    return EraseResult::kNotFound;
   }
-  --rows_;
-  // Every row id past the erased row shifted down: rebuild the index and
-  // collapse the journal to one base segment (this is a structural
-  // mutation -- delta consumers fall back to full rebuilds anyway).
+  const std::size_t row = slots_[slot];
+  // Tombstone: columns and index untouched, every live row id stable. The
+  // slot keeps pointing at the dead row so a re-append of the same tuple
+  // can re-point it in place.
+  if (dead_.empty()) dead_.assign(rows_, false);
+  dead_[row] = true;
+  ++dead_count_;
+  if (removed_row != nullptr) *removed_row = static_cast<std::uint32_t>(row);
+  // Deferred compaction: once more than a quarter of the physical rows are
+  // dead, the O(size * arity) rewrite amortizes against the removals that
+  // earned it.
+  if (dead_count_ * 4 > rows_) {
+    Compact();
+    return EraseResult::kCompacted;
+  }
+  return EraseResult::kTombstoned;
+}
+
+void ColumnStore::Compact() {
+  std::size_t write = 0;
+  for (std::size_t row = 0; row < rows_; ++row) {
+    if (!IsLive(row)) continue;
+    if (write != row) {
+      for (int c = 0; c < arity_; ++c) {
+        std::vector<std::uint32_t>& col =
+            columns_[static_cast<std::size_t>(c)];
+        col[write] = col[row];
+      }
+    }
+    ++write;
+  }
+  for (auto& col : columns_) col.resize(write);
+  rows_ = write;
+  dead_.clear();
+  dead_count_ = 0;
   RehashAll();
   segments_.clear();
   if (rows_ != 0) segments_.push_back(Segment{0, rows_});
   trailing_sealed_ = false;
-  return true;
 }
 
 void ColumnStore::Clear() {
   for (auto& col : columns_) col.clear();
   rows_ = 0;
+  dead_.clear();
+  dead_count_ = 0;
   slots_.clear();
   segments_.clear();
   trailing_sealed_ = false;
@@ -231,17 +273,22 @@ void ColumnStore::Clear() {
 ColumnStats ColumnStore::Stats(int col) const {
   CQB_CHECK(col >= 0 && col < arity_);
   ColumnStats stats;
-  if (rows_ == 0) return stats;
+  if (live_size() == 0) return stats;
   const std::vector<std::uint32_t>& codes =
       columns_[static_cast<std::size_t>(col)];
   std::vector<bool> seen(dict_.size(), false);
-  stats.min = dict_.ValueOf(codes[0]);
-  stats.max = stats.min;
-  for (const std::uint32_t code : codes) {
-    if (!seen[code]) {
-      seen[code] = true;
-      ++stats.distinct;
-      const Value v = dict_.ValueOf(code);
+  bool seeded = false;
+  for (std::size_t row = 0; row < rows_; ++row) {
+    if (!IsLive(row)) continue;
+    const std::uint32_t code = codes[row];
+    if (seen[code]) continue;
+    seen[code] = true;
+    ++stats.distinct;
+    const Value v = dict_.ValueOf(code);
+    if (!seeded) {
+      stats.min = stats.max = v;
+      seeded = true;
+    } else {
       stats.min = std::min(stats.min, v);
       stats.max = std::max(stats.max, v);
     }

@@ -53,6 +53,18 @@ class ValueDictionary {
 /// first-insertion order; appends only ever extend the columns, so row ids
 /// are stable across appends and a row-id suffix is a well-defined delta.
 ///
+/// Removal is a *tombstone*: Erase marks the row dead in a lazily-allocated
+/// bitmap and leaves the columns, the row index, and every live row id
+/// untouched, so a point deletion is O(arity) and delta consumers can name
+/// it by row id. Dead rows keep their codes readable (CodeAt/ValueAt still
+/// work) until the store *compacts* -- a deferred structural pass triggered
+/// when more than a quarter of the physical rows are dead -- which rewrites
+/// the columns over the live rows, rebuilds the index, and invalidates all
+/// row ids. size() stays the PHYSICAL row count (columns, row-id ranges);
+/// live_size()/empty() are the logical set. A tombstoned tuple re-appended
+/// later gets a NEW physical row id (ids never resurrect), and the row
+/// index always points at the newest row for a code-set.
+///
 /// Rows are grouped into *segments*: segment 0 is the base (the rows present
 /// as of the last structural mutation) and every bulk append seals one new
 /// segment; single-row appends extend the trailing append segment. The
@@ -72,11 +84,26 @@ class ColumnStore {
     std::size_t end = 0;
   };
 
+  /// What Erase did. kTombstoned leaves row ids stable (delta-friendly);
+  /// kCompacted means the deferred compaction ran -- row ids shifted and
+  /// the segment list collapsed, a structural mutation.
+  enum class EraseResult { kNotFound, kTombstoned, kCompacted };
+
   explicit ColumnStore(int arity);
 
   int arity() const { return arity_; }
+  /// PHYSICAL row count: live + tombstoned. Column sizes and valid row-id
+  /// ranges are [0, size()); logical cardinality is live_size().
   std::size_t size() const { return rows_; }
-  bool empty() const { return rows_ == 0; }
+  std::size_t live_size() const { return rows_ - dead_count_; }
+  std::size_t dead_count() const { return dead_count_; }
+  bool empty() const { return live_size() == 0; }
+
+  /// True iff `row` has not been tombstoned. Dead rows' codes stay readable
+  /// until compaction, but they are not part of the logical set.
+  bool IsLive(std::size_t row) const {
+    return dead_.empty() || !dead_[row];
+  }
 
   /// The code column for position `col` (size() entries, contiguous).
   const std::vector<std::uint32_t>& column(int col) const {
@@ -114,13 +141,18 @@ class ColumnStore {
   /// As AppendBatch reading straight from another store's columns.
   std::size_t AppendFrom(const ColumnStore& other);
 
-  /// Removes `t` if present (O(size * arity): columns are compacted and the
-  /// row index rebuilt). Structural: collapses the segment list to one base
-  /// segment. Returns true iff a row was removed.
-  bool Erase(const Tuple& t);
+  /// Removes `t` if present. The common case is a tombstone: O(arity), row
+  /// ids stable, the open-addressing index untouched. When the tombstone
+  /// pushes the dead fraction past the compaction threshold (dead rows >
+  /// 1/4 of physical rows) the store compacts instead -- O(size * arity),
+  /// row ids shift, segments collapse -- and reports kCompacted so the
+  /// journal above can record the structural break. On kTombstoned,
+  /// `*removed_row` (when non-null) receives the tombstoned row id.
+  EraseResult Erase(const Tuple& t, std::uint32_t* removed_row = nullptr);
 
-  /// Drops all rows (structural). The dictionary survives: codes are never
-  /// recycled, so a long-lived store's dictionary is append-only.
+  /// Drops all rows, live and dead (structural). The dictionary survives:
+  /// codes are never recycled, so a long-lived store's dictionary is
+  /// append-only.
   void Clear();
 
   const ValueDictionary& dict() const { return dict_; }
@@ -128,7 +160,8 @@ class ColumnStore {
   /// Live segments, in row order, partitioning [0, size()).
   const std::vector<Segment>& segments() const { return segments_; }
 
-  /// min/max/distinct over column `col`, computed by one scan. Pure read.
+  /// min/max/distinct over the LIVE rows of column `col`, one scan. Pure
+  /// read.
   ColumnStats Stats(int col) const;
 
  private:
@@ -144,8 +177,12 @@ class ColumnStore {
   void EnsureSlotCapacity(std::size_t upcoming_rows);
   void RehashAll();
   /// Rebuilds the slot table at `capacity` (a power of two) from the live
-  /// rows.
+  /// rows; tombstoned rows end up unindexed.
   void ReindexInto(std::size_t capacity);
+  /// Deferred structural pass: copies the live rows down in order, drops
+  /// the tombstone bitmap, rebuilds the index, collapses segments to one
+  /// base segment. Row ids shift.
+  void Compact();
   /// Probes and appends one coded row; true iff it was new. Does not touch
   /// segments (callers manage segment boundaries).
   bool AppendCodedRow(const std::uint32_t* codes);
@@ -157,6 +194,10 @@ class ColumnStore {
   ValueDictionary dict_;
   std::vector<std::vector<std::uint32_t>> columns_;
   std::size_t rows_ = 0;
+  /// Tombstone bitmap over physical rows. Lazily allocated: empty means
+  /// every row is live (the append-only fast path never pays for it).
+  std::vector<bool> dead_;
+  std::size_t dead_count_ = 0;
   /// Open-addressing row index: slot -> row id, kEmptySlot when free.
   std::vector<std::uint32_t> slots_;
   std::vector<Segment> segments_;

@@ -8,7 +8,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
-#include <unordered_set>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -70,8 +70,12 @@ struct LowWidthProbe {
 /// append (Relation::AppendsOnlySince), the stale trie is *patched* -- the
 /// sorted delta is merged into the cached trie's key stream, O(base copy +
 /// k log k) instead of a from-scratch O(n log n) sort (EvalStats::
-/// trie_patches); a structural mutation (Remove/Clear) forces the full
-/// rebuild (EvalStats::trie_rebuilds). Plan entries depend only on the
+/// trie_patches). A mixed append/remove window is *unpatched*: the journal's
+/// DeltasSince names both sides, and the trie's per-key support counts
+/// subtract removals exactly (EvalStats::trie_unpatches), same cost shape.
+/// Only a hard structural break -- Clear, or a Remove that crossed the
+/// tombstone-compaction threshold -- forces the full rebuild (EvalStats::
+/// trie_rebuilds). Plan entries depend only on the
 /// query shape and never go stale from data mutations -- only their
 /// semi-join state is generation-checked per use. The context holds a
 /// pointer to its Database, whose relations live in a std::map, so cached
@@ -118,8 +122,9 @@ class EvalContext {
 
   /// Cached outcome of one semi-join reduction pass under a plan: the
   /// survivor views (per-atom survivor tries for atoms that lost tuples),
-  /// the per-step semi-join key sets (the delta pass's cache), and the
-  /// generation vector that keys it all. Maintained by
+  /// the per-step semi-join key *support counts* plus per-atom
+  /// survivor/dropped row sets (the counting delta pass's working state),
+  /// and the generation vector that keys it all. Maintained by
   /// EvaluateHybridYannakakis; every field is guarded by CachedPlan's
   /// `skip_mu`.
   struct SemijoinState {
@@ -128,30 +133,33 @@ class EvalContext {
     /// matches reuses the survivor views outright (skipping the pass); a
     /// partial bump invalidates (delta pass or full re-pass).
     std::vector<std::uint64_t> generations;
-    /// Per atom: true iff every tuple of its relation survived the pass.
-    /// All-true means the pass was *clean* -- the only state an incremental
-    /// delta pass may extend (with drops on record, an append could revive
-    /// a previously dangling tuple, so a mutated dirty state forces a full
-    /// re-pass).
+    /// Per atom: true iff every live tuple of its relation survived the
+    /// pass (no drops on record for that atom).
     std::vector<bool> all_survive;
     /// Per atom with !all_survive[i]: the survivor trie (the zero-copy
     /// filtered view, already keyed by the plan's layout for that atom);
     /// null where all_survive[i]. Immutable once published -- reuse hands
-    /// out copies of the shared_ptr.
+    /// out copies of the shared_ptr; the delta pass replaces the pointer,
+    /// never the pointee.
     std::vector<std::shared_ptr<const TrieIndex>> survivor_tries;
     /// Per schedule step (the deterministic up+down filter order derived
-    /// from the decomposition): the source atom's semi-join key set as of
-    /// this state. Populated only while clean -- it is exactly what the
-    /// delta pass needs to filter k appended tuples in O(k) instead of
-    /// re-scanning the database.
-    std::vector<std::unordered_set<Tuple, TupleHash>> step_keys;
-
-    bool clean() const {
-      for (bool s : all_survive) {
-        if (!s) return false;
-      }
-      return true;
-    }
+    /// from the decomposition): how many of the source atom's surviving
+    /// rows project onto each semi-join key. Counts -- not sets -- are what
+    /// make removals O(delta): a source row leaving decrements its key, a
+    /// key hitting zero kills dependent target tuples, and a key coming
+    /// back from zero *revives* target tuples dropped at exactly that step,
+    /// all without re-scanning the database. Populated by every full pass
+    /// and maintained by every delta pass, clean or dirty.
+    std::vector<std::unordered_map<Tuple, std::uint32_t, TupleHash>>
+        step_counts;
+    /// Per atom: the surviving row ids, sorted ascending. The delta pass
+    /// edits this row set in place (merge appends, drop kills) and
+    /// re-derives the survivor trie from the old one.
+    std::vector<std::vector<std::uint32_t>> survivors;
+    /// Per atom: rows the pass dropped, as (row id, first schedule step
+    /// whose key set rejected it), sorted by row id. The recorded step is
+    /// what lets a key-reappearance revive exactly the rows it dangled.
+    std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>> dropped;
   };
 
   /// One plan-tier entry. `probe` is filled exactly once (concurrent
@@ -179,7 +187,9 @@ class EvalContext {
 
   /// The cached trie for `rel` under `level_positions`, building (or
   /// refreshing, if `rel` mutated since -- a delta patch when the mutations
-  /// were appends-only, a full rebuild otherwise) on demand. `rel` must
+  /// were appends-only, a support-count unpatch when the journal can name
+  /// the mixed append/remove delta, a full rebuild only past a structural
+  /// break) on demand. `rel` must
   /// belong to
   /// the attached database -- checked by identity, not by name, and
   /// enforced with CQB_CHECK: a same-named relation from another database
@@ -226,10 +236,15 @@ class EvalContext {
     return plan_misses_.load(std::memory_order_relaxed);
   }
   /// Of the lifetime misses: how many were served by patching a stale
-  /// cached trie (appends-only delta merge) vs. rebuilding from scratch.
-  /// patches() + rebuilds() == misses() for this tier.
+  /// cached trie (appends-only delta merge), by unpatching one (mixed
+  /// append/remove delta with support-count subtraction), or by rebuilding
+  /// from scratch. patches() + unpatches() + rebuilds() == misses() for
+  /// this tier.
   std::size_t patches() const {
     return patches_.load(std::memory_order_relaxed);
+  }
+  std::size_t unpatches() const {
+    return unpatches_.load(std::memory_order_relaxed);
   }
   std::size_t rebuilds() const {
     return rebuilds_.load(std::memory_order_relaxed);
@@ -275,6 +290,7 @@ class EvalContext {
   std::atomic<std::size_t> hits_{0};
   std::atomic<std::size_t> misses_{0};
   std::atomic<std::size_t> patches_{0};
+  std::atomic<std::size_t> unpatches_{0};
   std::atomic<std::size_t> rebuilds_{0};
   std::atomic<std::size_t> plan_hits_{0};
   std::atomic<std::size_t> plan_misses_{0};

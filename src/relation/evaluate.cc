@@ -505,14 +505,14 @@ bool SelfConsistent(const ReductionAtom& a, const ColumnStore& store,
   return true;
 }
 
-/// Appends the self-consistent row ids of rows [first, store.size()) to
-/// `out`. The full pass collects from 0; the delta pass collects only the
-/// appended window.
+/// Appends the live self-consistent row ids of rows [first, store.size())
+/// to `out`. The full pass collects from 0; the delta pass collects only
+/// the appended window.
 void CollectSelfConsistent(const ReductionAtom& a, const ColumnStore& store,
                            std::size_t first,
                            std::vector<std::uint32_t>* out) {
   for (std::size_t row = first; row < store.size(); ++row) {
-    if (SelfConsistent(a, store, row)) {
+    if (store.IsLive(row) && SelfConsistent(a, store, row)) {
       out->push_back(static_cast<std::uint32_t>(row));
     }
   }
@@ -627,37 +627,46 @@ std::vector<FilterStep> BuildFilterSchedule(
   return steps;
 }
 
+/// "Never dropped" sentinel for the semi-join books: a drop step larger
+/// than any schedule index.
+constexpr std::uint32_t kNoDrop = 0xFFFFFFFFu;
+
 /// Executes the full reduction pass over `atoms` (whose survivor row lists
-/// must hold every self-consistent row, with `store` set). When `captured`
-/// is non-null it receives, per step, the source atom's semi-join key set
-/// as of that step -- exactly the state the incremental delta pass needs
-/// later, so the key sets the pass builds anyway are persisted instead of
-/// discarded (the only extra cost over the capture-free pass is keeping
-/// them alive, plus building them even for steps whose target is currently
-/// empty). Keys are decoded values, not codes: source and target live in
-/// different stores, so only values compare across atoms.
-void RunFullPass(const std::vector<FilterStep>& steps,
-                 std::vector<ReductionAtom>* atoms,
-                 std::vector<std::unordered_set<Tuple, TupleHash>>* captured) {
-  if (captured != nullptr) {
-    captured->clear();
-    captured->resize(steps.size());
+/// must hold every live self-consistent row, with `store` set). When
+/// `counts` and `drops` are non-null they receive, per step, the source
+/// atom's semi-join key *support counts* as of that step and, per atom,
+/// the (row, first-dropping-step) events sorted by row -- exactly the
+/// books the counting delta pass adjusts later, so the key maps the pass
+/// builds anyway are persisted instead of discarded. Keys are decoded
+/// values, not codes: source and target live in different stores, so only
+/// values compare across atoms.
+void RunFullPass(
+    const std::vector<FilterStep>& steps, std::vector<ReductionAtom>* atoms,
+    std::vector<std::unordered_map<Tuple, std::uint32_t, TupleHash>>* counts,
+    std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>>* drops) {
+  if (counts != nullptr) {
+    counts->clear();
+    counts->resize(steps.size());
+  }
+  if (drops != nullptr) {
+    drops->clear();
+    drops->resize(atoms->size());
   }
   for (std::size_t s = 0; s < steps.size(); ++s) {
     const FilterStep& step = steps[s];
     ReductionAtom& source = (*atoms)[step.source];
     ReductionAtom& target = (*atoms)[step.target];
-    if (captured == nullptr && target.rows.empty()) continue;
+    if (counts == nullptr && target.rows.empty()) continue;
 
-    std::unordered_set<Tuple, TupleHash> local_keys;
-    std::unordered_set<Tuple, TupleHash>& keys =
-        captured != nullptr ? (*captured)[s] : local_keys;
+    std::unordered_map<Tuple, std::uint32_t, TupleHash> local_keys;
+    std::unordered_map<Tuple, std::uint32_t, TupleHash>& keys =
+        counts != nullptr ? (*counts)[s] : local_keys;
     Tuple key(step.src_pos.size());
     for (const std::uint32_t row : source.rows) {
       for (std::size_t i = 0; i < step.src_pos.size(); ++i) {
         key[i] = source.store->ValueAt(row, step.src_pos[i]);
       }
-      keys.insert(key);
+      ++keys[key];
     }
     if (target.rows.empty()) continue;
     std::vector<std::uint32_t> kept;
@@ -666,9 +675,16 @@ void RunFullPass(const std::vector<FilterStep>& steps,
       for (std::size_t i = 0; i < step.tgt_pos.size(); ++i) {
         key[i] = target.store->ValueAt(row, step.tgt_pos[i]);
       }
-      if (keys.count(key)) kept.push_back(row);
+      if (keys.count(key)) {
+        kept.push_back(row);
+      } else if (drops != nullptr) {
+        (*drops)[step.target].emplace_back(row, static_cast<std::uint32_t>(s));
+      }
     }
     target.rows = std::move(kept);
+  }
+  if (drops != nullptr) {
+    for (auto& d : *drops) std::sort(d.begin(), d.end());
   }
 }
 
@@ -845,6 +861,9 @@ Result<Relation> EvaluateHybridYannakakis(const Query& query,
         // survivor tries; the rest go through the trie tier as usual.
         local.semijoin_pass_skipped = true;
         for (std::size_t i = 0; i < m; ++i) {
+          if (i < state->dropped.size()) {
+            local.semijoin_dangling_tuples += state->dropped[i].size();
+          }
           if (state->survivor_tries[i] != nullptr) {
             overrides[i] = state->survivor_tries[i];
             ++local.survivor_view_hits;
@@ -857,95 +876,301 @@ Result<Relation> EvaluateHybridYannakakis(const Query& query,
         plan->semijoin.reset();
       } else {
         const std::vector<FilterStep> schedule = BuildFilterSchedule(atoms);
-        // The delta pass extends a *clean* cached state (every tuple of
-        // every atom survived) whose relations only appended since: all
-        // previously-present tuples provably survive again -- appends only
-        // ever grow semi-join key sets, so by induction along the schedule
-        // no filter can newly reject a tuple it previously kept -- and
-        // only the appended tuples need filtering, against the cached
-        // per-step key sets brought up to date in schedule order. That is
-        // O(delta . index work), with survivor sets (and therefore
-        // enumeration counters) identical to a from-scratch pass. A dirty
-        // state that mutated cannot be extended incrementally (an append
-        // could revive a previously dropped tuple), so it re-runs in full.
-        bool delta_ok = state != nullptr && state->clean() &&
-                        state->generations.size() == m &&
-                        state->step_keys.size() == schedule.size();
+        // The counting delta pass extends any cached state -- clean or
+        // dirty -- whose per-atom mutation window the journal can still
+        // name both sides of (Relation::DeltasSince). Per step it adjusts
+        // the cached key support counts by the rows entering or leaving
+        // the source atom, then propagates only the *net* key transitions:
+        // a key newly at support zero kills the target tuples leaning on
+        // it, a key back from zero *revives* exactly the tuples this step
+        // dropped for lacking it, and appended or revived tuples meet each
+        // later step individually. Kills and revivals cascade (a changed
+        // row is tracked, so it re-enters phase one wherever its atom is a
+        // source), and the resulting survivor sets are identical to a
+        // from-scratch pass. Cost is O(delta . index work) plus one
+        // target-atom scan per step whose key set lost a member.
+        std::vector<Relation::DeltaSet> deltas(m);
+        bool delta_ok = state != nullptr && state->generations.size() == m &&
+                        state->step_counts.size() == schedule.size() &&
+                        state->survivors.size() == m &&
+                        state->dropped.size() == m;
         if (delta_ok) {
           for (std::size_t i = 0; i < m; ++i) {
-            if (!rels[i]->AppendsOnlySince(state->generations[i])) {
+            if (!rels[i]->DeltasSince(state->generations[i], &deltas[i])) {
               delta_ok = false;
               break;
             }
           }
         }
         if (delta_ok) {
-          std::vector<std::vector<std::uint32_t>> delta(m);
-          std::vector<Relation::AppendWindow> windows(m);
-          std::vector<std::size_t> candidates(m, 0);
+          // A tracked row is one whose reduction fate may differ from the
+          // cached books: appended, removed, killed, or revived. Everything
+          // untracked provably keeps its old fate.
+          struct TrackedRow {
+            std::uint32_t row;
+            bool present_new;        // live in the new relation state
+            bool appended;           // arrived in this delta window
+            std::uint32_t old_drop;  // old pass's first drop step, kNoDrop
+                                     // if it survived (or just arrived)
+            std::uint32_t new_drop;  // new pass's first drop step so far
+          };
+          std::vector<std::vector<TrackedRow>> tracked(m);
+          std::vector<std::unordered_map<std::uint32_t, std::size_t>>
+              tracked_idx(m);
+          auto track = [&tracked, &tracked_idx](std::size_t atom,
+                                                TrackedRow t) {
+            tracked_idx[atom].emplace(t.row, tracked[atom].size());
+            tracked[atom].push_back(t);
+          };
+          auto old_drop_of = [state](std::size_t atom, std::uint32_t row) {
+            const auto& book = state->dropped[atom];
+            auto it = std::lower_bound(
+                book.begin(), book.end(), row,
+                [](const std::pair<std::uint32_t, std::uint32_t>& d,
+                   std::uint32_t r) { return d.first < r; });
+            return (it != book.end() && it->first == row) ? it->second
+                                                          : kNoDrop;
+          };
           for (std::size_t i = 0; i < m; ++i) {
-            // The appended rows are the column segment past the snapshot's
-            // watermark -- the journal's row window, not a tuple-vector
-            // tail.
-            windows[i] = rels[i]->AppendedRowsSince(state->generations[i]);
-            CollectSelfConsistent(atoms[i], rels[i]->store(),
-                                  windows[i].first_row, &delta[i]);
-            candidates[i] = delta[i].size();
-            local.delta_tuples_processed += windows[i].count;
+            const ColumnStore& store = rels[i]->store();
+            local.delta_tuples_processed +=
+                deltas[i].appended_rows.size() + deltas[i].removed_rows.size();
+            for (const std::uint32_t row : deltas[i].appended_rows) {
+              if (!SelfConsistent(atoms[i], store, row)) continue;
+              track(i, TrackedRow{row, true, true, kNoDrop, kNoDrop});
+            }
+            for (const std::uint32_t row : deltas[i].removed_rows) {
+              // Rows the base pass never saw (the repeated-variable
+              // filter) leave no books to balance. Their tombstoned
+              // columns stay readable until compaction, which DeltasSince
+              // already ruled out.
+              if (!SelfConsistent(atoms[i], store, row)) continue;
+              track(i,
+                    TrackedRow{row, false, false, old_drop_of(i, row),
+                               kNoDrop});
+            }
           }
+
           Tuple key;
+          std::unordered_map<Tuple, std::uint32_t, TupleHash> old_at_key;
+          std::unordered_set<Tuple, TupleHash> new_keys;
+          std::unordered_set<Tuple, TupleHash> vanished;
           for (std::size_t s = 0; s < schedule.size(); ++s) {
             const FilterStep& step = schedule[s];
-            std::unordered_set<Tuple, TupleHash>& keys = state->step_keys[s];
+            auto& counts = state->step_counts[s];
             const ColumnStore& src_store = rels[step.source]->store();
             const ColumnStore& tgt_store = rels[step.target]->store();
+            const std::uint32_t s32 = static_cast<std::uint32_t>(s);
+            // Phase 1: adjust this step's support counts by every tracked
+            // source row whose aliveness-at-this-step changed, snapshotting
+            // each touched key's pre-step count.
             key.assign(step.src_pos.size(), 0);
-            for (const std::uint32_t row : delta[step.source]) {
+            old_at_key.clear();
+            for (const TrackedRow& t : tracked[step.source]) {
+              const bool c_old = !t.appended && t.old_drop > s32;
+              const bool c_new = t.present_new && t.new_drop > s32;
+              if (c_old == c_new) continue;
               for (std::size_t i = 0; i < step.src_pos.size(); ++i) {
-                key[i] = src_store.ValueAt(row, step.src_pos[i]);
+                key[i] = src_store.ValueAt(t.row, step.src_pos[i]);
               }
-              keys.insert(key);
+              auto cit = counts.find(key);
+              old_at_key.emplace(key,
+                                 cit != counts.end() ? cit->second : 0u);
+              if (c_new) {
+                ++counts[key];
+              } else {
+                CQB_CHECK(cit != counts.end() && cit->second > 0);
+                --cit->second;
+              }
             }
-            if (delta[step.target].empty()) continue;
-            std::vector<std::uint32_t> kept;
-            kept.reserve(delta[step.target].size());
-            for (const std::uint32_t row : delta[step.target]) {
+            // Phase 2: net key transitions. Only 0 -> + and + -> 0 matter;
+            // a key removed and re-added within one window nets out, so no
+            // kill/revive cascade fires for it.
+            new_keys.clear();
+            vanished.clear();
+            for (const auto& entry : old_at_key) {
+              auto cit = counts.find(entry.first);
+              const std::uint32_t newc =
+                  cit != counts.end() ? cit->second : 0u;
+              if (entry.second == 0 && newc > 0) new_keys.insert(entry.first);
+              if (entry.second > 0 && newc == 0) {
+                vanished.insert(entry.first);
+                counts.erase(cit);
+              }
+            }
+            key.assign(step.tgt_pos.size(), 0);
+            // Phase 3: kills. A vanished key strands every target row that
+            // was leaning on it (alive at this step in the old pass); rows
+            // already tracked settle their fate in the re-check below.
+            if (!vanished.empty()) {
+              auto maybe_kill = [&](std::uint32_t row,
+                                    std::uint32_t old_drop) {
+                if (tracked_idx[step.target].count(row)) return;
+                for (std::size_t i = 0; i < step.tgt_pos.size(); ++i) {
+                  key[i] = tgt_store.ValueAt(row, step.tgt_pos[i]);
+                }
+                if (!vanished.count(key)) return;
+                track(step.target, TrackedRow{row, true, false, old_drop, s32});
+              };
+              for (const std::uint32_t row : state->survivors[step.target]) {
+                maybe_kill(row, kNoDrop);
+              }
+              for (const auto& d : state->dropped[step.target]) {
+                if (d.second > s32) maybe_kill(d.first, d.second);
+              }
+            }
+            // Phase 4: revivals. A key back from zero re-admits exactly the
+            // rows this step dropped for lacking it; later steps then judge
+            // them individually.
+            if (!new_keys.empty()) {
+              for (const auto& d : state->dropped[step.target]) {
+                if (d.second != s32) continue;
+                if (tracked_idx[step.target].count(d.first)) continue;
+                for (std::size_t i = 0; i < step.tgt_pos.size(); ++i) {
+                  key[i] = tgt_store.ValueAt(d.first, step.tgt_pos[i]);
+                }
+                if (!new_keys.count(key)) continue;
+                track(step.target,
+                      TrackedRow{d.first, true, false, s32, kNoDrop});
+              }
+            }
+            // Phase 5: individual re-checks against the settled counts --
+            // appended rows meet each step for the first time, and tracked
+            // rows past their old drop step have no recorded fate to reuse.
+            for (TrackedRow& t : tracked[step.target]) {
+              if (!t.present_new || t.new_drop != kNoDrop) continue;
+              if (!t.appended && t.old_drop > s32) continue;
               for (std::size_t i = 0; i < step.tgt_pos.size(); ++i) {
-                key[i] = tgt_store.ValueAt(row, step.tgt_pos[i]);
+                key[i] = tgt_store.ValueAt(t.row, step.tgt_pos[i]);
               }
-              if (keys.count(key)) kept.push_back(row);
+              if (!counts.count(key)) t.new_drop = s32;
             }
-            delta[step.target] = std::move(kept);
           }
+
           local.semijoin_pass_ran = true;
-          bool dirty = false;
+          local.semijoin_delta_pass = true;
           for (std::size_t i = 0; i < m; ++i) {
             state->generations[i] = rels[i]->generation();
-            const std::size_t dropped = candidates[i] - delta[i].size();
-            if (dropped == 0) continue;
-            local.semijoin_dropped_tuples += dropped;
-            dirty = true;
-            // The atom's survivors are every previously-present row (all
-            // survive: the state was clean) plus the delta survivors; the
-            // trie constructor re-applies the self-consistency filter to
-            // the old prefix.
-            RowView view(&rels[i]->store());
-            view.rows.reserve(windows[i].first_row + delta[i].size());
-            for (std::size_t j = 0; j < windows[i].first_row; ++j) {
-              view.rows.push_back(static_cast<std::uint32_t>(j));
+            if (tracked[i].empty()) {
+              if (state->survivor_tries[i] != nullptr) {
+                overrides[i] = state->survivor_tries[i];
+              }
+              local.semijoin_dangling_tuples += state->dropped[i].size();
+              continue;
             }
-            view.rows.insert(view.rows.end(), delta[i].begin(),
-                             delta[i].end());
-            state->all_survive[i] = false;
-            state->survivor_tries[i] = build_survivor_trie(i, view);
-            overrides[i] = state->survivor_tries[i];
+            // Stats plus the survivor-set delta (rows entering/leaving the
+            // view), which feeds both the row-set merge and the survivor
+            // trie unpatch.
+            RowView added(&rels[i]->store());
+            RowView gone(&rels[i]->store());
+            for (const TrackedRow& t : tracked[i]) {
+              const bool now_in = t.present_new && t.new_drop == kNoDrop;
+              const bool was_in = !t.appended && t.old_drop == kNoDrop;
+              if (now_in && !was_in) added.rows.push_back(t.row);
+              if (was_in && !now_in) gone.rows.push_back(t.row);
+              if (!t.appended && t.present_new) {
+                if (t.old_drop != kNoDrop && t.new_drop == kNoDrop) {
+                  ++local.semijoin_revived_tuples;
+                }
+                if (t.old_drop == kNoDrop && t.new_drop != kNoDrop) {
+                  ++local.semijoin_killed_tuples;
+                }
+              }
+              if (t.present_new && t.new_drop != kNoDrop &&
+                  (t.appended || t.old_drop == kNoDrop)) {
+                ++local.semijoin_dropped_tuples;
+              }
+            }
+            std::sort(added.rows.begin(), added.rows.end());
+            std::sort(gone.rows.begin(), gone.rows.end());
+            std::vector<std::uint32_t>& survivors = state->survivors[i];
+            if (!added.rows.empty() || !gone.rows.empty()) {
+              // One sorted merge: old survivors minus departures plus
+              // arrivals (appended rows sit past every old row; revived
+              // rows interleave).
+              std::vector<std::uint32_t> next;
+              next.reserve(survivors.size() + added.rows.size());
+              std::size_t a = 0;
+              std::size_t g = 0;
+              for (const std::uint32_t row : survivors) {
+                while (a < added.rows.size() && added.rows[a] < row) {
+                  next.push_back(added.rows[a++]);
+                }
+                if (g < gone.rows.size() && gone.rows[g] == row) {
+                  ++g;
+                  continue;
+                }
+                next.push_back(row);
+              }
+              while (a < added.rows.size()) next.push_back(added.rows[a++]);
+              survivors = std::move(next);
+            }
+            // The dropped book: rows that left the relation or revived go
+            // off the books, re-dropped rows get their new step, fresh
+            // danglers (killed or appended-and-dropped) come on.
+            std::vector<std::pair<std::uint32_t, std::uint32_t>>& book =
+                state->dropped[i];
+            std::vector<std::pair<std::uint32_t, std::uint32_t>> next_book;
+            next_book.reserve(book.size() + tracked[i].size());
+            for (const auto& d : book) {
+              auto it = tracked_idx[i].find(d.first);
+              if (it == tracked_idx[i].end()) {
+                next_book.push_back(d);
+                continue;
+              }
+              const TrackedRow& t = tracked[i][it->second];
+              if (t.present_new && t.new_drop != kNoDrop) {
+                next_book.emplace_back(d.first, t.new_drop);
+              }
+            }
+            for (const TrackedRow& t : tracked[i]) {
+              const bool was_dropped = !t.appended && t.old_drop != kNoDrop;
+              if (was_dropped) continue;  // settled above
+              if (t.present_new && t.new_drop != kNoDrop) {
+                next_book.emplace_back(t.row, t.new_drop);
+              }
+            }
+            std::sort(next_book.begin(), next_book.end());
+            book = std::move(next_book);
+            state->all_survive[i] = book.empty();
+            local.semijoin_dangling_tuples += book.size();
+            if (book.empty()) {
+              // Every live tuple survives again: the trie tier's
+              // full-relation trie serves enumeration, no view needed.
+              state->survivor_tries[i] = nullptr;
+            } else if (added.rows.empty() && gone.rows.empty() &&
+                       state->survivor_tries[i] != nullptr) {
+              // Only the books moved (e.g. a dropped row re-dropped at
+              // another step); the survivor row set -- and its cached
+              // view -- are unchanged. A null cached view does NOT
+              // qualify: it stood for "every live row survives", and the
+              // base relation may just have grown past the survivors
+              // (an appended row that arrived dangling).
+              overrides[i] = state->survivor_tries[i];
+            } else if (state->survivor_tries[i] != nullptr) {
+              // Unpatch the cached survivor view by the row delta instead
+              // of rebuilding it over the full survivor set.
+              AtomLayout layout = LayoutForAtom(query.atoms()[i], rank);
+              ++local.trie_cache_misses;
+              auto trie = std::make_shared<const TrieIndex>(
+                  *state->survivor_tries[i], added, gone,
+                  layout.level_positions);
+              local.indexed_tuples += trie->num_tuples();
+              state->survivor_tries[i] = trie;
+              overrides[i] = trie;
+            } else {
+              // First drops for this atom since the full pass: no cached
+              // view to unpatch, build one over the survivor set.
+              RowView view(&rels[i]->store());
+              view.rows = survivors;
+              state->survivor_tries[i] = build_survivor_trie(i, view);
+              overrides[i] = state->survivor_tries[i];
+            }
           }
-          if (dirty) state->step_keys.clear();
         } else {
-          // Full pass: collect every atom's survivors and run the
-          // schedule, capturing the per-step key sets into a fresh state
-          // (the sets the pass builds anyway, persisted for the next
-          // delta).
+          // Full pass: collect every atom's survivors, run the schedule,
+          // and persist the per-step support counts plus the per-atom
+          // survivor/dropped books into a fresh state for the next delta.
           for (std::size_t i = 0; i < m; ++i) {
             atoms[i].store = &rels[i]->store();
             atoms[i].rows.reserve(rels[i]->size());
@@ -954,7 +1179,7 @@ Result<Relation> EvaluateHybridYannakakis(const Query& query,
             atoms[i].initial = atoms[i].rows.size();
           }
           auto fresh = std::make_unique<EvalContext::SemijoinState>();
-          RunFullPass(schedule, &atoms, &fresh->step_keys);
+          RunFullPass(schedule, &atoms, &fresh->step_counts, &fresh->dropped);
           local.semijoin_pass_ran = true;
           fresh->generations.reserve(m);
           for (const Relation* rel : rels) {
@@ -962,23 +1187,20 @@ Result<Relation> EvaluateHybridYannakakis(const Query& query,
           }
           fresh->all_survive.assign(m, true);
           fresh->survivor_tries.assign(m, nullptr);
-          bool dirty = false;
+          fresh->survivors.resize(m);
           for (std::size_t i = 0; i < m; ++i) {
             const std::size_t dropped =
                 atoms[i].initial - atoms[i].rows.size();
+            fresh->survivors[i] = std::move(atoms[i].rows);
             if (dropped == 0) continue;  // full-relation trie stays usable
             local.semijoin_dropped_tuples += dropped;
+            local.semijoin_dangling_tuples += dropped;
             fresh->all_survive[i] = false;
             RowView view(atoms[i].store);
-            view.rows = std::move(atoms[i].rows);
+            view.rows = fresh->survivors[i];
             fresh->survivor_tries[i] = build_survivor_trie(i, view);
             overrides[i] = fresh->survivor_tries[i];
-            dirty = true;
           }
-          // A dirty state still serves the survivor-view cache (reuse on
-          // matching generations) but cannot be delta-extended; its key
-          // sets would go stale the moment a dropped tuple revived.
-          if (dirty) fresh->step_keys.clear();
           plan->semijoin = std::move(fresh);
         }
       }
@@ -993,12 +1215,13 @@ Result<Relation> EvaluateHybridYannakakis(const Query& query,
         atoms[i].initial = atoms[i].rows.size();
       }
       const std::vector<FilterStep> schedule = BuildFilterSchedule(atoms);
-      RunFullPass(schedule, &atoms, nullptr);
+      RunFullPass(schedule, &atoms, nullptr, nullptr);
       local.semijoin_pass_ran = true;
       for (std::size_t i = 0; i < m; ++i) {
         const std::size_t dropped = atoms[i].initial - atoms[i].rows.size();
         if (dropped == 0) continue;
         local.semijoin_dropped_tuples += dropped;
+        local.semijoin_dangling_tuples += dropped;
         RowView view(atoms[i].store);
         view.rows = std::move(atoms[i].rows);
         overrides[i] = build_survivor_trie(i, view);
@@ -1142,6 +1365,7 @@ Result<Relation> EvaluateQuery(const Query& query, const Database& db,
     std::unordered_map<Tuple, std::vector<std::uint32_t>, TupleHash> index;
     Tuple ikey;
     for (std::size_t row = 0; row < store.size(); ++row) {
+      if (!store.IsLive(row)) continue;
       bool self_consistent = true;
       ikey.clear();
       for (const auto& [pos, ref] : join_pos) {
@@ -1278,6 +1502,7 @@ Relation EquiJoin(const Relation& left, const Relation& right,
   std::unordered_map<Tuple, std::vector<std::uint32_t>, TupleHash> index;
   Tuple key(pairs.size());
   for (std::size_t row = 0; row < rs.size(); ++row) {
+    if (!rs.IsLive(row)) continue;
     for (std::size_t i = 0; i < pairs.size(); ++i) {
       key[i] = rs.ValueAt(row, pairs[i].second);
     }
@@ -1285,6 +1510,7 @@ Relation EquiJoin(const Relation& left, const Relation& right,
   }
   Tuple joined(static_cast<std::size_t>(out.arity()));
   for (std::size_t lrow = 0; lrow < ls.size(); ++lrow) {
+    if (!ls.IsLive(lrow)) continue;
     for (std::size_t i = 0; i < pairs.size(); ++i) {
       key[i] = ls.ValueAt(lrow, pairs[i].first);
     }

@@ -129,10 +129,18 @@ struct EvalStats {
   /// instead of sorting the whole relation. Every patch also counts in
   /// trie_cache_misses (a patched trie is still a rebuilt object).
   std::size_t trie_patches = 0;
+  /// Trie tier: cache misses served by *unpatching* a cached trie -- the
+  /// relation saw a mixed append/remove window since the cached build whose
+  /// both sides the journal can still name (Relation::DeltasSince), so the
+  /// new trie was produced by subtracting the removed keys' support while
+  /// merging the appended ones, O(base + delta), no full sort. Every
+  /// unpatch also counts in trie_cache_misses.
+  std::size_t trie_unpatches = 0;
   /// Trie tier: cache misses (and no-context transient builds) that ran the
   /// full from-scratch relation sort -- cold entries, or stale entries whose
-  /// relation saw a structural mutation (Remove/Clear) since the cached
-  /// build. trie_patches + trie_rebuilds <= trie_cache_misses: survivor-view
+  /// relation crossed a structural break (Clear, or a Remove that triggered
+  /// tombstone compaction) since the cached build. trie_patches +
+  /// trie_unpatches + trie_rebuilds <= trie_cache_misses: survivor-view
   /// tries built by the hybrid's reduction pass count as misses only.
   std::size_t trie_rebuilds = 0;
   /// Hybrid plan only: atoms whose enumeration reused the cached semi-join
@@ -145,6 +153,24 @@ struct EvalStats {
   /// semi-join pass (the "k" in the O(k . index work) cost of a small
   /// insert).
   std::size_t delta_tuples_processed = 0;
+  /// Hybrid plan only: true iff the semi-join reduction ran as a counting
+  /// *delta pass* -- the cached SemijoinState's per-step key support counts
+  /// were adjusted by the mutation delta instead of re-reducing the
+  /// database. A delta pass sets semijoin_pass_ran too; a full re-reduce
+  /// leaves this false.
+  bool semijoin_delta_pass = false;
+  /// Hybrid delta pass only: previously-dropped tuples revived because a
+  /// semi-join key they were waiting on came back from support zero.
+  std::size_t semijoin_revived_tuples = 0;
+  /// Hybrid delta pass only: previously-surviving tuples killed because a
+  /// key supporting them dropped to zero (plus appended tuples that arrived
+  /// dangling count under semijoin_dropped_tuples, not here).
+  std::size_t semijoin_killed_tuples = 0;
+  /// Hybrid plan: total tuples currently dangling (dropped by the semi-join
+  /// state in force after this call), whether the pass ran, delta-ran, or
+  /// was skipped. The oracle checks this against a from-scratch
+  /// re-reduction's semijoin_dropped_tuples.
+  std::size_t semijoin_dangling_tuples = 0;
   /// Generic join: sibling scans truncated by the projection-aware early
   /// exit -- once the bound prefix covers every head variable, a single
   /// witness of the remaining variables suffices, so the search returns as

@@ -53,7 +53,10 @@ Database RandomDatabase(const Query& query,
       repaired_flat.reserve(rel->size() * static_cast<std::size_t>(rel->arity()));
       bool rewrote = false;
       Tuple key(fd.lhs.size());
+      std::size_t live_rows = 0;
       for (std::size_t row = 0; row < store.size(); ++row) {
+        if (!store.IsLive(row)) continue;
+        ++live_rows;
         for (std::size_t i = 0; i < fd.lhs.size(); ++i) {
           key[i] = store.ValueAt(row, fd.lhs[i]);
         }
@@ -69,7 +72,7 @@ Database RandomDatabase(const Query& query,
       }
       if (rewrote) {
         Relation repaired(rel->name(), rel->arity());
-        repaired.InsertFlat(repaired_flat, rel->size());
+        repaired.InsertFlat(repaired_flat, live_rows);
         *rel = std::move(repaired);
         changed = true;
       }

@@ -41,7 +41,9 @@ class Relation {
 
   const std::string& name() const { return name_; }
   int arity() const { return store_.arity(); }
-  std::size_t size() const { return store_.size(); }
+  /// Logical cardinality: live rows only. The store may hold tombstoned
+  /// physical rows beyond this until it compacts (store().size()).
+  std::size_t size() const { return store_.live_size(); }
   bool empty() const { return store_.empty(); }
 
   /// Mutation counter: advanced by the number of rows an operation actually
@@ -79,6 +81,29 @@ class Relation {
     return AppendWindow{store_.size() - appended, appended};
   }
 
+  /// The generalized delta journal: everything that changed since `gen`,
+  /// named by row id. `appended_rows` are the still-live rows appended
+  /// since `gen` (a subsequence of the physical row suffix, ascending);
+  /// `removed_rows` are the row ids tombstoned since `gen` that existed at
+  /// `gen` (ascending; their codes are still readable -- tombstones keep
+  /// columns intact). A tuple appended AND removed inside the window
+  /// appears in neither list. Valid for any `gen` at or after the last
+  /// *hard* structural break (Clear or a deferred compaction, which shift
+  /// or drop row ids); returns false and leaves `*out` empty otherwise --
+  /// the caller falls back to a full rebuild. AppendsOnlySince(gen)
+  /// implies validity with empty `removed_rows`.
+  struct DeltaSet {
+    std::vector<std::uint32_t> appended_rows;
+    std::vector<std::uint32_t> removed_rows;
+  };
+  bool DeltasSince(std::uint64_t gen, DeltaSet* out) const;
+
+  /// Number of hard structural breaks (deferred compactions) this relation
+  /// has performed; Clear resets nothing here -- it is its own break. Lets
+  /// tests and the mutation oracle distinguish a tombstone Remove (row ids
+  /// stable, deltas patchable) from one that compacted.
+  std::uint64_t compactions() const { return compactions_; }
+
   /// Inserts `t` if not present; returns true if inserted. Aborts if the
   /// arity does not match (a programming error, not a data error).
   bool Insert(const Tuple& t);
@@ -96,14 +121,18 @@ class Relation {
   /// As InsertBatch reading straight from another relation's columns.
   std::size_t InsertFrom(const Relation& other);
 
-  /// Removes `t` if present; returns true if removed. Preserves the order of
-  /// the remaining tuples. A removal is a structural mutation: it bumps the
-  /// generation AND the append floor, so delta consumers fall back to a full
-  /// rebuild (AppendsOnlySince() goes false for older snapshots).
+  /// Removes `t` if present; returns true if removed. Preserves the order
+  /// of the remaining tuples. A removal bumps the generation AND the
+  /// append floor (AppendsOnlySince() goes false for older snapshots), but
+  /// it is usually a *tombstone*: row ids stay stable, the removal is
+  /// journaled in the removed-row log, and DeltasSince() names it -- delta
+  /// consumers patch in O(δ) instead of rebuilding. Only when the store's
+  /// deferred compaction threshold trips does the removal become a hard
+  /// structural break (DeltasSince() goes invalid for older snapshots).
   bool Remove(const Tuple& t);
 
-  /// Drops every tuple. Bumps the generation and the append floor unless the
-  /// relation was already empty.
+  /// Drops every tuple. A hard structural break: bumps the generation and
+  /// both floors unless the store held no physical rows at all.
   void Clear();
 
   bool Contains(const Tuple& t) const { return store_.Contains(t); }
@@ -138,12 +167,26 @@ class Relation {
   std::string name_;
   ColumnStore store_;
   std::uint64_t generation_ = 0;
-  // Generation value as of the last structural (non-append) mutation; a
-  // snapshot generation >= this floor saw the current row prefix intact.
-  // Both journal integers are written only under the caller-owned writer
-  // phase (see the class comment) -- they are read concurrently by cached
-  // readers, which is safe precisely because writes never overlap reads.
+  // Generation value as of the last non-append mutation (removal, clear,
+  // compaction); a snapshot generation >= this floor saw the current rows
+  // as a pure append suffix. All journal state is written only under the
+  // caller-owned writer phase (see the class comment) -- it is read
+  // concurrently by cached readers, which is safe precisely because writes
+  // never overlap reads.
   std::uint64_t append_floor_ = 0;
+  // Generation value as of the last HARD structural break (Clear or a
+  // deferred compaction): snapshots at or after it can still be served a
+  // row-id delta (DeltasSince), older ones cannot. Invariant:
+  // structural_floor_ <= append_floor_ <= generation_.
+  std::uint64_t structural_floor_ = 0;
+  // One entry per tombstoned row since the last hard break, generation-
+  // ascending; a row id appears at most once (ids never resurrect).
+  struct RemovalEvent {
+    std::uint64_t gen = 0;
+    std::uint32_t row = 0;
+  };
+  std::vector<RemovalEvent> removed_log_;
+  std::uint64_t compactions_ = 0;
 };
 
 }  // namespace cqbounds

@@ -1,6 +1,9 @@
 #include "relation/text_io.h"
 
 #include <cctype>
+#include <charconv>
+#include <cstring>
+#include <iterator>
 #include <map>
 #include <sstream>
 #include <vector>
@@ -48,35 +51,48 @@ int HexDigit(char c) {
   return -1;
 }
 
-/// Inverse of EscapeToken. A malformed escape (stray '%' not followed by
-/// two hex digits) is a parse error, not silently passed through -- a file
+/// Inverse of EscapeToken over a buffer slice, decoding into the caller's
+/// reused scratch string (the streamed reader parses 10^5+ tokens; a fresh
+/// std::string per token would dominate the parse). Escape-free tokens --
+/// the overwhelmingly common case for ordinary integer values -- take a
+/// single assign. A malformed escape (stray '%' not followed by two hex
+/// digits) is a parse error, not silently passed through -- a file
 /// containing one was not produced by WriteDatabaseText and guessing at
 /// its intent would corrupt the value space silently.
-Result<std::string> UnescapeToken(const std::string& token, int line_number) {
-  if (token == "%") return std::string();
-  std::string out;
-  out.reserve(token.size());
-  for (std::size_t i = 0; i < token.size(); ++i) {
-    if (token[i] != '%') {
-      out += token[i];
+Status UnescapeTokenInto(const char* tok, const char* end, int line_number,
+                         std::string* out) {
+  if (end - tok == 1 && *tok == '%') {
+    out->clear();
+    return Status::OK();
+  }
+  const char* pct = static_cast<const char*>(
+      std::memchr(tok, '%', static_cast<std::size_t>(end - tok)));
+  if (pct == nullptr) {
+    out->assign(tok, static_cast<std::size_t>(end - tok));
+    return Status::OK();
+  }
+  out->clear();
+  for (const char* c = tok; c < end; ++c) {
+    if (*c != '%') {
+      *out += *c;
       continue;
     }
-    if (i + 2 >= token.size()) {
+    if (c + 2 >= end) {
       return Status::ParseError("line " + std::to_string(line_number) +
-                                ": truncated %XX escape in token '" + token +
-                                "'");
+                                ": truncated %XX escape in token '" +
+                                std::string(tok, end) + "'");
     }
-    const int hi = HexDigit(token[i + 1]);
-    const int lo = HexDigit(token[i + 2]);
+    const int hi = HexDigit(c[1]);
+    const int lo = HexDigit(c[2]);
     if (hi < 0 || lo < 0) {
       return Status::ParseError("line " + std::to_string(line_number) +
-                                ": invalid %XX escape in token '" + token +
-                                "'");
+                                ": invalid %XX escape in token '" +
+                                std::string(tok, end) + "'");
     }
-    out += static_cast<char>((hi << 4) | lo);
-    i += 2;
+    *out += static_cast<char>((hi << 4) | lo);
+    c += 2;
   }
-  return out;
+  return Status::OK();
 }
 
 /// Relation names are schema identifiers, not data: they appear unescaped
@@ -107,12 +123,16 @@ Status CheckWritableRelationName(const std::string& name) {
 }  // namespace
 
 Status ReadDatabaseText(std::istream& in, Database* db) {
-  // Bulk ingestion: tuple lines are parsed into per-relation flat column
-  // builders (row-major values, one vector per relation) and flushed in one
-  // InsertFlat batch per relation at end of input -- a single dedup pass
-  // over the appended block instead of a per-tuple hash insert. Arity and
-  // escape errors still carry their line numbers (checked during the
-  // parse); on error nothing is flushed.
+  // Streamed bulk ingestion. The whole input is slurped into one flat
+  // buffer and tokenized in place with pointer scans -- no per-line stream
+  // extraction and no per-token string construction (one scratch spelling
+  // is reused across all tokens; the previous getline + istringstream loop
+  // allocated several strings per line). Tuple lines are parsed into
+  // per-relation flat column builders (row-major values, one vector per
+  // relation) and flushed in one InsertFlat batch per relation at end of
+  // input -- a single dedup pass over the appended block instead of a
+  // per-tuple hash insert. Arity and escape errors still carry their line
+  // numbers (checked during the parse); on error nothing is flushed.
   struct PendingRows {
     Relation* rel = nullptr;
     std::vector<Value> flat;
@@ -121,56 +141,108 @@ Status ReadDatabaseText(std::istream& in, Database* db) {
   std::vector<PendingRows> pending;  // in first-tuple-seen relation order
   std::map<Relation*, std::size_t> pending_index;
 
-  std::string line;
+  const std::string buf{std::istreambuf_iterator<char>(in),
+                        std::istreambuf_iterator<char>()};
+  const char* p = buf.data();
+  const char* const buf_end = p + buf.size();
   int line_number = 0;
-  while (std::getline(in, line)) {
+  std::string scratch;
+  // Tuple files cluster lines by relation, so one cached (name -> pending
+  // slot) pair short-circuits nearly every map lookup. An index, not a
+  // pointer: pending reallocates as new relations appear.
+  std::string last_name;
+  std::size_t last_slot = static_cast<std::size_t>(-1);
+
+  // '\n' terminates the line itself and cannot appear here.
+  const auto is_sep = [](char c) {
+    return c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f';
+  };
+
+  while (p < buf_end) {
     ++line_number;
-    std::size_t hash = line.find('#');
-    if (hash != std::string::npos) line = line.substr(0, hash);
-    std::istringstream tokens(line);
-    std::string first;
-    if (!(tokens >> first)) continue;  // blank line
-    if (first == "relation") {
-      std::string name;
+    const char* nl = static_cast<const char*>(
+        std::memchr(p, '\n', static_cast<std::size_t>(buf_end - p)));
+    const char* const next_line = (nl != nullptr) ? nl + 1 : buf_end;
+    const char* line_end = (nl != nullptr) ? nl : buf_end;
+    const char* hash = static_cast<const char*>(
+        std::memchr(p, '#', static_cast<std::size_t>(line_end - p)));
+    if (hash != nullptr) line_end = hash;  // comment runs to end of line
+
+    const auto next_token = [&]() {
+      while (p < line_end && is_sep(*p)) ++p;
+      const char* tok = p;
+      while (p < line_end && !is_sep(*p)) ++p;
+      return std::pair<const char*, const char*>(tok, p);
+    };
+
+    const auto [first, first_end] = next_token();
+    if (first == first_end) {  // blank (or comment-only) line
+      p = next_line;
+      continue;
+    }
+    const std::size_t first_len = static_cast<std::size_t>(first_end - first);
+
+    if (first_len == 8 && std::memcmp(first, "relation", 8) == 0) {
+      const auto [name, name_end] = next_token();
+      const auto [ar, ar_end] = next_token();
       int arity = -1;
-      if (!(tokens >> name >> arity) || arity < 0) {
+      const auto parsed = std::from_chars(ar, ar_end, arity);
+      if (name == name_end || ar == ar_end || parsed.ec != std::errc() ||
+          parsed.ptr != ar_end || arity < 0) {
         return Status::ParseError("line " + std::to_string(line_number) +
                                   ": expected 'relation NAME ARITY'");
       }
-      if (db->AddRelation(name, arity) == nullptr) {
+      scratch.assign(name, static_cast<std::size_t>(name_end - name));
+      if (db->AddRelation(scratch, arity) == nullptr) {
         return Status::ParseError("line " + std::to_string(line_number) +
-                                  ": relation '" + name +
+                                  ": relation '" + scratch +
                                   "' re-declared with different arity");
       }
+      p = next_line;
       continue;
     }
-    Relation* rel = db->FindMutable(first);
-    if (rel == nullptr) {
-      return Status::ParseError("line " + std::to_string(line_number) +
-                                ": tuple for undeclared relation '" + first +
-                                "'");
+
+    std::size_t slot;
+    if (last_slot != static_cast<std::size_t>(-1) &&
+        last_name.size() == first_len &&
+        std::memcmp(last_name.data(), first, first_len) == 0) {
+      slot = last_slot;
+    } else {
+      scratch.assign(first, first_len);
+      Relation* rel = db->FindMutable(scratch);
+      if (rel == nullptr) {
+        return Status::ParseError("line " + std::to_string(line_number) +
+                                  ": tuple for undeclared relation '" +
+                                  scratch + "'");
+      }
+      const auto [it, inserted] = pending_index.emplace(rel, pending.size());
+      if (inserted) {
+        pending.emplace_back();
+        pending.back().rel = rel;
+      }
+      slot = it->second;
+      last_name.assign(first, first_len);
+      last_slot = slot;
     }
-    auto [it, inserted] = pending_index.emplace(rel, pending.size());
-    if (inserted) {
-      pending.emplace_back();
-      pending.back().rel = rel;
-    }
-    PendingRows& rows = pending[it->second];
-    std::string token;
+    PendingRows& rows = pending[slot];
+
     std::size_t width = 0;
-    while (tokens >> token) {
-      std::string spelling;
-      CQB_ASSIGN_OR_RETURN(spelling, UnescapeToken(token, line_number));
-      rows.flat.push_back(db->value_pool()->Intern(spelling));
+    for (;;) {
+      const auto [tok, tok_end] = next_token();
+      if (tok == tok_end) break;
+      CQB_RETURN_NOT_OK(
+          UnescapeTokenInto(tok, tok_end, line_number, &scratch));
+      rows.flat.push_back(db->value_pool()->Intern(scratch));
       ++width;
     }
-    if (static_cast<int>(width) != rel->arity()) {
+    if (static_cast<int>(width) != rows.rel->arity()) {
       return Status::ParseError(
           "line " + std::to_string(line_number) + ": tuple of arity " +
-          std::to_string(width) + " for relation '" + first + "' of arity " +
-          std::to_string(rel->arity()));
+          std::to_string(width) + " for relation '" + rows.rel->name() +
+          "' of arity " + std::to_string(rows.rel->arity()));
     }
     ++rows.rows;
+    p = next_line;
   }
   for (PendingRows& rows : pending) {
     rows.rel->InsertFlat(rows.flat, rows.rows);
@@ -191,6 +263,7 @@ Status WriteDatabaseText(const Database& db, std::ostream& out) {
     out << "relation " << name << " " << rel.arity() << "\n";
     const ColumnStore& store = rel.store();
     for (std::size_t row = 0; row < store.size(); ++row) {
+      if (!store.IsLive(row)) continue;
       out << name;
       for (int c = 0; c < rel.arity(); ++c) {
         const Value v = store.ValueAt(row, c);

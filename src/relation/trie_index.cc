@@ -76,6 +76,39 @@ void RadixSortIndices(const std::vector<std::uint64_t>& keys, std::size_t m,
   }
 }
 
+/// Radix-sorts the packed `keys` (m rows of `depth` words) and collapses
+/// duplicates: `*sorted` receives the distinct sorted key stream and
+/// `*counts` one multiplicity per distinct key. Returns the distinct
+/// count. Shared by the build and both delta constructors.
+std::size_t SortCountKeys(const std::vector<std::uint64_t>& keys,
+                          std::size_t m, int depth,
+                          const std::vector<std::uint64_t>& key_min,
+                          const std::vector<std::uint64_t>& key_max,
+                          std::vector<std::uint64_t>* sorted,
+                          std::vector<std::uint32_t>* counts) {
+  std::vector<std::uint32_t> idx(m);
+  for (std::size_t i = 0; i < m; ++i) idx[i] = static_cast<std::uint32_t>(i);
+  RadixSortIndices(keys, m, depth, key_min, key_max, &idx);
+  sorted->clear();
+  sorted->reserve(m * static_cast<std::size_t>(depth));
+  counts->clear();
+  counts->reserve(m);
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::uint64_t* key =
+        keys.data() + static_cast<std::size_t>(idx[i]) * depth;
+    if (kept > 0 &&
+        CompareKeys(sorted->data() + (kept - 1) * depth, key, depth) == 0) {
+      ++counts->back();
+      continue;
+    }
+    sorted->insert(sorted->end(), key, key + depth);
+    counts->push_back(1);
+    ++kept;
+  }
+  return kept;
+}
+
 }  // namespace
 
 TrieBuildStats GetTrieBuildStats() {
@@ -98,6 +131,9 @@ std::size_t TrieIndex::ExtractKeys(
   std::size_t kept = 0;
   for (std::size_t i = 0; i < n; ++i) {
     const std::size_t row = rows != nullptr ? (*rows)[i] : i;
+    // Whole-store builds index the live set; explicit row lists are taken
+    // as-is so delta paths can read tombstoned rows' still-intact columns.
+    if (rows == nullptr && !store.IsLive(row)) continue;
     const std::size_t mark = keys->size();
     bool consistent = true;
     for (int l = 0; l < depth && consistent; ++l) {
@@ -134,26 +170,25 @@ void TrieIndex::BuildFromFlatKeys(const std::vector<std::uint64_t>& keys,
                                   std::size_t m, int depth,
                                   const std::vector<std::uint64_t>& key_min,
                                   const std::vector<std::uint64_t>& key_max) {
-  std::vector<std::uint32_t> idx(m);
-  for (std::size_t i = 0; i < m; ++i) idx[i] = static_cast<std::uint32_t>(i);
-  RadixSortIndices(keys, m, depth, key_min, key_max, &idx);
-
-  // Write out the sorted, deduplicated key stream once, then build the
-  // levels from it in one scan.
+  // Write out the sorted, deduplicated key stream once (counting the rows
+  // collapsed under each key as its support), then build the levels from it
+  // in one scan.
   std::vector<std::uint64_t> sorted;
-  sorted.reserve(m * static_cast<std::size_t>(depth));
-  std::size_t kept = 0;
-  for (std::size_t i = 0; i < m; ++i) {
-    const std::uint64_t* key =
-        keys.data() + static_cast<std::size_t>(idx[i]) * depth;
-    if (kept > 0 &&
-        CompareKeys(sorted.data() + (kept - 1) * depth, key, depth) == 0) {
-      continue;
-    }
-    sorted.insert(sorted.end(), key, key + depth);
-    ++kept;
-  }
+  std::vector<std::uint32_t> counts;
+  const std::size_t kept =
+      SortCountKeys(keys, m, depth, key_min, key_max, &sorted, &counts);
   BuildFromSortedFlat(sorted, kept, depth);
+  SetCounts(std::move(counts));
+}
+
+void TrieIndex::SetCounts(std::vector<std::uint32_t>&& counts) {
+  for (const std::uint32_t c : counts) {
+    if (c != 1) {
+      counts_ = std::move(counts);
+      return;
+    }
+  }
+  counts_.clear();
 }
 
 void TrieIndex::BuildFromSortedFlat(const std::vector<std::uint64_t>& keys,
@@ -221,8 +256,11 @@ TrieIndex::TrieIndex(const Relation& rel,
   const int depth = static_cast<int>(level_positions.size());
   if (depth == 0) {
     // Zero key variables: the trie only records whether any tuple survives
-    // the (vacuous) filters -- the atom acts as a boolean guard.
-    num_tuples_ = rel.empty() ? 0 : 1;
+    // the (vacuous) filters -- the atom acts as a boolean guard. The
+    // support count remembers how many rows back it, so delta subtraction
+    // knows when the guard flips off.
+    root_support_ = rel.size();
+    num_tuples_ = root_support_ != 0 ? 1 : 0;
     return;
   }
   std::vector<std::uint64_t> keys;
@@ -238,7 +276,8 @@ TrieIndex::TrieIndex(const RowView& view,
   g_radix_builds.fetch_add(1, std::memory_order_relaxed);
   const int depth = static_cast<int>(level_positions.size());
   if (depth == 0) {
-    num_tuples_ = view.empty() ? 0 : 1;
+    root_support_ = view.size();
+    num_tuples_ = root_support_ != 0 ? 1 : 0;
     return;
   }
   CQB_CHECK(view.store != nullptr);
@@ -256,39 +295,28 @@ TrieIndex::TrieIndex(const TrieIndex& base, const RowView& appended,
   const int depth = static_cast<int>(level_positions.size());
   CQB_CHECK(base.num_levels() == depth);
   if (depth == 0) {
-    num_tuples_ = (base.num_tuples_ != 0 || !appended.empty()) ? 1 : 0;
+    root_support_ = base.root_support_ + appended.size();
+    num_tuples_ = root_support_ != 0 ? 1 : 0;
     return;
   }
   CQB_CHECK(appended.store != nullptr);
 
-  // Delta keys: extract, radix-sort, dedup -- O(k log k) worst case for k
-  // appended rows, all on packed words.
+  // Delta keys: extract, radix-sort, collapse duplicates into supports --
+  // O(k log k) worst case for k appended rows, all on packed words.
   std::vector<std::uint64_t> keys;
   std::vector<std::uint64_t> key_min(static_cast<std::size_t>(depth));
   std::vector<std::uint64_t> key_max(static_cast<std::size_t>(depth));
   const std::size_t m = ExtractKeys(*appended.store, &appended.rows,
                                     level_positions, &keys, &key_min,
                                     &key_max);
-  std::vector<std::uint32_t> idx(m);
-  for (std::size_t i = 0; i < m; ++i) idx[i] = static_cast<std::uint32_t>(i);
-  RadixSortIndices(keys, m, depth, key_min, key_max, &idx);
   std::vector<std::uint64_t> delta;
-  delta.reserve(m * static_cast<std::size_t>(depth));
-  std::size_t dk = 0;
-  for (std::size_t i = 0; i < m; ++i) {
-    const std::uint64_t* key =
-        keys.data() + static_cast<std::size_t>(idx[i]) * depth;
-    if (dk > 0 &&
-        CompareKeys(delta.data() + (dk - 1) * depth, key, depth) == 0) {
-      continue;
-    }
-    delta.insert(delta.end(), key, key + depth);
-    ++dk;
-  }
+  std::vector<std::uint32_t> dcounts;
+  const std::size_t dk =
+      SortCountKeys(keys, m, depth, key_min, key_max, &delta, &dcounts);
 
   // Base keys come out of the DFS already sorted and deduplicated; a single
-  // merge (dropping delta keys already present) yields the combined sorted
-  // key stream without ever re-sorting the base.
+  // merge (set semantics on equal keys, summed support) yields the combined
+  // sorted key stream without ever re-sorting the base.
   std::vector<std::uint64_t> base_keys;
   base_keys.reserve(base.num_tuples_ * static_cast<std::size_t>(depth));
   base.EnumerateFlatKeys(&base_keys);
@@ -296,6 +324,8 @@ TrieIndex::TrieIndex(const TrieIndex& base, const RowView& appended,
 
   std::vector<std::uint64_t> merged;
   merged.reserve(base_keys.size() + delta.size());
+  std::vector<std::uint32_t> counts;
+  counts.reserve(bk + dk);
   std::size_t bi = 0;
   std::size_t di = 0;
   std::size_t mk = 0;
@@ -305,27 +335,133 @@ TrieIndex::TrieIndex(const TrieIndex& base, const RowView& appended,
     const int cmp = CompareKeys(b, d, depth);
     if (cmp < 0) {
       merged.insert(merged.end(), b, b + depth);
+      counts.push_back(base.CountOf(bi));
       ++bi;
     } else if (cmp > 0) {
       merged.insert(merged.end(), d, d + depth);
+      counts.push_back(dcounts[di]);
       ++di;
     } else {
+      // Duplicate of an existing key: set semantics (no growth), but the
+      // supports add so a later removal of either row subtracts exactly.
       merged.insert(merged.end(), b, b + depth);
+      counts.push_back(base.CountOf(bi) + dcounts[di]);
       ++bi;
-      ++di;  // Duplicate of an existing key: set semantics, no growth.
+      ++di;
     }
     ++mk;
   }
   for (; bi < bk; ++bi, ++mk) {
     const std::uint64_t* b = base_keys.data() + bi * depth;
     merged.insert(merged.end(), b, b + depth);
+    counts.push_back(base.CountOf(bi));
   }
   for (; di < dk; ++di, ++mk) {
     const std::uint64_t* d = delta.data() + di * depth;
     merged.insert(merged.end(), d, d + depth);
+    counts.push_back(dcounts[di]);
   }
 
   BuildFromSortedFlat(merged, mk, depth);
+  SetCounts(std::move(counts));
+}
+
+TrieIndex::TrieIndex(const TrieIndex& base, const RowView& appended,
+                     const RowView& removed,
+                     const std::vector<std::vector<int>>& level_positions) {
+  g_merge_builds.fetch_add(1, std::memory_order_relaxed);
+  const int depth = static_cast<int>(level_positions.size());
+  CQB_CHECK(base.num_levels() == depth);
+  if (depth == 0) {
+    // No key variables, so every row is vacuously self-consistent and the
+    // guard is pure arithmetic on row counts.
+    CQB_CHECK(base.root_support_ + appended.size() >= removed.size());
+    root_support_ = base.root_support_ + appended.size() - removed.size();
+    num_tuples_ = root_support_ != 0 ? 1 : 0;
+    return;
+  }
+
+  // Both delta sides go through the same extract/sort/count path as the
+  // base build, so self-inconsistent rows are filtered symmetrically and
+  // the multiset arithmetic below is exact.
+  std::vector<std::uint64_t> add;
+  std::vector<std::uint32_t> addc;
+  std::size_t ak = 0;
+  if (!appended.empty()) {
+    CQB_CHECK(appended.store != nullptr);
+    std::vector<std::uint64_t> keys;
+    std::vector<std::uint64_t> key_min(static_cast<std::size_t>(depth));
+    std::vector<std::uint64_t> key_max(static_cast<std::size_t>(depth));
+    const std::size_t m = ExtractKeys(*appended.store, &appended.rows,
+                                      level_positions, &keys, &key_min,
+                                      &key_max);
+    ak = SortCountKeys(keys, m, depth, key_min, key_max, &add, &addc);
+  }
+  std::vector<std::uint64_t> sub;
+  std::vector<std::uint32_t> subc;
+  std::size_t sk = 0;
+  if (!removed.empty()) {
+    CQB_CHECK(removed.store != nullptr);
+    std::vector<std::uint64_t> keys;
+    std::vector<std::uint64_t> key_min(static_cast<std::size_t>(depth));
+    std::vector<std::uint64_t> key_max(static_cast<std::size_t>(depth));
+    const std::size_t m = ExtractKeys(*removed.store, &removed.rows,
+                                      level_positions, &keys, &key_min,
+                                      &key_max);
+    sk = SortCountKeys(keys, m, depth, key_min, key_max, &sub, &subc);
+  }
+
+  std::vector<std::uint64_t> base_keys;
+  base_keys.reserve(base.num_tuples_ * static_cast<std::size_t>(depth));
+  base.EnumerateFlatKeys(&base_keys);
+  const std::size_t bk = base_keys.size() / static_cast<std::size_t>(depth);
+
+  // Three-way sorted merge: per distinct key the net support is
+  // base + appended - removed; the key survives iff that stays positive.
+  std::vector<std::uint64_t> merged;
+  merged.reserve(base_keys.size() + add.size());
+  std::vector<std::uint32_t> counts;
+  counts.reserve(bk + ak);
+  std::size_t bi = 0;
+  std::size_t ai = 0;
+  std::size_t si = 0;
+  std::size_t mk = 0;
+  while (bi < bk || ai < ak || si < sk) {
+    const std::uint64_t* key = nullptr;
+    if (bi < bk) key = base_keys.data() + bi * depth;
+    if (ai < ak) {
+      const std::uint64_t* a = add.data() + ai * depth;
+      if (key == nullptr || CompareKeys(a, key, depth) < 0) key = a;
+    }
+    if (si < sk) {
+      const std::uint64_t* s = sub.data() + si * depth;
+      if (key == nullptr || CompareKeys(s, key, depth) < 0) key = s;
+    }
+    std::int64_t net = 0;
+    if (bi < bk && CompareKeys(base_keys.data() + bi * depth, key, depth) == 0) {
+      net += base.CountOf(bi);
+      ++bi;
+    }
+    if (ai < ak && CompareKeys(add.data() + ai * depth, key, depth) == 0) {
+      net += addc[ai];
+      ++ai;
+    }
+    if (si < sk && CompareKeys(sub.data() + si * depth, key, depth) == 0) {
+      net -= subc[si];
+      ++si;
+    }
+    // A negative net means a removal named a row whose key the base (plus
+    // this window's appends) never supported -- a journal bug upstream.
+    CQB_CHECK(net >= 0);
+    if (net > 0) {
+      merged.insert(merged.end(), key, key + depth);
+      counts.push_back(static_cast<std::uint32_t>(net));
+      ++mk;
+    }
+  }
+
+  BuildFromSortedFlat(merged, mk, depth);
+  SetCounts(std::move(counts));
 }
 
 std::size_t TrieIndex::SeekGE(int level, Range r, Value v) const {

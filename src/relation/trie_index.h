@@ -87,6 +87,24 @@ class TrieIndex {
   TrieIndex(const TrieIndex& base, const RowView& appended,
             const std::vector<std::vector<int>>& level_positions);
 
+  /// Unpatch constructor: `base`'s key multiset plus `appended` minus
+  /// `removed` -- the mixed append/remove delta path. Every trie carries a
+  /// per-key *support count* (how many self-consistent rows project onto
+  /// the key; stored sparsely, since counts exceed one only under
+  /// projection or repeated-variable layouts), so subtracting a removed row
+  /// deletes its key exactly when the last supporting row goes: a key is
+  /// emitted iff base_count + appended_count - removed_count > 0. Removed
+  /// rows are named by id into a store whose tombstoned columns are still
+  /// readable (Relation::DeltasSince guarantees this until compaction);
+  /// rows failing the repeated-variable filter are skipped symmetrically on
+  /// both delta sides, mirroring what the base build did. Cost is
+  /// O(base + k log k) for k = |appended| + |removed|; `base` is never
+  /// modified (fresh object, same concurrency contract as the patch
+  /// constructor). Checks that no key's support goes negative.
+  TrieIndex(const TrieIndex& base, const RowView& appended,
+            const RowView& removed,
+            const std::vector<std::vector<int>>& level_positions);
+
   /// Number of key levels (the atom's distinct-variable count).
   int num_levels() const { return static_cast<int>(levels_.size()); }
 
@@ -126,22 +144,33 @@ class TrieIndex {
   };
 
   /// Packed key extraction: appends the sign-biased key words of every
-  /// self-consistent row of `rows` (or all rows when `rows` is null) to
-  /// `*keys`, depth words per kept row, and widens `*key_max` per level.
-  /// Returns the kept-row count.
+  /// self-consistent row of `rows` (or all LIVE rows when `rows` is null;
+  /// an explicit row list is taken as-is, so delta paths can read
+  /// tombstoned rows' still-intact columns) to `*keys`, depth words per
+  /// kept row, and widens `*key_max` per level. Returns the kept-row
+  /// count.
   static std::size_t ExtractKeys(
       const ColumnStore& store, const std::vector<std::uint32_t>* rows,
       const std::vector<std::vector<int>>& level_positions,
       std::vector<std::uint64_t>* keys, std::vector<std::uint64_t>* key_min,
       std::vector<std::uint64_t>* key_max);
 
-  /// Radix-sorts + dedups the packed `keys` (m rows of depth words), then
-  /// builds the per-level arrays via BuildFromSortedFlat. Shared tail of the
+  /// Radix-sorts + dedups the packed `keys` (m rows of depth words),
+  /// recording per-key duplicate counts as support, then builds the
+  /// per-level arrays via BuildFromSortedFlat. Shared tail of the
   /// from-scratch constructors.
   void BuildFromFlatKeys(const std::vector<std::uint64_t>& keys,
                          std::size_t m, int depth,
                          const std::vector<std::uint64_t>& key_min,
                          const std::vector<std::uint64_t>& key_max);
+
+  /// Support count of leaf key `i` (lexicographic/DFS order).
+  std::uint32_t CountOf(std::size_t i) const {
+    return counts_.empty() ? 1u : counts_[i];
+  }
+  /// Installs per-key counts, dropping the vector when every count is one
+  /// (the dense common case costs nothing).
+  void SetCounts(std::vector<std::uint32_t>&& counts);
 
   /// Builds the per-level arrays from an already sorted, deduplicated packed
   /// key stream of m rows (the single-scan core, exposed so the patch
@@ -156,6 +185,13 @@ class TrieIndex {
 
   std::vector<Level> levels_;
   std::size_t num_tuples_ = 0;
+  /// Per-leaf-key support counts in lexicographic (DFS/leaf) order; empty
+  /// means every key has support one. Only the delta constructors consume
+  /// these -- enumeration and seeks never look at them.
+  std::vector<std::uint32_t> counts_;
+  /// Depth-0 (nullary key) support: how many rows back the boolean guard.
+  /// num_tuples_ is 1 iff this is nonzero.
+  std::size_t root_support_ = 0;
 };
 
 }  // namespace cqbounds

@@ -71,8 +71,11 @@ TEST(ColumnStoreTest, NullaryStoreHoldsAtMostTheEmptyTuple) {
   EXPECT_EQ(store.size(), 1u);
   EXPECT_TRUE(store.Contains(Tuple{}));
   EXPECT_EQ(store.Row(0), Tuple{});
-  EXPECT_TRUE(store.Erase(Tuple{}));
+  // A one-row store is past the deferred-compaction threshold the moment
+  // its only row dies, so the nullary erase compacts immediately.
+  EXPECT_EQ(store.Erase(Tuple{}), ColumnStore::EraseResult::kCompacted);
   EXPECT_TRUE(store.empty());
+  EXPECT_EQ(store.Erase(Tuple{}), ColumnStore::EraseResult::kNotFound);
 }
 
 TEST(ColumnStoreTest, SharedDictionaryMakesRepeatedValuesCodeEqual) {
@@ -128,21 +131,84 @@ TEST(ColumnStoreTest, AppendFromCrossesDictionaries) {
   EXPECT_EQ(target.Row(2), (Tuple{300, 100}));
 }
 
-TEST(ColumnStoreTest, EraseCompactsPreservingOrder) {
+TEST(ColumnStoreTest, EraseTombstonesWithoutMovingRows) {
   ColumnStore store(2);
   for (Value v : {1, 2, 3, 4, 5}) store.Append({v, v * 10});
-  EXPECT_FALSE(store.Erase({9, 90}));
-  EXPECT_TRUE(store.Erase({3, 30}));
-  ASSERT_EQ(store.size(), 4u);
-  EXPECT_EQ(store.Row(0), (Tuple{1, 10}));
-  EXPECT_EQ(store.Row(1), (Tuple{2, 20}));
-  EXPECT_EQ(store.Row(2), (Tuple{4, 40}));
-  EXPECT_EQ(store.Row(3), (Tuple{5, 50}));
-  // The row index survives the compaction: membership and dedup still work.
+  EXPECT_EQ(store.Erase({9, 90}), ColumnStore::EraseResult::kNotFound);
+  std::uint32_t removed = 0;
+  EXPECT_EQ(store.Erase({3, 30}, &removed),
+            ColumnStore::EraseResult::kTombstoned);
+  EXPECT_EQ(removed, 2u);
+  // Physical rows are untouched (the dead row's columns stay readable for
+  // delta consumers); only the live view shrinks.
+  ASSERT_EQ(store.size(), 5u);
+  EXPECT_EQ(store.live_size(), 4u);
+  EXPECT_EQ(store.dead_count(), 1u);
+  EXPECT_FALSE(store.IsLive(2));
+  EXPECT_EQ(store.Row(2), (Tuple{3, 30}));
+  // Membership and dedup see only live rows.
   EXPECT_FALSE(store.Contains({3, 30}));
   EXPECT_TRUE(store.Contains({5, 50}));
   EXPECT_FALSE(store.Append({4, 40}));
-  EXPECT_TRUE(store.Append({3, 30}));  // re-insertable after erase
+  EXPECT_EQ(store.Erase({3, 30}), ColumnStore::EraseResult::kNotFound);
+}
+
+TEST(ColumnStoreTest, RemoveThenReinsertGetsAFreshRowId) {
+  ColumnStore store(2);
+  for (Value v : {1, 2, 3, 4, 5, 6, 7}) store.Append({v, v * 10});
+  ASSERT_EQ(store.Erase({2, 20}), ColumnStore::EraseResult::kTombstoned);
+  // Re-inserting the erased tuple must land on a NEW physical row -- dead
+  // row ids never resurrect (removal journals depend on their uniqueness).
+  EXPECT_TRUE(store.Append({2, 20}));
+  ASSERT_EQ(store.size(), 8u);
+  EXPECT_FALSE(store.IsLive(1));
+  EXPECT_TRUE(store.IsLive(7));
+  EXPECT_EQ(store.Row(7), (Tuple{2, 20}));
+  EXPECT_TRUE(store.Contains({2, 20}));
+  EXPECT_FALSE(store.Append({2, 20}));  // dedup tracks the live copy
+  // Erasing again hits the fresh copy, not the old tombstone.
+  std::uint32_t removed = 0;
+  ASSERT_EQ(store.Erase({2, 20}, &removed),
+            ColumnStore::EraseResult::kTombstoned);
+  EXPECT_EQ(removed, 7u);
+}
+
+TEST(ColumnStoreTest, CompactionTriggersPastTheQuarterDeadThreshold) {
+  ColumnStore store(1);
+  for (Value v = 0; v < 8; ++v) store.Append({v});
+  // Threshold is dead * 4 > rows: with 8 physical rows the first two
+  // erases tombstone (4 <= 8, 8 <= 8) and the third compacts (12 > 8).
+  EXPECT_EQ(store.Erase({0}), ColumnStore::EraseResult::kTombstoned);
+  EXPECT_EQ(store.Erase({2}), ColumnStore::EraseResult::kTombstoned);
+  EXPECT_EQ(store.size(), 8u);
+  EXPECT_EQ(store.Erase({4}), ColumnStore::EraseResult::kCompacted);
+  // Compaction rewrites the physical rows to the live ones, in order.
+  ASSERT_EQ(store.size(), 5u);
+  EXPECT_EQ(store.dead_count(), 0u);
+  EXPECT_EQ(store.Row(0), (Tuple{1}));
+  EXPECT_EQ(store.Row(1), (Tuple{3}));
+  EXPECT_EQ(store.Row(2), (Tuple{5}));
+  EXPECT_EQ(store.Row(3), (Tuple{6}));
+  EXPECT_EQ(store.Row(4), (Tuple{7}));
+  // The rebuilt index serves membership and dedup over the new row ids.
+  EXPECT_FALSE(store.Contains({4}));
+  EXPECT_TRUE(store.Contains({7}));
+  EXPECT_FALSE(store.Append({3}));
+  EXPECT_TRUE(store.Append({4}));
+}
+
+TEST(ColumnStoreTest, ClearOnAlreadyEmptyStoreIsIdempotent) {
+  ColumnStore store(2);
+  store.Clear();
+  EXPECT_TRUE(store.empty());
+  EXPECT_EQ(store.size(), 0u);
+  store.Append({1, 2});
+  ASSERT_EQ(store.Erase({1, 2}), ColumnStore::EraseResult::kCompacted);
+  store.Clear();  // clearing a compacted-to-empty store
+  store.Clear();
+  EXPECT_TRUE(store.empty());
+  EXPECT_TRUE(store.segments().empty());
+  EXPECT_TRUE(store.Append({1, 2}));
 }
 
 TEST(ColumnStoreTest, SegmentsJournalAppendsAndCollapseOnMutation) {
@@ -163,10 +229,14 @@ TEST(ColumnStoreTest, SegmentsJournalAppendsAndCollapseOnMutation) {
   EXPECT_EQ(store.segments()[2].begin, 4u);
   EXPECT_EQ(store.segments()[2].end, 5u);
 
-  store.Erase({1});  // structural: back to one base segment
+  // A tombstoning erase leaves the physical layout -- and the journal's
+  // segments -- untouched; only compaction collapses them.
+  ASSERT_EQ(store.Erase({1}), ColumnStore::EraseResult::kTombstoned);
+  ASSERT_EQ(store.segments().size(), 3u);
+  ASSERT_EQ(store.Erase({2}), ColumnStore::EraseResult::kCompacted);
   ASSERT_EQ(store.segments().size(), 1u);
   EXPECT_EQ(store.segments()[0].begin, 0u);
-  EXPECT_EQ(store.segments()[0].end, 4u);
+  EXPECT_EQ(store.segments()[0].end, 3u);
 
   store.Clear();
   EXPECT_TRUE(store.segments().empty());
@@ -228,6 +298,60 @@ TEST(RelationJournalTest, BatchInsertAdvancesGenerationByRowsAdded) {
   EXPECT_FALSE(r.AppendsOnlySince(snapshot));
   EXPECT_TRUE(r.AppendsOnlySince(r.generation()));
   EXPECT_EQ(r.AppendedRowsSince(r.generation()).count, 0u);
+}
+
+TEST(RelationJournalTest, DeltasSinceNamesBothSidesOfAMixedWindow) {
+  Relation r("R", 1);
+  for (Value v = 0; v < 8; ++v) r.Insert({v});
+  const std::uint64_t snapshot = r.generation();
+
+  r.Insert({100});               // physical row 8
+  EXPECT_TRUE(r.Remove({3}));    // tombstones row 3
+  r.Insert({101});               // physical row 9
+  EXPECT_TRUE(r.Remove({101}));  // appended then removed in one window
+
+  EXPECT_FALSE(r.AppendsOnlySince(snapshot));
+  Relation::DeltaSet ds;
+  ASSERT_TRUE(r.DeltasSince(snapshot, &ds));
+  // The append-then-remove of {101} nets out of BOTH sides: row 9 is dead
+  // (not appended) and was never visible at the snapshot (not removed).
+  EXPECT_EQ(ds.appended_rows, (std::vector<std::uint32_t>{8}));
+  EXPECT_EQ(ds.removed_rows, (std::vector<std::uint32_t>{3}));
+  // The removed row's columns stay readable until compaction -- the trie
+  // unpatch path reads the dead row's key out of them.
+  EXPECT_FALSE(r.store().IsLive(3));
+  EXPECT_EQ(r.store().Row(3), (Tuple{3}));
+
+  // The current generation's delta is empty, a future one is invalid.
+  ASSERT_TRUE(r.DeltasSince(r.generation(), &ds));
+  EXPECT_TRUE(ds.appended_rows.empty());
+  EXPECT_TRUE(ds.removed_rows.empty());
+  EXPECT_FALSE(r.DeltasSince(r.generation() + 1, &ds));
+  // Clear is a structural break: older snapshots can no longer be served.
+  r.Clear();
+  EXPECT_FALSE(r.DeltasSince(snapshot, &ds));
+}
+
+TEST(RelationJournalTest, CompactionIsAStructuralBreakForDeltas) {
+  Relation r("R", 1);
+  for (Value v = 0; v < 8; ++v) r.Insert({v});
+  const std::uint64_t snapshot = r.generation();
+  EXPECT_EQ(r.compactions(), 0u);
+  EXPECT_TRUE(r.Remove({0}));
+  EXPECT_TRUE(r.Remove({1}));
+  Relation::DeltaSet ds;
+  ASSERT_TRUE(r.DeltasSince(snapshot, &ds));  // tombstones: still servable
+  EXPECT_EQ(ds.removed_rows.size(), 2u);
+  EXPECT_TRUE(r.Remove({2}));  // crosses dead*4 > rows: compacts
+  EXPECT_EQ(r.compactions(), 1u);
+  EXPECT_EQ(r.store().size(), 5u);  // physically rewritten
+  EXPECT_FALSE(r.DeltasSince(snapshot, &ds));  // row ids moved: invalid
+  // The post-compaction generation serves deltas again.
+  const std::uint64_t after = r.generation();
+  r.Insert({100});
+  ASSERT_TRUE(r.DeltasSince(after, &ds));
+  EXPECT_EQ(ds.appended_rows, (std::vector<std::uint32_t>{5}));
+  EXPECT_TRUE(ds.removed_rows.empty());
 }
 
 TEST(RelationJournalTest, FlatAndFromInsertsMatchTupleInserts) {

@@ -11,14 +11,17 @@
 // ops that broke the incremental bookkeeping.
 //
 // On top of exactness the suite asserts the delta machinery's reason to
-// exist: on an appends-only script a warm context never rebuilds a trie
-// from scratch (trie_rebuilds == 0 after warmup -- every refresh is a
-// patch), and deterministic degenerate cases cover duplicate appends (set
-// semantics make them free), appends to an initially empty relation,
-// depth-0 (nullary) patches, and partial generation-vector bumps
-// invalidating survivor-view reuse. DeltaOracleConcurrencyTest alternates
-// writer phases with parallel reader phases (the readers-xor-writer
-// contract) and rides the TSan CI leg.
+// exist: on a history of appends and *tombstone* removals a warm context
+// never rebuilds a trie from scratch (trie_rebuilds == 0 after warmup --
+// every refresh is a patch or an unpatch; only a Clear or a removal that
+// tripped deferred compaction clears that freedom), and deterministic
+// degenerate cases cover duplicate appends (set semantics make them
+// free), appends to an initially empty relation, depth-0 (nullary)
+// patches, tombstone removals served by trie unpatches, and the counting
+// delta pass's kill and revival transitions. DeltaOracleConcurrencyTest
+// alternates writer phases (with guaranteed tombstone pressure) with
+// parallel reader phases (the readers-xor-writer contract) and rides the
+// TSan CI leg.
 
 #include <gtest/gtest.h>
 
@@ -63,22 +66,33 @@ void ExpectSameOutcome(const Relation& want, const EvalStats& want_stats,
       << context;
   EXPECT_EQ(got_stats.intermediate_sizes, want_stats.intermediate_sizes)
       << context;
-  // A delta pass extends a clean state, whose previously-present tuples all
-  // survive a from-scratch pass too -- so when the warm run actually ran a
-  // pass (delta or full), it must report the same drop count the cold run
-  // computed from nothing.
-  if (got_stats.semijoin_pass_ran) {
+  // A *full* warm pass starts from nothing, exactly like the cold run, so
+  // it must report the same drop count. A delta pass only touches the
+  // tuples the mutation window moved (its dropped counter is the per-delta
+  // kill total, not a census), so for it the comparable quantity is the
+  // dangling total below.
+  if (got_stats.semijoin_pass_ran && !got_stats.semijoin_delta_pass) {
     EXPECT_EQ(got_stats.semijoin_dropped_tuples,
               want_stats.semijoin_dropped_tuples)
         << context;
   }
-  // Counter taxonomy invariants (docs/EVALUATION.md): every patch and every
-  // rebuild is a miss (survivor-trie builds are misses only), and a cold
-  // context can never have patched.
-  EXPECT_LE(got_stats.trie_patches + got_stats.trie_rebuilds,
+  // Whether the warm run skipped, delta-extended, or fully re-ran the
+  // pass, the semi-join state left in force must shun exactly the tuples a
+  // from-scratch reduction drops.
+  if (got_stats.semijoin_pass_ran || got_stats.semijoin_pass_skipped) {
+    EXPECT_EQ(got_stats.semijoin_dangling_tuples,
+              want_stats.semijoin_dropped_tuples)
+        << context;
+  }
+  // Counter taxonomy invariants (docs/EVALUATION.md): every patch, unpatch
+  // and rebuild is a miss (survivor-trie builds are misses only), and a
+  // cold context can never have patched or unpatched.
+  EXPECT_LE(got_stats.trie_patches + got_stats.trie_unpatches +
+                got_stats.trie_rebuilds,
             got_stats.trie_cache_misses)
       << context;
   EXPECT_EQ(want_stats.trie_patches, 0u) << context;
+  EXPECT_EQ(want_stats.trie_unpatches, 0u) << context;
 }
 
 // --- The randomized oracle -------------------------------------------------
@@ -111,9 +125,12 @@ TEST_P(DeltaOracleTest, MutationScriptsMatchFromScratchOracle) {
     std::set<std::string> body_rels;
     for (const Atom& atom : q.atoms()) body_rels.insert(atom.relation);
 
-    // True once any remove/clear actually changed a relation: the rebuild
-    // freedom assertion below only holds on appends-only history.
-    bool structural_seen = false;
+    // True once any mutation actually forced the rebuild path: a Clear
+    // that changed a relation, or a Remove whose tombstone tripped the
+    // store's deferred compaction. Plain tombstone removals stay servable
+    // through DeltasSince, so they do NOT void the rebuild-freedom
+    // assertion below.
+    bool rebuild_forcing_seen = false;
 
     for (int round = 0; round < 125; ++round) {
       std::vector<MutationOp> round_ops;
@@ -126,10 +143,11 @@ TEST_P(DeltaOracleTest, MutationScriptsMatchFromScratchOracle) {
                                                /*allow_structural=*/true,
                                                &rng));
           const MutationOp& op = round_ops.back();
+          const std::uint64_t compactions_before = rel->compactions();
           const bool changed = ApplyMutation(op, &db);
-          if (changed && (op.kind == MutationOp::Kind::kRemove ||
-                          op.kind == MutationOp::Kind::kClear)) {
-            structural_seen = true;
+          if ((changed && op.kind == MutationOp::Kind::kClear) ||
+              rel->compactions() != compactions_before) {
+            rebuild_forcing_seen = true;
           }
         }
       }
@@ -168,12 +186,14 @@ TEST_P(DeltaOracleTest, MutationScriptsMatchFromScratchOracle) {
                           tag);
 
         // The delta guarantee: once every layout is cached (round 0 warms
-        // the plan), an appends-only history never forces a from-scratch
-        // trie rebuild -- every refresh is a patch. Asserted for the
-        // generic join only: the hybrid's survivor-trie overrides bypass
-        // the trie tier, so an atom that dropped tuples in an earlier
-        // round may legitimately cold-build its cache entry later.
-        if (round > 0 && !structural_seen && kind == PlanKind::kGenericJoin) {
+        // the plan), a history of appends and tombstone removals never
+        // forces a from-scratch trie rebuild -- every refresh is a patch
+        // or an unpatch. Asserted for the generic join only: the hybrid's
+        // survivor-trie overrides bypass the trie tier, so an atom that
+        // dropped tuples in an earlier round may legitimately cold-build
+        // its cache entry later.
+        if (round > 0 && !rebuild_forcing_seen &&
+            kind == PlanKind::kGenericJoin) {
           EXPECT_EQ(got_stats[i].trie_rebuilds, 0u) << tag;
         }
       }
@@ -276,11 +296,13 @@ TEST(DeltaDegenerateTest, NullaryAtomPatchFlipsTheBooleanGuard) {
   EXPECT_EQ(stats.trie_rebuilds, 0u);
 }
 
-TEST(DeltaDegenerateTest, PartialGenerationBumpInvalidatesSurvivorViews) {
+TEST(DeltaDegenerateTest, AppendDeltaRevivesPreviouslyDanglingTuple) {
   // A dirty survivor-view state (R holds a dangling tuple) keyed by the
-  // generation vector: bumping only S must invalidate the reuse -- a
-  // partial match is no match -- and, because the state is dirty, force a
-  // full re-pass rather than a delta extension.
+  // generation vector: bumping only S invalidates the outright reuse -- a
+  // partial match is no match -- but the counting delta pass extends the
+  // dirty state in O(delta): the appended S tuple flips a semi-join key's
+  // support from zero, and the previously dropped R tuple is *revived*
+  // from the per-atom dropped book without re-reducing the database.
   auto q = ParseQuery("Q(X,Z) :- R(X,Y), S(Y,Z).");
   ASSERT_TRUE(q.ok());
   Database db;
@@ -297,31 +319,129 @@ TEST(DeltaDegenerateTest, PartialGenerationBumpInvalidatesSurvivorViews) {
   ASSERT_TRUE(first.ok());
   ASSERT_TRUE(stats.semijoin_pass_ran);
   ASSERT_EQ(stats.semijoin_dropped_tuples, 1u);
+  ASSERT_EQ(stats.semijoin_dangling_tuples, 1u);
 
-  // Unchanged generation vector: survivor views are reused outright.
+  // Unchanged generation vector: survivor views are reused outright, and
+  // the dangling census still names the dropped tuple.
   auto reused = EvaluateQuery(*q, db, PlanKind::kHybridYannakakis, &ctx,
                               &stats);
   ASSERT_TRUE(reused.ok());
   EXPECT_TRUE(stats.semijoin_pass_skipped);
   EXPECT_GE(stats.survivor_view_hits, 1u);
+  EXPECT_EQ(stats.semijoin_dangling_tuples, 1u);
 
-  // Partial bump: S moves, R does not. The cached state is dirty, so no
-  // delta extension is allowed either -- the pass re-runs in full and
-  // re-counts the (still dangling) drop.
+  // Partial bump: S moves, R does not. The delta pass revives (8,9).
   ASSERT_TRUE(s->Insert({9, 4}));
   auto bumped = EvaluateQuery(*q, db, PlanKind::kHybridYannakakis, &ctx,
                               &stats);
   ASSERT_TRUE(bumped.ok());
   EXPECT_FALSE(stats.semijoin_pass_skipped);
   EXPECT_TRUE(stats.semijoin_pass_ran);
-  EXPECT_EQ(stats.survivor_view_hits, 0u);
-  // The append revived the previously dangling (8,9): nothing drops now.
+  EXPECT_TRUE(stats.semijoin_delta_pass);
+  EXPECT_EQ(stats.semijoin_revived_tuples, 1u);
   EXPECT_EQ(stats.semijoin_dropped_tuples, 0u);
+  EXPECT_EQ(stats.semijoin_dangling_tuples, 0u);
   EXPECT_TRUE(bumped->Contains({8, 4}));
 
   auto oracle = EvaluateQuery(*q, db, PlanKind::kNaive);
   ASSERT_TRUE(oracle.ok());
-  ExpectSameRelation(*oracle, *bumped, "partial bump result");
+  ExpectSameRelation(*oracle, *bumped, "revival delta result");
+
+  // Byte-exactness after the revival: a from-scratch context must agree
+  // on the result and on the dangling census (nothing dangles now).
+  EvalContext fresh_ctx(db);
+  EvalStats fresh_stats;
+  auto fresh = EvaluateQuery(*q, db, PlanKind::kHybridYannakakis, &fresh_ctx,
+                             &fresh_stats);
+  ASSERT_TRUE(fresh.ok());
+  ExpectSameOutcome(*fresh, fresh_stats, *bumped, stats, "revival vs fresh");
+}
+
+TEST(DeltaDegenerateTest, TombstoneRemoveUnpatchesInsteadOfRebuilding) {
+  // A small removal from a warm relation must be served by the trie
+  // *unpatch* path: the journal names the tombstoned row, the cached trie
+  // subtracts its keys' support, and no from-scratch rebuild happens.
+  auto q = ParseQuery("Q(X,Z) :- R(X,Y), S(Y,Z).");
+  ASSERT_TRUE(q.ok());
+  Database db;
+  Relation* r = db.AddRelation("R", 2);
+  Relation* s = db.AddRelation("S", 2);
+  for (int i = 0; i < 40; ++i) {
+    r->Insert({i, i + 1});
+    s->Insert({i + 1, i + 2});
+  }
+  EvalContext ctx(db);
+  EvalStats stats;
+  auto before = EvaluateQuery(*q, db, PlanKind::kGenericJoin, &ctx, &stats);
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(before->Contains({5, 7}));
+
+  // 1 dead of 40 physical rows: far below the quarter-dead compaction
+  // threshold, so the removal is a tombstone and deltas stay servable.
+  ASSERT_TRUE(r->Remove({5, 6}));
+  ASSERT_EQ(r->compactions(), 0u);
+
+  auto after = EvaluateQuery(*q, db, PlanKind::kGenericJoin, &ctx, &stats);
+  ASSERT_TRUE(after.ok());
+  EXPECT_GE(stats.trie_unpatches, 1u);
+  EXPECT_EQ(stats.trie_rebuilds, 0u);
+  EXPECT_GE(stats.delta_tuples_processed, 1u);
+  EXPECT_FALSE(after->Contains({5, 7}));
+
+  auto oracle = EvaluateQuery(*q, db, PlanKind::kNaive);
+  ASSERT_TRUE(oracle.ok());
+  ExpectSameRelation(*oracle, *after, "unpatched result");
+}
+
+TEST(DeltaDegenerateTest, RemovalDeltaKillsNowUnsupportedTuples) {
+  // The kill side of the counting delta pass: removing the sole S tuple
+  // supporting R(8,9) drives its semi-join key's support to zero, and the
+  // delta pass must kill the previously *surviving* R tuple -- without a
+  // full re-reduce.
+  auto q = ParseQuery("Q(X,Z) :- R(X,Y), S(Y,Z).");
+  ASSERT_TRUE(q.ok());
+  Database db;
+  Relation* r = db.AddRelation("R", 2);
+  Relation* s = db.AddRelation("S", 2);
+  r->Insert({1, 2});
+  r->Insert({8, 9});
+  // 4 physical rows in S keep the single tombstone below the compaction
+  // threshold.
+  s->Insert({2, 3});
+  s->Insert({9, 4});
+  s->Insert({2, 5});
+  s->Insert({2, 6});
+  EvalContext ctx(db);
+
+  EvalStats stats;
+  auto first = EvaluateQuery(*q, db, PlanKind::kHybridYannakakis, &ctx,
+                             &stats);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(stats.semijoin_pass_ran);
+  ASSERT_EQ(stats.semijoin_dropped_tuples, 0u);
+  ASSERT_TRUE(first->Contains({8, 4}));
+
+  ASSERT_TRUE(s->Remove({9, 4}));
+  ASSERT_EQ(s->compactions(), 0u);
+
+  auto after = EvaluateQuery(*q, db, PlanKind::kHybridYannakakis, &ctx,
+                             &stats);
+  ASSERT_TRUE(after.ok());
+  EXPECT_TRUE(stats.semijoin_pass_ran);
+  EXPECT_TRUE(stats.semijoin_delta_pass);
+  EXPECT_EQ(stats.semijoin_killed_tuples, 1u);
+  EXPECT_EQ(stats.semijoin_dangling_tuples, 1u);
+  EXPECT_FALSE(after->Contains({8, 4}));
+
+  // Byte-exact against a from-scratch context, which re-discovers the
+  // same dangler the delta pass killed.
+  EvalContext fresh_ctx(db);
+  EvalStats fresh_stats;
+  auto fresh = EvaluateQuery(*q, db, PlanKind::kHybridYannakakis, &fresh_ctx,
+                             &fresh_stats);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(fresh_stats.semijoin_dropped_tuples, 1u);
+  ExpectSameOutcome(*fresh, fresh_stats, *after, stats, "kill vs fresh");
 }
 
 // --- Concurrency: readers-xor-writer phases under TSan ---------------------
@@ -357,6 +477,19 @@ TEST(DeltaOracleConcurrencyTest, MutateBetweenParallelEvaluationPhases) {
         Relation* rel = db.FindMutable(name);
         ops.push_back(RandomMutationOp(*rel, 5, /*allow_structural=*/true,
                                        &rng));
+        ApplyMutation(ops.back(), &db);
+      }
+      // Guaranteed tombstone pressure: every writer phase also removes one
+      // existing tuple, so the reader fan-out repeatedly races stale
+      // entries whose delta window has a removed side (the unpatch path)
+      // and survivor states with freshly killed or revived tuples.
+      Relation* r = db.FindMutable("R");
+      if (!r->empty()) {
+        MutationOp del;
+        del.kind = MutationOp::Kind::kRemove;
+        del.relation = "R";
+        del.tuples.push_back(r->tuples()[rng.NextBelow(r->size())]);
+        ops.push_back(del);
         ApplyMutation(ops.back(), &db);
       }
     }

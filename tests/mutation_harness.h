@@ -61,8 +61,10 @@ inline constexpr PlanKind kAllPlans[] = {PlanKind::kNaive,
                                          PlanKind::kHybridYannakakis};
 
 /// One scripted mutation against a named relation. Append/BulkAppend feed
-/// the delta (trie-patch) paths; Remove/Clear are the structural mutations
-/// that force full rebuilds and invalidate clean semi-join state.
+/// the trie-patch and semi-join delta paths; Remove usually tombstones
+/// (served by trie unpatches and delta-pass kills/revivals) but forces a
+/// rebuild when it trips deferred compaction; Clear is always a hard
+/// structural break.
 struct MutationOp {
   enum class Kind { kAppend, kBulkAppend, kRemove, kClear };
   Kind kind = Kind::kAppend;

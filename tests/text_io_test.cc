@@ -137,6 +137,44 @@ TEST(TextIoTest, ReadRejectsMalformedEscapes) {
   }
 }
 
+TEST(TextIoTest, BulkRoundTripAtAHundredThousandTuples) {
+  // The streamed-ingestion fast path at scale: 10^5 tuples across two
+  // relations render, re-read through the whole-file tokenizer (one
+  // InsertFlat per relation), and come back byte-exact -- same live
+  // cardinalities, identical second render. Duplicate source lines and a
+  // hostile spelling ride along so the dedup and escape paths are
+  // exercised inside the bulk batch, not just in the small tests above.
+  constexpr int kRows = 50000;  // per relation
+  std::ostringstream text;
+  text << "relation E 2\nrelation F 2\n";
+  for (int i = 0; i < kRows; ++i) {
+    text << "E v" << i << " v" << (i + 1) << "\n";
+    text << "F v" << (i % 1000) << " w" << i << "\n";
+  }
+  text << "E v0 v1\n";        // duplicate: set semantics absorb it
+  text << "F %20 plain\n";    // escaped spelling (" ") in the bulk batch
+  Database db;
+  ASSERT_TRUE(ReadDatabaseTextFromString(text.str(), &db).ok());
+  const Relation* e = db.Find("E");
+  const Relation* f = db.Find("F");
+  ASSERT_NE(e, nullptr);
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(e->size(), static_cast<std::size_t>(kRows));
+  EXPECT_EQ(f->size(), static_cast<std::size_t>(kRows) + 1);
+  EXPECT_TRUE(f->Contains({db.value_pool()->Intern(" "),
+                           db.value_pool()->Intern("plain")}));
+
+  auto rendered = WriteDatabaseTextToString(db);
+  ASSERT_TRUE(rendered.ok()) << rendered.status();
+  Database again;
+  ASSERT_TRUE(ReadDatabaseTextFromString(*rendered, &again).ok());
+  EXPECT_EQ(again.Find("E")->size(), e->size());
+  EXPECT_EQ(again.Find("F")->size(), f->size());
+  auto rendered_again = WriteDatabaseTextToString(again);
+  ASSERT_TRUE(rendered_again.ok()) << rendered_again.status();
+  EXPECT_EQ(*rendered_again, *rendered);
+}
+
 TEST(TextIoTest, LoadedDatabaseIsQueryable) {
   Database db;
   ASSERT_TRUE(ReadDatabaseTextFromString(
